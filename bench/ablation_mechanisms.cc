@@ -1,0 +1,91 @@
+// Ablations beyond the paper's headline comparison:
+//  1. dependent-column (DET-GD) versus independent-column (IND-GD) gamma
+//     perturbation at the same record-level privacy (paper Section 2
+//     distinguishes the two classes; FRAPP chooses dependent);
+//  2. the randomization distribution of RAN-GD (uniform vs two-point vs
+//     truncated Gaussian), all zero-mean with the same support.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace frapp;
+
+void PrintRun(eval::TextTable& out, const eval::MechanismRun& run) {
+  const eval::LengthAccuracy total = eval::OverallAccuracy(run.accuracy);
+  out.AddRow({run.mechanism_name, eval::Cell(total.support_error, 4),
+              eval::Cell(total.sigma_minus, 4), eval::Cell(total.sigma_plus, 4),
+              std::to_string(total.correct) + "/" +
+                  std::to_string(total.true_frequent)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace frapp;
+  std::cout << "=== Ablation: mechanism design choices (CENSUS, gamma = 19) ===\n\n";
+
+  const data::CategoricalTable census =
+      bench::Unwrap(data::census::MakeDataset(), "census data");
+  const mining::AprioriResult truth = bench::MineTruth(census);
+  eval::ExperimentConfig config;
+  config.min_support = bench::kMinSupport;
+  config.perturb_seed = 20050705;
+
+  std::cout << "(1) Dependent-column vs independent-column perturbation\n";
+  {
+    eval::TextTable out(
+        {"mechanism", "rho (%)", "sigma- (%)", "sigma+ (%)", "correct"});
+    auto det = bench::Unwrap(
+        core::DetGdMechanism::Create(census.schema(), bench::kGamma), "DET-GD");
+    PrintRun(out, bench::Unwrap(eval::RunMechanism(*det, census, truth, config),
+                                "DET-GD run"));
+    auto ind = bench::Unwrap(
+        core::IndependentColumnMechanism::Create(census.schema(), bench::kGamma),
+        "IND-GD");
+    PrintRun(out, bench::Unwrap(eval::RunMechanism(*ind, census, truth, config),
+                                "IND-GD run"));
+    out.Print(std::cout);
+
+    std::cout << "\nCondition numbers by itemset length:\n";
+    eval::TextTable cond({"length", "DET-GD", "IND-GD (geo-mean over subsets)"});
+    for (size_t k = 1; k <= census.schema().num_attributes(); ++k) {
+      cond.AddRow({std::to_string(k),
+                   eval::Cell(*det->ConditionNumberForLength(k), 4),
+                   eval::Cell(*ind->ConditionNumberForLength(k), 4)});
+    }
+    cond.Print(std::cout);
+    std::cout << "\nExpected: IND-GD's condition number grows with length while\n"
+                 "DET-GD stays constant - quantifying why FRAPP perturbs the\n"
+                 "record jointly rather than column-by-column.\n\n";
+  }
+
+  std::cout << "(2) RAN-GD randomization distribution (alpha = gamma*x/2)\n";
+  {
+    const double x =
+        1.0 / (bench::kGamma + static_cast<double>(census.schema().DomainSize()) - 1.0);
+    const double alpha = bench::kGamma * x / 2.0;
+    eval::TextTable out(
+        {"mechanism", "rho (%)", "sigma- (%)", "sigma+ (%)", "correct"});
+    for (random::RandomizationKind kind :
+         {random::RandomizationKind::kUniform, random::RandomizationKind::kTwoPoint,
+          random::RandomizationKind::kTruncatedGaussian}) {
+      auto ran = bench::Unwrap(
+          core::RanGdMechanism::Create(census.schema(), bench::kGamma, alpha, kind),
+          "RAN-GD");
+      eval::MechanismRun run = bench::Unwrap(
+          eval::RunMechanism(*ran, census, truth, config), "RAN-GD run");
+      run.mechanism_name += std::string(" (") + RandomizationKindName(kind) + ")";
+      PrintRun(out, run);
+    }
+    out.Print(std::cout);
+    std::cout << "\nExpected: all three randomization families deliver similar\n"
+                 "accuracy (reconstruction only uses the mean matrix); the\n"
+                 "choice is a privacy-policy knob, not an accuracy knob.\n";
+  }
+  return 0;
+}

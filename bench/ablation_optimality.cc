@@ -1,0 +1,102 @@
+// Ablation backing the paper's Section 3 optimality theorem: among symmetric
+// column-stochastic matrices with amplification <= gamma, the gamma-diagonal
+// matrix minimizes the condition number, c >= (gamma + n - 1)/(gamma - 1).
+// We search randomized feasible matrices and report the best condition
+// number found versus the bound.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_util.h"
+#include "frapp/core/gamma_diagonal.h"
+#include "frapp/core/privacy.h"
+#include "frapp/linalg/condition.h"
+#include "frapp/random/rng.h"
+
+namespace {
+
+using namespace frapp;
+
+// Draws a random symmetric doubly stochastic matrix (a convex mixture of
+// symmetrized permutation matrices, Birkhoff-style), then blends it toward
+// the uniform matrix J/n just enough to satisfy the gamma amplification
+// constraint. Every draw is feasible, so the search actually explores the
+// constraint set.
+linalg::Matrix RandomFeasibleCandidate(size_t n, double gamma, random::Pcg64& rng) {
+  linalg::Matrix s(n, n);
+  const int num_permutations = 2 * static_cast<int>(n);
+  std::vector<size_t> perm(n);
+  for (int w = 0; w < num_permutations; ++w) {
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    for (size_t i = n; i-- > 1;) {
+      std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
+    }
+    const double weight = rng.NextDouble(0.1, 1.0);
+    for (size_t i = 0; i < n; ++i) {
+      s(i, perm[i]) += weight / 2.0;
+      s(perm[i], i) += weight / 2.0;
+    }
+  }
+  // Normalize the mixture to stochasticity (all column sums are equal).
+  double column_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) column_sum += s(i, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) s(i, j) /= column_sum;
+  }
+
+  // Positive definite base: x I + (1-x) S with x > 1/2 dominates S's most
+  // negative eigenvalue (>= -1), keeping the candidate in the theorem's
+  // symmetric positive definite class.
+  const double x = rng.NextDouble(0.55, 0.9);
+  linalg::Matrix base = linalg::Matrix::Identity(n) * x + s * (1.0 - x);
+
+  // Largest blend of the base (vs uniform) that keeps amplification <= gamma.
+  const linalg::Matrix uniform(n, n, 1.0 / static_cast<double>(n));
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 30; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    linalg::Matrix blend = uniform * (1.0 - mid) + base * mid;
+    (core::MatrixAmplification(blend) <= gamma ? lo : hi) = mid;
+  }
+  return uniform * (1.0 - lo) + base * lo;
+}
+
+}  // namespace
+
+int main() {
+  using namespace frapp;
+  std::cout << "=== Ablation: optimality of the gamma-diagonal matrix ===\n";
+  std::cout << "(random search over symmetric stochastic matrices with\n"
+               " amplification <= gamma; paper Section 3 proves the bound)\n\n";
+
+  eval::TextTable out({"gamma", "n", "bound (g+n-1)/(g-1)", "best random cond",
+                       "feasible draws", "violations"});
+  random::Pcg64 rng(20050405);
+  for (double gamma : {3.0, 10.0, 19.0}) {
+    for (size_t n : {4ull, 8ull, 16ull}) {
+      const double bound = core::MinimumConditionNumberBound(gamma, n);
+      double best = std::numeric_limits<double>::infinity();
+      int feasible = 0;
+      int violations = 0;
+      for (int trial = 0; trial < 400; ++trial) {
+        linalg::Matrix m = RandomFeasibleCandidate(n, gamma, rng);
+        if (!m.IsColumnStochastic(1e-6)) continue;
+        if (core::MatrixAmplification(m) > gamma) continue;
+        StatusOr<double> cond = linalg::SymmetricConditionNumber(m);
+        if (!cond.ok()) continue;
+        ++feasible;
+        best = std::min(best, *cond);
+        if (*cond < bound * (1.0 - 1e-9)) ++violations;
+      }
+      out.AddRow({eval::Cell(gamma, 3), std::to_string(n), eval::Cell(bound, 5),
+                  eval::Cell(best, 5), std::to_string(feasible),
+                  std::to_string(violations)});
+    }
+  }
+  out.Print(std::cout);
+  std::cout << "\nExpected: zero violations; the best random condition number\n"
+               "stays at or above the bound, which the gamma-diagonal matrix\n"
+               "attains exactly.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the experiment-reproduction binaries. Each bench
+// prints the rows/series of one table or figure from the paper.
+
+#ifndef FRAPP_BENCH_BENCH_UTIL_H_
+#define FRAPP_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/mechanism.h"
+#include "frapp/data/census.h"
+#include "frapp/data/health.h"
+#include "frapp/eval/experiment.h"
+#include "frapp/eval/reporting.h"
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace bench {
+
+/// Paper Section 7 parameters.
+inline constexpr double kGamma = 19.0;           // (rho1, rho2) = (5%, 50%)
+inline constexpr double kMinSupport = 0.02;      // supmin = 2%
+inline constexpr size_t kCutPasteK = 3;          // C&P cutoff
+inline constexpr double kCutPasteRho = 0.494;    // C&P paste probability
+
+/// Aborts with a message when a StatusOr is an error (benches are top-level
+/// programs; failing loudly is correct).
+template <typename T>
+T Unwrap(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::cerr << "FATAL (" << what << "): " << value.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return *std::move(value);
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "FATAL (" << what << "): " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+/// The four mechanisms of the paper's Section 7 study, configured for
+/// `schema`. RAN-GD uses alpha = gamma*x/2 as in Figures 1-2.
+inline std::vector<std::unique_ptr<core::Mechanism>> PaperMechanisms(
+    const data::CategoricalSchema& schema) {
+  std::vector<std::unique_ptr<core::Mechanism>> mechanisms;
+  mechanisms.push_back(
+      Unwrap(core::DetGdMechanism::Create(schema, kGamma), "DET-GD"));
+  const double x = 1.0 / (kGamma + static_cast<double>(schema.DomainSize()) - 1.0);
+  mechanisms.push_back(Unwrap(
+      core::RanGdMechanism::Create(schema, kGamma, kGamma * x / 2.0), "RAN-GD"));
+  mechanisms.push_back(Unwrap(core::MaskMechanism::Create(schema, kGamma), "MASK"));
+  mechanisms.push_back(Unwrap(
+      core::CutPasteMechanism::Create(schema, kCutPasteK, kCutPasteRho), "C&P"));
+  return mechanisms;
+}
+
+/// Mines the exact frequent itemsets at the paper's threshold.
+inline mining::AprioriResult MineTruth(const data::CategoricalTable& table) {
+  mining::AprioriOptions options;
+  options.min_support = kMinSupport;
+  return Unwrap(mining::MineExact(table, options), "exact mining");
+}
+
+}  // namespace bench
+}  // namespace frapp
+
+#endif  // FRAPP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,15 @@
+// Reproduces paper Figure 1: support error (a), false negatives (b) and
+// false positives (c) versus frequent-itemset length on CENSUS, for DET-GD,
+// RAN-GD (alpha = gamma*x/2), MASK and C&P.
+
+#include "fig_errors_common.h"
+
+int main() {
+  using namespace frapp;
+  const data::CategoricalTable census =
+      bench::Unwrap(data::census::MakeDataset(), "census data");
+  bench::RunErrorFigure(
+      "Figure 1: CENSUS mining errors (DET-GD / RAN-GD / MASK / C&P)", census,
+      /*perturb_seed=*/20050701);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Figure 2: support error (a), false negatives (b) and
+// false positives (c) versus frequent-itemset length on HEALTH, for DET-GD,
+// RAN-GD (alpha = gamma*x/2), MASK and C&P.
+
+#include "fig_errors_common.h"
+
+int main() {
+  using namespace frapp;
+  const data::CategoricalTable health =
+      bench::Unwrap(data::health::MakeDataset(), "health data");
+  bench::RunErrorFigure(
+      "Figure 2: HEALTH mining errors (DET-GD / RAN-GD / MASK / C&P)", health,
+      /*perturb_seed=*/20050702);
+  return 0;
+}

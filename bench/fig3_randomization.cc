@@ -1,0 +1,110 @@
+// Reproduces paper Figure 3: the effect of randomizing the perturbation
+// matrix (RAN-GD) as a function of the randomization half-width alpha.
+//  (a) determinable posterior probability range [rho2-, rho2+] vs alpha/(gamma x)
+//  (b) support error rho for length-4 itemsets on CENSUS vs alpha/(gamma x)
+//  (c) the same on HEALTH,
+// with the deterministic DET-GD error as the reference line.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_util.h"
+#include "frapp/core/privacy.h"
+
+namespace {
+
+using namespace frapp;
+
+constexpr double kPrior = 0.05;  // the paper's P(Q(u)) = 5% example
+constexpr size_t kTargetLength = 4;
+
+// Support error at the target length for one mechanism run.
+double LengthError(const eval::MechanismRun& run) {
+  for (const auto& acc : run.accuracy) {
+    if (acc.length == kTargetLength) return acc.support_error;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void SupportErrorSweep(const char* label, const data::CategoricalTable& table,
+                       uint64_t seed) {
+  const mining::AprioriResult truth = bench::MineTruth(table);
+  eval::ExperimentConfig config;
+  config.min_support = bench::kMinSupport;
+  config.max_length = kTargetLength;
+  config.perturb_seed = seed;
+
+  // DET-GD reference.
+  auto det = bench::Unwrap(
+      core::DetGdMechanism::Create(table.schema(), bench::kGamma), "DET-GD");
+  const eval::MechanismRun det_run =
+      bench::Unwrap(eval::RunMechanism(*det, table, truth, config), "DET-GD run");
+  const double det_error = LengthError(det_run);
+
+  const double x =
+      1.0 / (bench::kGamma + static_cast<double>(table.schema().DomainSize()) - 1.0);
+
+  std::cout << label << " (support error rho for length-" << kTargetLength
+            << " itemsets)\n";
+  eval::TextTable out({"alpha/(gamma x)", "RAN-GD rho (%)", "DET-GD rho (%)"});
+  for (int step = 0; step <= 10; ++step) {
+    const double fraction = step / 10.0;
+    double ran_error = det_error;
+    if (fraction > 0.0) {
+      auto ran = bench::Unwrap(
+          core::RanGdMechanism::Create(table.schema(), bench::kGamma,
+                                       fraction * bench::kGamma * x),
+          "RAN-GD");
+      const eval::MechanismRun run = bench::Unwrap(
+          eval::RunMechanism(*ran, table, truth, config), "RAN-GD run");
+      ran_error = LengthError(run);
+    }
+    out.AddRow({eval::Cell(fraction, 2), eval::Cell(ran_error, 4),
+                eval::Cell(det_error, 4)});
+  }
+  out.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace frapp;
+
+  std::cout << "=== Figure 3: randomizing the perturbation matrix ===\n\n";
+
+  // (a) Posterior probability ranges (CENSUS-scale domain n = 2000).
+  std::cout << "(a) Determinable posterior probability range, prior = "
+            << kPrior * 100 << "%, gamma = " << bench::kGamma << ", n = 2000\n";
+  eval::TextTable posterior(
+      {"alpha/(gamma x)", "rho2-", "rho2 (center)", "rho2+"});
+  for (int step = 0; step <= 10; ++step) {
+    const double fraction = step / 10.0;
+    const double x = 1.0 / (bench::kGamma + 2000.0 - 1.0);
+    const core::PosteriorRange range = bench::Unwrap(
+        core::RandomizedPosteriorRange(kPrior, bench::kGamma, 2000,
+                                       fraction * bench::kGamma * x),
+        "posterior range");
+    posterior.AddRow({eval::Cell(fraction, 2), eval::Cell(range.lower, 3),
+                      eval::Cell(range.center, 3), eval::Cell(range.upper, 3)});
+  }
+  posterior.Print(std::cout);
+  std::cout << "\nExpected shape (paper): rho2+ rises toward ~1 and rho2- falls\n"
+               "toward 0 as alpha grows; the center stays at the deterministic\n"
+               "breach (50%). At alpha = gamma*x/2 the range is ~[33%, 60%].\n\n";
+
+  // (b) CENSUS and (c) HEALTH support-error sweeps.
+  const data::CategoricalTable census =
+      bench::Unwrap(data::census::MakeDataset(), "census data");
+  SupportErrorSweep("(b) CENSUS", census, 20050703);
+
+  const data::CategoricalTable health =
+      bench::Unwrap(data::health::MakeDataset(), "health data");
+  SupportErrorSweep("(c) HEALTH", health, 20050704);
+
+  std::cout << "Expected shape (paper): RAN-GD's error stays close to DET-GD's\n"
+               "across the whole alpha range - the privacy gain of Figure 3(a)\n"
+               "costs only marginal accuracy.\n";
+  return 0;
+}

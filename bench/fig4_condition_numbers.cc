@@ -1,0 +1,54 @@
+// Reproduces paper Figure 4: condition number of the reconstruction
+// (transition probability) matrices versus frequent-itemset length, for
+// DET-GD, RAN-GD, MASK and C&P on (a) CENSUS and (b) HEALTH. This is the
+// quantity that explains the accuracy ordering of Figures 1-2.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace frapp;
+
+void ConditionFigure(const char* label, const data::CategoricalSchema& schema) {
+  std::cout << label << " (log-scale in the paper)\n";
+  auto mechanisms = bench::PaperMechanisms(schema);
+  std::vector<std::string> headers = {"length"};
+  for (const auto& m : mechanisms) headers.push_back(m->name());
+  eval::TextTable out(std::move(headers));
+  for (size_t k = 1; k <= schema.num_attributes(); ++k) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (const auto& m : mechanisms) {
+      StatusOr<double> cond = m->ConditionNumberForLength(k);
+      row.push_back(cond.ok() ? eval::Cell(*cond, 4) : std::string("-"));
+    }
+    out.AddRow(std::move(row));
+  }
+  out.Print(std::cout);
+
+  const double gamma_cond =
+      (bench::kGamma + static_cast<double>(schema.DomainSize()) - 1.0) /
+      (bench::kGamma - 1.0);
+  std::cout << "\nDET-GD/RAN-GD closed form 1 + |S_U|/(gamma-1) = "
+            << eval::Cell(gamma_cond, 5) << ", constant in the length.\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace frapp;
+  std::cout << "=== Figure 4: condition numbers of reconstruction matrices ===\n";
+  std::cout << "gamma = " << bench::kGamma << "; MASK p calibrated per dataset; "
+            << "C&P K = " << bench::kCutPasteK << ", rho = " << bench::kCutPasteRho
+            << "\n\n";
+
+  ConditionFigure("(a) CENSUS", data::census::Schema());
+  ConditionFigure("(b) HEALTH", data::health::Schema());
+
+  std::cout << "Expected shape (paper): DET-GD/RAN-GD constant (~112 CENSUS,\n"
+               "~418 HEALTH); MASK and C&P grow exponentially with length,\n"
+               "reaching ~1e5 and ~1e7, which destroys their reconstruction\n"
+               "accuracy for long patterns.\n";
+  return 0;
+}

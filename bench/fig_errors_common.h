@@ -1,0 +1,77 @@
+// Shared driver for Figures 1 and 2: run the four Section-7 mechanisms on a
+// dataset and print the support-error and identity-error series per
+// frequent-itemset length.
+
+#ifndef FRAPP_BENCH_FIG_ERRORS_COMMON_H_
+#define FRAPP_BENCH_FIG_ERRORS_COMMON_H_
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "bench_util.h"
+
+namespace frapp {
+namespace bench {
+
+inline void RunErrorFigure(const char* figure_name,
+                           const data::CategoricalTable& table,
+                           uint64_t perturb_seed) {
+  std::cout << "=== " << figure_name << " ===\n";
+  std::cout << "gamma = " << kGamma << " ((rho1, rho2) = (5%, 50%)), supmin = "
+            << kMinSupport * 100 << "%, N = " << table.num_rows() << "\n\n";
+
+  const mining::AprioriResult truth = MineTruth(table);
+  std::cout << "True frequent itemsets per length:";
+  for (size_t k = 1; k <= truth.MaxLength(); ++k) {
+    std::cout << "  L" << k << "=" << truth.OfLength(k).size();
+  }
+  std::cout << "\n\n";
+
+  eval::ExperimentConfig config;
+  config.min_support = kMinSupport;
+  config.perturb_seed = perturb_seed;
+
+  std::vector<eval::MechanismRun> runs;
+  for (auto& mechanism : PaperMechanisms(table.schema())) {
+    runs.push_back(Unwrap(eval::RunMechanism(*mechanism, table, truth, config),
+                          mechanism->name().c_str()));
+  }
+
+  const auto print_metric =
+      [&](const char* title, auto metric) {
+        std::cout << title << "\n";
+        std::vector<std::string> headers = {"length"};
+        for (const auto& run : runs) headers.push_back(run.mechanism_name);
+        eval::TextTable out(std::move(headers));
+        for (size_t k = 1; k <= truth.MaxLength(); ++k) {
+          std::vector<std::string> row = {std::to_string(k)};
+          for (const auto& run : runs) {
+            double value = std::numeric_limits<double>::quiet_NaN();
+            for (const auto& acc : run.accuracy) {
+              if (acc.length == k) value = metric(acc);
+            }
+            row.push_back(eval::Cell(value, 4));
+          }
+          out.AddRow(std::move(row));
+        }
+        out.Print(std::cout);
+        std::cout << "\n";
+      };
+
+  print_metric("(a) Support error rho (%), log-scale in the paper:",
+               [](const eval::LengthAccuracy& a) { return a.support_error; });
+  print_metric("(b) False negatives sigma- (%):",
+               [](const eval::LengthAccuracy& a) { return a.sigma_minus; });
+  print_metric("(c) False positives sigma+ (%):",
+               [](const eval::LengthAccuracy& a) { return a.sigma_plus; });
+
+  std::cout << "Expected shape (paper): DET-GD and RAN-GD stay accurate at all\n"
+               "lengths; MASK and C&P degrade drastically beyond length 3-4 and\n"
+               "stop finding long itemsets entirely (sigma- -> 100, rho -> '-').\n";
+}
+
+}  // namespace bench
+}  // namespace frapp
+
+#endif  // FRAPP_BENCH_FIG_ERRORS_COMMON_H_

@@ -1,0 +1,65 @@
+// Reproduces paper Table 3: the number of frequent itemsets per length in
+// CENSUS and HEALTH at supmin = 2%, mined exactly with Apriori.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace frapp;
+
+  std::cout << "=== Table 3: Frequent itemsets for supmin = 0.02 ===\n\n";
+
+  const data::CategoricalTable census =
+      bench::Unwrap(data::census::MakeDataset(), "census data");
+  const data::CategoricalTable health =
+      bench::Unwrap(data::health::MakeDataset(), "health data");
+
+  const mining::AprioriResult census_result = bench::MineTruth(census);
+  const mining::AprioriResult health_result = bench::MineTruth(health);
+
+  const size_t max_len =
+      std::max(census_result.MaxLength(), health_result.MaxLength());
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (size_t k = 1; k <= max_len; ++k) headers.push_back(std::to_string(k));
+  headers.push_back("total");
+  eval::TextTable table(std::move(headers));
+
+  const auto add_row = [&](const std::string& name,
+                           const mining::AprioriResult& result,
+                           const std::vector<size_t>& paper_counts) {
+    std::vector<std::string> row = {name};
+    for (size_t k = 1; k <= max_len; ++k) {
+      row.push_back(result.OfLength(k).empty() && k > result.MaxLength()
+                        ? "-"
+                        : std::to_string(result.OfLength(k).size()));
+    }
+    row.push_back(std::to_string(result.TotalFrequent()));
+    table.AddRow(std::move(row));
+
+    std::vector<std::string> paper_row = {name + " (paper)"};
+    size_t total = 0;
+    for (size_t k = 1; k <= max_len; ++k) {
+      if (k <= paper_counts.size()) {
+        paper_row.push_back(std::to_string(paper_counts[k - 1]));
+        total += paper_counts[k - 1];
+      } else {
+        paper_row.push_back("-");
+      }
+    }
+    paper_row.push_back(std::to_string(total));
+    table.AddRow(std::move(paper_row));
+  };
+
+  add_row("CENSUS", census_result, {19, 102, 203, 165, 64, 10});
+  add_row("HEALTH", health_result, {23, 123, 292, 361, 250, 86, 12});
+  table.Print(std::cout);
+
+  std::cout << "\nN(CENSUS) = " << census.num_rows()
+            << ", N(HEALTH) = " << health.num_rows() << "\n";
+  std::cout << "(Counts are from the calibrated synthetic stand-ins; the paper\n"
+               " rows are reproduced for comparison. The profile to match is the\n"
+               " singleton count and the presence of long frequent itemsets.)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Mechanism bake-off on the CENSUS stand-in: how do the four Section-7
+// mechanisms (DET-GD, RAN-GD, MASK, C&P) compare when an analyst needs the
+// paper's quality metrics at a strict (5%, 50%) privacy level?
+//
+// Build & run:  ./build/examples/census_analysis
+
+#include <iostream>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/data/census.h"
+#include "frapp/eval/experiment.h"
+#include "frapp/eval/reporting.h"
+
+using namespace frapp;
+
+namespace {
+
+template <typename T>
+T Unwrap(StatusOr<T> v) {
+  if (!v.ok()) {
+    std::cerr << "error: " << v.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return *std::move(v);
+}
+
+}  // namespace
+
+int main() {
+  const double gamma = 19.0;
+  const data::CategoricalTable census = Unwrap(data::census::MakeDataset());
+  const data::CategoricalSchema& schema = census.schema();
+
+  std::cout << "CENSUS stand-in: " << census.num_rows() << " records, |S_U| = "
+            << schema.DomainSize() << ", supmin = 2%\n\n";
+
+  mining::AprioriOptions options;
+  options.min_support = 0.02;
+  const mining::AprioriResult truth = Unwrap(mining::MineExact(census, options));
+
+  std::vector<std::unique_ptr<core::Mechanism>> mechanisms;
+  mechanisms.push_back(Unwrap(core::DetGdMechanism::Create(schema, gamma)));
+  const double x = 1.0 / (gamma + static_cast<double>(schema.DomainSize()) - 1.0);
+  mechanisms.push_back(
+      Unwrap(core::RanGdMechanism::Create(schema, gamma, gamma * x / 2.0)));
+  mechanisms.push_back(Unwrap(core::MaskMechanism::Create(schema, gamma)));
+  mechanisms.push_back(Unwrap(core::CutPasteMechanism::Create(schema, 3, 0.494)));
+
+  eval::ExperimentConfig config;
+  config.min_support = options.min_support;
+  config.perturb_seed = 7;
+
+  eval::TextTable table({"mechanism", "found/true", "rho (%)", "sigma- (%)",
+                         "sigma+ (%)", "deepest length", "cond @ len 4"});
+  for (auto& mechanism : mechanisms) {
+    const eval::MechanismRun run =
+        Unwrap(eval::RunMechanism(*mechanism, census, truth, config));
+    const eval::LengthAccuracy total = eval::OverallAccuracy(run.accuracy);
+    StatusOr<double> cond = mechanism->ConditionNumberForLength(4);
+    table.AddRow({run.mechanism_name,
+                  std::to_string(total.correct) + "/" +
+                      std::to_string(total.true_frequent),
+                  eval::Cell(total.support_error, 4),
+                  eval::Cell(total.sigma_minus, 4),
+                  eval::Cell(total.sigma_plus, 4),
+                  std::to_string(run.mined.MaxLength()),
+                  cond.ok() ? eval::Cell(*cond, 4) : std::string("singular")});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReading guide: DET-GD/RAN-GD recover itemsets at every length\n"
+               "because their reconstruction matrices keep a constant condition\n"
+               "number (~112); MASK's and C&P's blow up exponentially, so they\n"
+               "stop finding patterns beyond length 4 and 3 respectively —\n"
+               "the paper's Figures 1 and 4 in one table.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's motivating scenario (Section 1): a pharmaceutical company
+// collects disease histories to mine correlations like "adult females with
+// malarial infections are also prone to contract tuberculosis" — but clients
+// will only participate if their individual records stay private.
+//
+// This example runs the full FRAPP pipeline on the HEALTH stand-in dataset:
+// client-side RAN-GD perturbation (randomized matrices for extra privacy),
+// Apriori mining with per-pass support reconstruction, and association-rule
+// derivation from the reconstructed supports.
+//
+// Build & run:  ./build/examples/medical_survey
+
+#include <iostream>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/data/health.h"
+#include "frapp/mining/rules.h"
+
+using namespace frapp;
+
+namespace {
+
+template <typename T>
+T Unwrap(StatusOr<T> v) {
+  if (!v.ok()) {
+    std::cerr << "error: " << v.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return *std::move(v);
+}
+
+}  // namespace
+
+int main() {
+  const double gamma = 19.0;  // (rho1, rho2) = (5%, 50%)
+
+  std::cout << "Collecting 100,000 patient records (synthetic NHIS stand-in)...\n";
+  const data::CategoricalTable survey = Unwrap(data::health::MakeDataset());
+  const data::CategoricalSchema& schema = survey.schema();
+
+  // Clients perturb with RAN-GD: each client draws a PRIVATE matrix
+  // realization, so the miner cannot even pin down the exact posterior.
+  const double x = 1.0 / (gamma + static_cast<double>(schema.DomainSize()) - 1.0);
+  const double alpha = gamma * x / 2.0;
+  auto mechanism =
+      Unwrap(core::RanGdMechanism::Create(schema, gamma, alpha));
+
+  const core::PosteriorRange window =
+      Unwrap(mechanism->perturber().PosteriorWindow(0.05));
+  std::cout << "Client-side privacy: a 5%-prior property ends between "
+            << static_cast<int>(window.lower * 100) << "% and "
+            << static_cast<int>(window.upper * 100)
+            << "% posterior (vs a pinpoint 50% for the deterministic matrix).\n";
+
+  random::Pcg64 rng(2005);
+  if (Status s = mechanism->Prepare(survey, rng); !s.ok()) {
+    std::cerr << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Perturbed database assembled; originals never left the clients.\n\n";
+
+  // The miner runs Apriori with reconstruction at every pass.
+  mining::AprioriOptions options;
+  options.min_support = 0.02;
+  const mining::AprioriResult mined = Unwrap(mining::MineFrequentItemsets(
+      schema, mechanism->estimator(), options));
+
+  std::cout << "Reconstructed frequent itemsets per length:";
+  for (size_t k = 1; k <= mined.MaxLength(); ++k) {
+    std::cout << "  L" << k << "=" << mined.OfLength(k).size();
+  }
+  std::cout << "\n\nStrongest reconstructed health associations (conf >= 0.85):\n";
+
+  const std::vector<mining::AssociationRule> rules = mining::GenerateRules(mined, 0.85);
+  size_t shown = 0;
+  for (const auto& rule : rules) {
+    // Keep the health-interpretable ones: consequent on HEALTH / DV12 / BDDAY12.
+    const uint16_t consequent_attr = rule.consequent.item(0).attribute;
+    if (consequent_attr != 1 && consequent_attr != 2 && consequent_attr != 6) {
+      continue;
+    }
+    // Reconstructed supports are noisy point estimates; discard rules whose
+    // statistics are physically implausible (confidence/support above 1).
+    if (rule.confidence > 1.0 || rule.support > 1.0) continue;
+    printf("  conf %.2f  sup %4.1f%%  %s\n", rule.confidence, rule.support * 100.0,
+           rule.ToString(schema).c_str());
+    if (++shown == 12) break;
+  }
+  if (shown == 0) {
+    std::cout << "  (no rules above the confidence cut — lower it to explore)\n";
+  }
+
+  std::cout << "\nEvery statistic above was computed WITHOUT access to any true\n"
+               "record: the estimates come from inverting the expected\n"
+               "perturbation matrix per Apriori pass (paper Section 6).\n";
+  return 0;
+}

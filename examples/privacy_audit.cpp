@@ -1,0 +1,85 @@
+// Privacy audit tool: given a desired (rho1, rho2) guarantee, derive the
+// admissible amplification gamma, inspect what each mechanism actually
+// delivers, and quantify the extra protection of randomizing the matrix
+// (paper Sections 2.1, 4.1). This is the "first fix gamma, then optionally
+// randomize" two-step workflow the paper proposes.
+//
+// Build & run:  ./build/examples/privacy_audit
+
+#include <iostream>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/core/privacy.h"
+#include "frapp/data/census.h"
+#include "frapp/eval/reporting.h"
+
+using namespace frapp;
+
+namespace {
+
+template <typename T>
+T Unwrap(StatusOr<T> v) {
+  if (!v.ok()) {
+    std::cerr << "error: " << v.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return *std::move(v);
+}
+
+}  // namespace
+
+int main() {
+  const data::CategoricalSchema schema = data::census::Schema();
+
+  std::cout << "=== Step 1: from policy to gamma ===\n";
+  eval::TextTable gammas({"rho1 (%)", "rho2 (%)", "gamma"});
+  for (const core::PrivacyRequirement req :
+       {core::PrivacyRequirement{0.05, 0.50}, core::PrivacyRequirement{0.05, 0.30},
+        core::PrivacyRequirement{0.10, 0.50}, core::PrivacyRequirement{0.01, 0.20}}) {
+    gammas.AddRow({eval::Cell(req.rho1 * 100, 3), eval::Cell(req.rho2 * 100, 3),
+                   eval::Cell(Unwrap(core::GammaFromRequirement(req)), 4)});
+  }
+  gammas.Print(std::cout);
+
+  const double gamma = Unwrap(core::GammaFromRequirement({0.05, 0.50}));
+  std::cout << "\nAuditing mechanisms at gamma = " << gamma
+            << " on the CENSUS schema:\n\n";
+
+  std::cout << "=== Step 2: delivered record-level amplification ===\n";
+  eval::TextTable audit({"mechanism", "amplification", "within gamma?"});
+  auto det = Unwrap(core::DetGdMechanism::Create(schema, gamma));
+  auto mask = Unwrap(core::MaskMechanism::Create(schema, gamma));
+  auto cp = Unwrap(core::CutPasteMechanism::Create(schema, 3, 0.494));
+  for (const core::Mechanism* m :
+       {static_cast<core::Mechanism*>(det.get()),
+        static_cast<core::Mechanism*>(mask.get()),
+        static_cast<core::Mechanism*>(cp.get())}) {
+    const double amp = m->Amplification();
+    audit.AddRow({m->name(), eval::Cell(amp, 5),
+                  amp <= gamma + 1e-9 ? "yes" : "NO"});
+  }
+  audit.Print(std::cout);
+
+  std::cout << "\n=== Step 3: optional randomization (RAN-GD) ===\n";
+  std::cout << "Worst-case posterior for a 5%-prior property, as the miner can\n"
+               "DETERMINE it (paper Section 4.1):\n\n";
+  eval::TextTable window({"alpha/(gamma x)", "posterior range", "deterministic"});
+  const uint64_t n = schema.DomainSize();
+  const double x = 1.0 / (gamma + static_cast<double>(n) - 1.0);
+  for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const core::PosteriorRange range = Unwrap(
+        core::RandomizedPosteriorRange(0.05, gamma, n, fraction * gamma * x));
+    window.AddRow({eval::Cell(fraction, 3),
+                   "[" + eval::Cell(range.lower * 100, 3) + "%, " +
+                       eval::Cell(range.upper * 100, 3) + "%]",
+                   eval::Cell(range.center * 100, 3) + "%"});
+  }
+  window.Print(std::cout);
+
+  std::cout << "\nInterpretation: with the deterministic matrix the adversary\n"
+               "can compute the breach EXACTLY (50%). With RAN-GD they only\n"
+               "know it lies in the printed range; at alpha = gamma*x/2 the\n"
+               "determinable worst case drops to ~33% — the paper's headline\n"
+               "privacy gain for a marginal accuracy cost.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// CHECK-style invariant assertions. A failed check indicates a bug in the
+// library or its caller, not a recoverable condition, so it aborts.
+
+#ifndef FRAPP_COMMON_CHECK_H_
+#define FRAPP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace frapp {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Produced only on the (cold) failure path of FRAPP_CHECK.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "FRAPP_CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace frapp
+
+/// Aborts with a diagnostic if `cond` is false. Additional context can be
+/// streamed in: FRAPP_CHECK(i < n) << "i=" << i;
+#define FRAPP_CHECK(cond)     \
+  if (cond) {                 \
+  } else                      \
+    ::frapp::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#define FRAPP_CHECK_EQ(a, b) FRAPP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FRAPP_CHECK_NE(a, b) FRAPP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FRAPP_CHECK_LT(a, b) FRAPP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FRAPP_CHECK_LE(a, b) FRAPP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FRAPP_CHECK_GT(a, b) FRAPP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FRAPP_CHECK_GE(a, b) FRAPP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // FRAPP_COMMON_CHECK_H_

@@ -1,0 +1,33 @@
+#include "frapp/common/combinatorics.h"
+
+#include <cmath>
+
+namespace frapp {
+
+double BinomialCoefficient(size_t n, size_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+double BinomialPmf(size_t k, size_t n, double p) {
+  if (k > n) return 0.0;
+  return BinomialCoefficient(n, k) * std::pow(p, static_cast<double>(k)) *
+         std::pow(1.0 - p, static_cast<double>(n - k));
+}
+
+double HypergeometricPmf(size_t k, size_t population, size_t successes,
+                         size_t draws) {
+  if (k > draws || k > successes) return 0.0;
+  if (draws - k > population - successes) return 0.0;
+  return BinomialCoefficient(successes, k) *
+         BinomialCoefficient(population - successes, draws - k) /
+         BinomialCoefficient(population, draws);
+}
+
+}  // namespace frapp

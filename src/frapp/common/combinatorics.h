@@ -1,0 +1,25 @@
+// Small combinatorics helpers used by the baseline mechanisms' transition
+// probabilities (binomial pastes, hypergeometric cuts).
+
+#ifndef FRAPP_COMMON_COMBINATORICS_H_
+#define FRAPP_COMMON_COMBINATORICS_H_
+
+#include <cstddef>
+
+namespace frapp {
+
+/// C(n, k) as a double (exact for the small n used here; 0 when k > n).
+double BinomialCoefficient(size_t n, size_t k);
+
+/// Binomial pmf: C(n, k) p^k (1-p)^(n-k); 0 when k > n.
+double BinomialPmf(size_t k, size_t n, double p);
+
+/// Hypergeometric pmf: draw `draws` without replacement from a population of
+/// `population` containing `successes` marked items; probability of exactly
+/// `k` marked draws.
+double HypergeometricPmf(size_t k, size_t population, size_t successes,
+                         size_t draws);
+
+}  // namespace frapp
+
+#endif  // FRAPP_COMMON_COMBINATORICS_H_

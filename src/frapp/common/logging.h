@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr. Intended for diagnostics in examples and
+// benches; the core library logs nothing on hot paths.
+
+#ifndef FRAPP_COMMON_LOGGING_H_
+#define FRAPP_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace frapp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes a single formatted line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace frapp
+
+#define FRAPP_LOG(level)                                          \
+  ::frapp::internal::LogMessage(::frapp::LogLevel::k##level,      \
+                                __FILE__, __LINE__)
+
+#endif  // FRAPP_COMMON_LOGGING_H_

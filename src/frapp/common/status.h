@@ -1,0 +1,113 @@
+// FRAPP: A Framework for High-Accuracy Privacy-Preserving Mining.
+//
+// Status: lightweight, exception-free error propagation in the style of
+// RocksDB / Abseil. Library code never throws; every fallible operation
+// returns a Status (or a StatusOr<T>, see statusor.h).
+
+#ifndef FRAPP_COMMON_STATUS_H_
+#define FRAPP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace frapp {
+
+/// Error categories used throughout the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-domain value.
+  kFailedPrecondition = 2,///< Object state does not permit the operation.
+  kNotFound = 3,          ///< Lookup target does not exist.
+  kOutOfRange = 4,        ///< Index or parameter outside the valid range.
+  kNumericalError = 5,    ///< Singular matrix, non-convergence, overflow, ...
+  kIOError = 6,           ///< Filesystem / parsing failure.
+  kUnimplemented = 7,     ///< Declared but intentionally not supported.
+  kInternal = 8,          ///< Invariant violation that is not the caller's fault.
+};
+
+/// Returns a stable, human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error holder. An OK status carries no allocation; error
+/// statuses carry a code and a message.
+///
+/// Usage:
+///   Status s = table.AppendRow(row);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code with a
+  /// message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps Status cheap to copy; error paths are cold.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace frapp
+
+/// Propagates a non-OK status to the caller.
+#define FRAPP_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::frapp::Status _frapp_status_ = (expr);         \
+    if (!_frapp_status_.ok()) return _frapp_status_; \
+  } while (0)
+
+#endif  // FRAPP_COMMON_STATUS_H_

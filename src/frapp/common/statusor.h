@@ -1,0 +1,83 @@
+// StatusOr<T>: a value or an error Status, in the style of Abseil.
+
+#ifndef FRAPP_COMMON_STATUSOR_H_
+#define FRAPP_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "frapp/common/check.h"
+#include "frapp/common/status.h"
+
+namespace frapp {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent.
+///
+/// Usage:
+///   StatusOr<Matrix> inv = Inverse(a);
+///   if (!inv.ok()) return inv.status();
+///   Use(*inv);
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. CHECK-fails if `status` is OK, because
+  /// an OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    FRAPP_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. CHECK-fail when no value is present.
+  const T& value() const& {
+    FRAPP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FRAPP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FRAPP_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace frapp
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error to the caller.
+#define FRAPP_ASSIGN_OR_RETURN(lhs, expr)                \
+  FRAPP_ASSIGN_OR_RETURN_IMPL_(                          \
+      FRAPP_STATUS_CONCAT_(_frapp_statusor_, __LINE__), lhs, expr)
+
+#define FRAPP_STATUS_CONCAT_INNER_(a, b) a##b
+#define FRAPP_STATUS_CONCAT_(a, b) FRAPP_STATUS_CONCAT_INNER_(a, b)
+#define FRAPP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // FRAPP_COMMON_STATUSOR_H_

@@ -1,0 +1,76 @@
+#include "frapp/common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace frapp {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool ParseDouble(std::string_view input, double* out) {
+  std::string buf(StripWhitespace(input));
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(std::string_view input, unsigned long long* out) {
+  std::string buf(StripWhitespace(input));
+  if (buf.empty() || buf[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string FormatSignificant(double value, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+}  // namespace frapp

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules (CSV parsing, report printing).
+
+#ifndef FRAPP_COMMON_STRING_UTIL_H_
+#define FRAPP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frapp {
+
+/// Splits `input` on `delimiter`; keeps empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Parses a double; returns false on malformed or trailing garbage.
+bool ParseDouble(std::string_view input, double* out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint64(std::string_view input, unsigned long long* out);
+
+/// Formats `value` with `digits` significant digits (for report tables).
+std::string FormatSignificant(double value, int digits);
+
+}  // namespace frapp
+
+#endif  // FRAPP_COMMON_STRING_UTIL_H_

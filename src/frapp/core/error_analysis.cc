@@ -1,0 +1,86 @@
+#include "frapp/core/error_analysis.h"
+
+#include <cmath>
+
+namespace frapp {
+namespace core {
+
+double PoissonBinomialVariance(const std::vector<double>& probabilities) {
+  double var = 0.0;
+  for (double p : probabilities) var += p * (1.0 - p);
+  return var;
+}
+
+double GammaPerturbedCountVariance(const GammaDiagonalMatrix& matrix, double x_v,
+                                   double num_records) {
+  const double d = matrix.DiagonalValue();
+  const double o = matrix.OffDiagonalValue();
+  return x_v * d * (1.0 - d) + (num_records - x_v) * o * (1.0 - o);
+}
+
+StatusOr<double> ReconstructedSupportStddev(const GammaSubsetReconstructor& rec,
+                                            double true_support,
+                                            uint64_t subset_domain_size,
+                                            size_t num_records) {
+  if (!(true_support >= 0.0) || true_support > 1.0) {
+    return Status::InvalidArgument("true support must be in [0, 1]");
+  }
+  if (num_records == 0) {
+    return Status::InvalidArgument("need at least one record");
+  }
+  FRAPP_ASSIGN_OR_RETURN(linalg::UniformMixtureMatrix subset,
+                         rec.SubsetMatrix(subset_domain_size));
+  const double d = subset.DiagonalValue();
+  const double o = subset.OffDiagonalValue();
+  const double per_record_var =
+      true_support * d * (1.0 - d) + (1.0 - true_support) * o * (1.0 - o);
+  const double denom = (rec.gamma() - 1.0) * rec.x();
+  return std::sqrt(per_record_var / static_cast<double>(num_records)) / denom;
+}
+
+StatusOr<double> PredictedRelativeReconstructionError(
+    const GammaDiagonalMatrix& matrix, const linalg::Vector& original_histogram) {
+  if (original_histogram.size() != matrix.domain_size()) {
+    return Status::InvalidArgument("histogram dimension mismatch");
+  }
+  const double n = original_histogram.Sum();
+  if (!(n > 0.0)) return Status::InvalidArgument("empty histogram");
+
+  // E(Y) = A X in closed form; sum_v Var(Y_v) from Eq. 10.
+  const double d = matrix.DiagonalValue();
+  const double o = matrix.OffDiagonalValue();
+  double expected_norm_sq = 0.0;
+  double total_variance = 0.0;
+  for (size_t v = 0; v < original_histogram.size(); ++v) {
+    const double x_v = original_histogram[v];
+    const double mean_v = (d - o) * x_v + o * n;
+    expected_norm_sq += mean_v * mean_v;
+    total_variance += GammaPerturbedCountVariance(matrix, x_v, n);
+  }
+  FRAPP_ASSIGN_OR_RETURN(double cond, matrix.ConditionNumber());
+  return cond * std::sqrt(total_variance) / std::sqrt(expected_norm_sq);
+}
+
+StatusOr<double> RequiredRecordsForSeparation(const GammaSubsetReconstructor& rec,
+                                              double true_support,
+                                              double min_support,
+                                              uint64_t subset_domain_size,
+                                              double z_score) {
+  if (true_support == min_support) {
+    return Status::InvalidArgument(
+        "support equals the threshold; no sample size separates them");
+  }
+  if (!(z_score > 0.0)) {
+    return Status::InvalidArgument("z_score must be positive");
+  }
+  // sigma(N) = sigma(1) / sqrt(N); require |s - threshold| >= z * sigma(N).
+  FRAPP_ASSIGN_OR_RETURN(
+      double sigma_one,
+      ReconstructedSupportStddev(rec, true_support, subset_domain_size, 1));
+  const double gap = std::fabs(true_support - min_support);
+  const double required = (z_score * sigma_one / gap) * (z_score * sigma_one / gap);
+  return required;
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,67 @@
+// Estimation-error analysis (paper Sections 2.3 and 4.2).
+//
+// The perturbed count Y_v is a Poisson-binomial random variable: a sum of N
+// independent, non-identical Bernoulli trials with success probabilities
+// p_i = A[v][U_i] (Eq. 3-5). Its variance (Eq. 10) combined with the
+// condition-number bound of Theorem 1 predicts the reconstruction error —
+// these closed forms let users budget accuracy BEFORE running a mining
+// campaign, and they are what the Figure-4 condition numbers translate into.
+
+#ifndef FRAPP_CORE_ERROR_ANALYSIS_H_
+#define FRAPP_CORE_ERROR_ANALYSIS_H_
+
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/gamma_diagonal.h"
+#include "frapp/core/subset_reconstruction.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace core {
+
+/// Variance of a Poisson-binomial variable: sum_i p_i (1 - p_i). The paper's
+/// Eq. 25 form Np_bar - sum p_i^2 is algebraically identical.
+double PoissonBinomialVariance(const std::vector<double>& probabilities);
+
+/// Variance of the perturbed count Y_v under the gamma-diagonal matrix when
+/// the original database holds `x_v` records with value v out of
+/// `num_records` total (specialization of Eq. 10: the N trial probabilities
+/// collapse to d for the x_v matching records and o for the rest).
+double GammaPerturbedCountVariance(const GammaDiagonalMatrix& matrix, double x_v,
+                                   double num_records);
+
+/// Standard deviation of the reconstructed support estimate of one itemset
+/// under the gamma-diagonal mechanism (Eq. 28 inverse applied to a
+/// Poisson-binomial perturbed support):
+///   Var(sup_hat) = [s d'(1-d') + (1-s) o'(1-o')] / (N ((gamma-1) x)^2),
+/// where (d', o') are the subset matrix entries and s the true support.
+/// This is the per-itemset accuracy budget: itemsets whose distance to the
+/// mining threshold is below ~2 sigma are inherent coin flips.
+StatusOr<double> ReconstructedSupportStddev(const GammaSubsetReconstructor& rec,
+                                            double true_support,
+                                            uint64_t subset_domain_size,
+                                            size_t num_records);
+
+/// Predicted RELATIVE error of full-domain reconstruction per Theorem 1,
+/// with the numerator ||Y - E(Y)|| estimated by its root-mean-square
+/// E||Y - EY||^2 = sum_v Var(Y_v):
+///   bound ~= cond(A) * sqrt(sum_v Var(Y_v)) / ||E(Y)||.
+/// `original_histogram` is the X vector of true counts.
+StatusOr<double> PredictedRelativeReconstructionError(
+    const GammaDiagonalMatrix& matrix, const linalg::Vector& original_histogram);
+
+/// Number of records needed so that an itemset with true support
+/// `true_support` is separated from threshold `min_support` by
+/// `z_score` standard deviations of the reconstruction noise (inverts
+/// ReconstructedSupportStddev; useful for experiment sizing).
+StatusOr<double> RequiredRecordsForSeparation(const GammaSubsetReconstructor& rec,
+                                              double true_support,
+                                              double min_support,
+                                              uint64_t subset_domain_size,
+                                              double z_score);
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_ERROR_ANALYSIS_H_

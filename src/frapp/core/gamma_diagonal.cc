@@ -1,0 +1,102 @@
+#include "frapp/core/gamma_diagonal.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<GammaDiagonalMatrix> GammaDiagonalMatrix::Create(double gamma, uint64_t n) {
+  if (!(gamma > 1.0)) {
+    return Status::InvalidArgument("gamma-diagonal matrix requires gamma > 1");
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("gamma-diagonal matrix requires domain size >= 2");
+  }
+  return GammaDiagonalMatrix(gamma, n);
+}
+
+StatusOr<double> GammaDiagonalMatrix::ConditionNumber() const {
+  return MinimumConditionNumberBound(gamma_, n_);
+}
+
+double MinimumConditionNumberBound(double gamma, uint64_t n) {
+  return (gamma + static_cast<double>(n) - 1.0) / (gamma - 1.0);
+}
+
+void PerturbRecordDiagonalForm(const std::vector<uint8_t>& record,
+                               const std::vector<size_t>& cardinalities,
+                               uint64_t domain_size, double d, double o,
+                               random::Pcg64& rng, std::vector<uint8_t>* out) {
+  const size_t num_attributes = cardinalities.size();
+  out->resize(num_attributes);
+
+  // q_prev = probability mass of records matching the original on all
+  // columns processed so far; q_0 = d + (n - 1) o = 1 for a stochastic
+  // matrix, but we track it exactly to stay correct for any (d, o).
+  double q_prev = d + (static_cast<double>(domain_size) - 1.0) * o;
+  uint64_t suffix_domain = domain_size;  // n / n_j: records per matched prefix
+  bool matched = true;
+
+  for (size_t j = 0; j < num_attributes; ++j) {
+    const size_t card = cardinalities[j];
+    if (!matched) {
+      // Off-diagonal mass is uniform across records, so once the prefix has
+      // diverged every remaining column is uniform on its domain.
+      (*out)[j] = static_cast<uint8_t>(rng.NextBounded(card));
+      continue;
+    }
+    suffix_domain /= card;
+    // Mass of records matching the original through column j.
+    const double q_j = d + (static_cast<double>(suffix_domain) - 1.0) * o;
+    const double p_match = q_j / q_prev;
+    if (rng.NextBernoulli(p_match)) {
+      (*out)[j] = record[j];
+      q_prev = q_j;
+    } else {
+      // All card-1 mismatching values are equally likely.
+      size_t value = static_cast<size_t>(rng.NextBounded(card - 1));
+      if (value >= record[j]) ++value;
+      (*out)[j] = static_cast<uint8_t>(value);
+      matched = false;
+    }
+  }
+}
+
+StatusOr<GammaDiagonalPerturber> GammaDiagonalPerturber::Create(
+    const data::CategoricalSchema& schema, double gamma) {
+  FRAPP_ASSIGN_OR_RETURN(GammaDiagonalMatrix matrix,
+                         GammaDiagonalMatrix::Create(gamma, schema.DomainSize()));
+  std::vector<size_t> cardinalities(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    cardinalities[j] = schema.Cardinality(j);
+    if (cardinalities[j] < 1) {
+      return Status::InvalidArgument("empty attribute domain");
+    }
+  }
+  return GammaDiagonalPerturber(std::move(matrix), std::move(cardinalities));
+}
+
+StatusOr<data::CategoricalTable> GammaDiagonalPerturber::Perturb(
+    const data::CategoricalTable& table, random::Pcg64& rng) const {
+  if (table.num_attributes() != cardinalities_.size()) {
+    return Status::InvalidArgument("table schema does not match perturber");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.Reserve(table.num_rows());
+  const double d = matrix_.DiagonalValue();
+  const double o = matrix_.OffDiagonalValue();
+  const uint64_t n = matrix_.domain_size();
+
+  std::vector<uint8_t> record(cardinalities_.size());
+  std::vector<uint8_t> perturbed(cardinalities_.size());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < cardinalities_.size(); ++j) {
+      record[j] = table.Value(i, j);
+    }
+    PerturbRecordDiagonalForm(record, cardinalities_, n, d, o, rng, &perturbed);
+    FRAPP_RETURN_IF_ERROR(out.AppendRow(perturbed));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,103 @@
+#include "frapp/core/independent_column_scheme.h"
+
+#include <cmath>
+
+#include "frapp/linalg/kronecker.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<IndependentColumnScheme> IndependentColumnScheme::Create(
+    const data::CategoricalSchema& schema, double gamma) {
+  if (!(gamma > 1.0)) return Status::InvalidArgument("gamma must exceed 1");
+  const double per_attr =
+      std::pow(gamma, 1.0 / static_cast<double>(schema.num_attributes()));
+  return IndependentColumnScheme(schema, gamma, per_attr);
+}
+
+StatusOr<data::CategoricalTable> IndependentColumnScheme::Perturb(
+    const data::CategoricalTable& table, random::Pcg64& rng) const {
+  if (table.num_attributes() != schema_.num_attributes()) {
+    return Status::InvalidArgument("table schema does not match scheme");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.Reserve(table.num_rows());
+
+  // Per-attribute diagonal probability d_j = gamma_j * x_j.
+  const size_t m = schema_.num_attributes();
+  std::vector<double> stay(m);
+  for (size_t j = 0; j < m; ++j) {
+    const double nj = static_cast<double>(schema_.Cardinality(j));
+    stay[j] = per_attribute_gamma_ / (per_attribute_gamma_ + nj - 1.0);
+  }
+
+  std::vector<uint8_t> row(m);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const uint8_t original = table.Value(i, j);
+      const size_t card = schema_.Cardinality(j);
+      if (card == 1 || rng.NextBernoulli(stay[j])) {
+        row[j] = original;
+      } else {
+        size_t value = static_cast<size_t>(rng.NextBounded(card - 1));
+        if (value >= original) ++value;
+        row[j] = static_cast<uint8_t>(value);
+      }
+    }
+    FRAPP_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+linalg::Matrix IndependentColumnScheme::AttributeMatrix(size_t attribute) const {
+  const size_t card = schema_.Cardinality(attribute);
+  const double x = 1.0 / (per_attribute_gamma_ + static_cast<double>(card) - 1.0);
+  linalg::Matrix a(card, card, x);
+  for (size_t i = 0; i < card; ++i) a(i, i) = per_attribute_gamma_ * x;
+  return a;
+}
+
+double IndependentColumnScheme::ConditionNumberForAttributes(
+    const std::vector<size_t>& attributes) const {
+  double cond = 1.0;
+  for (size_t j : attributes) {
+    const double nj = static_cast<double>(schema_.Cardinality(j));
+    cond *= (per_attribute_gamma_ + nj - 1.0) / (per_attribute_gamma_ - 1.0);
+  }
+  return cond;
+}
+
+StatusOr<double> IndependentColumnSupportEstimator::EstimateSupport(
+    const mining::Itemset& itemset) {
+  if (itemset.empty()) return Status::InvalidArgument("empty itemset");
+  const uint32_t mask = itemset.AttributeMask();
+  auto it = cache_.find(mask);
+  if (it == cache_.end()) {
+    const std::vector<size_t> attrs = itemset.AttributeIndices();
+    FRAPP_ASSIGN_OR_RETURN(
+        data::DomainIndexer indexer,
+        data::DomainIndexer::OverSubset(scheme_.schema(), attrs));
+    linalg::Vector y = perturbed_.JointHistogram(indexer);
+    const double n = static_cast<double>(perturbed_.num_rows());
+    if (n > 0.0) y.Scale(1.0 / n);
+
+    std::vector<linalg::Matrix> factors;
+    factors.reserve(attrs.size());
+    for (size_t j : attrs) factors.push_back(scheme_.AttributeMatrix(j));
+    FRAPP_ASSIGN_OR_RETURN(linalg::Vector x, linalg::KroneckerSolve(factors, y));
+    it = cache_.emplace(mask, std::move(x)).first;
+  }
+
+  // Index of the candidate's category combination within the subset domain.
+  FRAPP_ASSIGN_OR_RETURN(
+      data::DomainIndexer indexer,
+      data::DomainIndexer::OverSubset(scheme_.schema(), itemset.AttributeIndices()));
+  std::vector<size_t> values;
+  values.reserve(itemset.size());
+  for (const mining::Item& item : itemset.items()) values.push_back(item.category);
+  return it->second[static_cast<size_t>(indexer.Encode(values))];
+}
+
+}  // namespace core
+}  // namespace frapp

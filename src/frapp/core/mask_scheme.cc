@@ -1,0 +1,108 @@
+#include "frapp/core/mask_scheme.h"
+
+#include <cmath>
+
+namespace frapp {
+namespace core {
+
+StatusOr<MaskScheme> MaskScheme::Create(double p) {
+  if (!(p > 0.5) || !(p < 1.0)) {
+    return Status::InvalidArgument("MASK requires keep probability p in (0.5, 1)");
+  }
+  return MaskScheme(p);
+}
+
+StatusOr<MaskScheme> MaskScheme::CalibrateForGamma(double gamma,
+                                                   size_t num_attributes) {
+  if (!(gamma > 1.0)) return Status::InvalidArgument("gamma must exceed 1");
+  if (num_attributes == 0) {
+    return Status::InvalidArgument("need at least one attribute");
+  }
+  const double t =
+      std::pow(gamma, 1.0 / (2.0 * static_cast<double>(num_attributes)));
+  return Create(t / (1.0 + t));
+}
+
+double MaskScheme::RecordAmplification(size_t num_attributes) const {
+  return std::pow(p_ / (1.0 - p_), 2.0 * static_cast<double>(num_attributes));
+}
+
+double MaskScheme::ConditionNumberForLength(size_t itemset_length) const {
+  return std::pow(1.0 / (2.0 * p_ - 1.0), static_cast<double>(itemset_length));
+}
+
+StatusOr<data::BooleanTable> MaskScheme::Perturb(const data::BooleanTable& table,
+                                                 random::Pcg64& rng) const {
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable out,
+                         data::BooleanTable::CreateEmpty(table.num_bits()));
+  const double flip = 1.0 - p_;
+  const size_t bits = table.num_bits();
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    uint64_t flip_mask = 0;
+    for (size_t b = 0; b < bits; ++b) {
+      if (rng.NextBernoulli(flip)) flip_mask |= (1ull << b);
+    }
+    out.AppendRow(table.RowBits(i) ^ flip_mask);
+  }
+  return out;
+}
+
+StatusOr<double> MaskScheme::EstimateItemsetSupport(
+    const data::BooleanTable& perturbed,
+    const std::vector<size_t>& bit_positions) const {
+  const size_t k = bit_positions.size();
+  if (k == 0) return Status::InvalidArgument("empty itemset");
+  if (k > 20) return Status::InvalidArgument("itemset too long for 2^k counting");
+  for (size_t pos : bit_positions) {
+    if (pos >= perturbed.num_bits()) {
+      return Status::OutOfRange("bit position out of range");
+    }
+  }
+
+  // Count all 2^k observed patterns on the itemset's bit positions.
+  const size_t patterns = 1ull << k;
+  std::vector<double> counts(patterns, 0.0);
+  for (size_t i = 0; i < perturbed.num_rows(); ++i) {
+    const uint64_t row = perturbed.RowBits(i);
+    size_t idx = 0;
+    for (size_t b = 0; b < k; ++b) {
+      idx |= static_cast<size_t>((row >> bit_positions[b]) & 1u) << b;
+    }
+    counts[idx] += 1.0;
+  }
+
+  // Invert the flip channel one bit-axis at a time. The per-bit matrix is
+  // [[p, 1-p], [1-p, p]] with inverse 1/(2p-1) [[p, -(1-p)], [-(1-p), p]].
+  const double q = 1.0 - p_;
+  const double inv_det = 1.0 / (2.0 * p_ - 1.0);
+  for (size_t axis = 0; axis < k; ++axis) {
+    const size_t stride = 1ull << axis;
+    for (size_t base = 0; base < patterns; base += stride * 2) {
+      for (size_t offset = 0; offset < stride; ++offset) {
+        const size_t i0 = base + offset;
+        const size_t i1 = i0 + stride;
+        const double a = counts[i0];
+        const double b = counts[i1];
+        counts[i0] = inv_det * (p_ * a - q * b);
+        counts[i1] = inv_det * (-q * a + p_ * b);
+      }
+    }
+  }
+
+  const double n = static_cast<double>(perturbed.num_rows());
+  if (n == 0.0) return 0.0;
+  return counts[patterns - 1] / n;
+}
+
+StatusOr<double> MaskSupportEstimator::EstimateSupport(
+    const mining::Itemset& itemset) {
+  std::vector<size_t> positions;
+  positions.reserve(itemset.size());
+  for (const mining::Item& item : itemset.items()) {
+    positions.push_back(layout_.BitPosition(item.attribute, item.category));
+  }
+  return scheme_.EstimateItemsetSupport(perturbed_, positions);
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,239 @@
+#include "frapp/core/mechanism.h"
+
+#include <cmath>
+
+#include "frapp/mining/support_counter.h"
+
+namespace frapp {
+namespace core {
+
+namespace {
+
+// Domain size of an itemset's attribute subset.
+uint64_t SubsetDomainSize(const data::CategoricalSchema& schema,
+                          const mining::Itemset& itemset) {
+  uint64_t size = 1;
+  for (const mining::Item& item : itemset.items()) {
+    size *= static_cast<uint64_t>(schema.Cardinality(item.attribute));
+  }
+  return size;
+}
+
+}  // namespace
+
+StatusOr<double> GammaSupportEstimator::EstimateSupport(
+    const mining::Itemset& itemset) {
+  const double perturbed_support = mining::SupportFraction(perturbed_, itemset);
+  return reconstructor_.ReconstructSupport(perturbed_support,
+                                           SubsetDomainSize(schema_, itemset));
+}
+
+// ---------------------------------------------------------------- DET-GD --
+
+StatusOr<std::unique_ptr<DetGdMechanism>> DetGdMechanism::Create(
+    const data::CategoricalSchema& schema, double gamma) {
+  FRAPP_ASSIGN_OR_RETURN(GammaDiagonalPerturber perturber,
+                         GammaDiagonalPerturber::Create(schema, gamma));
+  FRAPP_ASSIGN_OR_RETURN(GammaSubsetReconstructor reconstructor,
+                         GammaSubsetReconstructor::Create(gamma, schema.DomainSize()));
+  return std::unique_ptr<DetGdMechanism>(new DetGdMechanism(
+      schema, gamma, std::move(perturber), std::move(reconstructor)));
+}
+
+Status DetGdMechanism::Prepare(const data::CategoricalTable& original,
+                               random::Pcg64& rng) {
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable perturbed,
+                         perturber_.Perturb(original, rng));
+  perturbed_ = std::move(perturbed);
+  estimator_ = std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
+                                                       *perturbed_);
+  return Status::OK();
+}
+
+mining::SupportEstimator& DetGdMechanism::estimator() {
+  FRAPP_CHECK(estimator_ != nullptr) << "Prepare() must run first";
+  return *estimator_;
+}
+
+StatusOr<double> DetGdMechanism::ConditionNumberForLength(size_t) const {
+  // Length-independent: (gamma + n_C - 1) / (gamma - 1) for every subset.
+  return reconstructor_.ConditionNumber();
+}
+
+// ---------------------------------------------------------------- RAN-GD --
+
+StatusOr<std::unique_ptr<RanGdMechanism>> RanGdMechanism::Create(
+    const data::CategoricalSchema& schema, double gamma, double alpha,
+    random::RandomizationKind kind) {
+  FRAPP_ASSIGN_OR_RETURN(RandomizedGammaPerturber perturber,
+                         RandomizedGammaPerturber::Create(schema, gamma, alpha, kind));
+  FRAPP_ASSIGN_OR_RETURN(GammaSubsetReconstructor reconstructor,
+                         GammaSubsetReconstructor::Create(gamma, schema.DomainSize()));
+  return std::unique_ptr<RanGdMechanism>(new RanGdMechanism(
+      schema, gamma, std::move(perturber), std::move(reconstructor)));
+}
+
+Status RanGdMechanism::Prepare(const data::CategoricalTable& original,
+                               random::Pcg64& rng) {
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable perturbed,
+                         perturber_.Perturb(original, rng));
+  perturbed_ = std::move(perturbed);
+  estimator_ = std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
+                                                       *perturbed_);
+  return Status::OK();
+}
+
+mining::SupportEstimator& RanGdMechanism::estimator() {
+  FRAPP_CHECK(estimator_ != nullptr) << "Prepare() must run first";
+  return *estimator_;
+}
+
+StatusOr<double> RanGdMechanism::ConditionNumberForLength(size_t) const {
+  // Reconstruction uses E[A~] = the deterministic gamma-diagonal matrix, so
+  // the condition number equals DET-GD's (paper Section 7 / Figure 4).
+  return reconstructor_.ConditionNumber();
+}
+
+double RanGdMechanism::Amplification() const {
+  // Worst realization: diagonal gamma x + alpha against off-diagonal
+  // x - alpha/(n-1).
+  const double x = perturber_.expected_matrix().x();
+  const double n =
+      static_cast<double>(perturber_.expected_matrix().domain_size());
+  const double off = x - perturber_.alpha() / (n - 1.0);
+  if (off <= 0.0) return std::numeric_limits<double>::infinity();
+  return (gamma_ * x + perturber_.alpha()) / off;
+}
+
+// ------------------------------------------------------------------ MASK --
+
+StatusOr<std::unique_ptr<MaskMechanism>> MaskMechanism::Create(
+    const data::CategoricalSchema& schema, double gamma) {
+  FRAPP_ASSIGN_OR_RETURN(MaskScheme scheme,
+                         MaskScheme::CalibrateForGamma(gamma, schema.num_attributes()));
+  return std::unique_ptr<MaskMechanism>(new MaskMechanism(schema, scheme));
+}
+
+Status MaskMechanism::Prepare(const data::CategoricalTable& original,
+                              random::Pcg64& rng) {
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable onehot,
+                         data::BooleanTable::FromCategorical(original));
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable perturbed, scheme_.Perturb(onehot, rng));
+  perturbed_ = std::move(perturbed);
+  estimator_ =
+      std::make_unique<MaskSupportEstimator>(scheme_, layout_, *perturbed_);
+  return Status::OK();
+}
+
+mining::SupportEstimator& MaskMechanism::estimator() {
+  FRAPP_CHECK(estimator_ != nullptr) << "Prepare() must run first";
+  return *estimator_;
+}
+
+StatusOr<double> MaskMechanism::ConditionNumberForLength(size_t length) const {
+  if (length == 0) return Status::InvalidArgument("length must be >= 1");
+  return scheme_.ConditionNumberForLength(length);
+}
+
+double MaskMechanism::Amplification() const {
+  return scheme_.RecordAmplification(schema_.num_attributes());
+}
+
+// ------------------------------------------------------------------- C&P --
+
+StatusOr<std::unique_ptr<CutPasteMechanism>> CutPasteMechanism::Create(
+    const data::CategoricalSchema& schema, size_t cutoff_k, double rho) {
+  data::BooleanLayout layout(schema);
+  FRAPP_ASSIGN_OR_RETURN(
+      CutPasteScheme scheme,
+      CutPasteScheme::Create(cutoff_k, rho, schema.num_attributes(),
+                             layout.num_bits()));
+  return std::unique_ptr<CutPasteMechanism>(
+      new CutPasteMechanism(schema, std::move(scheme)));
+}
+
+Status CutPasteMechanism::Prepare(const data::CategoricalTable& original,
+                                  random::Pcg64& rng) {
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable onehot,
+                         data::BooleanTable::FromCategorical(original));
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable perturbed, scheme_.Perturb(onehot, rng));
+  perturbed_ = std::move(perturbed);
+  estimator_ =
+      std::make_unique<CutPasteSupportEstimator>(scheme_, layout_, *perturbed_);
+  return Status::OK();
+}
+
+mining::SupportEstimator& CutPasteMechanism::estimator() {
+  FRAPP_CHECK(estimator_ != nullptr) << "Prepare() must run first";
+  return *estimator_;
+}
+
+StatusOr<double> CutPasteMechanism::ConditionNumberForLength(size_t length) const {
+  return scheme_.ConditionNumberForLength(length);
+}
+
+double CutPasteMechanism::Amplification() const {
+  return scheme_.RecordAmplification();
+}
+
+// ---------------------------------------------------------------- IND-GD --
+
+StatusOr<std::unique_ptr<IndependentColumnMechanism>>
+IndependentColumnMechanism::Create(const data::CategoricalSchema& schema,
+                                   double gamma) {
+  FRAPP_ASSIGN_OR_RETURN(IndependentColumnScheme scheme,
+                         IndependentColumnScheme::Create(schema, gamma));
+  return std::unique_ptr<IndependentColumnMechanism>(
+      new IndependentColumnMechanism(schema, std::move(scheme)));
+}
+
+Status IndependentColumnMechanism::Prepare(const data::CategoricalTable& original,
+                                           random::Pcg64& rng) {
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable perturbed,
+                         scheme_.Perturb(original, rng));
+  perturbed_ = std::move(perturbed);
+  estimator_ =
+      std::make_unique<IndependentColumnSupportEstimator>(scheme_, *perturbed_);
+  return Status::OK();
+}
+
+mining::SupportEstimator& IndependentColumnMechanism::estimator() {
+  FRAPP_CHECK(estimator_ != nullptr) << "Prepare() must run first";
+  return *estimator_;
+}
+
+StatusOr<double> IndependentColumnMechanism::ConditionNumberForLength(
+    size_t length) const {
+  const size_t m = schema_.num_attributes();
+  if (length == 0 || length > m) {
+    return Status::InvalidArgument("length out of range");
+  }
+  // Geometric mean over all attribute subsets of this size.
+  double log_sum = 0.0;
+  size_t count = 0;
+  std::vector<size_t> subset(length);
+  for (size_t i = 0; i < length; ++i) subset[i] = i;
+  while (true) {
+    log_sum += std::log(scheme_.ConditionNumberForAttributes(subset));
+    ++count;
+    // Next lexicographic combination of {0..m-1} choose `length`.
+    bool advanced = false;
+    for (size_t i = length; i-- > 0;) {
+      if (subset[i] < i + m - length) {
+        ++subset[i];
+        for (size_t j = i + 1; j < length; ++j) subset[j] = subset[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return std::exp(log_sum / static_cast<double>(count));
+}
+
+double IndependentColumnMechanism::Amplification() const {
+  return scheme_.gamma();
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,224 @@
+// Unified mechanism layer: one object per perturbation technique bundling
+// (a) client-side perturbation of a categorical database and (b) the
+// miner-side reconstructing support estimator that plugs into Apriori.
+// This is the layer the paper's Section 7 experiments exercise with
+// DET-GD, RAN-GD, MASK and C&P.
+
+#ifndef FRAPP_CORE_MECHANISM_H_
+#define FRAPP_CORE_MECHANISM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/cut_paste_scheme.h"
+#include "frapp/core/gamma_diagonal.h"
+#include "frapp/core/independent_column_scheme.h"
+#include "frapp/core/mask_scheme.h"
+#include "frapp/core/randomized_gamma.h"
+#include "frapp/core/subset_reconstruction.h"
+#include "frapp/data/boolean_view.h"
+#include "frapp/data/table.h"
+#include "frapp/mining/apriori.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace core {
+
+/// A complete privacy-preserving mining mechanism.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Display name ("DET-GD", "RAN-GD", "MASK", "C&P", ...).
+  virtual std::string name() const = 0;
+
+  /// Perturbs `original` (client side) and prepares the reconstructing
+  /// estimator (miner side). Must be called before estimator().
+  virtual Status Prepare(const data::CategoricalTable& original,
+                         random::Pcg64& rng) = 0;
+
+  /// The reconstructing support oracle; valid after a successful Prepare.
+  virtual mining::SupportEstimator& estimator() = 0;
+
+  /// Condition number of the reconstruction matrix used for itemsets of
+  /// length k (Figure 4's quantity). Mechanisms whose per-subset matrices
+  /// differ report a representative (geometric mean over subsets).
+  virtual StatusOr<double> ConditionNumberForLength(size_t length) const = 0;
+
+  /// Record-level amplification actually delivered (<= the configured gamma).
+  virtual double Amplification() const = 0;
+};
+
+/// DET-GD: deterministic gamma-diagonal matrix (paper Sections 3, 5, 6).
+class DetGdMechanism : public Mechanism {
+ public:
+  static StatusOr<std::unique_ptr<DetGdMechanism>> Create(
+      const data::CategoricalSchema& schema, double gamma);
+
+  std::string name() const override { return "DET-GD"; }
+  Status Prepare(const data::CategoricalTable& original,
+                 random::Pcg64& rng) override;
+  mining::SupportEstimator& estimator() override;
+  StatusOr<double> ConditionNumberForLength(size_t length) const override;
+  double Amplification() const override { return gamma_; }
+
+  /// The perturbed database (valid after Prepare; exposed for examples).
+  const data::CategoricalTable& perturbed() const { return *perturbed_; }
+
+ private:
+  DetGdMechanism(data::CategoricalSchema schema, double gamma,
+                 GammaDiagonalPerturber perturber, GammaSubsetReconstructor rec)
+      : schema_(std::move(schema)),
+        gamma_(gamma),
+        perturber_(std::move(perturber)),
+        reconstructor_(std::move(rec)) {}
+
+  data::CategoricalSchema schema_;
+  double gamma_;
+  GammaDiagonalPerturber perturber_;
+  GammaSubsetReconstructor reconstructor_;
+  std::optional<data::CategoricalTable> perturbed_;
+  std::unique_ptr<mining::SupportEstimator> estimator_;
+};
+
+/// RAN-GD: randomized gamma-diagonal matrix (paper Section 4). Identical
+/// miner side to DET-GD (reconstruction uses the expected matrix).
+class RanGdMechanism : public Mechanism {
+ public:
+  static StatusOr<std::unique_ptr<RanGdMechanism>> Create(
+      const data::CategoricalSchema& schema, double gamma, double alpha,
+      random::RandomizationKind kind = random::RandomizationKind::kUniform);
+
+  std::string name() const override { return "RAN-GD"; }
+  Status Prepare(const data::CategoricalTable& original,
+                 random::Pcg64& rng) override;
+  mining::SupportEstimator& estimator() override;
+  StatusOr<double> ConditionNumberForLength(size_t length) const override;
+  double Amplification() const override;
+
+  const RandomizedGammaPerturber& perturber() const { return perturber_; }
+
+ private:
+  RanGdMechanism(data::CategoricalSchema schema, double gamma,
+                 RandomizedGammaPerturber perturber, GammaSubsetReconstructor rec)
+      : schema_(std::move(schema)),
+        gamma_(gamma),
+        perturber_(std::move(perturber)),
+        reconstructor_(std::move(rec)) {}
+
+  data::CategoricalSchema schema_;
+  double gamma_;
+  RandomizedGammaPerturber perturber_;
+  GammaSubsetReconstructor reconstructor_;
+  std::optional<data::CategoricalTable> perturbed_;
+  std::unique_ptr<mining::SupportEstimator> estimator_;
+};
+
+/// MASK baseline (paper Section 7): boolean bit-flips + tensor inversion.
+class MaskMechanism : public Mechanism {
+ public:
+  /// Calibrates p to the gamma constraint for the schema's attribute count.
+  static StatusOr<std::unique_ptr<MaskMechanism>> Create(
+      const data::CategoricalSchema& schema, double gamma);
+
+  std::string name() const override { return "MASK"; }
+  Status Prepare(const data::CategoricalTable& original,
+                 random::Pcg64& rng) override;
+  mining::SupportEstimator& estimator() override;
+  StatusOr<double> ConditionNumberForLength(size_t length) const override;
+  double Amplification() const override;
+
+  const MaskScheme& scheme() const { return scheme_; }
+
+ private:
+  MaskMechanism(data::CategoricalSchema schema, MaskScheme scheme)
+      : schema_(std::move(schema)),
+        scheme_(scheme),
+        layout_(schema_) {}
+
+  data::CategoricalSchema schema_;
+  MaskScheme scheme_;
+  data::BooleanLayout layout_;
+  std::optional<data::BooleanTable> perturbed_;
+  std::unique_ptr<mining::SupportEstimator> estimator_;
+};
+
+/// Cut-and-Paste baseline (paper Section 7: K = 3, rho = 0.494).
+class CutPasteMechanism : public Mechanism {
+ public:
+  static StatusOr<std::unique_ptr<CutPasteMechanism>> Create(
+      const data::CategoricalSchema& schema, size_t cutoff_k, double rho);
+
+  std::string name() const override { return "C&P"; }
+  Status Prepare(const data::CategoricalTable& original,
+                 random::Pcg64& rng) override;
+  mining::SupportEstimator& estimator() override;
+  StatusOr<double> ConditionNumberForLength(size_t length) const override;
+  double Amplification() const override;
+
+  const CutPasteScheme& scheme() const { return scheme_; }
+
+ private:
+  CutPasteMechanism(data::CategoricalSchema schema, CutPasteScheme scheme)
+      : schema_(std::move(schema)),
+        scheme_(std::move(scheme)),
+        layout_(schema_) {}
+
+  data::CategoricalSchema schema_;
+  CutPasteScheme scheme_;
+  data::BooleanLayout layout_;
+  std::optional<data::BooleanTable> perturbed_;
+  std::unique_ptr<mining::SupportEstimator> estimator_;
+};
+
+/// Independent-column gamma ablation (see independent_column_scheme.h).
+class IndependentColumnMechanism : public Mechanism {
+ public:
+  static StatusOr<std::unique_ptr<IndependentColumnMechanism>> Create(
+      const data::CategoricalSchema& schema, double gamma);
+
+  std::string name() const override { return "IND-GD"; }
+  Status Prepare(const data::CategoricalTable& original,
+                 random::Pcg64& rng) override;
+  mining::SupportEstimator& estimator() override;
+  StatusOr<double> ConditionNumberForLength(size_t length) const override;
+  double Amplification() const override;
+
+ private:
+  IndependentColumnMechanism(data::CategoricalSchema schema,
+                             IndependentColumnScheme scheme)
+      : schema_(std::move(schema)), scheme_(std::move(scheme)) {}
+
+  data::CategoricalSchema schema_;
+  IndependentColumnScheme scheme_;
+  std::optional<data::CategoricalTable> perturbed_;
+  std::unique_ptr<mining::SupportEstimator> estimator_;
+};
+
+/// Support oracle shared by DET-GD and RAN-GD: counts the candidate's
+/// support in the perturbed categorical table and applies the Eq. 28
+/// closed-form inverse.
+class GammaSupportEstimator : public mining::SupportEstimator {
+ public:
+  /// `perturbed` must outlive the estimator.
+  GammaSupportEstimator(const data::CategoricalSchema& schema,
+                        GammaSubsetReconstructor reconstructor,
+                        const data::CategoricalTable& perturbed)
+      : schema_(schema),
+        reconstructor_(std::move(reconstructor)),
+        perturbed_(perturbed) {}
+
+  StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
+
+ private:
+  const data::CategoricalSchema& schema_;
+  GammaSubsetReconstructor reconstructor_;
+  const data::CategoricalTable& perturbed_;
+};
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_MECHANISM_H_

@@ -1,0 +1,53 @@
+#include "frapp/core/naive_perturber.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<NaivePerturber> NaivePerturber::Create(const data::CategoricalSchema& schema,
+                                                const PerturbationMatrix& matrix,
+                                                uint64_t max_domain) {
+  const data::DomainIndexer indexer = data::DomainIndexer::OverAllAttributes(schema);
+  if (indexer.domain_size() != matrix.domain_size()) {
+    return Status::InvalidArgument("matrix domain does not match schema domain");
+  }
+  if (indexer.domain_size() > max_domain) {
+    return Status::InvalidArgument(
+        "joint domain too large for the naive CDF-scan perturber");
+  }
+  return NaivePerturber(matrix, indexer);
+}
+
+StatusOr<data::CategoricalTable> NaivePerturber::Perturb(
+    const data::CategoricalTable& table, random::Pcg64& rng) const {
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.Reserve(table.num_rows());
+  const uint64_t n = matrix_.domain_size();
+
+  std::vector<uint8_t> row(table.num_attributes());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < row.size(); ++j) row[j] = table.Value(i, j);
+    const uint64_t u = indexer_.EncodeFromFullRecord(row);
+
+    // Paper Section 5, algorithm 1: r ~ U(0,1); return first v with
+    // F(v-1) < r <= F(v).
+    const double r = rng.NextDouble();
+    double cdf = 0.0;
+    uint64_t v = n - 1;  // fp slack: default to the last value
+    for (uint64_t candidate = 0; candidate < n; ++candidate) {
+      cdf += matrix_.Entry(candidate, u);
+      if (r <= cdf) {
+        v = candidate;
+        break;
+      }
+    }
+
+    const std::vector<size_t> values = indexer_.Decode(v);
+    for (size_t j = 0; j < row.size(); ++j) row[j] = static_cast<uint8_t>(values[j]);
+    FRAPP_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace frapp

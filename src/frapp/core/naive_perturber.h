@@ -1,0 +1,46 @@
+// The "straightforward algorithm" of paper Section 5: perturb a record by
+// scanning the CDF of its transition-matrix column over the whole perturbed
+// domain. O(|S_V|) per record — exponential in the number of attributes —
+// which is exactly why the paper develops the O(sum_j |S_j|) dependent-column
+// algorithm. Retained as (a) a test oracle for the fast perturbers and (b) a
+// generic perturber for arbitrary dense FRAPP matrices on small domains.
+
+#ifndef FRAPP_CORE_NAIVE_PERTURBER_H_
+#define FRAPP_CORE_NAIVE_PERTURBER_H_
+
+#include <memory>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/perturbation_matrix.h"
+#include "frapp/data/table.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace core {
+
+/// Perturbs tables by per-record CDF scan over an arbitrary perturbation
+/// matrix. The matrix domain must match the schema's joint domain.
+class NaivePerturber {
+ public:
+  /// `matrix` must outlive the perturber. Fails when the joint domain is
+  /// larger than `max_domain` (default 1<<20) — the scan would be absurd.
+  static StatusOr<NaivePerturber> Create(const data::CategoricalSchema& schema,
+                                         const PerturbationMatrix& matrix,
+                                         uint64_t max_domain = (1ull << 20));
+
+  /// Perturbs every record: decode index u, draw v ~ column u of A, encode.
+  StatusOr<data::CategoricalTable> Perturb(const data::CategoricalTable& table,
+                                           random::Pcg64& rng) const;
+
+ private:
+  NaivePerturber(const PerturbationMatrix& matrix, data::DomainIndexer indexer)
+      : matrix_(matrix), indexer_(std::move(indexer)) {}
+
+  const PerturbationMatrix& matrix_;
+  data::DomainIndexer indexer_;
+};
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_NAIVE_PERTURBER_H_

@@ -1,0 +1,51 @@
+#include "frapp/core/perturbation_matrix.h"
+
+#include "frapp/core/privacy.h"
+#include "frapp/linalg/condition.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<double> PerturbationMatrix::ConditionNumber() const {
+  return linalg::ConditionNumber(ToDense());
+}
+
+double PerturbationMatrix::Amplification() const {
+  return MatrixAmplification(ToDense());
+}
+
+linalg::Matrix PerturbationMatrix::ToDense() const {
+  const uint64_t n = domain_size();
+  FRAPP_CHECK_LE(n, 1u << 14) << "refusing to materialize a huge matrix";
+  linalg::Matrix out(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (uint64_t v = 0; v < n; ++v) {
+    for (uint64_t u = 0; u < n; ++u) {
+      out(static_cast<size_t>(v), static_cast<size_t>(u)) = Entry(v, u);
+    }
+  }
+  return out;
+}
+
+StatusOr<DensePerturbationMatrix> DensePerturbationMatrix::Create(linalg::Matrix a,
+                                                                  std::string name) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("perturbation matrix must be square");
+  }
+  if (!a.IsColumnStochastic(1e-9)) {
+    return Status::InvalidArgument(
+        "perturbation matrix must be column-stochastic with entries >= 0 "
+        "(paper Eq. 1)");
+  }
+  return DensePerturbationMatrix(std::move(a), std::move(name));
+}
+
+StatusOr<double> DensePerturbationMatrix::ConditionNumber() const {
+  return linalg::ConditionNumber(matrix_);
+}
+
+double DensePerturbationMatrix::Amplification() const {
+  return MatrixAmplification(matrix_);
+}
+
+}  // namespace core
+}  // namespace frapp

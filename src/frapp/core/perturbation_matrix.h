@@ -1,0 +1,79 @@
+// The FRAPP perturbation-matrix abstraction (paper Section 2).
+//
+// A perturbation method is a Markov transition matrix A with
+// A[v][u] = p(u -> v) over the record domain I_U: columns sum to one and
+// entries are non-negative (Eq. 1). Prior techniques (MASK, Cut-and-Paste)
+// are particular parameterized choices of A; FRAPP designs A directly.
+
+#ifndef FRAPP_CORE_PERTURBATION_MATRIX_H_
+#define FRAPP_CORE_PERTURBATION_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+
+namespace frapp {
+namespace core {
+
+/// Abstract record-domain transition matrix. Implementations may be dense
+/// (explicit entries) or structured (closed-form entries).
+class PerturbationMatrix {
+ public:
+  virtual ~PerturbationMatrix() = default;
+
+  /// Domain size |S_U| (= |S_V|; FRAPP's schemes perturb within the domain).
+  virtual uint64_t domain_size() const = 0;
+
+  /// A_vu = p(u -> v).
+  virtual double Entry(uint64_t v, uint64_t u) const = 0;
+
+  /// Condition number of the matrix (drives the reconstruction error bound,
+  /// paper Theorem 1). The default materializes the dense matrix; structured
+  /// implementations override with closed forms.
+  virtual StatusOr<double> ConditionNumber() const;
+
+  /// Amplification max_v max_{u1,u2} A_vu1 / A_vu2 (the quantity the privacy
+  /// constraint Eq. 2 bounds by gamma). Default: dense scan.
+  virtual double Amplification() const;
+
+  /// Materializes the dense matrix. Only valid for modest domains; callers
+  /// must check domain_size() first.
+  linalg::Matrix ToDense() const;
+
+  /// Human-readable mechanism name for reports.
+  virtual std::string Name() const = 0;
+};
+
+/// Dense perturbation matrix with explicit entries; validates the Markov
+/// property on construction.
+class DensePerturbationMatrix : public PerturbationMatrix {
+ public:
+  /// Fails unless `a` is square, column-stochastic and non-negative.
+  static StatusOr<DensePerturbationMatrix> Create(linalg::Matrix a,
+                                                  std::string name = "dense");
+
+  uint64_t domain_size() const override { return matrix_.rows(); }
+  double Entry(uint64_t v, uint64_t u) const override {
+    return matrix_(static_cast<size_t>(v), static_cast<size_t>(u));
+  }
+  StatusOr<double> ConditionNumber() const override;
+  double Amplification() const override;
+  std::string Name() const override { return name_; }
+
+  const linalg::Matrix& matrix() const { return matrix_; }
+
+ private:
+  DensePerturbationMatrix(linalg::Matrix a, std::string name)
+      : matrix_(std::move(a)), name_(std::move(name)) {}
+
+  linalg::Matrix matrix_;
+  std::string name_;
+};
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_PERTURBATION_MATRIX_H_

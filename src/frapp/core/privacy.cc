@@ -1,0 +1,77 @@
+#include "frapp/core/privacy.h"
+
+#include <cmath>
+#include <limits>
+
+namespace frapp {
+namespace core {
+
+StatusOr<double> GammaFromRequirement(const PrivacyRequirement& requirement) {
+  const double rho1 = requirement.rho1;
+  const double rho2 = requirement.rho2;
+  if (!(rho1 > 0.0) || !(rho1 < 1.0) || !(rho2 > 0.0) || !(rho2 < 1.0)) {
+    return Status::InvalidArgument("rho1 and rho2 must lie in (0, 1)");
+  }
+  if (!(rho2 > rho1)) {
+    return Status::InvalidArgument("privacy requires rho2 > rho1");
+  }
+  return rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2));
+}
+
+double MatrixAmplification(const linalg::Matrix& a) {
+  double worst = 1.0;
+  for (size_t v = 0; v < a.rows(); ++v) {
+    double row_max = 0.0;
+    double row_min = std::numeric_limits<double>::infinity();
+    for (size_t u = 0; u < a.cols(); ++u) {
+      const double entry = a(v, u);
+      row_max = std::max(row_max, entry);
+      row_min = std::min(row_min, entry);
+    }
+    if (row_max == 0.0) continue;  // all-zero row constrains nothing
+    if (row_min <= 0.0) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, row_max / row_min);
+  }
+  return worst;
+}
+
+bool SatisfiesAmplification(const linalg::Matrix& a, double gamma, double tol) {
+  return MatrixAmplification(a) <= gamma * (1.0 + tol);
+}
+
+double PosteriorFromRatio(double prior, double ratio) {
+  const double numerator = prior * ratio;
+  return numerator / (numerator + (1.0 - prior));
+}
+
+StatusOr<PosteriorRange> RandomizedPosteriorRange(double prior, double gamma,
+                                                  uint64_t n, double alpha) {
+  if (!(prior > 0.0) || !(prior < 1.0)) {
+    return Status::InvalidArgument("prior must lie in (0, 1)");
+  }
+  if (!(gamma > 1.0)) return Status::InvalidArgument("gamma must exceed 1");
+  if (n < 2) return Status::InvalidArgument("domain size must be >= 2");
+  const double x = 1.0 / (gamma + static_cast<double>(n) - 1.0);
+  if (alpha < 0.0 || alpha > gamma * x + 1e-15) {
+    return Status::InvalidArgument("alpha must lie in [0, gamma * x]");
+  }
+
+  // Likelihood ratio as a function of the realized randomization r:
+  // (gamma x + r) / (x - r / (n - 1)). Monotone increasing in r over the
+  // admissible range, so the extremes are attained at +-alpha.
+  const auto ratio = [&](double r) {
+    const double diag = gamma * x + r;
+    const double off = x - r / (static_cast<double>(n) - 1.0);
+    if (off <= 0.0) return std::numeric_limits<double>::infinity();
+    return diag / off;
+  };
+
+  PosteriorRange range;
+  range.lower = PosteriorFromRatio(prior, ratio(-alpha));
+  range.center = PosteriorFromRatio(prior, ratio(0.0));
+  range.upper = PosteriorFromRatio(prior, ratio(alpha));
+  return range;
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,63 @@
+// Privacy machinery (paper Sections 2.1 and 4.1).
+//
+// FRAPP adopts the amplification-based "(rho1, rho2) privacy breach" measure
+// of Evfimievski, Gehrke & Srikant (PODS'03): a mechanism offers
+// (rho1, rho2) privacy when no property with prior probability < rho1 can
+// acquire posterior probability > rho2, regardless of the data distribution.
+// For a perturbation matrix A this holds whenever, for every perturbed value
+// v, the ratio of any two entries of row v is at most
+//     gamma <= rho2 (1 - rho1) / (rho1 (1 - rho2))          (paper Eq. 2).
+
+#ifndef FRAPP_CORE_PRIVACY_H_
+#define FRAPP_CORE_PRIVACY_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+
+namespace frapp {
+namespace core {
+
+/// A strict privacy requirement: priors below rho1 must stay below rho2
+/// a-posteriori. The paper's running example is (5%, 50%).
+struct PrivacyRequirement {
+  double rho1;
+  double rho2;
+};
+
+/// The largest admissible amplification gamma for the requirement:
+/// gamma = rho2 (1 - rho1) / (rho1 (1 - rho2)). (5%, 50%) gives gamma = 19.
+StatusOr<double> GammaFromRequirement(const PrivacyRequirement& requirement);
+
+/// Amplification of a column-stochastic matrix with A[v][u] = p(u -> v):
+/// max over rows v of (max_u A_vu / min_u A_vu). Returns +infinity when a
+/// row mixes zero and non-zero entries (an unbounded breach).
+double MatrixAmplification(const linalg::Matrix& a);
+
+/// True when MatrixAmplification(a) <= gamma * (1 + tol).
+bool SatisfiesAmplification(const linalg::Matrix& a, double gamma, double tol = 1e-9);
+
+/// Worst-case posterior probability of a property with prior `prior` when
+/// the adversary's likelihood ratio is `ratio` (paper Section 4.1):
+///   posterior = prior * ratio / (prior * ratio + (1 - prior)).
+double PosteriorFromRatio(double prior, double ratio);
+
+/// Posterior probability window of the randomized gamma-diagonal mechanism
+/// (paper Section 4.1): with diagonal gamma*x + r and off-diagonal
+/// x - r/(n-1), r in [-alpha, alpha], the (determinable) posterior ranges
+/// over [rho2(-alpha), rho2(+alpha)] with center rho2(0).
+struct PosteriorRange {
+  double lower;   ///< rho2(-alpha): best case for the client
+  double center;  ///< rho2(0): the deterministic mechanism's breach
+  double upper;   ///< rho2(+alpha): worst case
+};
+
+/// Computes the randomized-mechanism posterior range for a property with
+/// prior probability `prior`, gamma-diagonal parameter `gamma`, domain size
+/// `n` and randomization half-width `alpha` (0 <= alpha <= gamma * x).
+StatusOr<PosteriorRange> RandomizedPosteriorRange(double prior, double gamma,
+                                                  uint64_t n, double alpha);
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_PRIVACY_H_

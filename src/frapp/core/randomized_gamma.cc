@@ -1,0 +1,61 @@
+#include "frapp/core/randomized_gamma.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<RandomizedGammaPerturber> RandomizedGammaPerturber::Create(
+    const data::CategoricalSchema& schema, double gamma, double alpha,
+    random::RandomizationKind kind) {
+  FRAPP_ASSIGN_OR_RETURN(GammaDiagonalMatrix matrix,
+                         GammaDiagonalMatrix::Create(gamma, schema.DomainSize()));
+  if (alpha < 0.0 || alpha > matrix.DiagonalValue() + 1e-15) {
+    return Status::InvalidArgument(
+        "alpha must lie in [0, gamma*x]; gamma*x = " +
+        std::to_string(matrix.DiagonalValue()));
+  }
+  // Realizations must keep entries non-negative: off-diagonal
+  // x - r/(n-1) >= 0 requires alpha <= (n-1) x, which holds automatically
+  // whenever gamma <= n - 1; guard the unusual tiny-domain case.
+  const double n = static_cast<double>(matrix.domain_size());
+  if (alpha > (n - 1.0) * matrix.x() + 1e-15) {
+    return Status::InvalidArgument(
+        "alpha would make off-diagonal entries negative for this domain");
+  }
+  std::vector<size_t> cardinalities(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    cardinalities[j] = schema.Cardinality(j);
+  }
+  return RandomizedGammaPerturber(std::move(matrix), std::move(cardinalities), alpha,
+                                  kind);
+}
+
+StatusOr<data::CategoricalTable> RandomizedGammaPerturber::Perturb(
+    const data::CategoricalTable& table, random::Pcg64& rng) const {
+  if (table.num_attributes() != cardinalities_.size()) {
+    return Status::InvalidArgument("table schema does not match perturber");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.Reserve(table.num_rows());
+  const uint64_t n = matrix_.domain_size();
+  const double n_minus_1 = static_cast<double>(n) - 1.0;
+
+  std::vector<uint8_t> record(cardinalities_.size());
+  std::vector<uint8_t> perturbed(cardinalities_.size());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    // This client's private matrix realization: E[diagonal] = gamma x.
+    const double r = random::SampleRandomizationParameter(kind_, alpha_, rng);
+    const double d = matrix_.DiagonalValue() + r;
+    const double o = matrix_.OffDiagonalValue() - r / n_minus_1;
+
+    for (size_t j = 0; j < cardinalities_.size(); ++j) {
+      record[j] = table.Value(i, j);
+    }
+    PerturbRecordDiagonalForm(record, cardinalities_, n, d, o, rng, &perturbed);
+    FRAPP_RETURN_IF_ERROR(out.AppendRow(perturbed));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace frapp

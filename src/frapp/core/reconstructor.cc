@@ -1,0 +1,33 @@
+#include "frapp/core/reconstructor.h"
+
+#include "frapp/linalg/lu.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<linalg::Vector> ReconstructDistribution(const linalg::Matrix& a,
+                                                 const linalg::Vector& y) {
+  return linalg::SolveLinearSystem(a, y);
+}
+
+StatusOr<linalg::Vector> ReconstructDistributionGamma(const GammaDiagonalMatrix& a,
+                                                      const linalg::Vector& y) {
+  if (y.size() != a.domain_size()) {
+    return Status::InvalidArgument("histogram dimension mismatch");
+  }
+  return a.ToUniformMixture().Solve(y);
+}
+
+StatusOr<linalg::Vector> ReconstructFullDistribution(
+    const data::CategoricalTable& perturbed, const GammaDiagonalMatrix& a) {
+  const data::DomainIndexer indexer =
+      data::DomainIndexer::OverAllAttributes(perturbed.schema());
+  if (indexer.domain_size() != a.domain_size()) {
+    return Status::InvalidArgument("schema domain does not match matrix domain");
+  }
+  const linalg::Vector y = perturbed.JointHistogram(indexer);
+  return ReconstructDistributionGamma(a, y);
+}
+
+}  // namespace core
+}  // namespace frapp

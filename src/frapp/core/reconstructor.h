@@ -1,0 +1,41 @@
+// Distribution reconstruction (paper Section 2.2).
+//
+// The miner observes the perturbed histogram Y and estimates the original
+// histogram X by solving  Y = A X_hat  (Eq. 7/8). For gamma-diagonal
+// matrices the solve is O(n) closed form; for arbitrary dense matrices we
+// LU-factorize.
+
+#ifndef FRAPP_CORE_RECONSTRUCTOR_H_
+#define FRAPP_CORE_RECONSTRUCTOR_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/gamma_diagonal.h"
+#include "frapp/core/perturbation_matrix.h"
+#include "frapp/data/table.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace core {
+
+/// Solves Y = A X_hat for a dense perturbation matrix. `y` is the perturbed
+/// histogram over I_V; the result estimates the original histogram over I_U.
+/// Estimates can be negative — they are least-squares-style point estimates,
+/// not probabilities.
+StatusOr<linalg::Vector> ReconstructDistribution(const linalg::Matrix& a,
+                                                 const linalg::Vector& y);
+
+/// Closed-form O(n) reconstruction under a gamma-diagonal matrix
+/// (Sherman-Morrison on a I + b J; see linalg::UniformMixtureMatrix).
+StatusOr<linalg::Vector> ReconstructDistributionGamma(const GammaDiagonalMatrix& a,
+                                                      const linalg::Vector& y);
+
+/// End-to-end helper: histograms the perturbed table over the full joint
+/// domain and reconstructs the original histogram with the gamma-diagonal
+/// closed form. Intended for modest joint domains (|S_U| up to ~1e7).
+StatusOr<linalg::Vector> ReconstructFullDistribution(
+    const data::CategoricalTable& perturbed, const GammaDiagonalMatrix& a);
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_RECONSTRUCTOR_H_

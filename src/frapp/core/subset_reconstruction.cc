@@ -1,0 +1,45 @@
+#include "frapp/core/subset_reconstruction.h"
+
+namespace frapp {
+namespace core {
+
+StatusOr<GammaSubsetReconstructor> GammaSubsetReconstructor::Create(
+    double gamma, uint64_t full_domain_size) {
+  if (!(gamma > 1.0)) return Status::InvalidArgument("gamma must exceed 1");
+  if (full_domain_size < 2) {
+    return Status::InvalidArgument("full domain size must be >= 2");
+  }
+  return GammaSubsetReconstructor(gamma, full_domain_size);
+}
+
+StatusOr<linalg::UniformMixtureMatrix> GammaSubsetReconstructor::SubsetMatrix(
+    uint64_t subset_domain_size) const {
+  if (subset_domain_size < 1 || subset_domain_size > n_c_) {
+    return Status::InvalidArgument("subset domain size out of range");
+  }
+  const double ratio =
+      static_cast<double>(n_c_) / static_cast<double>(subset_domain_size);
+  const double off = ratio * x_;
+  const double diag = gamma_ * x_ + (ratio - 1.0) * x_;
+  return linalg::UniformMixtureMatrix::FromDiagonalOffDiagonal(
+      static_cast<size_t>(subset_domain_size), diag, off);
+}
+
+StatusOr<double> GammaSubsetReconstructor::ReconstructSupport(
+    double perturbed_support_fraction, uint64_t subset_domain_size) const {
+  if (subset_domain_size < 1 || subset_domain_size > n_c_) {
+    return Status::InvalidArgument("subset domain size out of range");
+  }
+  const double ratio =
+      static_cast<double>(n_c_) / static_cast<double>(subset_domain_size);
+  // Supports over the subset domain sum to one, so the J-term of the
+  // Sherman-Morrison inverse collapses to the constant (n_C/n_Cs) x.
+  return (perturbed_support_fraction - ratio * x_) / ((gamma_ - 1.0) * x_);
+}
+
+double GammaSubsetReconstructor::ConditionNumber() const {
+  return (gamma_ + static_cast<double>(n_c_) - 1.0) / (gamma_ - 1.0);
+}
+
+}  // namespace core
+}  // namespace frapp

@@ -1,0 +1,64 @@
+// Itemset-level support reconstruction under the gamma-diagonal matrix
+// (paper Section 6, Eq. 28).
+//
+// For an itemset over an attribute subset Cs, the transition matrix between
+// subset-domain supports is again gamma-diagonal-form:
+//     A_HL = gamma x + (n_C / n_Cs - 1) x   when H = L
+//          = (n_C / n_Cs) x                 otherwise,
+// where n_C = |S_U| and n_Cs = prod_{j in Cs} |S_U^j|. Because subset
+// supports over the full subset domain sum to 1, each itemset's support
+// can be reconstructed independently in O(1):
+//     sup_hat_U = (sup_V - (n_C / n_Cs) x) / ((gamma - 1) x).
+// This is what lets FRAPP plug into bottom-up Apriori with a constant,
+// LENGTH-INDEPENDENT condition number (gamma + n_C - 1) / (gamma - 1).
+
+#ifndef FRAPP_CORE_SUBSET_RECONSTRUCTION_H_
+#define FRAPP_CORE_SUBSET_RECONSTRUCTION_H_
+
+#include <cstdint>
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/uniform_mixture.h"
+
+namespace frapp {
+namespace core {
+
+/// Per-itemset support reconstruction for the (deterministic or randomized)
+/// gamma-diagonal mechanism.
+class GammaSubsetReconstructor {
+ public:
+  /// `gamma` > 1 and `full_domain_size` = n_C >= 2.
+  static StatusOr<GammaSubsetReconstructor> Create(double gamma,
+                                                   uint64_t full_domain_size);
+
+  /// The Eq. 28 matrix over a subset domain of size n_Cs (diagnostics /
+  /// condition-number reporting).
+  StatusOr<linalg::UniformMixtureMatrix> SubsetMatrix(uint64_t subset_domain_size) const;
+
+  /// Reconstructs one itemset's original-support estimate from its support
+  /// fraction in the perturbed database. n_Cs is the domain size of the
+  /// itemset's attribute subset.
+  StatusOr<double> ReconstructSupport(double perturbed_support_fraction,
+                                      uint64_t subset_domain_size) const;
+
+  /// Condition number of every subset matrix: (gamma + n_C - 1)/(gamma - 1),
+  /// independent of the subset (paper Section 7 / Figure 4).
+  double ConditionNumber() const;
+
+  double gamma() const { return gamma_; }
+  double x() const { return x_; }
+  uint64_t full_domain_size() const { return n_c_; }
+
+ private:
+  GammaSubsetReconstructor(double gamma, uint64_t n_c)
+      : gamma_(gamma), n_c_(n_c), x_(1.0 / (gamma + static_cast<double>(n_c) - 1.0)) {}
+
+  double gamma_;
+  uint64_t n_c_;
+  double x_;
+};
+
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_SUBSET_RECONSTRUCTION_H_

@@ -1,0 +1,43 @@
+#include "frapp/data/boolean_view.h"
+
+namespace frapp {
+namespace data {
+
+BooleanLayout::BooleanLayout(const CategoricalSchema& schema) {
+  offsets_.resize(schema.num_attributes());
+  size_t offset = 0;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    offsets_[j] = offset;
+    offset += schema.Cardinality(j);
+  }
+  num_bits_ = offset;
+}
+
+StatusOr<BooleanTable> BooleanTable::FromCategorical(const CategoricalTable& table) {
+  BooleanLayout layout(table.schema());
+  if (layout.num_bits() > 64) {
+    return Status::InvalidArgument(
+        "boolean view limited to 64 bits; schema has " +
+        std::to_string(layout.num_bits()));
+  }
+  BooleanTable out(layout.num_bits());
+  out.rows_.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    uint64_t bits = 0;
+    for (size_t j = 0; j < table.num_attributes(); ++j) {
+      bits |= 1ull << layout.BitPosition(j, table.Value(i, j));
+    }
+    out.rows_.push_back(bits);
+  }
+  return out;
+}
+
+StatusOr<BooleanTable> BooleanTable::CreateEmpty(size_t num_bits) {
+  if (num_bits == 0 || num_bits > 64) {
+    return Status::InvalidArgument("boolean table needs 1..64 bits");
+  }
+  return BooleanTable(num_bits);
+}
+
+}  // namespace data
+}  // namespace frapp

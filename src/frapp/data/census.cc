@@ -1,0 +1,81 @@
+#include "frapp/data/census.h"
+
+namespace frapp {
+namespace data {
+namespace census {
+
+CategoricalSchema Schema() {
+  std::vector<Attribute> attrs = {
+      {"age", {"(15-35]", "(35-55]", "(55-75]", "> 75"}},
+      {"fnlwgt",
+       {"(0-1e5]", "(1e5-2e5]", "(2e5-3e5]", "(3e5-4e5]", "> 4e5"}},
+      {"hours-per-week", {"(0-20]", "(20-40]", "(40-60]", "(60-80]", "> 80"}},
+      {"race",
+       {"White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"}},
+      {"sex", {"Female", "Male"}},
+      {"native-country", {"United-States", "Other"}},
+  };
+  StatusOr<CategoricalSchema> schema = CategoricalSchema::Create(std::move(attrs));
+  FRAPP_CHECK(schema.ok()) << schema.status().ToString();
+  return *std::move(schema);
+}
+
+StatusOr<ChainGenerator> Generator() {
+  // Marginals/conditionals calibrated to the UCI Adult dataset: dominant
+  // categories (White ~85%, US ~90%, Male ~67%, 20-40 hours ~60%) plus a few
+  // rare (<2%) categories so that Table 3's "19 frequent singletons out of
+  // 23 categories" profile is reproduced.
+  std::vector<ChainAttributeSpec> specs(6);
+
+  // age: young adults dominate an adult census extract.
+  specs[0].parent = -1;
+  specs[0].distributions = {{0.45, 0.41, 0.13, 0.01}};
+
+  // fnlwgt (census sampling weight), mildly age-dependent.
+  specs[1].parent = 0;
+  specs[1].distributions = {
+      {0.07, 0.44, 0.31, 0.13, 0.05},   // (15-35]
+      {0.08, 0.45, 0.30, 0.12, 0.05},   // (35-55]
+      {0.10, 0.47, 0.28, 0.10, 0.05},   // (55-75]
+      {0.12, 0.50, 0.26, 0.08, 0.04},   // > 75
+  };
+
+  // hours-per-week | age: prime-age workers cluster at full time.
+  specs[2].parent = 0;
+  specs[2].distributions = {
+      {0.12, 0.62, 0.22, 0.030, 0.010},  // (15-35]
+      {0.05, 0.60, 0.30, 0.040, 0.010},  // (35-55]
+      {0.10, 0.65, 0.20, 0.040, 0.010},  // (55-75]
+      {0.50, 0.40, 0.08, 0.015, 0.005},  // > 75
+  };
+
+  // race: Adult marginals; Amer-Indian-Eskimo and Other are the rare ones.
+  specs[3].parent = -1;
+  specs[3].distributions = {{0.854, 0.032, 0.010, 0.008, 0.096}};
+
+  // sex: Adult is ~2/3 male.
+  specs[4].parent = -1;
+  specs[4].distributions = {{0.33, 0.67}};
+
+  // native-country | race: gives the ~90% United-States marginal with the
+  // natural race/country correlation.
+  specs[5].parent = 3;
+  specs[5].distributions = {
+      {0.92, 0.08},  // White
+      {0.35, 0.65},  // Asian-Pac-Islander
+      {0.98, 0.02},  // Amer-Indian-Eskimo
+      {0.40, 0.60},  // Other
+      {0.88, 0.12},  // Black
+  };
+
+  return ChainGenerator::Create(Schema(), std::move(specs));
+}
+
+StatusOr<CategoricalTable> MakeDataset(size_t n, uint64_t seed) {
+  FRAPP_ASSIGN_OR_RETURN(ChainGenerator generator, Generator());
+  return generator.Generate(n, seed);
+}
+
+}  // namespace census
+}  // namespace data
+}  // namespace frapp

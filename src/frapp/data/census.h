@@ -1,0 +1,42 @@
+// The paper's CENSUS dataset (Table 1): ~50,000 adult-census records over 6
+// attributes — 3 continuous ones partitioned into equi-width intervals (age,
+// fnlwgt, hours-per-week) and 3 nominal ones (race, sex, native-country).
+//
+// The UCI Adult extract itself is not redistributable here, so this module
+// ships a chain-generator specification calibrated to the published Adult
+// marginals (see DESIGN.md, "Substitutions"). The schema matches Table 1
+// exactly; the joint domain size is |S_U| = 4*5*5*5*2*2 = 2000.
+
+#ifndef FRAPP_DATA_CENSUS_H_
+#define FRAPP_DATA_CENSUS_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/synthetic.h"
+#include "frapp/data/table.h"
+
+namespace frapp {
+namespace data {
+namespace census {
+
+/// Number of records the paper mines (~50,000 adult American citizens).
+inline constexpr size_t kDefaultNumRecords = 50000;
+
+/// Default generation seed used by benches (fixed for reproducibility).
+inline constexpr uint64_t kDefaultSeed = 20050405;
+
+/// The Table 1 schema: age, fnlwgt, hours-per-week, race, sex,
+/// native-country, with the paper's category labels.
+CategoricalSchema Schema();
+
+/// The calibrated chain generator.
+StatusOr<ChainGenerator> Generator();
+
+/// Convenience: generates the default CENSUS stand-in dataset.
+StatusOr<CategoricalTable> MakeDataset(size_t n = kDefaultNumRecords,
+                                       uint64_t seed = kDefaultSeed);
+
+}  // namespace census
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_CENSUS_H_

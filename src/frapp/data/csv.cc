@@ -1,0 +1,82 @@
+#include "frapp/data/csv.h"
+
+#include <fstream>
+
+#include "frapp/common/string_util.h"
+
+namespace frapp {
+namespace data {
+
+StatusOr<CategoricalTable> ReadCsv(const std::string& path,
+                                   const CategoricalSchema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  const std::vector<std::string> header = Split(line, ',');
+  if (header.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "'" + path + "': header has " + std::to_string(header.size()) +
+        " columns, schema expects " + std::to_string(schema.num_attributes()));
+  }
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (std::string(StripWhitespace(header[j])) != schema.attribute(j).name) {
+      return Status::InvalidArgument("'" + path + "': column " + std::to_string(j) +
+                                     " is '" + header[j] + "', schema expects '" +
+                                     schema.attribute(j).name + "'");
+    }
+  }
+
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema));
+  std::vector<uint8_t> row(schema.num_attributes());
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != schema.num_attributes()) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_number) + ": expected " +
+                                     std::to_string(schema.num_attributes()) +
+                                     " cells, found " + std::to_string(cells.size()));
+    }
+    for (size_t j = 0; j < cells.size(); ++j) {
+      StatusOr<size_t> cat =
+          schema.CategoryIndex(j, std::string(StripWhitespace(cells[j])));
+      if (!cat.ok()) {
+        return Status::InvalidArgument("'" + path + "' line " +
+                                       std::to_string(line_number) + ": " +
+                                       cat.status().message());
+      }
+      row[j] = static_cast<uint8_t>(*cat);
+    }
+    FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const CategoricalTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const CategoricalSchema& schema = table.schema();
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (j > 0) out << ',';
+    out << schema.attribute(j).name;
+  }
+  out << '\n';
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      if (j > 0) out << ',';
+      out << schema.attribute(j).categories[table.Value(i, j)];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace frapp

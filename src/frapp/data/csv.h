@@ -1,0 +1,28 @@
+// CSV import/export for categorical tables. Enables running the FRAPP
+// pipelines on real extracts (e.g. the UCI Adult file) when available; the
+// benches default to the built-in synthetic generators.
+
+#ifndef FRAPP_DATA_CSV_H_
+#define FRAPP_DATA_CSV_H_
+
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/table.h"
+
+namespace frapp {
+namespace data {
+
+/// Reads a headered CSV whose columns match `schema` attribute names (same
+/// order) and whose cells are category labels. Returns IOError / parse
+/// errors with line numbers.
+StatusOr<CategoricalTable> ReadCsv(const std::string& path,
+                                   const CategoricalSchema& schema);
+
+/// Writes the table as a headered CSV of category labels.
+Status WriteCsv(const CategoricalTable& table, const std::string& path);
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_CSV_H_

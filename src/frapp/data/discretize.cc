@@ -1,0 +1,75 @@
+#include "frapp/data/discretize.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace frapp {
+namespace data {
+
+namespace {
+// Prints bin edges compactly: integers without decimals, big numbers in the
+// paper's "1e5" style.
+std::string EdgeToString(double edge) {
+  // Big round numbers render in the paper's "3e5" style (Table 1's fnlwgt).
+  if (edge != 0.0 && std::fabs(edge) >= 1e5) {
+    const int exponent = static_cast<int>(std::floor(std::log10(std::fabs(edge))));
+    const double mantissa = edge / std::pow(10.0, exponent);
+    if (std::fabs(mantissa - std::round(mantissa)) < 1e-9) {
+      std::ostringstream os;
+      os << static_cast<long long>(std::round(mantissa)) << "e" << exponent;
+      return os.str();
+    }
+  }
+  if (edge == std::floor(edge) && std::fabs(edge) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(edge);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << edge;
+  return os.str();
+}
+}  // namespace
+
+StatusOr<EquiWidthDiscretizer> EquiWidthDiscretizer::Create(double lower, double upper,
+                                                            size_t num_bins,
+                                                            bool with_overflow_bin) {
+  if (!(lower < upper)) {
+    return Status::InvalidArgument("discretizer needs lower < upper");
+  }
+  if (num_bins == 0) {
+    return Status::InvalidArgument("discretizer needs >= 1 bin");
+  }
+  return EquiWidthDiscretizer(lower, upper, num_bins, with_overflow_bin);
+}
+
+size_t EquiWidthDiscretizer::Bin(double value) const {
+  if (value <= lower_) return 0;
+  if (value > upper_) {
+    return with_overflow_bin_ ? num_bins_ : num_bins_ - 1;
+  }
+  // (lo + (b)*w, lo + (b+1)*w] -> bin b; ceil handles the right-closed edges.
+  const double offset = (value - lower_) / width_;
+  size_t bin = static_cast<size_t>(std::ceil(offset)) - 1;
+  if (bin >= num_bins_) bin = num_bins_ - 1;
+  return bin;
+}
+
+std::vector<std::string> EquiWidthDiscretizer::BinLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(num_bins());
+  for (size_t b = 0; b < num_bins_; ++b) {
+    const double lo = lower_ + width_ * static_cast<double>(b);
+    const double hi = lower_ + width_ * static_cast<double>(b + 1);
+    labels.push_back("(" + EdgeToString(lo) + "-" + EdgeToString(hi) + "]");
+  }
+  if (with_overflow_bin_) labels.push_back("> " + EdgeToString(upper_));
+  return labels;
+}
+
+Attribute EquiWidthDiscretizer::ToAttribute(const std::string& name) const {
+  return Attribute{name, BinLabels()};
+}
+
+}  // namespace data
+}  // namespace frapp

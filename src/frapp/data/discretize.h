@@ -1,0 +1,61 @@
+// Equi-width discretization of continuous attributes (paper Section 1.1:
+// "continuous-valued attributes can be converted into categorical attributes
+// by partitioning the domain of the attribute into fixed length intervals",
+// and Section 7's dataset preparation).
+
+#ifndef FRAPP_DATA_DISCRETIZE_H_
+#define FRAPP_DATA_DISCRETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/schema.h"
+
+namespace frapp {
+namespace data {
+
+/// Maps reals to equal-width bins over [lower, upper], with everything above
+/// `upper` in a trailing overflow bin, matching the paper's
+/// "(15-35], (35-55], (55-75], > 75" style.
+class EquiWidthDiscretizer {
+ public:
+  /// `num_bins` interior bins over (lower, upper] plus one "> upper" bin when
+  /// `with_overflow_bin` is set.
+  static StatusOr<EquiWidthDiscretizer> Create(double lower, double upper,
+                                               size_t num_bins,
+                                               bool with_overflow_bin = true);
+
+  /// Bin id for `value`. Values <= lower map to bin 0; values > upper map to
+  /// the overflow bin (or the last interior bin when there is none).
+  size_t Bin(double value) const;
+
+  /// Total number of bins (interior + optional overflow).
+  size_t num_bins() const { return num_bins_ + (with_overflow_bin_ ? 1 : 0); }
+
+  /// Paper-style labels: "(lo-hi]" per interior bin and "> upper" overflow.
+  std::vector<std::string> BinLabels() const;
+
+  /// Builds a categorical Attribute with the given name and these bin labels.
+  Attribute ToAttribute(const std::string& name) const;
+
+ private:
+  EquiWidthDiscretizer(double lower, double upper, size_t num_bins,
+                       bool with_overflow_bin)
+      : lower_(lower),
+        upper_(upper),
+        num_bins_(num_bins),
+        with_overflow_bin_(with_overflow_bin),
+        width_((upper - lower) / static_cast<double>(num_bins)) {}
+
+  double lower_;
+  double upper_;
+  size_t num_bins_;
+  bool with_overflow_bin_;
+  double width_;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_DISCRETIZE_H_

@@ -1,0 +1,81 @@
+#include "frapp/data/domain_index.h"
+
+namespace frapp {
+namespace data {
+
+DomainIndexer::DomainIndexer(std::vector<size_t> attribute_indices,
+                             std::vector<size_t> cardinalities)
+    : attribute_indices_(std::move(attribute_indices)),
+      cardinalities_(std::move(cardinalities)) {
+  const size_t k = cardinalities_.size();
+  strides_.assign(k, 1);
+  for (size_t i = k; i-- > 1;) {
+    strides_[i - 1] = strides_[i] * cardinalities_[i];
+  }
+  domain_size_ = (k == 0) ? 1 : strides_[0] * cardinalities_[0];
+}
+
+DomainIndexer DomainIndexer::OverAllAttributes(const CategoricalSchema& schema) {
+  std::vector<size_t> indices(schema.num_attributes());
+  std::vector<size_t> cards(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    indices[j] = j;
+    cards[j] = schema.Cardinality(j);
+  }
+  return DomainIndexer(std::move(indices), std::move(cards));
+}
+
+StatusOr<DomainIndexer> DomainIndexer::OverSubset(
+    const CategoricalSchema& schema, std::vector<size_t> attribute_indices) {
+  if (attribute_indices.empty()) {
+    return Status::InvalidArgument("subset indexer needs >= 1 attribute");
+  }
+  std::vector<size_t> cards;
+  cards.reserve(attribute_indices.size());
+  size_t prev = 0;
+  bool first = true;
+  for (size_t j : attribute_indices) {
+    if (j >= schema.num_attributes()) {
+      return Status::OutOfRange("attribute index out of range in subset");
+    }
+    if (!first && j <= prev) {
+      return Status::InvalidArgument("subset attribute indices must be ascending");
+    }
+    prev = j;
+    first = false;
+    cards.push_back(schema.Cardinality(j));
+  }
+  return DomainIndexer(std::move(attribute_indices), std::move(cards));
+}
+
+uint64_t DomainIndexer::Encode(const std::vector<size_t>& values) const {
+  FRAPP_CHECK_EQ(values.size(), cardinalities_.size());
+  uint64_t index = 0;
+  for (size_t k = 0; k < values.size(); ++k) {
+    FRAPP_CHECK_LT(values[k], cardinalities_[k]);
+    index += values[k] * strides_[k];
+  }
+  return index;
+}
+
+uint64_t DomainIndexer::EncodeFromFullRecord(
+    const std::vector<uint8_t>& full_record) const {
+  uint64_t index = 0;
+  for (size_t k = 0; k < attribute_indices_.size(); ++k) {
+    index += static_cast<uint64_t>(full_record[attribute_indices_[k]]) * strides_[k];
+  }
+  return index;
+}
+
+std::vector<size_t> DomainIndexer::Decode(uint64_t index) const {
+  FRAPP_CHECK_LT(index, domain_size_);
+  std::vector<size_t> values(cardinalities_.size());
+  for (size_t k = 0; k < cardinalities_.size(); ++k) {
+    values[k] = static_cast<size_t>(index / strides_[k]);
+    index %= strides_[k];
+  }
+  return values;
+}
+
+}  // namespace data
+}  // namespace frapp

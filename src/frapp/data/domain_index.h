@@ -1,0 +1,68 @@
+// Joint-domain indexing: bijections between categorical records
+// (v_1, ..., v_M) and indices in I_U = {0, ..., |S_U|-1}, for the full
+// attribute set or any subset Cs (paper Sections 2 and 6).
+//
+// Convention: mixed radix with the FIRST attribute most significant, matching
+// the paper's n_j = prod_{k<=j} |S_U^k| prefix products and the Kronecker
+// ordering in linalg.
+
+#ifndef FRAPP_DATA_DOMAIN_INDEX_H_
+#define FRAPP_DATA_DOMAIN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/schema.h"
+
+namespace frapp {
+namespace data {
+
+/// Encodes/decodes records over an ordered subset of schema attributes.
+/// With the full attribute list this is the paper's I_U mapping.
+class DomainIndexer {
+ public:
+  /// Indexer over all attributes of `schema`.
+  static DomainIndexer OverAllAttributes(const CategoricalSchema& schema);
+
+  /// Indexer over the given attribute indices (must be strictly increasing
+  /// and in range).
+  static StatusOr<DomainIndexer> OverSubset(const CategoricalSchema& schema,
+                                            std::vector<size_t> attribute_indices);
+
+  /// Number of attributes covered by this indexer.
+  size_t num_attributes() const { return cardinalities_.size(); }
+
+  /// Domain size of the covered (sub-)space: n_Cs = prod |S_U^j|.
+  uint64_t domain_size() const { return domain_size_; }
+
+  /// Attribute indices (into the schema) covered, ascending.
+  const std::vector<size_t>& attribute_indices() const { return attribute_indices_; }
+
+  /// Cardinality of the k-th covered attribute.
+  size_t cardinality(size_t k) const { return cardinalities_[k]; }
+
+  /// Encodes category values (one per covered attribute, in order) into a
+  /// joint index. Values must be < the respective cardinality.
+  uint64_t Encode(const std::vector<size_t>& values) const;
+
+  /// Encodes from a full record (indexed by schema attribute), selecting the
+  /// covered attributes.
+  uint64_t EncodeFromFullRecord(const std::vector<uint8_t>& full_record) const;
+
+  /// Decodes a joint index back into per-attribute category values.
+  std::vector<size_t> Decode(uint64_t index) const;
+
+ private:
+  DomainIndexer(std::vector<size_t> attribute_indices, std::vector<size_t> cardinalities);
+
+  std::vector<size_t> attribute_indices_;
+  std::vector<size_t> cardinalities_;
+  std::vector<uint64_t> strides_;  // strides_[k] = prod of cardinalities after k
+  uint64_t domain_size_;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_DOMAIN_INDEX_H_

@@ -1,0 +1,100 @@
+#include "frapp/data/health.h"
+
+namespace frapp {
+namespace data {
+namespace health {
+
+CategoricalSchema Schema() {
+  std::vector<Attribute> attrs = {
+      {"AGE", {"[0-20)", "[20-40)", "[40-60)", "[60-80)", ">= 80"}},
+      {"BDDAY12", {"[0-7)", "[7-15)", "[15-30)", "[30-60)", ">= 60"}},
+      {"DV12", {"[0-7)", "[7-15)", "[15-30)", "[30-60)", ">= 60"}},
+      {"PHONE",
+       {"Yes, phone number given", "Yes, no phone number given", "No"}},
+      {"SEX", {"Male", "Female"}},
+      {"INCFAM20", {"Less than $20,000", "$20,000 or more"}},
+      {"HEALTH", {"Excellent", "Very Good", "Good", "Fair", "Poor"}},
+  };
+  StatusOr<CategoricalSchema> schema = CategoricalSchema::Create(std::move(attrs));
+  FRAPP_CHECK(schema.ok()) << schema.status().ToString();
+  return *std::move(schema);
+}
+
+StatusOr<ChainGenerator> Generator() {
+  // NHIS-plausible marginals with the clinically natural dependency chain
+  // AGE -> bed days -> doctor visits, AGE -> phone / income / health status.
+  // Calibrated so ~23 of the 27 categories are frequent at supmin = 2%
+  // (Table 3) and positively correlated healthy categories keep length-7
+  // itemsets above threshold.
+  std::vector<ChainAttributeSpec> specs(7);
+
+  // AGE: full population survey.
+  specs[0].parent = -1;
+  specs[0].distributions = {{0.28, 0.30, 0.25, 0.14, 0.03}};
+
+  // BDDAY12 (bed days, last 12 months) | AGE: most people report none/few.
+  specs[1].parent = 0;
+  specs[1].distributions = {
+      {0.90, 0.060, 0.025, 0.010, 0.005},  // [0-20)
+      {0.87, 0.080, 0.030, 0.013, 0.007},  // [20-40)
+      {0.82, 0.100, 0.050, 0.020, 0.010},  // [40-60)
+      {0.72, 0.140, 0.080, 0.040, 0.020},  // [60-80)
+      {0.60, 0.180, 0.120, 0.060, 0.040},  // >= 80
+  };
+
+  // DV12 (doctor visits) | BDDAY12: bed days predict visits strongly.
+  specs[2].parent = 1;
+  specs[2].distributions = {
+      {0.82, 0.120, 0.040, 0.015, 0.005},  // [0-7) bed days
+      {0.45, 0.300, 0.170, 0.060, 0.020},  // [7-15)
+      {0.30, 0.300, 0.250, 0.100, 0.050},  // [15-30)
+      {0.20, 0.250, 0.300, 0.150, 0.100},  // [30-60)
+      {0.15, 0.200, 0.300, 0.200, 0.150},  // >= 60
+  };
+
+  // PHONE | AGE: telephone coverage rises with age of household head;
+  // "yes but number withheld" is rare throughout.
+  specs[3].parent = 0;
+  specs[3].distributions = {
+      {0.900, 0.020, 0.080},  // [0-20)
+      {0.920, 0.020, 0.060},  // [20-40)
+      {0.930, 0.018, 0.052},  // [40-60)
+      {0.950, 0.013, 0.037},  // [60-80)
+      {0.960, 0.010, 0.030},  // >= 80
+  };
+
+  // SEX: slight female majority in the survey population.
+  specs[4].parent = -1;
+  specs[4].distributions = {{0.48, 0.52}};
+
+  // INCFAM20 | AGE: low income concentrates at the young and the oldest.
+  specs[5].parent = 0;
+  specs[5].distributions = {
+      {0.40, 0.60},  // [0-20)
+      {0.30, 0.70},  // [20-40)
+      {0.25, 0.75},  // [40-60)
+      {0.45, 0.55},  // [60-80)
+      {0.55, 0.45},  // >= 80
+  };
+
+  // HEALTH (self-reported status) | AGE: degrades with age.
+  specs[6].parent = 0;
+  specs[6].distributions = {
+      {0.45, 0.30, 0.18, 0.05, 0.02},  // [0-20)
+      {0.38, 0.30, 0.22, 0.07, 0.03},  // [20-40)
+      {0.26, 0.28, 0.28, 0.12, 0.06},  // [40-60)
+      {0.15, 0.22, 0.33, 0.20, 0.10},  // [60-80)
+      {0.08, 0.15, 0.32, 0.28, 0.17},  // >= 80
+  };
+
+  return ChainGenerator::Create(Schema(), std::move(specs));
+}
+
+StatusOr<CategoricalTable> MakeDataset(size_t n, uint64_t seed) {
+  FRAPP_ASSIGN_OR_RETURN(ChainGenerator generator, Generator());
+  return generator.Generate(n, seed);
+}
+
+}  // namespace health
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,41 @@
+// The paper's HEALTH dataset (Table 2): 100,000+ patient records from the US
+// National Health Interview Survey, 3 continuous attributes partitioned into
+// equi-width intervals (AGE, BDDAY12, DV12) and 4 nominal ones (PHONE, SEX,
+// INCFAM20, HEALTH).
+//
+// As with CENSUS, the NHIS extract is not redistributable, so this module
+// ships a calibrated chain-generator stand-in (see DESIGN.md). The schema
+// matches Table 2 exactly; |S_U| = 5*5*5*3*2*2*5 = 7500.
+
+#ifndef FRAPP_DATA_HEALTH_H_
+#define FRAPP_DATA_HEALTH_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/synthetic.h"
+#include "frapp/data/table.h"
+
+namespace frapp {
+namespace data {
+namespace health {
+
+/// Number of records the paper mines (over 100,000 patients).
+inline constexpr size_t kDefaultNumRecords = 100000;
+
+/// Default generation seed used by benches (fixed for reproducibility).
+inline constexpr uint64_t kDefaultSeed = 19930817;
+
+/// The Table 2 schema: AGE, BDDAY12, DV12, PHONE, SEX, INCFAM20, HEALTH.
+CategoricalSchema Schema();
+
+/// The calibrated chain generator.
+StatusOr<ChainGenerator> Generator();
+
+/// Convenience: generates the default HEALTH stand-in dataset.
+StatusOr<CategoricalTable> MakeDataset(size_t n = kDefaultNumRecords,
+                                       uint64_t seed = kDefaultSeed);
+
+}  // namespace health
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_HEALTH_H_

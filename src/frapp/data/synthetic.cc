@@ -1,0 +1,90 @@
+#include "frapp/data/synthetic.h"
+
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace data {
+
+StatusOr<ChainGenerator> ChainGenerator::Create(CategoricalSchema schema,
+                                                std::vector<ChainAttributeSpec> specs) {
+  if (specs.size() != schema.num_attributes()) {
+    return Status::InvalidArgument("one ChainAttributeSpec per attribute required");
+  }
+  std::vector<std::vector<random::AliasSampler>> samplers(specs.size());
+  for (size_t j = 0; j < specs.size(); ++j) {
+    const ChainAttributeSpec& spec = specs[j];
+    const size_t cardinality = schema.Cardinality(j);
+    size_t expected_rows = 1;
+    if (spec.parent >= 0) {
+      if (static_cast<size_t>(spec.parent) >= j) {
+        return Status::InvalidArgument(
+            "attribute " + std::to_string(j) +
+            ": parent must precede it in the chain");
+      }
+      expected_rows = schema.Cardinality(static_cast<size_t>(spec.parent));
+    }
+    if (spec.distributions.size() != expected_rows) {
+      return Status::InvalidArgument(
+          "attribute " + std::to_string(j) + ": expected " +
+          std::to_string(expected_rows) + " distribution rows, got " +
+          std::to_string(spec.distributions.size()));
+    }
+    samplers[j].reserve(expected_rows);
+    for (const std::vector<double>& row : spec.distributions) {
+      if (row.size() != cardinality) {
+        return Status::InvalidArgument("attribute " + std::to_string(j) +
+                                       ": distribution row arity mismatch");
+      }
+      FRAPP_ASSIGN_OR_RETURN(random::AliasSampler sampler,
+                             random::AliasSampler::Create(row));
+      samplers[j].push_back(std::move(sampler));
+    }
+  }
+  return ChainGenerator(std::move(schema), std::move(specs), std::move(samplers));
+}
+
+StatusOr<CategoricalTable> ChainGenerator::Generate(size_t n, uint64_t seed) const {
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema_));
+  table.Reserve(n);
+  random::Pcg64 rng(seed);
+  std::vector<uint8_t> row(schema_.num_attributes());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < schema_.num_attributes(); ++j) {
+      const ChainAttributeSpec& spec = specs_[j];
+      const size_t sampler_row =
+          (spec.parent < 0) ? 0 : row[static_cast<size_t>(spec.parent)];
+      row[j] = static_cast<uint8_t>(samplers_[j][sampler_row].Sample(rng));
+    }
+    FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+linalg::Vector ChainGenerator::ExactMarginal(size_t attribute) const {
+  FRAPP_CHECK_LT(attribute, schema_.num_attributes());
+  // Forward pass: marginals of each attribute in chain order.
+  std::vector<linalg::Vector> marginals(attribute + 1);
+  for (size_t j = 0; j <= attribute; ++j) {
+    const ChainAttributeSpec& spec = specs_[j];
+    const size_t cardinality = schema_.Cardinality(j);
+    linalg::Vector m(cardinality);
+    if (spec.parent < 0) {
+      for (size_t c = 0; c < cardinality; ++c) {
+        m[c] = samplers_[j][0].Probability(c);
+      }
+    } else {
+      const linalg::Vector& parent_marginal =
+          marginals[static_cast<size_t>(spec.parent)];
+      for (size_t r = 0; r < parent_marginal.size(); ++r) {
+        for (size_t c = 0; c < cardinality; ++c) {
+          m[c] += parent_marginal[r] * samplers_[j][r].Probability(c);
+        }
+      }
+    }
+    marginals[j] = std::move(m);
+  }
+  return marginals[attribute];
+}
+
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,66 @@
+#include "frapp/data/table.h"
+
+namespace frapp {
+namespace data {
+
+StatusOr<CategoricalTable> CategoricalTable::Create(CategoricalSchema schema) {
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    if (schema.Cardinality(j) > 256) {
+      return Status::InvalidArgument(
+          "attribute '" + schema.attribute(j).name +
+          "' has cardinality > 256; CategoricalTable stores uint8 ids");
+    }
+  }
+  return CategoricalTable(std::move(schema));
+}
+
+Status CategoricalTable::AppendRow(const std::vector<uint8_t>& values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t j = 0; j < values.size(); ++j) {
+    if (values[j] >= schema_.Cardinality(j)) {
+      return Status::OutOfRange("category id " + std::to_string(values[j]) +
+                                " out of range for attribute '" +
+                                schema_.attribute(j).name + "'");
+    }
+  }
+  for (size_t j = 0; j < values.size(); ++j) columns_[j].push_back(values[j]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+void CategoricalTable::Reserve(size_t n) {
+  for (auto& col : columns_) col.reserve(n);
+}
+
+std::vector<uint8_t> CategoricalTable::Row(size_t row) const {
+  FRAPP_CHECK_LT(row, num_rows_);
+  std::vector<uint8_t> out(schema_.num_attributes());
+  for (size_t j = 0; j < out.size(); ++j) out[j] = columns_[j][row];
+  return out;
+}
+
+linalg::Vector CategoricalTable::JointHistogram(const DomainIndexer& indexer) const {
+  linalg::Vector counts(static_cast<size_t>(indexer.domain_size()));
+  const auto& attrs = indexer.attribute_indices();
+  std::vector<size_t> values(attrs.size());
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t k = 0; k < attrs.size(); ++k) {
+      values[k] = columns_[attrs[k]][i];
+    }
+    counts[static_cast<size_t>(indexer.Encode(values))] += 1.0;
+  }
+  return counts;
+}
+
+linalg::Vector CategoricalTable::Marginal(size_t attribute) const {
+  FRAPP_CHECK_LT(attribute, schema_.num_attributes());
+  linalg::Vector dist(schema_.Cardinality(attribute));
+  for (uint8_t v : columns_[attribute]) dist[v] += 1.0;
+  if (num_rows_ > 0) dist.Scale(1.0 / static_cast<double>(num_rows_));
+  return dist;
+}
+
+}  // namespace data
+}  // namespace frapp

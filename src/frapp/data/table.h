@@ -1,0 +1,75 @@
+// Columnar categorical table: the database U = {U_i} of the paper.
+
+#ifndef FRAPP_DATA_TABLE_H_
+#define FRAPP_DATA_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/domain_index.h"
+#include "frapp/data/schema.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace data {
+
+/// N records over a CategoricalSchema, stored column-major (one contiguous
+/// byte array per attribute) for cache-friendly support counting. Category
+/// ids must fit a uint8 (cardinality <= 256), ample for FRAPP workloads.
+class CategoricalTable {
+ public:
+  /// Empty table over `schema`. Fails when any cardinality exceeds 256.
+  static StatusOr<CategoricalTable> Create(CategoricalSchema schema);
+
+  const CategoricalSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends one record; `values[j]` is the category id of attribute j.
+  Status AppendRow(const std::vector<uint8_t>& values);
+
+  /// Reserves capacity for n rows.
+  void Reserve(size_t n);
+
+  /// Category id of attribute j in row i (unchecked on the hot path).
+  uint8_t Value(size_t row, size_t attribute) const {
+    return columns_[attribute][row];
+  }
+
+  void SetValue(size_t row, size_t attribute, uint8_t value) {
+    FRAPP_CHECK_LT(row, num_rows_);
+    FRAPP_CHECK_LT(value, schema_.Cardinality(attribute));
+    columns_[attribute][row] = value;
+  }
+
+  /// Contiguous column for attribute j.
+  const std::vector<uint8_t>& Column(size_t attribute) const {
+    return columns_[attribute];
+  }
+
+  /// Copies row i into a per-attribute vector.
+  std::vector<uint8_t> Row(size_t row) const;
+
+  /// Counts X_u over the joint (sub-)domain described by `indexer`
+  /// (paper's X vector restricted to the subset Cs): out[u] = #records whose
+  /// covered attributes encode to u. The indexer's domain size must be modest
+  /// enough to materialize.
+  linalg::Vector JointHistogram(const DomainIndexer& indexer) const;
+
+  /// Marginal distribution (fractions summing to 1) of one attribute.
+  linalg::Vector Marginal(size_t attribute) const;
+
+ private:
+  CategoricalTable(CategoricalSchema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_attributes()) {}
+
+  CategoricalSchema schema_;
+  std::vector<std::vector<uint8_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_TABLE_H_

@@ -1,0 +1,29 @@
+#include "frapp/eval/experiment.h"
+
+namespace frapp {
+namespace eval {
+
+StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
+                                    const data::CategoricalTable& original,
+                                    const mining::AprioriResult& truth,
+                                    const ExperimentConfig& config) {
+  random::Pcg64 rng(config.perturb_seed);
+  FRAPP_RETURN_IF_ERROR(mechanism.Prepare(original, rng));
+
+  mining::AprioriOptions options;
+  options.min_support = config.min_support;
+  options.max_length = config.max_length;
+  FRAPP_ASSIGN_OR_RETURN(
+      mining::AprioriResult mined,
+      mining::MineFrequentItemsets(original.schema(), mechanism.estimator(),
+                                   options));
+
+  MechanismRun run;
+  run.mechanism_name = mechanism.name();
+  run.accuracy = CompareMiningResults(truth, mined);
+  run.mined = std::move(mined);
+  return run;
+}
+
+}  // namespace eval
+}  // namespace frapp

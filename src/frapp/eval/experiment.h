@@ -1,0 +1,50 @@
+// End-to-end experiment runner: perturb -> mine -> compare against truth.
+// This is the pipeline behind Figures 1-3.
+
+#ifndef FRAPP_EVAL_EXPERIMENT_H_
+#define FRAPP_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/mechanism.h"
+#include "frapp/data/table.h"
+#include "frapp/eval/metrics.h"
+#include "frapp/mining/apriori.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace eval {
+
+/// Shared experiment parameters (paper Section 7 defaults).
+struct ExperimentConfig {
+  /// supmin as a fraction; the paper mines at 2%.
+  double min_support = 0.02;
+
+  /// Cap on mined itemset length (0 = schema bound).
+  size_t max_length = 0;
+
+  /// Seed for the perturbation randomness.
+  uint64_t perturb_seed = 7;
+};
+
+/// One mechanism's result on one dataset.
+struct MechanismRun {
+  std::string mechanism_name;
+  mining::AprioriResult mined;
+  std::vector<LengthAccuracy> accuracy;
+};
+
+/// Runs `mechanism` on `original`: perturbs with a fresh Pcg64(perturb_seed),
+/// mines with the mechanism's reconstructing estimator, and scores against
+/// `truth` (the exact mining result at the same threshold).
+StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
+                                    const data::CategoricalTable& original,
+                                    const mining::AprioriResult& truth,
+                                    const ExperimentConfig& config);
+
+}  // namespace eval
+}  // namespace frapp
+
+#endif  // FRAPP_EVAL_EXPERIMENT_H_

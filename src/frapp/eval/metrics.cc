@@ -1,0 +1,88 @@
+#include "frapp/eval/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace frapp {
+namespace eval {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<LengthAccuracy> CompareMiningResults(
+    const mining::AprioriResult& truth, const mining::AprioriResult& estimated) {
+  const size_t max_len =
+      std::max(truth.by_length.size(), estimated.by_length.size());
+  std::vector<LengthAccuracy> out;
+
+  for (size_t k = 1; k <= max_len; ++k) {
+    const auto& f_list = truth.OfLength(k);
+    const auto& r_list = estimated.OfLength(k);
+    if (f_list.empty() && r_list.empty()) continue;
+
+    std::unordered_map<mining::Itemset, double, mining::Itemset::Hash> f_support;
+    f_support.reserve(f_list.size() * 2);
+    for (const auto& f : f_list) f_support.emplace(f.itemset, f.support);
+
+    LengthAccuracy acc;
+    acc.length = k;
+    acc.true_frequent = f_list.size();
+    acc.found_frequent = r_list.size();
+
+    double error_sum = 0.0;
+    for (const auto& r : r_list) {
+      auto it = f_support.find(r.itemset);
+      if (it == f_support.end()) continue;  // false positive
+      ++acc.correct;
+      error_sum += std::fabs(r.support - it->second) / it->second;
+    }
+    acc.support_error =
+        acc.correct > 0 ? 100.0 * error_sum / static_cast<double>(acc.correct) : kNaN;
+    if (acc.true_frequent > 0) {
+      const double f_count = static_cast<double>(acc.true_frequent);
+      acc.sigma_minus =
+          100.0 * static_cast<double>(acc.true_frequent - acc.correct) / f_count;
+      acc.sigma_plus =
+          100.0 * static_cast<double>(acc.found_frequent - acc.correct) / f_count;
+    } else {
+      acc.sigma_minus = kNaN;
+      acc.sigma_plus = kNaN;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+LengthAccuracy OverallAccuracy(const std::vector<LengthAccuracy>& per_length) {
+  LengthAccuracy total;
+  total.length = 0;
+  double error_weighted = 0.0;
+  size_t error_weight = 0;
+  for (const LengthAccuracy& acc : per_length) {
+    total.true_frequent += acc.true_frequent;
+    total.found_frequent += acc.found_frequent;
+    total.correct += acc.correct;
+    if (acc.correct > 0 && std::isfinite(acc.support_error)) {
+      error_weighted += acc.support_error * static_cast<double>(acc.correct);
+      error_weight += acc.correct;
+    }
+  }
+  total.support_error =
+      error_weight > 0 ? error_weighted / static_cast<double>(error_weight) : kNaN;
+  if (total.true_frequent > 0) {
+    const double f_count = static_cast<double>(total.true_frequent);
+    total.sigma_minus =
+        100.0 * static_cast<double>(total.true_frequent - total.correct) / f_count;
+    total.sigma_plus =
+        100.0 * static_cast<double>(total.found_frequent - total.correct) / f_count;
+  } else {
+    total.sigma_minus = kNaN;
+    total.sigma_plus = kNaN;
+  }
+  return total;
+}
+
+}  // namespace eval
+}  // namespace frapp

@@ -1,0 +1,48 @@
+// Accuracy metrics of paper Section 7.
+//
+// Support error (rho): mean percentage relative error of the reconstructed
+// supports over the itemsets CORRECTLY identified as frequent.
+// Identity errors (sigma+/sigma-): percentage of false positives / false
+// negatives relative to the number of truly frequent itemsets.
+
+#ifndef FRAPP_EVAL_METRICS_H_
+#define FRAPP_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace eval {
+
+/// Accuracy for one itemset length.
+struct LengthAccuracy {
+  size_t length = 0;
+
+  size_t true_frequent = 0;   ///< |F|: truly frequent itemsets
+  size_t found_frequent = 0;  ///< |R|: itemsets reported frequent
+  size_t correct = 0;         ///< |F intersect R|
+
+  /// Support error rho (percent); NaN when no itemset was correctly found.
+  double support_error = 0.0;
+
+  /// False negatives sigma- = |F - R| / |F| * 100; NaN when |F| = 0.
+  double sigma_minus = 0.0;
+
+  /// False positives sigma+ = |R - F| / |F| * 100; NaN when |F| = 0.
+  double sigma_plus = 0.0;
+};
+
+/// Compares an estimated mining result against the exact one, length by
+/// length (lengths with neither true nor found itemsets are omitted).
+std::vector<LengthAccuracy> CompareMiningResults(
+    const mining::AprioriResult& truth, const mining::AprioriResult& estimated);
+
+/// Aggregates the per-length rows into an overall row (length = 0) using
+/// itemset-weighted averages.
+LengthAccuracy OverallAccuracy(const std::vector<LengthAccuracy>& per_length);
+
+}  // namespace eval
+}  // namespace frapp
+
+#endif  // FRAPP_EVAL_METRICS_H_

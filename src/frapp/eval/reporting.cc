@@ -1,0 +1,68 @@
+#include "frapp/eval/reporting.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "frapp/common/check.h"
+
+namespace frapp {
+namespace eval {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  FRAPP_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      os << (j == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[j]))
+         << row[j];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  os << std::string(total + 2 * (headers_.size() - 1), '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Cell(double value, int digits) {
+  if (!std::isfinite(value)) return "-";
+  std::ostringstream os;
+  os << std::setprecision(digits) << value;
+  return os.str();
+}
+
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (size_t j = 0; j < header.size(); ++j) {
+    if (j > 0) out << ',';
+    out << header[j];
+  }
+  out << '\n';
+  for (const auto& row : rows) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace eval
+}  // namespace frapp

@@ -1,0 +1,45 @@
+// Plain-text table/series rendering for the bench binaries, which print the
+// same rows/series the paper's tables and figures report.
+
+#ifndef FRAPP_EVAL_REPORTING_H_
+#define FRAPP_EVAL_REPORTING_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "frapp/common/status.h"
+
+namespace frapp {
+namespace eval {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; its arity must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting for report cells: finite values with `digits`
+/// significant digits, NaN/inf rendered as "-" (the paper's figures simply
+/// have no point where a mechanism found nothing).
+std::string Cell(double value, int digits = 4);
+
+/// Writes rows as CSV (used to dump figure series for external plotting).
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace eval
+}  // namespace frapp
+
+#endif  // FRAPP_EVAL_REPORTING_H_

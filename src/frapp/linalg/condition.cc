@@ -1,0 +1,48 @@
+#include "frapp/linalg/condition.h"
+
+#include <cmath>
+
+#include "frapp/linalg/jacobi_eigen.h"
+#include "frapp/linalg/svd.h"
+
+namespace frapp {
+namespace linalg {
+
+StatusOr<double> SymmetricConditionNumber(const Matrix& a) {
+  JacobiOptions options;
+  options.compute_eigenvectors = false;
+  FRAPP_ASSIGN_OR_RETURN(SymmetricEigenResult eig, SymmetricEigen(a, options));
+  const double lambda_min = eig.eigenvalues[0];
+  const double lambda_max = eig.eigenvalues[eig.eigenvalues.size() - 1];
+  if (lambda_min <= 0.0) {
+    return Status::NumericalError(
+        "matrix is not positive definite (lambda_min = " +
+        std::to_string(lambda_min) + ")");
+  }
+  return lambda_max / lambda_min;
+}
+
+StatusOr<double> SpectralConditionNumber(const Matrix& a) {
+  FRAPP_ASSIGN_OR_RETURN(Vector sigma, SingularValues(a));
+  const double sigma_max = sigma[0];
+  const double sigma_min = sigma[sigma.size() - 1];
+  if (sigma_min <= 0.0 || !std::isfinite(sigma_max / sigma_min)) {
+    return Status::NumericalError("matrix is singular; condition number infinite");
+  }
+  return sigma_max / sigma_min;
+}
+
+StatusOr<double> ConditionNumber(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("condition number requires a square matrix");
+  }
+  if (a.IsSymmetric(1e-9 * std::max(1.0, a.MaxAbs()))) {
+    StatusOr<double> sym = SymmetricConditionNumber(a);
+    // Symmetric indefinite matrices fall back to singular values.
+    if (sym.ok()) return sym;
+  }
+  return SpectralConditionNumber(a);
+}
+
+}  // namespace linalg
+}  // namespace frapp

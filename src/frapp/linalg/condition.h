@@ -1,0 +1,33 @@
+// Condition numbers.
+//
+// The paper's estimation-error bound (Theorem 1, Eq. 9) is governed by the
+// condition number of the perturbation matrix: well-conditioned matrices
+// (c near 1) give stable reconstruction, ill-conditioned ones (MASK ~1e5,
+// Cut-and-Paste ~1e7 in the paper's experiments) amplify the sampling noise.
+
+#ifndef FRAPP_LINALG_CONDITION_H_
+#define FRAPP_LINALG_CONDITION_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Condition number of a symmetric positive definite matrix:
+/// lambda_max / lambda_min (paper Eq. 14). Returns NumericalError when the
+/// smallest eigenvalue is not positive.
+StatusOr<double> SymmetricConditionNumber(const Matrix& a);
+
+/// Spectral condition number sigma_max / sigma_min for a general square
+/// matrix. Returns infinity-like NumericalError when the matrix is singular.
+StatusOr<double> SpectralConditionNumber(const Matrix& a);
+
+/// Dispatches to the symmetric path when `a` is symmetric (cheaper, and the
+/// paper's definition for its matrices), otherwise to the spectral path.
+StatusOr<double> ConditionNumber(const Matrix& a);
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_CONDITION_H_

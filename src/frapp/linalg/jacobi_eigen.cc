@@ -1,0 +1,102 @@
+#include "frapp/linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace frapp {
+namespace linalg {
+
+namespace {
+
+// Frobenius norm of the strictly upper triangle.
+double OffDiagonalNorm(const Matrix& a) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) s += a(i, j) * a(i, j);
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
+                                              const JacobiOptions& options) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9 * std::max(1.0, a.MaxAbs()))) {
+    return Status::InvalidArgument("SymmetricEigen requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix vectors = Matrix::Identity(n);
+  const double frob = std::max(a.FrobeniusNorm(), 1e-300);
+
+  int sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    if (OffDiagonalNorm(work) <= options.tolerance * frob) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating (p, q).
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = work(k, p);
+          const double akq = work(k, q);
+          work(k, p) = c * akp - s * akq;
+          work(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = work(p, k);
+          const double aqk = work(q, k);
+          work(p, k) = c * apk - s * aqk;
+          work(q, k) = s * apk + c * aqk;
+        }
+        if (options.compute_eigenvectors) {
+          for (size_t k = 0; k < n; ++k) {
+            const double vkp = vectors(k, p);
+            const double vkq = vectors(k, q);
+            vectors(k, p) = c * vkp - s * vkq;
+            vectors(k, q) = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+  if (OffDiagonalNorm(work) > options.tolerance * frob) {
+    return Status::NumericalError("Jacobi eigensolver did not converge in " +
+                                  std::to_string(options.max_sweeps) + " sweeps");
+  }
+
+  // Sort ascending, permuting eigenvectors in step.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return work(i, i) < work(j, j); });
+
+  SymmetricEigenResult result;
+  result.eigenvalues = Vector(n);
+  result.eigenvectors =
+      options.compute_eigenvectors ? Matrix(n, n) : Matrix();
+  for (size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = work(order[j], order[j]);
+    if (options.compute_eigenvectors) {
+      for (size_t i = 0; i < n; ++i) result.eigenvectors(i, j) = vectors(i, order[j]);
+    }
+  }
+  result.sweeps = sweep;
+  return result;
+}
+
+}  // namespace linalg
+}  // namespace frapp

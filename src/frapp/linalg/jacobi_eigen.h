@@ -1,0 +1,46 @@
+// Cyclic Jacobi eigensolver for real symmetric matrices. Used to compute
+// condition numbers of symmetric perturbation matrices (paper Theorem 1:
+// c = lambda_max / lambda_min for positive definite matrices).
+
+#ifndef FRAPP_LINALG_JACOBI_EIGEN_H_
+#define FRAPP_LINALG_JACOBI_EIGEN_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Eigendecomposition of a symmetric matrix.
+struct SymmetricEigenResult {
+  /// Eigenvalues in ascending order.
+  Vector eigenvalues;
+  /// Column j of this matrix is the eigenvector for eigenvalues[j].
+  Matrix eigenvectors;
+  /// Number of full Jacobi sweeps performed.
+  int sweeps = 0;
+};
+
+/// Options controlling the Jacobi iteration.
+struct JacobiOptions {
+  /// Convergence threshold on the off-diagonal Frobenius norm, relative to
+  /// the matrix norm.
+  double tolerance = 1e-12;
+  /// Hard cap on sweeps; convergence for symmetric Jacobi is quadratic, so
+  /// real inputs finish in well under this.
+  int max_sweeps = 100;
+  /// When false, eigenvectors are not accumulated (faster).
+  bool compute_eigenvectors = true;
+};
+
+/// Computes all eigenvalues (and optionally eigenvectors) of the symmetric
+/// matrix `a`. Returns InvalidArgument for non-square or asymmetric input and
+/// NumericalError when the sweep cap is hit before convergence.
+StatusOr<SymmetricEigenResult> SymmetricEigen(const Matrix& a,
+                                              const JacobiOptions& options = {});
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_JACOBI_EIGEN_H_

@@ -1,0 +1,102 @@
+#include "frapp/linalg/kronecker.h"
+
+#include "frapp/linalg/lu.h"
+
+namespace frapp {
+namespace linalg {
+
+Matrix KroneckerProduct(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (size_t ia = 0; ia < a.rows(); ++ia) {
+    for (size_t ja = 0; ja < a.cols(); ++ja) {
+      const double av = a(ia, ja);
+      if (av == 0.0) continue;
+      for (size_t ib = 0; ib < b.rows(); ++ib) {
+        for (size_t jb = 0; jb < b.cols(); ++jb) {
+          out(ia * b.rows() + ib, ja * b.cols() + jb) = av * b(ib, jb);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix KroneckerProduct(const std::vector<Matrix>& factors) {
+  FRAPP_CHECK(!factors.empty());
+  Matrix out = factors[0];
+  for (size_t i = 1; i < factors.size(); ++i) out = KroneckerProduct(out, factors[i]);
+  return out;
+}
+
+namespace {
+
+// Applies factor j (or its inverse action via a pre-solved form) along mode j
+// of the mixed-radix tensor stored in `x`. `apply` maps (factor, slice_in) to
+// slice_out for one n_j-length fiber.
+StatusOr<Vector> ApplyModewise(
+    const std::vector<Matrix>& factors, const Vector& x,
+    const std::vector<const Matrix*>& effective) {
+  size_t total = 1;
+  for (const Matrix& f : factors) {
+    if (!f.IsSquare() || f.rows() == 0) {
+      return Status::InvalidArgument("Kronecker factors must be square and non-empty");
+    }
+    total *= f.rows();
+  }
+  if (x.size() != total) {
+    return Status::InvalidArgument("Kronecker operand dimension mismatch");
+  }
+
+  Vector cur = x;
+  size_t inner = total;  // product of dims j..k before processing factor j
+  size_t outer = 1;      // product of dims before factor j
+  for (size_t j = 0; j < factors.size(); ++j) {
+    const Matrix& f = *effective[j];
+    const size_t nj = f.rows();
+    inner /= nj;
+    Vector next(total);
+    for (size_t o = 0; o < outer; ++o) {
+      const size_t base = o * nj * inner;
+      for (size_t in = 0; in < inner; ++in) {
+        // One fiber along mode j: entries base + c*inner + in, c = 0..nj-1.
+        for (size_t r = 0; r < nj; ++r) {
+          double s = 0.0;
+          for (size_t c = 0; c < nj; ++c) {
+            s += f(r, c) * cur[base + c * inner + in];
+          }
+          next[base + r * inner + in] = s;
+        }
+      }
+    }
+    cur = std::move(next);
+    outer *= nj;
+  }
+  return cur;
+}
+
+}  // namespace
+
+StatusOr<Vector> KroneckerMatVec(const std::vector<Matrix>& factors, const Vector& x) {
+  if (factors.empty()) return Status::InvalidArgument("no Kronecker factors");
+  std::vector<const Matrix*> effective;
+  effective.reserve(factors.size());
+  for (const Matrix& f : factors) effective.push_back(&f);
+  return ApplyModewise(factors, x, effective);
+}
+
+StatusOr<Vector> KroneckerSolve(const std::vector<Matrix>& factors, const Vector& x) {
+  if (factors.empty()) return Status::InvalidArgument("no Kronecker factors");
+  std::vector<Matrix> inverses;
+  inverses.reserve(factors.size());
+  for (const Matrix& f : factors) {
+    FRAPP_ASSIGN_OR_RETURN(Matrix inv, Inverse(f));
+    inverses.push_back(std::move(inv));
+  }
+  std::vector<const Matrix*> effective;
+  effective.reserve(inverses.size());
+  for (const Matrix& f : inverses) effective.push_back(&f);
+  return ApplyModewise(factors, x, effective);
+}
+
+}  // namespace linalg
+}  // namespace frapp

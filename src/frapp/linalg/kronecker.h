@@ -1,0 +1,41 @@
+// Kronecker (tensor) products.
+//
+// Independent-column perturbation composes per-attribute transition matrices
+// into a record-level matrix by Kronecker product; MASK's record-level matrix
+// is the M_b-fold tensor power of a 2x2 flip matrix. These helpers build the
+// dense products for analysis and apply tensor-structured solves without
+// materializing the full matrix.
+
+#ifndef FRAPP_LINALG_KRONECKER_H_
+#define FRAPP_LINALG_KRONECKER_H_
+
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Dense Kronecker product a (x) b.
+Matrix KroneckerProduct(const Matrix& a, const Matrix& b);
+
+/// Dense Kronecker product of a list of square factors, left to right.
+Matrix KroneckerProduct(const std::vector<Matrix>& factors);
+
+/// Applies (F_1 (x) ... (x) F_k) x without materializing the product.
+/// Each factor must be square; the product of factor dimensions must equal
+/// x.size(). Index convention: the FIRST factor varies slowest (row-major /
+/// mixed-radix with factor 1 as the most significant digit).
+StatusOr<Vector> KroneckerMatVec(const std::vector<Matrix>& factors, const Vector& x);
+
+/// Solves (F_1 (x) ... (x) F_k) z = x by applying per-factor inverses,
+/// i.e. z = (F_1^{-1} (x) ... (x) F_k^{-1}) x. O(sum_i n_i * prod n) instead
+/// of O((prod n)^2).
+StatusOr<Vector> KroneckerSolve(const std::vector<Matrix>& factors, const Vector& x);
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_KRONECKER_H_

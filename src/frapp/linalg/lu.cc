@@ -1,0 +1,104 @@
+#include "frapp/linalg/lu.h"
+
+#include <cmath>
+
+namespace frapp {
+namespace linalg {
+
+StatusOr<LuDecomposition> LuDecomposition::Compute(const Matrix& a, double pivot_tol) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  if (n == 0) return Status::InvalidArgument("LU of empty matrix");
+
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining entry of column k to the
+    // diagonal for numerical stability.
+    size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < pivot_tol) {
+      return Status::NumericalError("singular matrix in LU (pivot " +
+                                    std::to_string(pivot_mag) + " at step " +
+                                    std::to_string(k) + ")");
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot_row, j));
+      std::swap(perm[k], perm[pivot_row]);
+      sign = -sign;
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv_pivot;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+StatusOr<Vector> LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = dimension();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs dimension mismatch in LU solve");
+  }
+  Vector x(n);
+  // Forward substitution with permuted rhs: L y = P b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[permutation_[i]];
+    for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution: U x = y.
+  for (size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<Matrix> LuDecomposition::Inverse() const {
+  const size_t n = dimension();
+  Matrix inv(n, n);
+  Vector e(n);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    FRAPP_ASSIGN_OR_RETURN(Vector col, Solve(e));
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = permutation_sign_;
+  for (size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  FRAPP_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Solve(b);
+}
+
+StatusOr<Matrix> Inverse(const Matrix& a) {
+  FRAPP_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Inverse();
+}
+
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,56 @@
+// LU decomposition with partial pivoting: the general-purpose solver behind
+// distribution reconstruction (paper Eq. 8, X_hat = A^{-1} Y) whenever a
+// perturbation matrix has no exploitable structure.
+
+#ifndef FRAPP_LINALG_LU_H_
+#define FRAPP_LINALG_LU_H_
+
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Factorization PA = LU of a square matrix, computed once and reusable for
+/// many right-hand sides.
+class LuDecomposition {
+ public:
+  /// Factorizes `a`. Returns NumericalError for singular (or numerically
+  /// singular) input; `pivot_tol` is the smallest acceptable pivot magnitude.
+  static StatusOr<LuDecomposition> Compute(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// Solves A x = b for one right-hand side.
+  StatusOr<Vector> Solve(const Vector& b) const;
+
+  /// Computes A^{-1} column by column.
+  StatusOr<Matrix> Inverse() const;
+
+  /// det(A) = sign(P) * prod(diag(U)).
+  double Determinant() const;
+
+  size_t dimension() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> permutation, int permutation_sign)
+      : lu_(std::move(lu)),
+        permutation_(std::move(permutation)),
+        permutation_sign_(permutation_sign) {}
+
+  Matrix lu_;                       // L (unit diagonal, below) and U (on/above).
+  std::vector<size_t> permutation_; // Row permutation applied to inputs.
+  int permutation_sign_;
+};
+
+/// One-shot convenience: solves a x = b.
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// One-shot convenience: inverts `a`.
+StatusOr<Matrix> Inverse(const Matrix& a);
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_LU_H_

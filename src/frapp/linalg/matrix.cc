@@ -1,0 +1,177 @@
+#include "frapp/linalg/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace frapp {
+namespace linalg {
+
+Matrix Matrix::FromRows(std::initializer_list<std::initializer_list<double>> rows) {
+  const size_t r = rows.size();
+  FRAPP_CHECK_GT(r, 0u);
+  const size_t c = rows.begin()->size();
+  Matrix out(r, c);
+  size_t i = 0;
+  for (const auto& row : rows) {
+    FRAPP_CHECK_EQ(row.size(), c) << "ragged initializer rows";
+    size_t j = 0;
+    for (double v : row) out(i, j++) = v;
+    ++i;
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix out(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) out(i, i) = diag[i];
+  return out;
+}
+
+Vector Matrix::Row(size_t r) const {
+  FRAPP_CHECK_LT(r, rows_);
+  Vector out(cols_);
+  for (size_t j = 0; j < cols_; ++j) out[j] = (*this)(r, j);
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  FRAPP_CHECK_LT(c, cols_);
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, c);
+  return out;
+}
+
+Vector Matrix::MatVec(const Vector& x) const {
+  FRAPP_CHECK_EQ(x.size(), cols_);
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    double s = 0.0;
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * x[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Vector Matrix::TransposedMatVec(const Vector& x) const {
+  FRAPP_CHECK_EQ(x.size(), rows_);
+  Vector out(cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    const double xi = x[i];
+    for (size_t j = 0; j < cols_; ++j) out[j] += row[j] * xi;
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  FRAPP_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowData(k);
+      double* orow = out.RowData(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  FRAPP_CHECK_EQ(rows_, other.rows_);
+  FRAPP_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  FRAPP_CHECK_EQ(rows_, other.rows_);
+  FRAPP_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool Matrix::IsColumnStochastic(double tol) const {
+  if (rows_ == 0 || cols_ == 0) return false;
+  for (double v : data_) {
+    if (v < -tol) return false;
+  }
+  for (size_t j = 0; j < cols_; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < rows_; ++i) sum += (*this)(i, j);
+    if (std::fabs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (!IsSquare()) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j > 0) os << ", ";
+      os << (*this)(i, j);
+    }
+    os << (i + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,112 @@
+// Dense row-major real matrix.
+//
+// FRAPP's perturbation matrices follow the paper's convention
+// A[v][u] = p(u -> v): COLUMNS index original values and sum to one
+// (column-stochastic / Markov, Eq. 1 of the paper).
+
+#ifndef FRAPP_LINALG_MATRIX_H_
+#define FRAPP_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "frapp/common/check.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of shape rows x cols.
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix of shape rows x cols filled with `value`.
+  Matrix(size_t rows, size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  static Matrix FromRows(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// n x n matrix with every entry `value` (the J matrix scaled).
+  static Matrix Constant(size_t n, double value) { return Matrix(n, n, value); }
+
+  /// Diagonal matrix from `diag`.
+  static Matrix Diagonal(const Vector& diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool IsSquare() const { return rows_ == cols_; }
+
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  double At(size_t r, size_t c) const {
+    FRAPP_CHECK_LT(r, rows_);
+    FRAPP_CHECK_LT(c, cols_);
+    return (*this)(r, c);
+  }
+
+  const double* RowData(size_t r) const { return data_.data() + r * cols_; }
+  double* RowData(size_t r) { return data_.data() + r * cols_; }
+
+  /// Copies row r into a Vector.
+  Vector Row(size_t r) const;
+
+  /// Copies column c into a Vector.
+  Vector Col(size_t c) const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  Vector MatVec(const Vector& x) const;
+
+  /// Transposed matrix-vector product A^T x; x.size() must equal rows().
+  Vector TransposedMatVec(const Vector& x) const;
+
+  /// Matrix-matrix product; this->cols() must equal other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double s) const;
+
+  /// True when |a_ij - b_ij| <= tol for all entries of same-shape matrices.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// max_ij |a_ij|.
+  double MaxAbs() const;
+
+  /// sqrt(sum a_ij^2).
+  double FrobeniusNorm() const;
+
+  /// True when all columns sum to 1 (within `tol`) and entries are >= -tol:
+  /// the Markov property required of perturbation matrices (paper Eq. 1).
+  bool IsColumnStochastic(double tol = 1e-9) const;
+
+  /// True when a_ij == a_ji within `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  /// Multi-line human-readable rendering (diagnostics only).
+  std::string ToString(int precision = 6) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_MATRIX_H_

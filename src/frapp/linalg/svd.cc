@@ -1,0 +1,66 @@
+#include "frapp/linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frapp {
+namespace linalg {
+
+StatusOr<Vector> SingularValues(const Matrix& a, double tolerance, int max_sweeps) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of empty matrix");
+  }
+  // One-sided Jacobi works on columns; make the working copy tall.
+  Matrix work = (a.rows() >= a.cols()) ? a : a.Transposed();
+  const size_t m = work.rows();
+  const size_t n = work.cols();
+
+  // Rotate pairs of columns until all pairs are mutually orthogonal.
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wip = work(i, p);
+          const double wiq = work(i, q);
+          alpha += wip * wip;
+          beta += wiq * wiq;
+          gamma += wip * wiq;
+        }
+        if (std::fabs(gamma) <= tolerance * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = ((zeta >= 0.0) ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wip = work(i, p);
+          const double wiq = work(i, q);
+          work(i, p) = c * wip - s * wiq;
+          work(i, q) = s * wip + c * wiq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError("one-sided Jacobi SVD did not converge");
+  }
+
+  Vector sigma(n);
+  for (size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < m; ++i) s += work(i, j) * work(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+  std::sort(sigma.begin(), sigma.end(), std::greater<double>());
+  return sigma;
+}
+
+}  // namespace linalg
+}  // namespace frapp

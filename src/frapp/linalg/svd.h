@@ -1,0 +1,24 @@
+// One-sided Jacobi SVD (singular values only). Condition numbers of
+// NON-symmetric perturbation matrices (e.g. Cut-and-Paste partial-support
+// matrices) are spectral: sigma_max / sigma_min.
+
+#ifndef FRAPP_LINALG_SVD_H_
+#define FRAPP_LINALG_SVD_H_
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// Computes the singular values of `a` (rows >= cols or not; the matrix is
+/// transposed internally when wide) in descending order, via one-sided Jacobi
+/// orthogonalization of the columns.
+StatusOr<Vector> SingularValues(const Matrix& a, double tolerance = 1e-12,
+                                int max_sweeps = 100);
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_SVD_H_

@@ -1,0 +1,78 @@
+#include "frapp/linalg/uniform_mixture.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frapp {
+namespace linalg {
+
+StatusOr<double> UniformMixtureMatrix::ConditionNumber() const {
+  const double bulk = BulkEigenvalue();
+  const double ones = OnesEigenvalue();
+  const double lo = std::min(bulk, ones);
+  const double hi = std::max(bulk, ones);
+  if (lo <= 0.0) {
+    return Status::NumericalError("uniform-mixture matrix is not positive definite");
+  }
+  return hi / lo;
+}
+
+Vector UniformMixtureMatrix::MatVec(const Vector& x) const {
+  FRAPP_CHECK_EQ(x.size(), n_);
+  const double total = x.Sum();
+  Vector y(n_);
+  for (size_t i = 0; i < n_; ++i) y[i] = a_ * x[i] + b_ * total;
+  return y;
+}
+
+StatusOr<Vector> UniformMixtureMatrix::Solve(const Vector& y) const {
+  if (y.size() != n_) {
+    return Status::InvalidArgument("rhs dimension mismatch in uniform-mixture solve");
+  }
+  const double ones_eig = OnesEigenvalue();
+  if (std::fabs(a_) < 1e-300 || std::fabs(ones_eig) < 1e-300) {
+    return Status::NumericalError("uniform-mixture matrix is singular");
+  }
+  const double total = y.Sum();
+  const double shift = b_ * total / ones_eig;
+  Vector x(n_);
+  for (size_t i = 0; i < n_; ++i) x[i] = (y[i] - shift) / a_;
+  return x;
+}
+
+StatusOr<UniformMixtureMatrix> UniformMixtureMatrix::Inverse() const {
+  const double ones_eig = OnesEigenvalue();
+  if (std::fabs(a_) < 1e-300 || std::fabs(ones_eig) < 1e-300) {
+    return Status::NumericalError("uniform-mixture matrix is singular");
+  }
+  // (aI + bJ)^{-1} = (1/a) I - (b / (a * (a + n b))) J.
+  return UniformMixtureMatrix(n_, 1.0 / a_, -b_ / (a_ * ones_eig));
+}
+
+Matrix UniformMixtureMatrix::ToDense() const {
+  Matrix m(n_, n_, b_);
+  for (size_t i = 0; i < n_; ++i) m(i, i) += a_;
+  return m;
+}
+
+bool UniformMixtureMatrix::IsColumnStochastic(double tol) const {
+  if (DiagonalValue() < -tol || OffDiagonalValue() < -tol) return false;
+  const double column_sum = DiagonalValue() + (n_ - 1) * OffDiagonalValue();
+  return std::fabs(column_sum - 1.0) <= tol;
+}
+
+StatusOr<double> UniformMixtureMatrix::AmplificationRatio() const {
+  const double d = DiagonalValue();
+  const double o = OffDiagonalValue();
+  if (n_ == 1) return 1.0;
+  const double lo = std::min(d, o);
+  const double hi = std::max(d, o);
+  if (lo <= 0.0) {
+    return Status::NumericalError(
+        "amplification ratio undefined: non-positive matrix entry");
+  }
+  return hi / lo;
+}
+
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,78 @@
+// Structured matrices of the form  M = a*I + b*J  (J = all-ones), n x n.
+//
+// Every gamma-diagonal matrix in the paper is of this form: diagonal entries
+// a + b, off-diagonal entries b. The structure yields O(1) eigenvalues, O(n)
+// solves (Sherman-Morrison), and a closed-form inverse, which is what makes
+// FRAPP reconstruction cheap even for joint domains with thousands of values.
+
+#ifndef FRAPP_LINALG_UNIFORM_MIXTURE_H_
+#define FRAPP_LINALG_UNIFORM_MIXTURE_H_
+
+#include <cstddef>
+
+#include "frapp/common/statusor.h"
+#include "frapp/linalg/matrix.h"
+#include "frapp/linalg/vector.h"
+
+namespace frapp {
+namespace linalg {
+
+/// M = a*I + b*J over dimension n. Immutable value type.
+class UniformMixtureMatrix {
+ public:
+  /// Builds from the identity coefficient `a` and all-ones coefficient `b`.
+  UniformMixtureMatrix(size_t n, double a, double b) : n_(n), a_(a), b_(b) {
+    FRAPP_CHECK_GT(n, 0u);
+  }
+
+  /// Builds from the diagonal value `d` and off-diagonal value `o`
+  /// (a = d - o, b = o); this matches the gamma-diagonal presentation.
+  static UniformMixtureMatrix FromDiagonalOffDiagonal(size_t n, double d, double o) {
+    return UniformMixtureMatrix(n, d - o, o);
+  }
+
+  size_t dimension() const { return n_; }
+  double identity_coefficient() const { return a_; }
+  double ones_coefficient() const { return b_; }
+  double DiagonalValue() const { return a_ + b_; }
+  double OffDiagonalValue() const { return b_; }
+
+  /// Eigenvalues: a + n*b (eigenvector: the all-ones direction) and a with
+  /// multiplicity n-1 (any direction orthogonal to all-ones).
+  double BulkEigenvalue() const { return a_; }
+  double OnesEigenvalue() const { return a_ + static_cast<double>(n_) * b_; }
+
+  /// lambda_max / lambda_min; NumericalError when an eigenvalue is <= 0.
+  StatusOr<double> ConditionNumber() const;
+
+  /// y = M x in O(n).
+  Vector MatVec(const Vector& x) const;
+
+  /// Solves M x = y in O(n) via Sherman-Morrison:
+  ///   x = (y - (b / (a + n b)) * sum(y) * 1) / a.
+  /// NumericalError when the matrix is singular (a == 0 or a + n b == 0).
+  StatusOr<Vector> Solve(const Vector& y) const;
+
+  /// The inverse, which is again of the form a' I + b' J.
+  StatusOr<UniformMixtureMatrix> Inverse() const;
+
+  /// Materializes the dense matrix (tests, small-n diagnostics only).
+  Matrix ToDense() const;
+
+  /// True when columns sum to 1 and entries are non-negative.
+  bool IsColumnStochastic(double tol = 1e-12) const;
+
+  /// max entry / min entry: the amplification ratio that the privacy
+  /// constraint (paper Eq. 2) bounds by gamma. Requires positive entries.
+  StatusOr<double> AmplificationRatio() const;
+
+ private:
+  size_t n_;
+  double a_;
+  double b_;
+};
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_UNIFORM_MIXTURE_H_

@@ -1,0 +1,81 @@
+#include "frapp/linalg/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace frapp {
+namespace linalg {
+
+double Vector::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Vector::Norm2() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Vector::Norm1() const {
+  double s = 0.0;
+  for (double v : data_) s += std::fabs(v);
+  return s;
+}
+
+double Vector::NormInf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Vector::Dot(const Vector& other) const {
+  FRAPP_CHECK_EQ(size(), other.size());
+  double s = 0.0;
+  for (size_t i = 0; i < size(); ++i) s += data_[i] * other[i];
+  return s;
+}
+
+void Vector::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void Vector::Axpy(double s, const Vector& other) {
+  FRAPP_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < size(); ++i) data_[i] += s * other[i];
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  FRAPP_CHECK_EQ(size(), other.size());
+  Vector out(size());
+  for (size_t i = 0; i < size(); ++i) out[i] = data_[i] + other[i];
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  FRAPP_CHECK_EQ(size(), other.size());
+  Vector out(size());
+  for (size_t i = 0; i < size(); ++i) out[i] = data_[i] - other[i];
+  return out;
+}
+
+Vector Vector::operator*(double s) const {
+  Vector out(size());
+  for (size_t i = 0; i < size(); ++i) out[i] = data_[i] * s;
+  return out;
+}
+
+std::string Vector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,87 @@
+// Dense real vector used by the reconstruction and analysis code paths.
+
+#ifndef FRAPP_LINALG_VECTOR_H_
+#define FRAPP_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "frapp/common/check.h"
+
+namespace frapp {
+namespace linalg {
+
+/// A dense vector of doubles with the handful of operations the library
+/// needs. Element access is unchecked via operator[]; At() checks bounds.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero vector of dimension `n`.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// Vector of dimension `n` filled with `value`.
+  Vector(size_t n, double value) : data_(n, value) {}
+
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  double At(size_t i) const {
+    FRAPP_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double* begin() { return data_.data(); }
+  double* end() { return data_.data() + data_.size(); }
+  const double* begin() const { return data_.data(); }
+  const double* end() const { return data_.data() + data_.size(); }
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Euclidean (L2) norm.
+  double Norm2() const;
+
+  /// L1 norm.
+  double Norm1() const;
+
+  /// Largest absolute entry; 0 for the empty vector.
+  double NormInf() const;
+
+  /// Dot product. Dimensions must agree.
+  double Dot(const Vector& other) const;
+
+  /// In-place scaling by `s`.
+  void Scale(double s);
+
+  /// this += s * other. Dimensions must agree.
+  void Axpy(double s, const Vector& other);
+
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double s) const;
+
+  /// "[a, b, c]" with full precision, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace linalg
+}  // namespace frapp
+
+#endif  // FRAPP_LINALG_VECTOR_H_

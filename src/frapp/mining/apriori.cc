@@ -1,0 +1,141 @@
+#include "frapp/mining/apriori.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "frapp/mining/support_counter.h"
+
+namespace frapp {
+namespace mining {
+
+StatusOr<double> ExactSupportEstimator::EstimateSupport(const Itemset& itemset) {
+  return SupportFraction(table_, itemset);
+}
+
+size_t AprioriResult::TotalFrequent() const {
+  size_t total = 0;
+  for (const auto& level : by_length) total += level.size();
+  return total;
+}
+
+const std::vector<FrequentItemset>& AprioriResult::OfLength(size_t k) const {
+  static const std::vector<FrequentItemset> kEmpty;
+  if (k == 0 || k > by_length.size()) return kEmpty;
+  return by_length[k - 1];
+}
+
+size_t AprioriResult::MaxLength() const {
+  for (size_t k = by_length.size(); k-- > 0;) {
+    if (!by_length[k].empty()) return k + 1;
+  }
+  return 0;
+}
+
+namespace {
+
+// Apriori join: combine sorted frequent k-itemsets sharing their first k-1
+// items; prune candidates with an infrequent k-subset.
+std::vector<Itemset> GenerateCandidates(
+    const std::vector<FrequentItemset>& frequent,
+    const std::unordered_set<Itemset, Itemset::Hash>& frequent_lookup) {
+  std::vector<Itemset> candidates;
+  const size_t n = frequent.size();
+  for (size_t a = 0; a < n; ++a) {
+    const std::vector<Item>& items_a = frequent[a].itemset.items();
+    for (size_t b = a + 1; b < n; ++b) {
+      const std::vector<Item>& items_b = frequent[b].itemset.items();
+      // Shared (k-1)-prefix? The lists are globally sorted, so once prefixes
+      // diverge for this `a`, later `b` cannot match either.
+      bool prefix_equal = true;
+      for (size_t i = 0; i + 1 < items_a.size(); ++i) {
+        if (!(items_a[i] == items_b[i])) {
+          prefix_equal = false;
+          break;
+        }
+      }
+      if (!prefix_equal) break;
+      const Item& last_a = items_a.back();
+      const Item& last_b = items_b.back();
+      if (last_a.attribute == last_b.attribute) continue;  // same-attr clash
+
+      std::vector<Item> joined = items_a;
+      joined.push_back(last_b);
+      std::sort(joined.begin(), joined.end());
+      Itemset candidate = Itemset::FromSortedUnchecked(std::move(joined));
+
+      // Prune: every k-subset must be frequent.
+      bool all_subsets_frequent = true;
+      const std::vector<Item>& citems = candidate.items();
+      std::vector<Item> subset(citems.size() - 1);
+      for (size_t skip = 0; skip < citems.size() && all_subsets_frequent; ++skip) {
+        size_t w = 0;
+        for (size_t i = 0; i < citems.size(); ++i) {
+          if (i != skip) subset[w++] = citems[i];
+        }
+        if (frequent_lookup.find(Itemset::FromSortedUnchecked(subset)) ==
+            frequent_lookup.end()) {
+          all_subsets_frequent = false;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<AprioriResult> MineFrequentItemsets(const data::CategoricalSchema& schema,
+                                             SupportEstimator& estimator,
+                                             const AprioriOptions& options) {
+  if (!(options.min_support > 0.0) || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const size_t max_length = (options.max_length == 0)
+                                ? schema.num_attributes()
+                                : std::min(options.max_length,
+                                           schema.num_attributes());
+
+  AprioriResult result;
+
+  // Pass 1: all single items.
+  std::vector<Itemset> candidates;
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    for (size_t c = 0; c < schema.Cardinality(j); ++c) {
+      candidates.push_back(Itemset::FromSortedUnchecked(
+          {Item{static_cast<uint16_t>(j), static_cast<uint16_t>(c)}}));
+    }
+  }
+
+  for (size_t k = 1; k <= max_length && !candidates.empty(); ++k) {
+    result.candidates_per_pass.push_back(candidates.size());
+    std::vector<FrequentItemset> frequent;
+    for (const Itemset& candidate : candidates) {
+      FRAPP_ASSIGN_OR_RETURN(double support, estimator.EstimateSupport(candidate));
+      if (support >= options.min_support) {
+        frequent.push_back(FrequentItemset{candidate, support});
+      }
+    }
+    std::sort(frequent.begin(), frequent.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                return a.itemset < b.itemset;
+              });
+    result.by_length.push_back(frequent);
+    if (frequent.empty() || k == max_length) break;
+
+    std::unordered_set<Itemset, Itemset::Hash> lookup;
+    lookup.reserve(frequent.size() * 2);
+    for (const FrequentItemset& f : frequent) lookup.insert(f.itemset);
+    candidates = GenerateCandidates(frequent, lookup);
+  }
+  return result;
+}
+
+StatusOr<AprioriResult> MineExact(const data::CategoricalTable& table,
+                                  const AprioriOptions& options) {
+  ExactSupportEstimator estimator(table);
+  return MineFrequentItemsets(table.schema(), estimator, options);
+}
+
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,93 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94) with a
+// pluggable support oracle.
+//
+// The paper's privacy-preserving pipeline (Section 7) is exactly this: run
+// Apriori bottom-up, but at the end of every pass reconstruct the original
+// supports from the perturbed-database supports. Plugging in an exact
+// estimator mines the true frequent itemsets; plugging in a mechanism's
+// reconstructing estimator mines the privacy-preserving result.
+
+#ifndef FRAPP_MINING_APRIORI_H_
+#define FRAPP_MINING_APRIORI_H_
+
+#include <memory>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/schema.h"
+#include "frapp/data/table.h"
+#include "frapp/mining/itemset.h"
+
+namespace frapp {
+namespace mining {
+
+/// Oracle answering "what is the (possibly reconstructed) support fraction
+/// of this itemset?". Estimates may be negative or exceed 1 for noisy
+/// reconstructions; Apriori only compares them against the threshold.
+class SupportEstimator {
+ public:
+  virtual ~SupportEstimator() = default;
+
+  /// Support estimate for one itemset, as a fraction of records.
+  virtual StatusOr<double> EstimateSupport(const Itemset& itemset) = 0;
+};
+
+/// Exact estimator backed by a table scan (the miner's ground truth).
+class ExactSupportEstimator : public SupportEstimator {
+ public:
+  /// The table must outlive the estimator.
+  explicit ExactSupportEstimator(const data::CategoricalTable& table)
+      : table_(table) {}
+
+  StatusOr<double> EstimateSupport(const Itemset& itemset) override;
+
+ private:
+  const data::CategoricalTable& table_;
+};
+
+struct AprioriOptions {
+  /// supmin as a fraction (the paper uses 0.02).
+  double min_support = 0.02;
+
+  /// Stop after this itemset length; 0 = no cap (bounded by M anyway).
+  size_t max_length = 0;
+};
+
+/// A discovered frequent itemset with its (estimated) support fraction.
+struct FrequentItemset {
+  Itemset itemset;
+  double support;
+};
+
+/// Mining output, grouped by itemset length.
+struct AprioriResult {
+  /// by_length[k-1] = frequent itemsets of length k, sorted.
+  std::vector<std::vector<FrequentItemset>> by_length;
+
+  /// Candidates evaluated per pass (diagnostics).
+  std::vector<size_t> candidates_per_pass;
+
+  /// Total frequent itemsets across lengths.
+  size_t TotalFrequent() const;
+
+  /// All frequent itemsets of length k (empty when none).
+  const std::vector<FrequentItemset>& OfLength(size_t k) const;
+
+  /// Longest length with at least one frequent itemset (0 when none).
+  size_t MaxLength() const;
+};
+
+/// Runs Apriori over the schema's item universe using `estimator` as the
+/// support oracle.
+StatusOr<AprioriResult> MineFrequentItemsets(const data::CategoricalSchema& schema,
+                                             SupportEstimator& estimator,
+                                             const AprioriOptions& options);
+
+/// Convenience: exact mining of `table`.
+StatusOr<AprioriResult> MineExact(const data::CategoricalTable& table,
+                                  const AprioriOptions& options);
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_APRIORI_H_

@@ -1,0 +1,59 @@
+#include "frapp/mining/itemset.h"
+
+#include <algorithm>
+
+namespace frapp {
+namespace mining {
+
+StatusOr<Itemset> Itemset::Create(std::vector<Item> items) {
+  std::sort(items.begin(), items.end());
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (items[i].attribute == items[i - 1].attribute) {
+      return Status::InvalidArgument(
+          "itemset has two items on attribute " +
+          std::to_string(items[i].attribute));
+    }
+  }
+  Itemset out;
+  out.items_ = std::move(items);
+  return out;
+}
+
+uint32_t Itemset::AttributeMask() const {
+  uint32_t mask = 0;
+  for (const Item& it : items_) mask |= (1u << it.attribute);
+  return mask;
+}
+
+std::vector<size_t> Itemset::AttributeIndices() const {
+  std::vector<size_t> out;
+  out.reserve(items_.size());
+  for (const Item& it : items_) out.push_back(it.attribute);
+  return out;
+}
+
+bool Itemset::Contains(const Itemset& other) const {
+  // Both sides are sorted by attribute; linear merge.
+  size_t i = 0;
+  for (const Item& needle : other.items_) {
+    while (i < items_.size() && items_[i].attribute < needle.attribute) ++i;
+    if (i == items_.size() || !(items_[i] == needle)) return false;
+  }
+  return true;
+}
+
+std::string Itemset::ToString(const data::CategoricalSchema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Item& it = items_[i];
+    out += schema.attribute(it.attribute).name;
+    out += "=";
+    out += schema.attribute(it.attribute).categories[it.category];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,90 @@
+// Itemsets over categorical data (paper Section 6).
+//
+// An item is an (attribute, category) pair; an itemset is a set of items
+// over DISTINCT attributes. A record supports an itemset when it takes the
+// given category on every listed attribute. Boolean market-basket itemsets
+// are the special case of 2-category attributes.
+
+#ifndef FRAPP_MINING_ITEMSET_H_
+#define FRAPP_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/schema.h"
+
+namespace frapp {
+namespace mining {
+
+/// One (attribute, category) pair.
+struct Item {
+  uint16_t attribute;
+  uint16_t category;
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.attribute == b.attribute && a.category == b.category;
+  }
+  friend auto operator<=>(const Item& a, const Item& b) = default;
+};
+
+/// A set of items over distinct attributes, kept sorted by attribute.
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Builds from items; validates distinct attributes and sorts.
+  static StatusOr<Itemset> Create(std::vector<Item> items);
+
+  /// Builds from pre-sorted, pre-validated items (hot paths; checked in
+  /// debug via FRAPP_CHECK on size only).
+  static Itemset FromSortedUnchecked(std::vector<Item> items) {
+    Itemset out;
+    out.items_ = std::move(items);
+    return out;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const Item& item(size_t i) const { return items_[i]; }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Bitmask of attributes used (attribute index < 32 assumed; FRAPP's
+  /// datasets have M <= 7).
+  uint32_t AttributeMask() const;
+
+  /// Sorted list of attribute indices.
+  std::vector<size_t> AttributeIndices() const;
+
+  /// True when `other`'s items are a subset of this itemset's items.
+  bool Contains(const Itemset& other) const;
+
+  /// "{age=(15-35], sex=Male}" using schema labels.
+  std::string ToString(const data::CategoricalSchema& schema) const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    return a.items_ == b.items_;
+  }
+  friend auto operator<=>(const Itemset& a, const Itemset& b) = default;
+
+  /// Hash for unordered containers.
+  struct Hash {
+    size_t operator()(const Itemset& s) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (const Item& it : s.items_) {
+        h ^= (static_cast<size_t>(it.attribute) << 16 | it.category) +
+             0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_ITEMSET_H_

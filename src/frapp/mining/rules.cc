@@ -1,0 +1,57 @@
+#include "frapp/mining/rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace frapp {
+namespace mining {
+
+std::string AssociationRule::ToString(const data::CategoricalSchema& schema) const {
+  std::string out = antecedent.ToString(schema);
+  out += " => ";
+  out += consequent.ToString(schema);
+  return out;
+}
+
+std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
+                                           double min_confidence) {
+  // Support lookup across all frequent itemsets.
+  std::unordered_map<Itemset, double, Itemset::Hash> support;
+  for (const auto& level : result.by_length) {
+    for (const FrequentItemset& f : level) support[f.itemset] = f.support;
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const auto& level : result.by_length) {
+    for (const FrequentItemset& f : level) {
+      const std::vector<Item>& items = f.itemset.items();
+      const size_t k = items.size();
+      if (k < 2) continue;
+      // Enumerate non-empty proper subsets as antecedents via bitmask.
+      for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+        std::vector<Item> lhs, rhs;
+        for (size_t i = 0; i < k; ++i) {
+          ((mask >> i) & 1u ? lhs : rhs).push_back(items[i]);
+        }
+        const Itemset antecedent = Itemset::FromSortedUnchecked(std::move(lhs));
+        auto it = support.find(antecedent);
+        if (it == support.end() || it->second <= 0.0) continue;
+        const double confidence = f.support / it->second;
+        if (confidence >= min_confidence) {
+          rules.push_back(AssociationRule{
+              antecedent, Itemset::FromSortedUnchecked(std::move(rhs)), f.support,
+              confidence});
+        }
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) return a.confidence > b.confidence;
+              return a.support > b.support;
+            });
+  return rules;
+}
+
+}  // namespace mining
+}  // namespace frapp

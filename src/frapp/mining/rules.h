@@ -1,0 +1,37 @@
+// Association-rule generation from frequent itemsets (the mining model the
+// paper's introduction motivates: "adult females with malarial infections
+// are also prone to contract tuberculosis").
+
+#ifndef FRAPP_MINING_RULES_H_
+#define FRAPP_MINING_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace mining {
+
+/// A rule antecedent => consequent with support/confidence computed from
+/// (possibly reconstructed) itemset supports.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  double support;     ///< support of antecedent U consequent
+  double confidence;  ///< support(A U C) / support(A)
+
+  std::string ToString(const data::CategoricalSchema& schema) const;
+};
+
+/// Derives all rules with confidence >= `min_confidence` from the frequent
+/// itemsets in `result`. Rules are ordered by descending confidence, ties by
+/// descending support.
+std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
+                                           double min_confidence);
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_RULES_H_

@@ -1,0 +1,51 @@
+#include "frapp/mining/support_counter.h"
+
+namespace frapp {
+namespace mining {
+
+size_t CountSupport(const data::CategoricalTable& table, const Itemset& itemset) {
+  const size_t n = table.num_rows();
+  if (itemset.empty()) return n;
+
+  // Pull the column pointers once; the inner loop is then branch-light.
+  const size_t k = itemset.size();
+  std::vector<const uint8_t*> cols(k);
+  std::vector<uint8_t> want(k);
+  for (size_t j = 0; j < k; ++j) {
+    cols[j] = table.Column(itemset.item(j).attribute).data();
+    want[j] = static_cast<uint8_t>(itemset.item(j).category);
+  }
+
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool match = true;
+    for (size_t j = 0; j < k; ++j) {
+      if (cols[j][i] != want[j]) {
+        match = false;
+        break;
+      }
+    }
+    count += match ? 1 : 0;
+  }
+  return count;
+}
+
+double SupportFraction(const data::CategoricalTable& table, const Itemset& itemset) {
+  if (table.num_rows() == 0) return 0.0;
+  return static_cast<double>(CountSupport(table, itemset)) /
+         static_cast<double>(table.num_rows());
+}
+
+std::vector<size_t> CountSupports(const data::CategoricalTable& table,
+                                  const std::vector<Itemset>& itemsets) {
+  std::vector<size_t> counts(itemsets.size(), 0);
+  // One pass per itemset is already cache-friendly on columnar storage and
+  // keeps the code simple; the candidate lists in FRAPP's passes are small.
+  for (size_t c = 0; c < itemsets.size(); ++c) {
+    counts[c] = CountSupport(table, itemsets[c]);
+  }
+  return counts;
+}
+
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,29 @@
+// Exact support counting over categorical tables.
+
+#ifndef FRAPP_MINING_SUPPORT_COUNTER_H_
+#define FRAPP_MINING_SUPPORT_COUNTER_H_
+
+#include <vector>
+
+#include "frapp/data/table.h"
+#include "frapp/mining/itemset.h"
+
+namespace frapp {
+namespace mining {
+
+/// Number of records of `table` supporting `itemset` (exact count over the
+/// columnar storage; O(N * |itemset|) with early exit per row).
+size_t CountSupport(const data::CategoricalTable& table, const Itemset& itemset);
+
+/// Support as a fraction of table rows (0 when the table is empty).
+double SupportFraction(const data::CategoricalTable& table, const Itemset& itemset);
+
+/// Counts several itemsets in one table scan (cheaper than repeated
+/// CountSupport when the candidate list is long).
+std::vector<size_t> CountSupports(const data::CategoricalTable& table,
+                                  const std::vector<Itemset>& itemsets);
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_SUPPORT_COUNTER_H_

@@ -1,0 +1,47 @@
+// Distribution helpers on top of Pcg64: CDF-scan discrete sampling (the
+// paper's naive Section-5 algorithm), uniform subset selection, binomial,
+// and the randomization-parameter distributions used by RAN-GD (Section 4).
+
+#ifndef FRAPP_RANDOM_DISTRIBUTIONS_H_
+#define FRAPP_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace random {
+
+/// Samples from {0..n-1} with the given (not necessarily normalized) weights
+/// by a linear CDF scan — the straightforward algorithm of paper Section 5,
+/// O(n) per draw. Kept as a test oracle and for one-shot draws.
+size_t SampleDiscreteLinear(const std::vector<double>& weights, Pcg64& rng);
+
+/// Draws a uniformly random k-subset of {0..n-1} (Floyd's algorithm, O(k)
+/// expected). Result is in ascending order.
+std::vector<size_t> SampleSubset(size_t n, size_t k, Pcg64& rng);
+
+/// Binomial(n, p) by inversion for small n, else by direct trials.
+size_t SampleBinomial(size_t n, double p, Pcg64& rng);
+
+/// Distribution family for the randomized perturbation parameter `r` of the
+/// randomized gamma-diagonal matrix (paper Section 4 uses Uniform[-alpha,
+/// alpha]; the framework allows any zero-mean distribution).
+enum class RandomizationKind {
+  kUniform,            ///< U[-alpha, alpha] (the paper's choice)
+  kTwoPoint,           ///< +alpha or -alpha with probability 1/2 each
+  kTruncatedGaussian,  ///< N(0, (alpha/2)^2) truncated to [-alpha, alpha]
+};
+
+/// Draws r with E[r] = 0 and support [-alpha, alpha] from the chosen family.
+double SampleRandomizationParameter(RandomizationKind kind, double alpha, Pcg64& rng);
+
+/// Name for reports ("uniform", "two-point", "trunc-gaussian").
+const char* RandomizationKindName(RandomizationKind kind);
+
+}  // namespace random
+}  // namespace frapp
+
+#endif  // FRAPP_RANDOM_DISTRIBUTIONS_H_

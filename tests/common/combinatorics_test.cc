@@ -1,0 +1,91 @@
+#include "frapp/common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace {
+
+TEST(BinomialCoefficientTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(6, 3), 20.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(23, 6), 100947.0);
+}
+
+TEST(BinomialCoefficientTest, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(3, 4), 0.0);
+}
+
+TEST(BinomialCoefficientTest, PascalIdentity) {
+  for (size_t n = 1; n < 20; ++n) {
+    for (size_t k = 1; k <= n; ++k) {
+      EXPECT_NEAR(BinomialCoefficient(n, k),
+                  BinomialCoefficient(n - 1, k - 1) + BinomialCoefficient(n - 1, k),
+                  1e-6)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+class BinomialPmfTest : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(BinomialPmfTest, SumsToOne) {
+  const auto [n, p] = GetParam();
+  double total = 0.0;
+  for (size_t k = 0; k <= n; ++k) total += BinomialPmf(k, n, p);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(BinomialPmfTest, MeanIsNp) {
+  const auto [n, p] = GetParam();
+  double mean = 0.0;
+  for (size_t k = 0; k <= n; ++k) {
+    mean += static_cast<double>(k) * BinomialPmf(k, n, p);
+  }
+  EXPECT_NEAR(mean, static_cast<double>(n) * p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialPmfTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 5, 10, 23),
+                       ::testing::Values(0.1, 0.494, 0.5, 0.9)));
+
+TEST(BinomialPmfTest, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 4, 0.5), 0.0);
+}
+
+TEST(HypergeometricPmfTest, SumsToOne) {
+  const size_t population = 10, successes = 4, draws = 3;
+  double total = 0.0;
+  for (size_t k = 0; k <= draws; ++k) {
+    total += HypergeometricPmf(k, population, successes, draws);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HypergeometricPmfTest, KnownValue) {
+  // Draw 2 from {2 marked, 2 unmarked}: P(both marked) = 1/6.
+  EXPECT_NEAR(HypergeometricPmf(2, 4, 2, 2), 1.0 / 6.0, 1e-12);
+}
+
+TEST(HypergeometricPmfTest, MeanMatchesFormula) {
+  const size_t population = 12, successes = 5, draws = 6;
+  double mean = 0.0;
+  for (size_t k = 0; k <= draws; ++k) {
+    mean += static_cast<double>(k) *
+            HypergeometricPmf(k, population, successes, draws);
+  }
+  EXPECT_NEAR(mean,
+              static_cast<double>(draws) * successes / static_cast<double>(population),
+              1e-10);
+}
+
+TEST(HypergeometricPmfTest, InfeasibleIsZero) {
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(3, 10, 2, 5), 0.0);   // k > successes
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(0, 10, 8, 5), 0.0);   // too few unmarked
+}
+
+}  // namespace
+}  // namespace frapp

@@ -1,0 +1,82 @@
+#include "frapp/common/statusor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace frapp {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> err = Status::Internal("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  StatusOr<int> ok = 3;
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2};
+  v->push_back(3);
+  EXPECT_EQ(v->size(), 3u);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  FRAPP_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(StatusOrTest, AssignOrReturnChains) {
+  StatusOr<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  StatusOr<int> fail_outer = Quarter(9);
+  EXPECT_EQ(fail_outer.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<int> fail_inner = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_EQ(fail_inner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v = Status::Internal("broken");
+  EXPECT_DEATH((void)v.value(), "broken");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(StatusOr<int>{Status::OK()}, "OK status");
+}
+
+}  // namespace
+}  // namespace frapp

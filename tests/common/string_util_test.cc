@@ -1,0 +1,76 @@
+#include "frapp/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StripWhitespaceTest, Strips) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("no-op"), "no-op");
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2e-3);
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("  ", &v));
+}
+
+TEST(ParseUint64Test, ValidInputs) {
+  unsigned long long v = 0;
+  EXPECT_TRUE(ParseUint64("123", &v));
+  EXPECT_EQ(v, 123ull);
+  EXPECT_TRUE(ParseUint64(" 0 ", &v));
+  EXPECT_EQ(v, 0ull);
+}
+
+TEST(ParseUint64Test, InvalidInputs) {
+  unsigned long long v = 0;
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12.5", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("x", &v));
+}
+
+TEST(FormatSignificantTest, RoundsToSignificantDigits) {
+  EXPECT_EQ(FormatSignificant(123.456, 4), "123.5");
+  EXPECT_EQ(FormatSignificant(0.0001234, 2), "0.00012");
+}
+
+}  // namespace
+}  // namespace frapp

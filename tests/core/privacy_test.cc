@@ -1,0 +1,149 @@
+#include "frapp/core/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace frapp {
+namespace core {
+namespace {
+
+TEST(GammaFromRequirementTest, PaperExampleGives19) {
+  // The paper's running privacy setting: (rho1, rho2) = (5%, 50%) -> gamma = 19.
+  StatusOr<double> gamma = GammaFromRequirement({0.05, 0.50});
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_NEAR(*gamma, 19.0, 1e-12);
+}
+
+TEST(GammaFromRequirementTest, TighterPrivacyMeansSmallerGamma) {
+  StatusOr<double> strict = GammaFromRequirement({0.05, 0.30});
+  StatusOr<double> loose = GammaFromRequirement({0.05, 0.70});
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  EXPECT_LT(*strict, *loose);
+}
+
+TEST(GammaFromRequirementTest, Validation) {
+  EXPECT_FALSE(GammaFromRequirement({0.0, 0.5}).ok());
+  EXPECT_FALSE(GammaFromRequirement({0.05, 1.0}).ok());
+  EXPECT_FALSE(GammaFromRequirement({0.5, 0.5}).ok());
+  EXPECT_FALSE(GammaFromRequirement({0.6, 0.5}).ok());
+}
+
+TEST(MatrixAmplificationTest, UniformMatrixIsOne) {
+  linalg::Matrix a(3, 3, 1.0 / 3.0);
+  EXPECT_NEAR(MatrixAmplification(a), 1.0, 1e-12);
+}
+
+TEST(MatrixAmplificationTest, GammaDiagonalFormIsGamma) {
+  const double gamma = 19.0;
+  const size_t n = 6;
+  const double x = 1.0 / (gamma + n - 1.0);
+  linalg::Matrix a(n, n, x);
+  for (size_t i = 0; i < n; ++i) a(i, i) = gamma * x;
+  EXPECT_NEAR(MatrixAmplification(a), gamma, 1e-12);
+  EXPECT_TRUE(SatisfiesAmplification(a, gamma));
+  EXPECT_FALSE(SatisfiesAmplification(a, gamma - 0.5));
+}
+
+TEST(MatrixAmplificationTest, ZeroEntryInMixedRowIsInfinite) {
+  linalg::Matrix a = linalg::Matrix::FromRows({{1.0, 0.5}, {0.0, 0.5}});
+  EXPECT_TRUE(std::isinf(MatrixAmplification(a)));
+  EXPECT_FALSE(SatisfiesAmplification(a, 1e12));
+}
+
+TEST(MatrixAmplificationTest, AllZeroRowIsIgnored) {
+  // A row with no mass constrains nothing (it is never observed).
+  linalg::Matrix a = linalg::Matrix::FromRows({{1.0, 1.0}, {0.0, 0.0}});
+  EXPECT_NEAR(MatrixAmplification(a), 1.0, 1e-12);
+}
+
+TEST(PosteriorFromRatioTest, PaperWorstCaseExample) {
+  // Section 4.1: P(Q) = 5%, gamma = 19 -> posterior 50% under DET-GD.
+  EXPECT_NEAR(PosteriorFromRatio(0.05, 19.0), 0.50, 1e-12);
+}
+
+TEST(PosteriorFromRatioTest, RatioOneKeepsPrior) {
+  EXPECT_NEAR(PosteriorFromRatio(0.3, 1.0), 0.3, 1e-12);
+}
+
+TEST(PosteriorFromRatioTest, MonotoneInRatio) {
+  EXPECT_LT(PosteriorFromRatio(0.05, 5.0), PosteriorFromRatio(0.05, 10.0));
+}
+
+TEST(RandomizedPosteriorRangeTest, PaperExampleRange) {
+  // Section 4.1: P(Q) = 5%, gamma = 19, alpha = gamma*x/2 gives a posterior
+  // range of roughly [33%, 60%] (quoted for the CENSUS-scale domain).
+  const double gamma = 19.0;
+  const uint64_t n = 2000;
+  const double x = 1.0 / (gamma + static_cast<double>(n) - 1.0);
+  StatusOr<PosteriorRange> range =
+      RandomizedPosteriorRange(0.05, gamma, n, gamma * x / 2.0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_NEAR(range->lower, 0.33, 0.01);
+  EXPECT_NEAR(range->center, 0.50, 1e-9);
+  EXPECT_NEAR(range->upper, 0.60, 0.01);
+}
+
+TEST(RandomizedPosteriorRangeTest, ZeroAlphaCollapsesToCenter) {
+  StatusOr<PosteriorRange> range = RandomizedPosteriorRange(0.05, 19.0, 2000, 0.0);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->lower, range->center);
+  EXPECT_DOUBLE_EQ(range->upper, range->center);
+}
+
+TEST(RandomizedPosteriorRangeTest, RangeWidensWithAlpha) {
+  const double gamma = 19.0;
+  const uint64_t n = 2000;
+  const double x = 1.0 / (gamma + n - 1.0);
+  StatusOr<PosteriorRange> narrow =
+      RandomizedPosteriorRange(0.05, gamma, n, 0.2 * gamma * x);
+  StatusOr<PosteriorRange> wide =
+      RandomizedPosteriorRange(0.05, gamma, n, 0.8 * gamma * x);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(wide->lower, narrow->lower);
+  EXPECT_GT(wide->upper, narrow->upper);
+}
+
+TEST(RandomizedPosteriorRangeTest, FullAlphaLowerBoundNearsZeroBreach) {
+  // At alpha = gamma x the best-case realization has a zero diagonal: the
+  // observed value carries no evidence for the property and the breach
+  // vanishes.
+  const double gamma = 19.0;
+  const uint64_t n = 2000;
+  const double x = 1.0 / (gamma + n - 1.0);
+  StatusOr<PosteriorRange> range =
+      RandomizedPosteriorRange(0.05, gamma, n, gamma * x);
+  ASSERT_TRUE(range.ok());
+  EXPECT_NEAR(range->lower, 0.0, 1e-9);
+  EXPECT_GT(range->upper, 0.6);
+}
+
+TEST(RandomizedPosteriorRangeTest, Validation) {
+  EXPECT_FALSE(RandomizedPosteriorRange(0.0, 19.0, 100, 0.0).ok());
+  EXPECT_FALSE(RandomizedPosteriorRange(0.05, 1.0, 100, 0.0).ok());
+  EXPECT_FALSE(RandomizedPosteriorRange(0.05, 19.0, 1, 0.0).ok());
+  EXPECT_FALSE(RandomizedPosteriorRange(0.05, 19.0, 100, -0.1).ok());
+  EXPECT_FALSE(RandomizedPosteriorRange(0.05, 19.0, 100, 1.0).ok());
+}
+
+class PosteriorSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PosteriorSweepTest, CenterAlwaysEqualsDeterministicBreach) {
+  const double prior = GetParam();
+  const double gamma = 19.0;
+  const uint64_t n = 2000;
+  const double x = 1.0 / (gamma + n - 1.0);
+  StatusOr<PosteriorRange> range =
+      RandomizedPosteriorRange(prior, gamma, n, 0.5 * gamma * x);
+  ASSERT_TRUE(range.ok());
+  EXPECT_NEAR(range->center, PosteriorFromRatio(prior, gamma), 1e-12);
+  EXPECT_LE(range->lower, range->center);
+  EXPECT_GE(range->upper, range->center);
+}
+
+INSTANTIATE_TEST_SUITE_P(Priors, PosteriorSweepTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3, 0.6, 0.9));
+
+}  // namespace
+}  // namespace core
+}  // namespace frapp

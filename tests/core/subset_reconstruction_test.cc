@@ -1,0 +1,122 @@
+#include "frapp/core/subset_reconstruction.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace core {
+namespace {
+
+TEST(GammaSubsetReconstructorTest, Validation) {
+  EXPECT_FALSE(GammaSubsetReconstructor::Create(1.0, 100).ok());
+  EXPECT_FALSE(GammaSubsetReconstructor::Create(19.0, 1).ok());
+  EXPECT_TRUE(GammaSubsetReconstructor::Create(19.0, 2000).ok());
+}
+
+TEST(GammaSubsetReconstructorTest, SubsetMatrixMatchesPaperEq28) {
+  // n_C = 2000 (CENSUS), subset of size 20: diagonal gamma x + (100-1) x,
+  // off-diagonal 100 x.
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 2000);
+  ASSERT_TRUE(r.ok());
+  StatusOr<linalg::UniformMixtureMatrix> m = r->SubsetMatrix(20);
+  ASSERT_TRUE(m.ok());
+  const double x = 1.0 / (19.0 + 1999.0);
+  EXPECT_NEAR(m->DiagonalValue(), 19.0 * x + 99.0 * x, 1e-15);
+  EXPECT_NEAR(m->OffDiagonalValue(), 100.0 * x, 1e-15);
+  // Columns must sum to 1: the subset matrix is itself a Markov matrix.
+  EXPECT_TRUE(m->IsColumnStochastic(1e-12));
+}
+
+TEST(GammaSubsetReconstructorTest, FullDomainSubsetRecoversOriginalMatrix) {
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 64);
+  ASSERT_TRUE(r.ok());
+  StatusOr<linalg::UniformMixtureMatrix> m = r->SubsetMatrix(64);
+  ASSERT_TRUE(m.ok());
+  const double x = 1.0 / (19.0 + 63.0);
+  EXPECT_NEAR(m->DiagonalValue(), 19.0 * x, 1e-15);
+  EXPECT_NEAR(m->OffDiagonalValue(), x, 1e-15);
+}
+
+TEST(GammaSubsetReconstructorTest, ConditionNumberIsSubsetIndependent) {
+  // The paper's key Figure 4 property: every subset matrix has condition
+  // number (gamma + n_C - 1)/(gamma - 1).
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 2000);
+  ASSERT_TRUE(r.ok());
+  const double expected = (19.0 + 1999.0) / 18.0;  // ~112.2 for CENSUS
+  EXPECT_NEAR(r->ConditionNumber(), expected, 1e-9);
+  for (uint64_t n_cs : {2ull, 4ull, 20ull, 100ull, 500ull, 2000ull}) {
+    StatusOr<linalg::UniformMixtureMatrix> m = r->SubsetMatrix(n_cs);
+    ASSERT_TRUE(m.ok());
+    StatusOr<double> cond = m->ConditionNumber();
+    ASSERT_TRUE(cond.ok());
+    EXPECT_NEAR(*cond, expected, 1e-9) << "n_cs=" << n_cs;
+  }
+}
+
+TEST(GammaSubsetReconstructorTest, HealthConditionNumber) {
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 7500);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->ConditionNumber(), (19.0 + 7499.0) / 18.0, 1e-9);  // ~417.7
+}
+
+TEST(GammaSubsetReconstructorTest, ReconstructInvertsForwardMap) {
+  // If perturbed support = d * s + o * (1 - s) aggregated per Eq. 28, the
+  // O(1) reconstruction must return exactly s.
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 2000);
+  ASSERT_TRUE(r.ok());
+  const uint64_t n_cs = 40;
+  StatusOr<linalg::UniformMixtureMatrix> m = r->SubsetMatrix(n_cs);
+  ASSERT_TRUE(m.ok());
+  for (double s : {0.0, 0.02, 0.2, 0.5, 1.0}) {
+    // Forward: sup_V = (d - o) s + o (because subset supports sum to one).
+    const double sup_v =
+        (m->DiagonalValue() - m->OffDiagonalValue()) * s + m->OffDiagonalValue();
+    StatusOr<double> back = r->ReconstructSupport(sup_v, n_cs);
+    ASSERT_TRUE(back.ok());
+    EXPECT_NEAR(*back, s, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(GammaSubsetReconstructorTest, ReconstructMatchesFullMatrixSolve) {
+  // Solving the full n_Cs x n_Cs system of Eq. 28 must give the same values
+  // as the per-itemset O(1) formula.
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 720);
+  ASSERT_TRUE(r.ok());
+  const uint64_t n_cs = 12;
+  StatusOr<linalg::UniformMixtureMatrix> m = r->SubsetMatrix(n_cs);
+  ASSERT_TRUE(m.ok());
+
+  // A random support vector over the subset domain (sums to 1).
+  random::Pcg64 rng(8);
+  linalg::Vector s(n_cs);
+  double total = 0.0;
+  for (size_t i = 0; i < n_cs; ++i) {
+    s[i] = rng.NextDouble(0.0, 1.0);
+    total += s[i];
+  }
+  s.Scale(1.0 / total);
+
+  linalg::Vector sup_v = m->MatVec(s);
+  StatusOr<linalg::Vector> solved = m->Solve(sup_v);
+  ASSERT_TRUE(solved.ok());
+  for (size_t i = 0; i < n_cs; ++i) {
+    StatusOr<double> direct = r->ReconstructSupport(sup_v[i], n_cs);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_NEAR(*direct, (*solved)[i], 1e-10);
+    EXPECT_NEAR(*direct, s[i], 1e-10);
+  }
+}
+
+TEST(GammaSubsetReconstructorTest, RangeValidation) {
+  StatusOr<GammaSubsetReconstructor> r = GammaSubsetReconstructor::Create(19.0, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->SubsetMatrix(0).ok());
+  EXPECT_FALSE(r->SubsetMatrix(101).ok());
+  EXPECT_FALSE(r->ReconstructSupport(0.5, 0).ok());
+  EXPECT_FALSE(r->ReconstructSupport(0.5, 101).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace frapp

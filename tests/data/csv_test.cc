@@ -1,0 +1,96 @@
+#include "frapp/data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace frapp {
+namespace data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/frapp_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  CategoricalSchema Schema() {
+    StatusOr<CategoricalSchema> s =
+        CategoricalSchema::Create({{"color", {"red", "blue"}}, {"size", {"S", "L"}}});
+    return *std::move(s);
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(Schema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 0}).ok());
+  ASSERT_TRUE(WriteCsv(*t, path_).ok());
+
+  StatusOr<CategoricalTable> back = ReadCsv(path_, Schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->Value(0, 0), 0);
+  EXPECT_EQ(back->Value(0, 1), 1);
+  EXPECT_EQ(back->Value(1, 0), 1);
+}
+
+TEST_F(CsvTest, ReadsWhitespaceTolerantCells) {
+  WriteFile("color,size\n red , L \nblue,S\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->Value(0, 1), 1);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  WriteFile("color,size\nred,S\n\n\nblue,L\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  StatusOr<CategoricalTable> t = ReadCsv("/nonexistent/x.csv", Schema());
+  EXPECT_EQ(t.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, EmptyFileIsError) {
+  WriteFile("");
+  EXPECT_FALSE(ReadCsv(path_, Schema()).ok());
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  WriteFile("color,weight\nred,S\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, WrongColumnCountRejectedWithLineNumber) {
+  WriteFile("color,size\nred\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CsvTest, UnknownCategoryRejected) {
+  WriteFile("color,size\npurple,S\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("purple"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

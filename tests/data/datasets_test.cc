@@ -1,0 +1,121 @@
+// Calibration tests for the CENSUS / HEALTH stand-in generators: the schemas
+// must match the paper's Tables 1 and 2 exactly, and the generated data must
+// reproduce the Table 3 frequent-singleton profile at supmin = 2%.
+
+#include <gtest/gtest.h>
+
+#include "frapp/data/census.h"
+#include "frapp/data/health.h"
+
+namespace frapp {
+namespace data {
+namespace {
+
+TEST(CensusSchemaTest, MatchesPaperTable1) {
+  CategoricalSchema s = census::Schema();
+  ASSERT_EQ(s.num_attributes(), 6u);
+  EXPECT_EQ(s.attribute(0).name, "age");
+  EXPECT_EQ(s.attribute(1).name, "fnlwgt");
+  EXPECT_EQ(s.attribute(2).name, "hours-per-week");
+  EXPECT_EQ(s.attribute(3).name, "race");
+  EXPECT_EQ(s.attribute(4).name, "sex");
+  EXPECT_EQ(s.attribute(5).name, "native-country");
+  EXPECT_EQ(s.Cardinality(0), 4u);
+  EXPECT_EQ(s.Cardinality(1), 5u);
+  EXPECT_EQ(s.Cardinality(2), 5u);
+  EXPECT_EQ(s.Cardinality(3), 5u);
+  EXPECT_EQ(s.Cardinality(4), 2u);
+  EXPECT_EQ(s.Cardinality(5), 2u);
+  EXPECT_EQ(s.DomainSize(), 2000u);      // 4*5*5*5*2*2
+  EXPECT_EQ(s.TotalCategories(), 23u);   // M_b for MASK
+}
+
+TEST(CensusSchemaTest, CategoryLabels) {
+  CategoricalSchema s = census::Schema();
+  EXPECT_EQ(s.attribute(0).categories[0], "(15-35]");
+  EXPECT_EQ(s.attribute(3).categories[0], "White");
+  EXPECT_EQ(s.attribute(4).categories, (std::vector<std::string>{"Female", "Male"}));
+  EXPECT_EQ(s.attribute(5).categories[0], "United-States");
+}
+
+TEST(HealthSchemaTest, MatchesPaperTable2) {
+  CategoricalSchema s = health::Schema();
+  ASSERT_EQ(s.num_attributes(), 7u);
+  EXPECT_EQ(s.attribute(0).name, "AGE");
+  EXPECT_EQ(s.attribute(1).name, "BDDAY12");
+  EXPECT_EQ(s.attribute(2).name, "DV12");
+  EXPECT_EQ(s.attribute(3).name, "PHONE");
+  EXPECT_EQ(s.attribute(4).name, "SEX");
+  EXPECT_EQ(s.attribute(5).name, "INCFAM20");
+  EXPECT_EQ(s.attribute(6).name, "HEALTH");
+  EXPECT_EQ(s.DomainSize(), 7500u);      // 5*5*5*3*2*2*5
+  EXPECT_EQ(s.TotalCategories(), 27u);   // M_b for MASK
+}
+
+TEST(CensusGeneratorTest, GeneratesRequestedRows) {
+  StatusOr<CategoricalTable> t = census::MakeDataset(5000, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 5000u);
+}
+
+TEST(CensusGeneratorTest, DominantMarginalsMatchAdult) {
+  StatusOr<ChainGenerator> g = census::Generator();
+  ASSERT_TRUE(g.ok());
+  // race: ~85% White; native-country: ~89% US; sex: ~67% Male.
+  EXPECT_NEAR(g->ExactMarginal(3)[0], 0.854, 1e-9);
+  EXPECT_NEAR(g->ExactMarginal(5)[0], 0.894, 0.01);
+  EXPECT_NEAR(g->ExactMarginal(4)[1], 0.67, 1e-9);
+}
+
+TEST(CensusGeneratorTest, FrequentSingletonProfileMatchesTable3) {
+  // Table 3 row 1 for CENSUS: 19 frequent 1-itemsets at supmin = 2%.
+  StatusOr<ChainGenerator> g = census::Generator();
+  ASSERT_TRUE(g.ok());
+  size_t frequent = 0;
+  for (size_t j = 0; j < g->schema().num_attributes(); ++j) {
+    linalg::Vector m = g->ExactMarginal(j);
+    for (size_t c = 0; c < m.size(); ++c) frequent += (m[c] >= 0.02) ? 1 : 0;
+  }
+  EXPECT_EQ(frequent, 19u);
+}
+
+TEST(HealthGeneratorTest, FrequentSingletonProfileMatchesTable3) {
+  // Table 3 row 1 for HEALTH: 23 frequent 1-itemsets at supmin = 2%.
+  StatusOr<ChainGenerator> g = health::Generator();
+  ASSERT_TRUE(g.ok());
+  size_t frequent = 0;
+  for (size_t j = 0; j < g->schema().num_attributes(); ++j) {
+    linalg::Vector m = g->ExactMarginal(j);
+    for (size_t c = 0; c < m.size(); ++c) frequent += (m[c] >= 0.02) ? 1 : 0;
+  }
+  EXPECT_EQ(frequent, 23u);
+}
+
+TEST(HealthGeneratorTest, HealthDegradesWithAge) {
+  StatusOr<CategoricalTable> t = health::MakeDataset(50000, 2);
+  ASSERT_TRUE(t.ok());
+  // P(HEALTH = Poor | AGE >= 80) should far exceed P(Poor | AGE < 20).
+  size_t young = 0, young_poor = 0, old = 0, old_poor = 0;
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    if (t->Value(i, 0) == 0) {
+      ++young;
+      young_poor += t->Value(i, 6) == 4 ? 1 : 0;
+    } else if (t->Value(i, 0) == 4) {
+      ++old;
+      old_poor += t->Value(i, 6) == 4 ? 1 : 0;
+    }
+  }
+  ASSERT_GT(young, 0u);
+  ASSERT_GT(old, 0u);
+  EXPECT_GT(static_cast<double>(old_poor) / old,
+            3.0 * static_cast<double>(young_poor) / young);
+}
+
+TEST(DatasetsTest, DefaultSizesMatchPaper) {
+  EXPECT_EQ(census::kDefaultNumRecords, 50000u);
+  EXPECT_EQ(health::kDefaultNumRecords, 100000u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

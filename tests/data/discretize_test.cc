@@ -1,0 +1,75 @@
+#include "frapp/data/discretize.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace data {
+namespace {
+
+TEST(DiscretizerTest, PaperAgeBins) {
+  // Table 1: age in (15-35], (35-55], (55-75], > 75.
+  StatusOr<EquiWidthDiscretizer> d = EquiWidthDiscretizer::Create(15, 75, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bins(), 4u);
+  EXPECT_EQ(d->Bin(20), 0u);
+  EXPECT_EQ(d->Bin(35), 0u);   // right-closed
+  EXPECT_EQ(d->Bin(35.01), 1u);
+  EXPECT_EQ(d->Bin(55), 1u);
+  EXPECT_EQ(d->Bin(75), 2u);
+  EXPECT_EQ(d->Bin(76), 3u);   // overflow
+  EXPECT_EQ(d->Bin(10), 0u);   // clamps below
+  const std::vector<std::string> labels = d->BinLabels();
+  EXPECT_EQ(labels[0], "(15-35]");
+  EXPECT_EQ(labels[2], "(55-75]");
+  EXPECT_EQ(labels[3], "> 75");
+}
+
+TEST(DiscretizerTest, ScientificEdgeLabels) {
+  // Table 1: fnlwgt bins at multiples of 1e5.
+  StatusOr<EquiWidthDiscretizer> d = EquiWidthDiscretizer::Create(0, 4e5, 4);
+  ASSERT_TRUE(d.ok());
+  const std::vector<std::string> labels = d->BinLabels();
+  EXPECT_EQ(labels[0], "(0-1e5]");
+  EXPECT_EQ(labels[3], "(3e5-4e5]");
+  EXPECT_EQ(labels[4], "> 4e5");
+}
+
+TEST(DiscretizerTest, NoOverflowBin) {
+  StatusOr<EquiWidthDiscretizer> d = EquiWidthDiscretizer::Create(0, 10, 2, false);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bins(), 2u);
+  EXPECT_EQ(d->Bin(100), 1u);  // clamps into the last bin
+  EXPECT_EQ(d->BinLabels().size(), 2u);
+}
+
+TEST(DiscretizerTest, ToAttribute) {
+  StatusOr<EquiWidthDiscretizer> d = EquiWidthDiscretizer::Create(0, 20, 1);
+  ASSERT_TRUE(d.ok());
+  Attribute attr = d->ToAttribute("hours");
+  EXPECT_EQ(attr.name, "hours");
+  EXPECT_EQ(attr.cardinality(), 2u);
+  EXPECT_EQ(attr.categories[0], "(0-20]");
+  EXPECT_EQ(attr.categories[1], "> 20");
+}
+
+TEST(DiscretizerTest, Validation) {
+  EXPECT_FALSE(EquiWidthDiscretizer::Create(10, 10, 2).ok());
+  EXPECT_FALSE(EquiWidthDiscretizer::Create(10, 5, 2).ok());
+  EXPECT_FALSE(EquiWidthDiscretizer::Create(0, 10, 0).ok());
+}
+
+TEST(DiscretizerTest, EveryValueLandsInExactlyOneBin) {
+  StatusOr<EquiWidthDiscretizer> d = EquiWidthDiscretizer::Create(0, 100, 5);
+  ASSERT_TRUE(d.ok());
+  size_t last = 0;
+  for (double v = -5.0; v <= 120.0; v += 0.5) {
+    const size_t bin = d->Bin(v);
+    ASSERT_LT(bin, d->num_bins());
+    EXPECT_GE(bin, last);  // monotone in v
+    last = bin;
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,70 @@
+#include "frapp/data/domain_index.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace data {
+namespace {
+
+CategoricalSchema MakeSchema() {
+  StatusOr<CategoricalSchema> s = CategoricalSchema::Create(
+      {{"a", {"0", "1"}}, {"b", {"0", "1", "2"}}, {"c", {"0", "1", "2", "3"}}});
+  return *std::move(s);
+}
+
+TEST(DomainIndexerTest, FullDomainSize) {
+  DomainIndexer idx = DomainIndexer::OverAllAttributes(MakeSchema());
+  EXPECT_EQ(idx.domain_size(), 24u);
+  EXPECT_EQ(idx.num_attributes(), 3u);
+}
+
+TEST(DomainIndexerTest, FirstAttributeMostSignificant) {
+  DomainIndexer idx = DomainIndexer::OverAllAttributes(MakeSchema());
+  EXPECT_EQ(idx.Encode({0, 0, 0}), 0u);
+  EXPECT_EQ(idx.Encode({0, 0, 1}), 1u);
+  EXPECT_EQ(idx.Encode({0, 1, 0}), 4u);
+  EXPECT_EQ(idx.Encode({1, 0, 0}), 12u);
+  EXPECT_EQ(idx.Encode({1, 2, 3}), 23u);
+}
+
+TEST(DomainIndexerTest, RoundTripAllIndices) {
+  DomainIndexer idx = DomainIndexer::OverAllAttributes(MakeSchema());
+  for (uint64_t i = 0; i < idx.domain_size(); ++i) {
+    EXPECT_EQ(idx.Encode(idx.Decode(i)), i);
+  }
+}
+
+TEST(DomainIndexerTest, SubsetIndexing) {
+  CategoricalSchema schema = MakeSchema();
+  StatusOr<DomainIndexer> idx = DomainIndexer::OverSubset(schema, {0, 2});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->domain_size(), 8u);
+  EXPECT_EQ(idx->Encode({1, 3}), 7u);
+  EXPECT_EQ(idx->Decode(5), (std::vector<size_t>{1, 1}));
+}
+
+TEST(DomainIndexerTest, EncodeFromFullRecordSelectsSubset) {
+  CategoricalSchema schema = MakeSchema();
+  StatusOr<DomainIndexer> idx = DomainIndexer::OverSubset(schema, {1});
+  ASSERT_TRUE(idx.ok());
+  const std::vector<uint8_t> record = {1, 2, 3};
+  EXPECT_EQ(idx->EncodeFromFullRecord(record), 2u);
+}
+
+TEST(DomainIndexerTest, SubsetValidation) {
+  CategoricalSchema schema = MakeSchema();
+  EXPECT_FALSE(DomainIndexer::OverSubset(schema, {}).ok());
+  EXPECT_FALSE(DomainIndexer::OverSubset(schema, {2, 1}).ok());   // not ascending
+  EXPECT_FALSE(DomainIndexer::OverSubset(schema, {0, 0}).ok());   // duplicate
+  EXPECT_FALSE(DomainIndexer::OverSubset(schema, {5}).ok());      // out of range
+}
+
+TEST(DomainIndexerDeathTest, EncodeChecksRanges) {
+  DomainIndexer idx = DomainIndexer::OverAllAttributes(MakeSchema());
+  EXPECT_DEATH(idx.Encode({0, 3, 0}), "FRAPP_CHECK");
+  EXPECT_DEATH(idx.Decode(24), "FRAPP_CHECK");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,66 @@
+#include "frapp/data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace data {
+namespace {
+
+std::vector<Attribute> TwoAttrs() {
+  return {{"color", {"red", "green", "blue"}}, {"size", {"S", "L"}}};
+}
+
+TEST(SchemaTest, CreateAndAccess) {
+  StatusOr<CategoricalSchema> s = CategoricalSchema::Create(TwoAttrs());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attributes(), 2u);
+  EXPECT_EQ(s->Cardinality(0), 3u);
+  EXPECT_EQ(s->Cardinality(1), 2u);
+  EXPECT_EQ(s->attribute(1).name, "size");
+  EXPECT_EQ(s->DomainSize(), 6u);
+  EXPECT_EQ(s->TotalCategories(), 5u);
+}
+
+TEST(SchemaTest, AttributeAndCategoryLookup) {
+  StatusOr<CategoricalSchema> s = CategoricalSchema::Create(TwoAttrs());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s->AttributeIndex("size"), 1u);
+  EXPECT_EQ(s->AttributeIndex("weight").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*s->CategoryIndex(0, "blue"), 2u);
+  EXPECT_EQ(s->CategoryIndex(0, "purple").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s->CategoryIndex(5, "x").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, RejectsEmptySchema) {
+  EXPECT_FALSE(CategoricalSchema::Create({}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyAttributeName) {
+  EXPECT_FALSE(CategoricalSchema::Create({{"", {"a"}}}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateAttributeNames) {
+  EXPECT_FALSE(CategoricalSchema::Create({{"a", {"x"}}, {"a", {"y"}}}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyCategoryList) {
+  EXPECT_FALSE(CategoricalSchema::Create({{"a", {}}}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateCategories) {
+  EXPECT_FALSE(CategoricalSchema::Create({{"a", {"x", "x"}}}).ok());
+}
+
+TEST(SchemaTest, DomainSizeOfLargeSchema) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 10; ++i) {
+    attrs.push_back({"a" + std::to_string(i), {"0", "1", "2", "3"}});
+  }
+  StatusOr<CategoricalSchema> s = CategoricalSchema::Create(std::move(attrs));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->DomainSize(), 1048576u);  // 4^10
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,123 @@
+#include "frapp/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace data {
+namespace {
+
+CategoricalSchema TinySchema() {
+  StatusOr<CategoricalSchema> s =
+      CategoricalSchema::Create({{"a", {"0", "1"}}, {"b", {"0", "1", "2"}}});
+  return *std::move(s);
+}
+
+TEST(ChainGeneratorTest, ValidatesSpecCount) {
+  std::vector<ChainAttributeSpec> specs(1);
+  specs[0].distributions = {{0.5, 0.5}};
+  EXPECT_FALSE(ChainGenerator::Create(TinySchema(), specs).ok());
+}
+
+TEST(ChainGeneratorTest, ValidatesParentOrdering) {
+  std::vector<ChainAttributeSpec> specs(2);
+  specs[0].parent = 1;  // parent after child: invalid
+  specs[0].distributions = {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}};
+  specs[1].distributions = {{0.3, 0.3, 0.4}};
+  EXPECT_FALSE(ChainGenerator::Create(TinySchema(), specs).ok());
+}
+
+TEST(ChainGeneratorTest, ValidatesRowCounts) {
+  std::vector<ChainAttributeSpec> specs(2);
+  specs[0].distributions = {{0.5, 0.5}};
+  specs[1].parent = 0;
+  specs[1].distributions = {{0.3, 0.3, 0.4}};  // needs 2 rows, has 1
+  EXPECT_FALSE(ChainGenerator::Create(TinySchema(), specs).ok());
+}
+
+TEST(ChainGeneratorTest, ValidatesRowArity) {
+  std::vector<ChainAttributeSpec> specs(2);
+  specs[0].distributions = {{0.5, 0.5}};
+  specs[1].distributions = {{0.5, 0.5}};  // needs 3 weights
+  EXPECT_FALSE(ChainGenerator::Create(TinySchema(), specs).ok());
+}
+
+ChainGenerator MakeGenerator() {
+  std::vector<ChainAttributeSpec> specs(2);
+  specs[0].distributions = {{0.7, 0.3}};
+  specs[1].parent = 0;
+  specs[1].distributions = {{0.8, 0.1, 0.1}, {0.1, 0.1, 0.8}};
+  StatusOr<ChainGenerator> g = ChainGenerator::Create(TinySchema(), specs);
+  return *std::move(g);
+}
+
+TEST(ChainGeneratorTest, DeterministicForSeed) {
+  ChainGenerator g = MakeGenerator();
+  StatusOr<CategoricalTable> t1 = g.Generate(100, 5);
+  StatusOr<CategoricalTable> t2 = g.Generate(100, 5);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(t1->Row(i), t2->Row(i));
+  }
+  StatusOr<CategoricalTable> t3 = g.Generate(100, 6);
+  ASSERT_TRUE(t3.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < 100; ++i) any_diff |= (t1->Row(i) != t3->Row(i));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ChainGeneratorTest, MarginalsMatchSpec) {
+  ChainGenerator g = MakeGenerator();
+  StatusOr<CategoricalTable> t = g.Generate(100000, 17);
+  ASSERT_TRUE(t.ok());
+  linalg::Vector ma = t->Marginal(0);
+  EXPECT_NEAR(ma[0], 0.7, 0.01);
+
+  // b's marginal: 0.7 * [.8,.1,.1] + 0.3 * [.1,.1,.8].
+  linalg::Vector mb = t->Marginal(1);
+  EXPECT_NEAR(mb[0], 0.59, 0.01);
+  EXPECT_NEAR(mb[1], 0.10, 0.01);
+  EXPECT_NEAR(mb[2], 0.31, 0.01);
+}
+
+TEST(ChainGeneratorTest, ConditionalDependencyIsRealized) {
+  ChainGenerator g = MakeGenerator();
+  StatusOr<CategoricalTable> t = g.Generate(50000, 23);
+  ASSERT_TRUE(t.ok());
+  // P(b=2 | a=1) should be ~0.8, P(b=2 | a=0) ~0.1.
+  size_t a1 = 0, a1b2 = 0, a0 = 0, a0b2 = 0;
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    if (t->Value(i, 0) == 1) {
+      ++a1;
+      a1b2 += t->Value(i, 1) == 2 ? 1 : 0;
+    } else {
+      ++a0;
+      a0b2 += t->Value(i, 1) == 2 ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(a1b2) / a1, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(a0b2) / a0, 0.1, 0.02);
+}
+
+TEST(ChainGeneratorTest, ExactMarginalPropagation) {
+  ChainGenerator g = MakeGenerator();
+  linalg::Vector ma = g.ExactMarginal(0);
+  EXPECT_NEAR(ma[0], 0.7, 1e-12);
+  linalg::Vector mb = g.ExactMarginal(1);
+  EXPECT_NEAR(mb[0], 0.59, 1e-12);
+  EXPECT_NEAR(mb[1], 0.10, 1e-12);
+  EXPECT_NEAR(mb[2], 0.31, 1e-12);
+}
+
+TEST(ChainGeneratorTest, UnnormalizedWeightsAreNormalized) {
+  std::vector<ChainAttributeSpec> specs(2);
+  specs[0].distributions = {{7.0, 3.0}};  // weights, not probabilities
+  specs[1].distributions = {{1.0, 1.0, 2.0}};
+  StatusOr<ChainGenerator> g = ChainGenerator::Create(TinySchema(), specs);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->ExactMarginal(0)[0], 0.7, 1e-12);
+  EXPECT_NEAR(g->ExactMarginal(1)[2], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,91 @@
+#include "frapp/data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace data {
+namespace {
+
+CategoricalSchema MakeSchema() {
+  StatusOr<CategoricalSchema> s =
+      CategoricalSchema::Create({{"a", {"0", "1"}}, {"b", {"x", "y", "z"}}});
+  return *std::move(s);
+}
+
+TEST(TableTest, AppendAndAccess) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->AppendRow({0, 2}).ok());
+  EXPECT_TRUE(t->AppendRow({1, 0}).ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->Value(0, 1), 2);
+  EXPECT_EQ(t->Row(1), (std::vector<uint8_t>{1, 0}));
+}
+
+TEST(TableTest, AppendValidation) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->AppendRow({0}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t->AppendRow({0, 3}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t->num_rows(), 0u);
+}
+
+TEST(TableTest, SetValue) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 0}).ok());
+  t->SetValue(0, 1, 2);
+  EXPECT_EQ(t->Value(0, 1), 2);
+}
+
+TEST(TableTest, JointHistogramFullDomain) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t->AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 2}).ok());
+  DomainIndexer idx = DomainIndexer::OverAllAttributes(t->schema());
+  linalg::Vector h = t->JointHistogram(idx);
+  ASSERT_EQ(h.size(), 6u);
+  EXPECT_DOUBLE_EQ(h[0], 2.0);  // (0, 0)
+  EXPECT_DOUBLE_EQ(h[5], 1.0);  // (1, 2)
+  EXPECT_DOUBLE_EQ(h.Sum(), 3.0);
+}
+
+TEST(TableTest, JointHistogramSubset) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 1}).ok());
+  StatusOr<DomainIndexer> idx = DomainIndexer::OverSubset(t->schema(), {1});
+  ASSERT_TRUE(idx.ok());
+  linalg::Vector h = t->JointHistogram(*idx);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+}
+
+TEST(TableTest, Marginal) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 0}).ok());
+  ASSERT_TRUE(t->AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 1}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 1}).ok());
+  linalg::Vector m = t->Marginal(1);
+  EXPECT_DOUBLE_EQ(m[0], 0.25);
+  EXPECT_DOUBLE_EQ(m[1], 0.75);
+  EXPECT_DOUBLE_EQ(m[2], 0.0);
+}
+
+TEST(TableTest, ColumnAccessIsContiguous) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({0, 2}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 1}).ok());
+  const std::vector<uint8_t>& col = t->Column(1);
+  EXPECT_EQ(col, (std::vector<uint8_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

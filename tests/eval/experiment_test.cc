@@ -1,0 +1,73 @@
+#include "frapp/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/data/census.h"
+
+namespace frapp {
+namespace eval {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<data::CategoricalTable> t = data::census::MakeDataset(8000, 11);
+    ASSERT_TRUE(t.ok());
+    table_.emplace(*std::move(t));
+    mining::AprioriOptions options;
+    options.min_support = 0.02;
+    StatusOr<mining::AprioriResult> truth = mining::MineExact(*table_, options);
+    ASSERT_TRUE(truth.ok());
+    truth_.emplace(*std::move(truth));
+  }
+
+  std::optional<data::CategoricalTable> table_;
+  std::optional<mining::AprioriResult> truth_;
+};
+
+TEST_F(ExperimentTest, RunMechanismProducesAccuracyPerLength) {
+  auto mechanism = *core::DetGdMechanism::Create(table_->schema(), 19.0);
+  ExperimentConfig config;
+  config.perturb_seed = 5;
+  StatusOr<MechanismRun> run = RunMechanism(*mechanism, *table_, *truth_, config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->mechanism_name, "DET-GD");
+  ASSERT_FALSE(run->accuracy.empty());
+  EXPECT_EQ(run->accuracy[0].length, 1u);
+  EXPECT_EQ(run->accuracy[0].true_frequent, truth_->OfLength(1).size());
+}
+
+TEST_F(ExperimentTest, SameSeedSameResult) {
+  ExperimentConfig config;
+  config.perturb_seed = 13;
+  auto m1 = *core::DetGdMechanism::Create(table_->schema(), 19.0);
+  auto m2 = *core::DetGdMechanism::Create(table_->schema(), 19.0);
+  StatusOr<MechanismRun> a = RunMechanism(*m1, *table_, *truth_, config);
+  StatusOr<MechanismRun> b = RunMechanism(*m2, *table_, *truth_, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->accuracy.size(), b->accuracy.size());
+  for (size_t i = 0; i < a->accuracy.size(); ++i) {
+    EXPECT_EQ(a->accuracy[i].correct, b->accuracy[i].correct);
+    EXPECT_EQ(a->accuracy[i].found_frequent, b->accuracy[i].found_frequent);
+  }
+}
+
+TEST_F(ExperimentTest, MaxLengthLimitsPasses) {
+  auto mechanism = *core::DetGdMechanism::Create(table_->schema(), 19.0);
+  ExperimentConfig config;
+  config.max_length = 2;
+  StatusOr<MechanismRun> run = RunMechanism(*mechanism, *table_, *truth_, config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run->mined.MaxLength(), 2u);
+}
+
+TEST_F(ExperimentTest, BadThresholdPropagates) {
+  auto mechanism = *core::DetGdMechanism::Create(table_->schema(), 19.0);
+  ExperimentConfig config;
+  config.min_support = 0.0;
+  EXPECT_FALSE(RunMechanism(*mechanism, *table_, *truth_, config).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace frapp

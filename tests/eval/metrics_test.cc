@@ -1,0 +1,122 @@
+#include "frapp/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace frapp {
+namespace eval {
+namespace {
+
+using mining::AprioriResult;
+using mining::Itemset;
+
+AprioriResult MakeResult(
+    const std::vector<std::vector<std::pair<Itemset, double>>>& levels) {
+  AprioriResult r;
+  for (const auto& level : levels) {
+    std::vector<mining::FrequentItemset> v;
+    for (const auto& [itemset, support] : level) v.push_back({itemset, support});
+    r.by_length.push_back(std::move(v));
+  }
+  return r;
+}
+
+TEST(MetricsTest, PerfectMatchHasZeroErrors) {
+  AprioriResult truth = MakeResult({{{*Itemset::Create({{0, 0}}), 0.5}}});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, truth);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].length, 1u);
+  EXPECT_DOUBLE_EQ(acc[0].support_error, 0.0);
+  EXPECT_DOUBLE_EQ(acc[0].sigma_minus, 0.0);
+  EXPECT_DOUBLE_EQ(acc[0].sigma_plus, 0.0);
+}
+
+TEST(MetricsTest, SupportErrorIsMeanRelativePercentOverCorrect) {
+  Itemset a = *Itemset::Create({{0, 0}});
+  Itemset b = *Itemset::Create({{0, 1}});
+  AprioriResult truth = MakeResult({{{a, 0.5}, {b, 0.2}}});
+  // a estimated 10% low, b estimated 50% high.
+  AprioriResult est = MakeResult({{{a, 0.45}, {b, 0.3}}});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, est);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_NEAR(acc[0].support_error, (10.0 + 50.0) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, FalseNegativesAndPositives) {
+  Itemset a = *Itemset::Create({{0, 0}});
+  Itemset b = *Itemset::Create({{0, 1}});
+  Itemset c = *Itemset::Create({{0, 2}});
+  // Truth: {a, b}. Estimated: {b, c} -> 1 false negative (a), 1 false
+  // positive (c) relative to |F| = 2.
+  AprioriResult truth = MakeResult({{{a, 0.5}, {b, 0.2}}});
+  AprioriResult est = MakeResult({{{b, 0.22}, {c, 0.1}}});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, est);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].true_frequent, 2u);
+  EXPECT_EQ(acc[0].found_frequent, 2u);
+  EXPECT_EQ(acc[0].correct, 1u);
+  EXPECT_DOUBLE_EQ(acc[0].sigma_minus, 50.0);
+  EXPECT_DOUBLE_EQ(acc[0].sigma_plus, 50.0);
+}
+
+TEST(MetricsTest, MechanismFindsNothing) {
+  Itemset a = *Itemset::Create({{0, 0}});
+  AprioriResult truth = MakeResult({{{a, 0.5}}});
+  AprioriResult est = MakeResult({});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, est);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_TRUE(std::isnan(acc[0].support_error));  // nothing correctly found
+  EXPECT_DOUBLE_EQ(acc[0].sigma_minus, 100.0);
+  EXPECT_DOUBLE_EQ(acc[0].sigma_plus, 0.0);
+}
+
+TEST(MetricsTest, SpuriousLengthHasNanIdentityErrors) {
+  // Estimated finds length-2 itemsets where truth has none: |F| = 0 makes
+  // the percentage identity errors undefined.
+  Itemset a = *Itemset::Create({{0, 0}});
+  Itemset ab = *Itemset::Create({{0, 0}, {1, 0}});
+  AprioriResult truth = MakeResult({{{a, 0.5}}});
+  AprioriResult est = MakeResult({{{a, 0.5}}, {{ab, 0.3}}});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, est);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_TRUE(std::isnan(acc[1].sigma_minus));
+  EXPECT_TRUE(std::isnan(acc[1].sigma_plus));
+  EXPECT_EQ(acc[1].found_frequent, 1u);
+}
+
+TEST(MetricsTest, EmptyLengthsAreOmitted) {
+  Itemset a = *Itemset::Create({{0, 0}});
+  Itemset abc = *Itemset::Create({{0, 0}, {1, 0}, {2, 0}});
+  AprioriResult truth = MakeResult({{{a, 0.5}}, {}, {{abc, 0.1}}});
+  std::vector<LengthAccuracy> acc = CompareMiningResults(truth, truth);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].length, 1u);
+  EXPECT_EQ(acc[1].length, 3u);
+}
+
+TEST(MetricsTest, OverallAggregation) {
+  Itemset a = *Itemset::Create({{0, 0}});
+  Itemset b = *Itemset::Create({{1, 0}});
+  Itemset ab = *Itemset::Create({{0, 0}, {1, 0}});
+  AprioriResult truth = MakeResult({{{a, 0.5}, {b, 0.4}}, {{ab, 0.2}}});
+  AprioriResult est = MakeResult({{{a, 0.55}, {b, 0.4}}, {}});
+  std::vector<LengthAccuracy> per_length = CompareMiningResults(truth, est);
+  LengthAccuracy overall = OverallAccuracy(per_length);
+  EXPECT_EQ(overall.true_frequent, 3u);
+  EXPECT_EQ(overall.found_frequent, 2u);
+  EXPECT_EQ(overall.correct, 2u);
+  EXPECT_NEAR(overall.support_error, 5.0, 1e-9);  // (10% + 0%) / 2
+  EXPECT_NEAR(overall.sigma_minus, 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(overall.sigma_plus, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, OverallOfEmptyIsNan) {
+  LengthAccuracy overall = OverallAccuracy({});
+  EXPECT_TRUE(std::isnan(overall.support_error));
+  EXPECT_TRUE(std::isnan(overall.sigma_minus));
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace frapp

@@ -1,0 +1,60 @@
+#include "frapp/eval/reporting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace frapp {
+namespace eval {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableDeathTest, RowArityChecked) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "FRAPP_CHECK");
+}
+
+TEST(CellTest, FormatsNumbersAndNans) {
+  EXPECT_EQ(Cell(1.5), "1.5");
+  EXPECT_EQ(Cell(std::nan("")), "-");
+  EXPECT_EQ(Cell(std::numeric_limits<double>::infinity()), "-");
+  EXPECT_EQ(Cell(123.456, 2), "1.2e+02");
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/frapp_reporting_test.csv";
+  Status s = WriteCsv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  ASSERT_TRUE(s.ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "x,y\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, BadPathIsIOError) {
+  EXPECT_EQ(WriteCsv("/nonexistent-dir/x.csv", {"a"}, {}).code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace frapp

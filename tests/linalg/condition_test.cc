@@ -1,0 +1,82 @@
+#include "frapp/linalg/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(ConditionTest, IdentityIsOne) {
+  StatusOr<double> c = ConditionNumber(Matrix::Identity(5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 1.0, 1e-10);
+}
+
+TEST(ConditionTest, DiagonalRatio) {
+  StatusOr<double> c = ConditionNumber(Matrix::Diagonal(Vector{1.0, 10.0}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 10.0, 1e-10);
+}
+
+TEST(ConditionTest, GammaDiagonalClosedForm) {
+  // Paper Section 3: cond = (gamma + n - 1)/(gamma - 1).
+  const double gamma = 19.0;
+  const size_t n = 10;
+  const double x = 1.0 / (gamma + n - 1.0);
+  Matrix a(n, n, x);
+  for (size_t i = 0; i < n; ++i) a(i, i) = gamma * x;
+  StatusOr<double> c = SymmetricConditionNumber(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, (gamma + n - 1.0) / (gamma - 1.0), 1e-9);
+}
+
+TEST(ConditionTest, HilbertMatrixIsIllConditioned) {
+  // The paper quotes ~1e5 for the 5x5 Hilbert matrix (Section 2.3).
+  const size_t n = 5;
+  Matrix h(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  StatusOr<double> c = SymmetricConditionNumber(h);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, 1e5);
+  EXPECT_LT(*c, 1e6);
+}
+
+TEST(ConditionTest, IndefiniteSymmetricFallsBackToSpectral) {
+  // Symmetric but indefinite: symmetric path fails, spectral succeeds.
+  Matrix a = Matrix::Diagonal(Vector{-2.0, 1.0});
+  StatusOr<double> c = ConditionNumber(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 2.0, 1e-10);
+}
+
+TEST(ConditionTest, NonSymmetricUsesSingularValues) {
+  Matrix a = Matrix::FromRows({{0.0, 2.0}, {1.0, 0.0}});
+  StatusOr<double> c = ConditionNumber(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(*c, 2.0, 1e-10);
+}
+
+TEST(ConditionTest, SingularMatrixIsError) {
+  Matrix a = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_EQ(SpectralConditionNumber(a).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(ConditionTest, RejectsNonSquare) {
+  EXPECT_EQ(ConditionNumber(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConditionTest, NotPositiveDefiniteSymmetricError) {
+  Matrix a = Matrix::Diagonal(Vector{0.0, 1.0});
+  EXPECT_EQ(SymmetricConditionNumber(a).status().code(),
+            StatusCode::kNumericalError);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

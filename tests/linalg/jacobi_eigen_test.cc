@@ -1,0 +1,114 @@
+#include "frapp/linalg/jacobi_eigen.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrixEigenvaluesSorted) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, -1.0, 2.0});
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(r->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(r->eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, TwoByTwoKnown) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a = Matrix::FromRows({{2.0, 1.0}, {1.0, 2.0}});
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r->eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, GammaDiagonalEigenvalues) {
+  // Gamma-diagonal dense matrix: eigenvalues 1 (ones direction) and
+  // (gamma-1)x with multiplicity n-1 (paper Section 3).
+  const double gamma = 19.0;
+  const size_t n = 8;
+  const double x = 1.0 / (gamma + n - 1.0);
+  Matrix a(n, n, x);
+  for (size_t i = 0; i < n; ++i) a(i, i) = gamma * x;
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_NEAR(r->eigenvalues[i], (gamma - 1.0) * x, 1e-12);
+  }
+  EXPECT_NEAR(r->eigenvalues[n - 1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, RejectsAsymmetric) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {0.0, 1.0}});
+  EXPECT_EQ(SymmetricEigen(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JacobiPropertyTest, ReconstructsMatrixFromDecomposition) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(7 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.NextDouble(-1.0, 1.0);
+      a(j, i) = a(i, j);
+    }
+  }
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+
+  // V Lambda V^T == A.
+  Matrix lambda = Matrix::Diagonal(r->eigenvalues);
+  Matrix reconstructed =
+      r->eigenvectors.MatMul(lambda).MatMul(r->eigenvectors.Transposed());
+  EXPECT_TRUE(reconstructed.ApproxEquals(a, 1e-9));
+}
+
+TEST_P(JacobiPropertyTest, EigenvectorsAreOrthonormal) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(100 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.NextDouble(0.0, 1.0);
+      a(j, i) = a(i, j);
+    }
+  }
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  Matrix vtv = r->eigenvectors.Transposed().MatMul(r->eigenvectors);
+  EXPECT_TRUE(vtv.ApproxEquals(Matrix::Identity(n), 1e-9));
+}
+
+TEST_P(JacobiPropertyTest, TraceEqualsEigenvalueSum) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(55 + n);
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.NextDouble(-2.0, 2.0);
+      a(j, i) = a(i, j);
+    }
+    trace += a(i, i);
+  }
+  StatusOr<SymmetricEigenResult> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->eigenvalues.Sum(), trace, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest,
+                         ::testing::Values<size_t>(1, 2, 3, 4, 6, 10, 20));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

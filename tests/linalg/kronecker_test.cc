@@ -1,0 +1,111 @@
+#include "frapp/linalg/kronecker.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/linalg/lu.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+Matrix RandomSquare(size_t n, uint64_t seed) {
+  random::Pcg64 rng(seed);
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m(i, j) = rng.NextDouble(0.1, 1.0);
+    m(i, i) += static_cast<double>(n);
+  }
+  return m;
+}
+
+TEST(KroneckerTest, TwoByTwoTimesIdentity) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix k = KroneckerProduct(a, Matrix::Identity(2));
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(k(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(k(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(k(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(k(3, 3), 4.0);
+  EXPECT_DOUBLE_EQ(k(0, 1), 0.0);
+}
+
+TEST(KroneckerTest, ProductOfList) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = Matrix::FromRows({{2.0}});
+  Matrix k = KroneckerProduct({a, b, a});
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 0), 2.0);
+}
+
+TEST(KroneckerTest, MixedRadixOrderingFirstFactorSlowest) {
+  // (A (x) B) applied to e_{(i,j)} must place A's index as the slow digit.
+  Matrix a = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});  // swap
+  Matrix b = Matrix::Identity(3);
+  Vector x(6);
+  x[0 * 3 + 1] = 1.0;  // (i=0, j=1)
+  StatusOr<Vector> y = KroneckerMatVec({a, b}, x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ((*y)[1 * 3 + 1], 1.0);  // swapped to (i=1, j=1)
+  EXPECT_DOUBLE_EQ(y->Norm1(), 1.0);
+}
+
+class KroneckerPropertyTest
+    : public ::testing::TestWithParam<std::vector<size_t>> {};
+
+TEST_P(KroneckerPropertyTest, MatVecMatchesDenseProduct) {
+  const std::vector<size_t>& dims = GetParam();
+  std::vector<Matrix> factors;
+  size_t total = 1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    factors.push_back(RandomSquare(dims[i], 1000 + i));
+    total *= dims[i];
+  }
+  random::Pcg64 rng(9);
+  Vector x(total);
+  for (size_t i = 0; i < total; ++i) x[i] = rng.NextDouble(-1.0, 1.0);
+
+  StatusOr<Vector> fast = KroneckerMatVec(factors, x);
+  ASSERT_TRUE(fast.ok());
+  Vector dense = KroneckerProduct(factors).MatVec(x);
+  for (size_t i = 0; i < total; ++i) EXPECT_NEAR((*fast)[i], dense[i], 1e-9);
+}
+
+TEST_P(KroneckerPropertyTest, SolveInvertsMatVec) {
+  const std::vector<size_t>& dims = GetParam();
+  std::vector<Matrix> factors;
+  size_t total = 1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    factors.push_back(RandomSquare(dims[i], 2000 + i));
+    total *= dims[i];
+  }
+  random::Pcg64 rng(10);
+  Vector x(total);
+  for (size_t i = 0; i < total; ++i) x[i] = rng.NextDouble(-1.0, 1.0);
+
+  StatusOr<Vector> y = KroneckerMatVec(factors, x);
+  ASSERT_TRUE(y.ok());
+  StatusOr<Vector> back = KroneckerSolve(factors, *y);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < total; ++i) EXPECT_NEAR((*back)[i], x[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KroneckerPropertyTest,
+    ::testing::Values(std::vector<size_t>{2}, std::vector<size_t>{2, 3},
+                      std::vector<size_t>{3, 2, 4}, std::vector<size_t>{2, 2, 2, 2}));
+
+TEST(KroneckerTest, DimensionMismatchRejected) {
+  EXPECT_FALSE(KroneckerMatVec({Matrix::Identity(2)}, Vector(3)).ok());
+  EXPECT_FALSE(KroneckerMatVec({}, Vector(1)).ok());
+}
+
+TEST(KroneckerTest, SingularFactorFailsSolve) {
+  Matrix singular(2, 2, 1.0);
+  EXPECT_FALSE(KroneckerSolve({singular}, Vector(2, 1.0)).ok());
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

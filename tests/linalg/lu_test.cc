@@ -1,0 +1,116 @@
+#include "frapp/linalg/lu.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a = Matrix::FromRows({{2.0, 1.0}, {1.0, 3.0}});
+  StatusOr<Vector> x = SolveLinearSystem(a, Vector{3.0, 5.0});
+  ASSERT_TRUE(x.ok());
+  // 2x + y = 3, x + 3y = 5 -> x = 4/5, y = 7/5.
+  EXPECT_NEAR((*x)[0], 0.8, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, SolveRequiresPivoting) {
+  // Zero leading pivot forces a row swap.
+  Matrix a = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  StatusOr<Vector> x = SolveLinearSystem(a, Vector{2.0, 5.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {2.0, 4.0}});
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  EXPECT_EQ(LuDecomposition::Compute(Matrix(2, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, RejectsEmpty) {
+  EXPECT_FALSE(LuDecomposition::Compute(Matrix()).ok());
+}
+
+TEST(LuTest, RhsDimensionMismatch) {
+  Matrix a = Matrix::Identity(2);
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_FALSE(lu->Solve(Vector{1.0}).ok());
+}
+
+TEST(LuTest, DeterminantKnownValues) {
+  StatusOr<LuDecomposition> lu =
+      LuDecomposition::Compute(Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}}));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -2.0, 1e-12);
+
+  StatusOr<LuDecomposition> id = LuDecomposition::Compute(Matrix::Identity(4));
+  ASSERT_TRUE(id.ok());
+  EXPECT_NEAR(id->Determinant(), 1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantTracksRowSwaps) {
+  // A permutation matrix with one swap has determinant -1.
+  Matrix p = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(p);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseOfKnownMatrix) {
+  Matrix a = Matrix::FromRows({{4.0, 7.0}, {2.0, 6.0}});
+  StatusOr<Matrix> inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix expected = Matrix::FromRows({{0.6, -0.7}, {-0.2, 0.4}});
+  EXPECT_TRUE(inv->ApproxEquals(expected, 1e-12));
+}
+
+class LuPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LuPropertyTest, InverseTimesMatrixIsIdentity) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(1234 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n);  // diagonal dominance: well-conditioned
+  }
+  StatusOr<Matrix> inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(a.MatMul(*inv).ApproxEquals(Matrix::Identity(n), 1e-9));
+  EXPECT_TRUE(inv->MatMul(a).ApproxEquals(Matrix::Identity(n), 1e-9));
+}
+
+TEST_P(LuPropertyTest, SolveResidualIsTiny) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(99 + n);
+  Matrix a(n, n);
+  Vector b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = rng.NextDouble(-10.0, 10.0);
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n);
+  }
+  StatusOr<Vector> x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector residual = a.MatVec(*x) - b;
+  EXPECT_LT(residual.NormInf(), 1e-9 * std::max(1.0, b.NormInf()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuPropertyTest,
+                         ::testing::Values<size_t>(1, 2, 3, 5, 8, 16, 40));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,116 @@
+#include "frapp/linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_TRUE(m.IsSquare());
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  Matrix d = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Vector r = m.Row(1);
+  Vector c = m.Col(2);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Vector y = m.MatVec(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, TransposedMatVecMatchesExplicitTranspose) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Vector x = {1.0, -1.0};
+  Vector lhs = m.TransposedMatVec(x);
+  Vector rhs = m.Transposed().MatVec(x);
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_DOUBLE_EQ(lhs[i], rhs[i]);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_TRUE(a.MatMul(Matrix::Identity(2)).ApproxEquals(a, 0.0));
+  EXPECT_TRUE(Matrix::Identity(2).MatMul(a).ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = Matrix::Identity(2);
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+}
+
+TEST(MatrixTest, NormsAndMaxAbs) {
+  Matrix m = Matrix::FromRows({{3.0, 0.0}, {0.0, -4.0}});
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, ColumnStochasticDetection) {
+  Matrix markov = Matrix::FromRows({{0.9, 0.2}, {0.1, 0.8}});
+  EXPECT_TRUE(markov.IsColumnStochastic());
+  Matrix bad_sum = Matrix::FromRows({{0.9, 0.2}, {0.2, 0.8}});
+  EXPECT_FALSE(bad_sum.IsColumnStochastic());
+  Matrix negative = Matrix::FromRows({{1.1, 0.0}, {-0.1, 1.0}});
+  EXPECT_FALSE(negative.IsColumnStochastic());
+}
+
+TEST(MatrixTest, SymmetryDetection) {
+  EXPECT_TRUE(Matrix::FromRows({{1.0, 2.0}, {2.0, 3.0}}).IsSymmetric());
+  EXPECT_FALSE(Matrix::FromRows({{1.0, 2.0}, {2.1, 3.0}}).IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());  // non-square
+}
+
+TEST(MatrixTest, ApproxEquals) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = a;
+  b(0, 0) += 1e-12;
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-15));
+  EXPECT_FALSE(a.ApproxEquals(Matrix(3, 3), 1.0));
+}
+
+TEST(MatrixDeathTest, RaggedInitializerRejected) {
+  EXPECT_DEATH(Matrix::FromRows({{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixDeathTest, MatVecDimensionMismatch) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.MatVec(Vector{1.0, 2.0}), "FRAPP_CHECK");
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

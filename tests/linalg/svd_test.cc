@@ -1,0 +1,84 @@
+#include "frapp/linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frapp/linalg/jacobi_eigen.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  StatusOr<Vector> sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR((*sigma)[0], 3.0, 1e-10);
+  EXPECT_NEAR((*sigma)[1], 2.0, 1e-10);
+  EXPECT_NEAR((*sigma)[2], 1.0, 1e-10);
+}
+
+TEST(SvdTest, NegativeEigenvaluesBecomePositiveSingularValues) {
+  Matrix a = Matrix::Diagonal(Vector{-5.0, 1.0});
+  StatusOr<Vector> sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR((*sigma)[0], 5.0, 1e-10);
+}
+
+TEST(SvdTest, WideMatrixHandledByTransposition) {
+  Matrix a = Matrix::FromRows({{1.0, 0.0, 0.0}, {0.0, 2.0, 0.0}});
+  StatusOr<Vector> sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR((*sigma)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*sigma)[1], 1.0, 1e-10);
+}
+
+TEST(SvdTest, RejectsEmpty) {
+  EXPECT_FALSE(SingularValues(Matrix()).ok());
+}
+
+class SvdPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SvdPropertyTest, MatchesEigenvaluesOfGram) {
+  // Singular values of A are sqrt of eigenvalues of A^T A.
+  const size_t n = GetParam();
+  random::Pcg64 rng(321 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble(-1.0, 1.0);
+  }
+  StatusOr<Vector> sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+
+  Matrix gram = a.Transposed().MatMul(a);
+  StatusOr<SymmetricEigenResult> eig = SymmetricEigen(gram);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 0; i < n; ++i) {
+    const double expected =
+        std::sqrt(std::max(0.0, eig->eigenvalues[n - 1 - i]));
+    EXPECT_NEAR((*sigma)[i], expected, 1e-8) << "i=" << i;
+  }
+}
+
+TEST_P(SvdPropertyTest, FrobeniusNormIsRootSumOfSquares) {
+  const size_t n = GetParam();
+  random::Pcg64 rng(77 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble(-3.0, 3.0);
+  }
+  StatusOr<Vector> sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  double sum = 0.0;
+  for (size_t i = 0; i < sigma->size(); ++i) sum += (*sigma)[i] * (*sigma)[i];
+  EXPECT_NEAR(std::sqrt(sum), a.FrobeniusNorm(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvdPropertyTest,
+                         ::testing::Values<size_t>(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,127 @@
+#include "frapp/linalg/uniform_mixture.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/linalg/jacobi_eigen.h"
+#include "frapp/linalg/lu.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+// The paper's gamma-diagonal family in (diagonal, off-diagonal) form.
+UniformMixtureMatrix GammaForm(size_t n, double gamma) {
+  const double x = 1.0 / (gamma + static_cast<double>(n) - 1.0);
+  return UniformMixtureMatrix::FromDiagonalOffDiagonal(n, gamma * x, x);
+}
+
+TEST(UniformMixtureTest, AccessorsAndDenseAgree) {
+  UniformMixtureMatrix m(3, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.DiagonalValue(), 2.5);
+  EXPECT_DOUBLE_EQ(m.OffDiagonalValue(), 0.5);
+  Matrix dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(dense(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(dense(2, 2), 2.5);
+}
+
+TEST(UniformMixtureTest, EigenvaluesMatchJacobi) {
+  UniformMixtureMatrix m(5, 0.7, 0.06);
+  StatusOr<SymmetricEigenResult> eig = SymmetricEigen(m.ToDense());
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], m.BulkEigenvalue(), 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[4], m.OnesEigenvalue(), 1e-12);
+}
+
+TEST(UniformMixtureTest, GammaFormIsStochasticWithUnitOnesEigenvalue) {
+  UniformMixtureMatrix m = GammaForm(10, 19.0);
+  EXPECT_TRUE(m.IsColumnStochastic());
+  EXPECT_NEAR(m.OnesEigenvalue(), 1.0, 1e-12);
+  StatusOr<double> cond = m.ConditionNumber();
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(*cond, (19.0 + 9.0) / 18.0, 1e-12);
+}
+
+TEST(UniformMixtureTest, AmplificationRatioIsGamma) {
+  UniformMixtureMatrix m = GammaForm(7, 19.0);
+  StatusOr<double> amp = m.AmplificationRatio();
+  ASSERT_TRUE(amp.ok());
+  EXPECT_NEAR(*amp, 19.0, 1e-12);
+}
+
+TEST(UniformMixtureTest, AmplificationSingletonIsOne) {
+  UniformMixtureMatrix m(1, 0.0, 1.0);
+  StatusOr<double> amp = m.AmplificationRatio();
+  ASSERT_TRUE(amp.ok());
+  EXPECT_DOUBLE_EQ(*amp, 1.0);
+}
+
+TEST(UniformMixtureTest, AmplificationUndefinedWithZeroEntry) {
+  UniformMixtureMatrix m(3, 1.0, 0.0);  // off-diagonal zero
+  EXPECT_FALSE(m.AmplificationRatio().ok());
+}
+
+TEST(UniformMixtureTest, MatVecMatchesDense) {
+  UniformMixtureMatrix m(6, -0.3, 0.2);
+  random::Pcg64 rng(5);
+  Vector x(6);
+  for (size_t i = 0; i < 6; ++i) x[i] = rng.NextDouble(-2.0, 2.0);
+  Vector fast = m.MatVec(x);
+  Vector dense = m.ToDense().MatVec(x);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(fast[i], dense[i], 1e-12);
+}
+
+class UniformMixtureSolveTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(UniformMixtureSolveTest, SolveMatchesDenseLu) {
+  const auto [n, gamma] = GetParam();
+  UniformMixtureMatrix m = GammaForm(n, gamma);
+  random::Pcg64 rng(42 + n);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = rng.NextDouble(0.0, 100.0);
+
+  StatusOr<Vector> fast = m.Solve(y);
+  ASSERT_TRUE(fast.ok());
+  StatusOr<Vector> dense = SolveLinearSystem(m.ToDense(), y);
+  ASSERT_TRUE(dense.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*fast)[i], (*dense)[i], 1e-8);
+}
+
+TEST_P(UniformMixtureSolveTest, InverseIsUniformMixtureToo) {
+  const auto [n, gamma] = GetParam();
+  UniformMixtureMatrix m = GammaForm(n, gamma);
+  StatusOr<UniformMixtureMatrix> inv = m.Inverse();
+  ASSERT_TRUE(inv.ok());
+  Matrix product = m.ToDense().MatMul(inv->ToDense());
+  EXPECT_TRUE(product.ApproxEquals(Matrix::Identity(n), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UniformMixtureSolveTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 3, 8, 50),
+                       ::testing::Values(1.5, 19.0, 100.0)));
+
+TEST(UniformMixtureTest, SingularMatrixSolveFails) {
+  UniformMixtureMatrix zero_a(4, 0.0, 0.25);
+  EXPECT_FALSE(zero_a.Solve(Vector(4, 1.0)).ok());
+  EXPECT_FALSE(zero_a.Inverse().ok());
+  // a + n b = 0 is the other singular direction.
+  UniformMixtureMatrix zero_ones(4, 1.0, -0.25);
+  EXPECT_FALSE(zero_ones.Solve(Vector(4, 1.0)).ok());
+}
+
+TEST(UniformMixtureTest, SolveRejectsWrongDimension) {
+  UniformMixtureMatrix m(3, 1.0, 0.1);
+  EXPECT_FALSE(m.Solve(Vector(4, 1.0)).ok());
+}
+
+TEST(UniformMixtureTest, NotPositiveDefiniteConditionFails) {
+  UniformMixtureMatrix m(3, -1.0, 0.1);
+  EXPECT_FALSE(m.ConditionNumber().ok());
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

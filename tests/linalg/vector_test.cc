@@ -1,0 +1,83 @@
+#include "frapp/linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace linalg {
+namespace {
+
+TEST(VectorTest, ConstructionVariants) {
+  EXPECT_EQ(Vector().size(), 0u);
+  EXPECT_TRUE(Vector().empty());
+  Vector zeros(3);
+  EXPECT_EQ(zeros.size(), 3u);
+  EXPECT_DOUBLE_EQ(zeros[2], 0.0);
+  Vector filled(2, 1.5);
+  EXPECT_DOUBLE_EQ(filled[0], 1.5);
+  Vector list = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(list[1], 2.0);
+  Vector adopted(std::vector<double>{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(adopted[1], 5.0);
+}
+
+TEST(VectorTest, SumAndNorms) {
+  Vector v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 4.0);
+}
+
+TEST(VectorTest, EmptyNorms) {
+  Vector v;
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(v.Norm2(), 0.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 0.0);
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorTest, ScaleAndAxpy) {
+  Vector v = {1.0, 2.0};
+  v.Scale(3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  Vector w = {10.0, 20.0};
+  v.Axpy(0.5, w);
+  EXPECT_DOUBLE_EQ(v[0], 8.0);
+  EXPECT_DOUBLE_EQ(v[1], 16.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a = {1.0, 2.0};
+  Vector b = {3.0, 5.0};
+  Vector sum = a + b;
+  Vector diff = b - a;
+  Vector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(sum[1], 7.0);
+  EXPECT_DOUBLE_EQ(diff[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+}
+
+TEST(VectorTest, ToStringRendersEntries) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+  EXPECT_EQ(Vector().ToString(), "[]");
+}
+
+TEST(VectorDeathTest, AtChecksBounds) {
+  Vector v = {1.0};
+  EXPECT_DEATH((void)v.At(1), "FRAPP_CHECK");
+}
+
+TEST(VectorDeathTest, DotDimensionMismatch) {
+  Vector a = {1.0};
+  Vector b = {1.0, 2.0};
+  EXPECT_DEATH((void)a.Dot(b), "FRAPP_CHECK");
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace frapp

@@ -1,0 +1,74 @@
+#include "frapp/mining/itemset.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace mining {
+namespace {
+
+data::CategoricalSchema TinySchema() {
+  StatusOr<data::CategoricalSchema> s = data::CategoricalSchema::Create(
+      {{"a", {"0", "1"}}, {"b", {"x", "y", "z"}}, {"c", {"p", "q"}}});
+  return *std::move(s);
+}
+
+TEST(ItemsetTest, CreateSortsByAttribute) {
+  StatusOr<Itemset> s = Itemset::Create({{2, 0}, {0, 1}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->item(0).attribute, 0);
+  EXPECT_EQ(s->item(1).attribute, 2);
+}
+
+TEST(ItemsetTest, RejectsDuplicateAttributes) {
+  EXPECT_FALSE(Itemset::Create({{1, 0}, {1, 1}}).ok());
+}
+
+TEST(ItemsetTest, EmptyItemset) {
+  StatusOr<Itemset> s = Itemset::Create({});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(ItemsetTest, AttributeMaskAndIndices) {
+  StatusOr<Itemset> s = Itemset::Create({{0, 1}, {2, 0}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->AttributeMask(), 0b101u);
+  EXPECT_EQ(s->AttributeIndices(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset big = *Itemset::Create({{0, 1}, {1, 2}, {2, 0}});
+  Itemset sub = *Itemset::Create({{0, 1}, {2, 0}});
+  Itemset wrong_value = *Itemset::Create({{0, 0}});
+  Itemset wrong_attr = *Itemset::Create({{0, 1}, {1, 2}, {2, 1}});
+  EXPECT_TRUE(big.Contains(sub));
+  EXPECT_TRUE(big.Contains(big));
+  EXPECT_TRUE(big.Contains(*Itemset::Create({})));
+  EXPECT_FALSE(big.Contains(wrong_value));
+  EXPECT_FALSE(big.Contains(wrong_attr));
+  EXPECT_FALSE(sub.Contains(big));
+}
+
+TEST(ItemsetTest, OrderingAndEquality) {
+  Itemset a = *Itemset::Create({{0, 1}});
+  Itemset b = *Itemset::Create({{0, 1}});
+  Itemset c = *Itemset::Create({{0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, c);
+}
+
+TEST(ItemsetTest, HashConsistentWithEquality) {
+  Itemset a = *Itemset::Create({{0, 1}, {1, 2}});
+  Itemset b = *Itemset::Create({{1, 2}, {0, 1}});  // same after sorting
+  EXPECT_EQ(Itemset::Hash()(a), Itemset::Hash()(b));
+}
+
+TEST(ItemsetTest, ToStringUsesSchemaLabels) {
+  Itemset s = *Itemset::Create({{0, 1}, {1, 2}});
+  EXPECT_EQ(s.ToString(TinySchema()), "{a=1, b=z}");
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,78 @@
+#include "frapp/mining/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace mining {
+namespace {
+
+AprioriResult MakeResult() {
+  // Supports: {A}=0.5, {B}=0.4, {A,B}=0.3.
+  AprioriResult r;
+  r.by_length.resize(2);
+  r.by_length[0].push_back({*Itemset::Create({{0, 0}}), 0.5});
+  r.by_length[0].push_back({*Itemset::Create({{1, 0}}), 0.4});
+  r.by_length[1].push_back({*Itemset::Create({{0, 0}, {1, 0}}), 0.3});
+  return r;
+}
+
+TEST(RulesTest, ConfidenceComputation) {
+  std::vector<AssociationRule> rules = GenerateRules(MakeResult(), 0.0);
+  ASSERT_EQ(rules.size(), 2u);
+  // B => A has confidence 0.3/0.4 = 0.75 (strongest first).
+  EXPECT_EQ(rules[0].antecedent, *Itemset::Create({{1, 0}}));
+  EXPECT_NEAR(rules[0].confidence, 0.75, 1e-12);
+  EXPECT_NEAR(rules[0].support, 0.3, 1e-12);
+  // A => B has confidence 0.3/0.5 = 0.6.
+  EXPECT_NEAR(rules[1].confidence, 0.6, 1e-12);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  EXPECT_EQ(GenerateRules(MakeResult(), 0.7).size(), 1u);
+  EXPECT_EQ(GenerateRules(MakeResult(), 0.8).size(), 0u);
+}
+
+TEST(RulesTest, SingletonsYieldNoRules) {
+  AprioriResult r;
+  r.by_length.resize(1);
+  r.by_length[0].push_back({*Itemset::Create({{0, 0}}), 0.5});
+  EXPECT_TRUE(GenerateRules(r, 0.0).empty());
+}
+
+TEST(RulesTest, ThreeItemsetEnumeratesAllSplits) {
+  AprioriResult r;
+  r.by_length.resize(3);
+  r.by_length[0].push_back({*Itemset::Create({{0, 0}}), 0.6});
+  r.by_length[0].push_back({*Itemset::Create({{1, 0}}), 0.6});
+  r.by_length[0].push_back({*Itemset::Create({{2, 0}}), 0.6});
+  r.by_length[1].push_back({*Itemset::Create({{0, 0}, {1, 0}}), 0.4});
+  r.by_length[1].push_back({*Itemset::Create({{0, 0}, {2, 0}}), 0.4});
+  r.by_length[1].push_back({*Itemset::Create({{1, 0}, {2, 0}}), 0.4});
+  r.by_length[2].push_back({*Itemset::Create({{0, 0}, {1, 0}, {2, 0}}), 0.3});
+  // 3-itemset contributes 2^3 - 2 = 6 rules; each 2-itemset contributes 2.
+  EXPECT_EQ(GenerateRules(r, 0.0).size(), 6u + 3u * 2u);
+}
+
+TEST(RulesTest, MissingAntecedentSupportSkipsRule) {
+  // {A,B} frequent but {A} missing from the result: the A => B rule cannot
+  // be scored and must be skipped (not crash).
+  AprioriResult r;
+  r.by_length.resize(2);
+  r.by_length[0].push_back({*Itemset::Create({{1, 0}}), 0.4});
+  r.by_length[1].push_back({*Itemset::Create({{0, 0}, {1, 0}}), 0.3});
+  std::vector<AssociationRule> rules = GenerateRules(r, 0.0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].antecedent, *Itemset::Create({{1, 0}}));
+}
+
+TEST(RulesTest, ToStringRendersRule) {
+  StatusOr<data::CategoricalSchema> s = data::CategoricalSchema::Create(
+      {{"disease", {"malaria", "tb"}}, {"sex", {"F", "M"}}});
+  AssociationRule rule{*Itemset::Create({{1, 0}}), *Itemset::Create({{0, 1}}),
+                       0.1, 0.8};
+  EXPECT_EQ(rule.ToString(*s), "{sex=F} => {disease=tb}");
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,68 @@
+#include "frapp/mining/support_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace frapp {
+namespace mining {
+namespace {
+
+data::CategoricalTable MakeTable() {
+  StatusOr<data::CategoricalSchema> s = data::CategoricalSchema::Create(
+      {{"a", {"0", "1"}}, {"b", {"0", "1", "2"}}});
+  StatusOr<data::CategoricalTable> t = data::CategoricalTable::Create(*s);
+  // Rows: (0,0) x3, (0,1) x2, (1,2) x1.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(t->AppendRow({0, 0}).ok());
+  for (int i = 0; i < 2; ++i) EXPECT_TRUE(t->AppendRow({0, 1}).ok());
+  EXPECT_TRUE(t->AppendRow({1, 2}).ok());
+  return *std::move(t);
+}
+
+TEST(SupportCounterTest, SingleItemCounts) {
+  data::CategoricalTable t = MakeTable();
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{0, 0}})), 5u);
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{0, 1}})), 1u);
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{1, 0}})), 3u);
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{1, 2}})), 1u);
+}
+
+TEST(SupportCounterTest, PairCounts) {
+  data::CategoricalTable t = MakeTable();
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{0, 0}, {1, 0}})), 3u);
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{0, 0}, {1, 2}})), 0u);
+  EXPECT_EQ(CountSupport(t, *Itemset::Create({{0, 1}, {1, 2}})), 1u);
+}
+
+TEST(SupportCounterTest, EmptyItemsetMatchesAll) {
+  data::CategoricalTable t = MakeTable();
+  EXPECT_EQ(CountSupport(t, Itemset()), 6u);
+}
+
+TEST(SupportCounterTest, SupportFraction) {
+  data::CategoricalTable t = MakeTable();
+  EXPECT_DOUBLE_EQ(SupportFraction(t, *Itemset::Create({{1, 0}})), 0.5);
+}
+
+TEST(SupportCounterTest, EmptyTableFractionIsZero) {
+  StatusOr<data::CategoricalSchema> s =
+      data::CategoricalSchema::Create({{"a", {"0", "1"}}});
+  StatusOr<data::CategoricalTable> t = data::CategoricalTable::Create(*s);
+  EXPECT_DOUBLE_EQ(SupportFraction(*t, *Itemset::Create({{0, 0}})), 0.0);
+}
+
+TEST(SupportCounterTest, BatchMatchesIndividual) {
+  data::CategoricalTable t = MakeTable();
+  std::vector<Itemset> candidates = {
+      *Itemset::Create({{0, 0}}),
+      *Itemset::Create({{1, 1}}),
+      *Itemset::Create({{0, 0}, {1, 1}}),
+  };
+  std::vector<size_t> batch = CountSupports(t, candidates);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(batch[i], CountSupport(t, candidates[i]));
+  }
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,137 @@
+#include "frapp/random/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace frapp {
+namespace random {
+namespace {
+
+TEST(SampleDiscreteLinearTest, MatchesWeights) {
+  Pcg64 rng(1);
+  const std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += SampleDiscreteLinear(weights, rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(SampleDiscreteLinearTest, ZeroWeightSkipped) {
+  Pcg64 rng(2);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(SampleDiscreteLinear(weights, rng), 1u);
+  }
+}
+
+TEST(SampleSubsetTest, SizeAndRangeAndSorted) {
+  Pcg64 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<size_t> subset = SampleSubset(10, 4, rng);
+    ASSERT_EQ(subset.size(), 4u);
+    for (size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_LT(subset[i], 10u);
+      if (i > 0) {
+        EXPECT_LT(subset[i - 1], subset[i]);
+      }
+    }
+  }
+}
+
+TEST(SampleSubsetTest, FullAndEmptySubsets) {
+  Pcg64 rng(4);
+  EXPECT_TRUE(SampleSubset(5, 0, rng).empty());
+  std::vector<size_t> all = SampleSubset(5, 5, rng);
+  EXPECT_EQ(all, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleSubsetTest, ElementsUniform) {
+  // Each element of {0..4} should appear in a 2-subset with prob 2/5.
+  Pcg64 rng(5);
+  const int n = 50000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < n; ++i) {
+    for (size_t e : SampleSubset(5, 2, rng)) ++counts[e];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.4, 0.01);
+  }
+}
+
+TEST(SampleBinomialTest, EdgeCases) {
+  Pcg64 rng(6);
+  EXPECT_EQ(SampleBinomial(10, 0.0, rng), 0u);
+  EXPECT_EQ(SampleBinomial(10, 1.0, rng), 10u);
+  EXPECT_EQ(SampleBinomial(0, 0.5, rng), 0u);
+}
+
+TEST(SampleBinomialTest, MeanMatches) {
+  Pcg64 rng(7);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(SampleBinomial(20, 0.3, rng));
+  EXPECT_NEAR(sum / n, 6.0, 0.1);
+}
+
+class RandomizationParameterTest
+    : public ::testing::TestWithParam<RandomizationKind> {};
+
+TEST_P(RandomizationParameterTest, WithinBoundsAndZeroMean) {
+  const RandomizationKind kind = GetParam();
+  Pcg64 rng(8);
+  const double alpha = 0.25;
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double r = SampleRandomizationParameter(kind, alpha, rng);
+    ASSERT_GE(r, -alpha);
+    ASSERT_LE(r, alpha);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01 * alpha * 10);
+}
+
+TEST_P(RandomizationParameterTest, ZeroAlphaIsDeterministic) {
+  Pcg64 rng(9);
+  EXPECT_DOUBLE_EQ(SampleRandomizationParameter(GetParam(), 0.0, rng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RandomizationParameterTest,
+                         ::testing::Values(RandomizationKind::kUniform,
+                                           RandomizationKind::kTwoPoint,
+                                           RandomizationKind::kTruncatedGaussian));
+
+TEST(RandomizationParameterTest, TwoPointTakesOnlyExtremes) {
+  Pcg64 rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const double r =
+        SampleRandomizationParameter(RandomizationKind::kTwoPoint, 0.5, rng);
+    EXPECT_TRUE(r == 0.5 || r == -0.5);
+  }
+}
+
+TEST(RandomizationParameterTest, UniformSpreadsOverRange) {
+  Pcg64 rng(11);
+  double max_seen = -1.0, min_seen = 1.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double r =
+        SampleRandomizationParameter(RandomizationKind::kUniform, 1.0, rng);
+    max_seen = std::max(max_seen, r);
+    min_seen = std::min(min_seen, r);
+  }
+  EXPECT_GT(max_seen, 0.99);
+  EXPECT_LT(min_seen, -0.99);
+}
+
+TEST(RandomizationKindNameTest, Names) {
+  EXPECT_STREQ(RandomizationKindName(RandomizationKind::kUniform), "uniform");
+  EXPECT_STREQ(RandomizationKindName(RandomizationKind::kTwoPoint), "two-point");
+  EXPECT_STREQ(RandomizationKindName(RandomizationKind::kTruncatedGaussian),
+               "trunc-gaussian");
+}
+
+}  // namespace
+}  // namespace random
+}  // namespace frapp
