@@ -70,6 +70,47 @@ void BM_NaiveCdfPerturb(benchmark::State& state) {
 // 4^8 = 65536: already ~3 orders slower per record than the efficient path.
 BENCHMARK(BM_NaiveCdfPerturb)->DenseRange(2, 8, 2);
 
+// The pre-alias sequential per-column Bernoulli loop, kept as the in-run
+// baseline for the divergence-column kernel.
+void BM_SequentialGammaPerturb(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const data::CategoricalSchema schema = PowerSchema(m);
+  const data::CategoricalTable table = RandomTable(schema, 1000);
+  auto matrix = *core::GammaDiagonalMatrix::Create(19.0, schema.DomainSize());
+  std::vector<size_t> cardinalities(m, 4);
+  random::Pcg64 rng(2);
+  std::vector<uint8_t> record(m);
+  std::vector<uint8_t> perturbed(m);
+  for (auto _ : state) {
+    data::CategoricalTable out = *data::CategoricalTable::Create(schema);
+    out.Reserve(table.num_rows());
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      for (size_t j = 0; j < m; ++j) record[j] = table.Value(i, j);
+      core::PerturbRecordDiagonalForm(record, cardinalities, schema.DomainSize(),
+                                      matrix.DiagonalValue(),
+                                      matrix.OffDiagonalValue(), rng, &perturbed);
+      (void)out.AppendRow(perturbed);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_SequentialGammaPerturb)->DenseRange(2, 8, 2);
+
+// Deterministic seeded path; range(1) = worker threads.
+void BM_SeededGammaPerturb(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const data::CategoricalSchema schema = PowerSchema(m);
+  const data::CategoricalTable table = RandomTable(schema, 50000);
+  auto perturber = *core::GammaDiagonalPerturber::Create(schema, 19.0);
+  const size_t threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perturber.PerturbSeeded(table, 99, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_SeededGammaPerturb)->Args({6, 1})->Args({6, 2})->Args({6, 4});
+
 void BM_RandomizedGammaPerturb(benchmark::State& state) {
   const data::CategoricalSchema schema = data::census::Schema();
   const data::CategoricalTable table = RandomTable(schema, 1000);

@@ -1,0 +1,64 @@
+// Minimal deterministic fork-join parallelism.
+//
+// FRAPP's bulk operations (perturbation, bitmap construction) are data
+// parallel over row ranges. To keep results reproducible for a fixed seed
+// REGARDLESS of the worker count, work is split into fixed-size chunks whose
+// boundaries depend only on the input size — never on the thread count — and
+// any per-chunk randomness is seeded from (master seed, chunk index). Threads
+// then merely decide which worker executes which chunk.
+
+#ifndef FRAPP_COMMON_PARALLEL_H_
+#define FRAPP_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace frapp {
+namespace common {
+
+/// Resolves a requested thread count: 0 means "all hardware threads",
+/// anything else is taken literally (floored at 1).
+inline size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Runs fn(chunk_index) for every chunk_index in [0, num_chunks) using up to
+/// `num_threads` workers (0 = hardware concurrency). Chunks are claimed from
+/// a shared atomic counter, so scheduling is dynamic but the WORK per chunk
+/// must be a pure function of the chunk index for deterministic results.
+/// With one worker (or one chunk) everything runs on the calling thread.
+template <typename Fn>
+void ParallelForChunks(size_t num_chunks, size_t num_threads, Fn&& fn) {
+  const size_t workers =
+      std::min(ResolveThreadCount(num_threads), num_chunks == 0 ? 1 : num_chunks);
+  if (workers <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&]() {
+    for (size_t c = next.fetch_add(1, std::memory_order_relaxed); c < num_chunks;
+         c = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(c);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+/// Number of fixed-size chunks covering n items.
+inline size_t NumChunks(size_t n, size_t chunk_size) {
+  return n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
+}
+
+}  // namespace common
+}  // namespace frapp
+
+#endif  // FRAPP_COMMON_PARALLEL_H_

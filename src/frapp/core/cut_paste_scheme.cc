@@ -130,14 +130,22 @@ StatusOr<double> CutPasteScheme::EstimateItemsetSupport(
   if (static_cast<size_t>(__builtin_popcountll(item_mask)) != k) {
     return Status::InvalidArgument("item mask popcount disagrees with length");
   }
-  FRAPP_ASSIGN_OR_RETURN(linalg::Matrix q, PartialSupportMatrix(k));
-
   linalg::Vector y(k + 1);
   for (size_t i = 0; i < perturbed.num_rows(); ++i) {
     const size_t hits = static_cast<size_t>(
         __builtin_popcountll(perturbed.RowBits(i) & item_mask));
     y[std::min(hits, k)] += 1.0;
   }
+  return ReconstructFromHitHistogram(y, perturbed.num_rows(), k);
+}
+
+StatusOr<double> CutPasteScheme::ReconstructFromHitHistogram(
+    const linalg::Vector& y, size_t num_rows, size_t itemset_length) const {
+  const size_t k = itemset_length;
+  if (y.size() != k + 1) {
+    return Status::InvalidArgument("histogram must have k+1 entries");
+  }
+  FRAPP_ASSIGN_OR_RETURN(linalg::Matrix q, PartialSupportMatrix(k));
 
   StatusOr<linalg::Vector> x = linalg::SolveLinearSystem(q, y);
   if (!x.ok()) {
@@ -149,7 +157,7 @@ StatusOr<double> CutPasteScheme::EstimateItemsetSupport(
     // not frequent.
     return 0.0;
   }
-  const double n = static_cast<double>(perturbed.num_rows());
+  const double n = static_cast<double>(num_rows);
   if (n == 0.0) return 0.0;
   return (*x)[k] / n;
 }
@@ -232,6 +240,25 @@ StatusOr<double> CutPasteScheme::CalibrateRho(size_t cutoff_k, size_t record_ite
 
 StatusOr<double> CutPasteSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
+  const size_t k = itemset.size();
+  if (k >= 1 && k <= data::BooleanVerticalIndex::kMaxIndexedLength) {
+    std::vector<size_t> positions;
+    positions.reserve(k);
+    bool in_range = true;
+    for (const mining::Item& item : itemset.items()) {
+      const size_t pos = layout_.BitPosition(item.attribute, item.category);
+      // A layout wider than the table would index past the bitmaps; the
+      // scalar path below degrades gracefully (such bits are just 0).
+      in_range = in_range && pos < perturbed_.num_bits();
+      positions.push_back(pos);
+    }
+    if (in_range) {
+      const std::vector<int64_t> histogram = index_.HitHistogram(positions);
+      linalg::Vector y(k + 1);
+      for (size_t j = 0; j <= k; ++j) y[j] = static_cast<double>(histogram[j]);
+      return scheme_.ReconstructFromHitHistogram(y, perturbed_.num_rows(), k);
+    }
+  }
   uint64_t mask = 0;
   for (const mining::Item& item : itemset.items()) {
     mask |= 1ull << layout_.BitPosition(item.attribute, item.category);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "frapp/common/statusor.h"
+#include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
 #include "frapp/linalg/lu.h"
 #include "frapp/linalg/matrix.h"
@@ -71,6 +72,14 @@ class CutPasteScheme {
   StatusOr<double> EstimateItemsetSupport(const data::BooleanTable& perturbed,
                                           uint64_t item_mask, size_t itemset_length) const;
 
+  /// Solve half of EstimateItemsetSupport, on a precomputed partial-support
+  /// histogram: y[j] = #perturbed rows containing exactly j of the k items,
+  /// num_rows = table size. Lets callers supply the histogram from a
+  /// vertical index instead of a row scan.
+  StatusOr<double> ReconstructFromHitHistogram(const linalg::Vector& y,
+                                               size_t num_rows,
+                                               size_t itemset_length) const;
+
   /// Record-level amplification max_v max_{u1,u2} A_vu1 / A_vu2, computed
   /// from the closed-form transition probability (depends on records only
   /// through overlap q = |u ^ v| and weight l_v = |v|).
@@ -97,14 +106,18 @@ class CutPasteScheme {
   size_t universe_bits_;
 };
 
-/// Support oracle plugging C&P into Apriori. Caches the per-length LU
-/// factorizations of Q.
+/// Support oracle plugging C&P into Apriori. Short candidates take their
+/// partial-support histogram from a vertical bitmap index of the perturbed
+/// table; long ones fall back to the scalar row scan.
 class CutPasteSupportEstimator : public mining::SupportEstimator {
  public:
   /// `perturbed` must outlive the estimator.
   CutPasteSupportEstimator(const CutPasteScheme& scheme, data::BooleanLayout layout,
                            const data::BooleanTable& perturbed)
-      : scheme_(scheme), layout_(std::move(layout)), perturbed_(perturbed) {}
+      : scheme_(scheme),
+        layout_(std::move(layout)),
+        perturbed_(perturbed),
+        index_(perturbed) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
@@ -112,6 +125,7 @@ class CutPasteSupportEstimator : public mining::SupportEstimator {
   CutPasteScheme scheme_;
   data::BooleanLayout layout_;
   const data::BooleanTable& perturbed_;
+  data::BooleanVerticalIndex index_;
 };
 
 }  // namespace core

@@ -1,5 +1,10 @@
 #include "frapp/core/gamma_diagonal.h"
 
+#include <algorithm>
+
+#include "frapp/common/parallel.h"
+#include "frapp/core/seeded_chunking.h"
+
 namespace frapp {
 namespace core {
 
@@ -60,6 +65,53 @@ void PerturbRecordDiagonalForm(const std::vector<uint8_t>& record,
   }
 }
 
+StatusOr<GammaPerturbPlan> GammaPerturbPlan::Create(
+    std::vector<size_t> cardinalities, uint64_t domain_size) {
+  uint64_t product = 1;
+  for (size_t card : cardinalities) {
+    if (card < 1) return Status::InvalidArgument("empty attribute domain");
+    product *= static_cast<uint64_t>(card);
+  }
+  if (product != domain_size) {
+    return Status::InvalidArgument("domain size disagrees with cardinalities");
+  }
+  // suffix_minus_one_[j] = n / n_j - 1: records per matched prefix through
+  // column j, minus the original itself.
+  std::vector<double> suffix_minus_one(cardinalities.size());
+  uint64_t suffix = domain_size;
+  for (size_t j = 0; j < cardinalities.size(); ++j) {
+    suffix /= cardinalities[j];
+    suffix_minus_one[j] = static_cast<double>(suffix) - 1.0;
+  }
+  return GammaPerturbPlan(std::move(cardinalities), std::move(suffix_minus_one));
+}
+
+std::vector<double> GammaPerturbPlan::DivergenceWeights(double d, double o) const {
+  const size_t m = cardinalities_.size();
+  std::vector<double> weights(m + 1);
+  double q_prev = 1.0;  // q_{-1} = d + (n - 1) o for a stochastic matrix
+  for (size_t j = 0; j < m; ++j) {
+    const double q_j = d + suffix_minus_one_[j] * o;
+    weights[j] = q_prev - q_j;  // P(first divergence at column j)
+    q_prev = q_j;
+  }
+  weights[m] = q_prev;  // q_{M-1} = d: full match
+  return weights;
+}
+
+size_t GammaPerturbPlan::SampleDivergenceColumn(double d, double o,
+                                                random::Pcg64& rng) const {
+  // The q_j decrease in j, so the divergence column is the first j whose
+  // threshold q_j falls at or below one uniform draw. Realistic matrices
+  // put most mass on column 0 (q_0 << 1), so the scan is short.
+  const double u = rng.NextDouble();
+  const size_t m = cardinalities_.size();
+  for (size_t j = 0; j < m; ++j) {
+    if (u >= d + suffix_minus_one_[j] * o) return j;
+  }
+  return m;
+}
+
 StatusOr<GammaDiagonalPerturber> GammaDiagonalPerturber::Create(
     const data::CategoricalSchema& schema, double gamma) {
   FRAPP_ASSIGN_OR_RETURN(GammaDiagonalMatrix matrix,
@@ -67,34 +119,57 @@ StatusOr<GammaDiagonalPerturber> GammaDiagonalPerturber::Create(
   std::vector<size_t> cardinalities(schema.num_attributes());
   for (size_t j = 0; j < schema.num_attributes(); ++j) {
     cardinalities[j] = schema.Cardinality(j);
-    if (cardinalities[j] < 1) {
-      return Status::InvalidArgument("empty attribute domain");
-    }
   }
-  return GammaDiagonalPerturber(std::move(matrix), std::move(cardinalities));
+  FRAPP_ASSIGN_OR_RETURN(
+      GammaPerturbPlan plan,
+      GammaPerturbPlan::Create(std::move(cardinalities), schema.DomainSize()));
+  FRAPP_ASSIGN_OR_RETURN(
+      random::AliasSampler divergence,
+      random::AliasSampler::Create(plan.DivergenceWeights(
+          matrix.DiagonalValue(), matrix.OffDiagonalValue())));
+  return GammaDiagonalPerturber(std::move(matrix), std::move(plan),
+                                std::move(divergence));
 }
+
+using internal::ChunkRng;
+using internal::ColumnPointers;
+using internal::kPerturbChunkRows;
 
 StatusOr<data::CategoricalTable> GammaDiagonalPerturber::Perturb(
     const data::CategoricalTable& table, random::Pcg64& rng) const {
-  if (table.num_attributes() != cardinalities_.size()) {
+  if (table.num_attributes() != plan_.num_attributes()) {
     return Status::InvalidArgument("table schema does not match perturber");
   }
   FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
                          data::CategoricalTable::Create(table.schema()));
-  out.Reserve(table.num_rows());
-  const double d = matrix_.DiagonalValue();
-  const double o = matrix_.OffDiagonalValue();
-  const uint64_t n = matrix_.domain_size();
-
-  std::vector<uint8_t> record(cardinalities_.size());
-  std::vector<uint8_t> perturbed(cardinalities_.size());
+  out.AppendZeroRows(table.num_rows());
+  ColumnPointers cols(table, &out);
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    for (size_t j = 0; j < cardinalities_.size(); ++j) {
-      record[j] = table.Value(i, j);
-    }
-    PerturbRecordDiagonalForm(record, cardinalities_, n, d, o, rng, &perturbed);
-    FRAPP_RETURN_IF_ERROR(out.AppendRow(perturbed));
+    plan_.FillRow(divergence_.Sample(rng), cols.in.data(), cols.out.data(), i, rng);
   }
+  return out;
+}
+
+StatusOr<data::CategoricalTable> GammaDiagonalPerturber::PerturbSeeded(
+    const data::CategoricalTable& table, uint64_t seed,
+    size_t num_threads) const {
+  if (table.num_attributes() != plan_.num_attributes()) {
+    return Status::InvalidArgument("table schema does not match perturber");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.AppendZeroRows(table.num_rows());
+  ColumnPointers cols(table, &out);
+  const size_t n = table.num_rows();
+  common::ParallelForChunks(
+      common::NumChunks(n, kPerturbChunkRows), num_threads, [&](size_t c) {
+        random::Pcg64 rng = ChunkRng(seed, c);
+        const size_t end = std::min(n, (c + 1) * kPerturbChunkRows);
+        for (size_t i = c * kPerturbChunkRows; i < end; ++i) {
+          plan_.FillRow(divergence_.Sample(rng), cols.in.data(), cols.out.data(),
+                        i, rng);
+        }
+      });
   return out;
 }
 

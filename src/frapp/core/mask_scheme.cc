@@ -70,6 +70,17 @@ StatusOr<double> MaskScheme::EstimateItemsetSupport(
     }
     counts[idx] += 1.0;
   }
+  return ReconstructFromPatternCounts(std::move(counts), perturbed.num_rows());
+}
+
+StatusOr<double> MaskScheme::ReconstructFromPatternCounts(
+    std::vector<double> counts, size_t num_rows) const {
+  const size_t patterns = counts.size();
+  size_t k = 0;
+  while ((1ull << k) < patterns) ++k;
+  if ((1ull << k) != patterns || patterns == 0) {
+    return Status::InvalidArgument("pattern counts must have 2^k entries");
+  }
 
   // Invert the flip channel one bit-axis at a time. The per-bit matrix is
   // [[p, 1-p], [1-p, p]] with inverse 1/(2p-1) [[p, -(1-p)], [-(1-p), p]].
@@ -89,7 +100,7 @@ StatusOr<double> MaskScheme::EstimateItemsetSupport(
     }
   }
 
-  const double n = static_cast<double>(perturbed.num_rows());
+  const double n = static_cast<double>(num_rows);
   if (n == 0.0) return 0.0;
   return counts[patterns - 1] / n;
 }
@@ -100,6 +111,18 @@ StatusOr<double> MaskSupportEstimator::EstimateSupport(
   positions.reserve(itemset.size());
   for (const mining::Item& item : itemset.items()) {
     positions.push_back(layout_.BitPosition(item.attribute, item.category));
+  }
+  if (!positions.empty() &&
+      positions.size() <= data::BooleanVerticalIndex::kMaxIndexedLength) {
+    for (size_t pos : positions) {
+      if (pos >= perturbed_.num_bits()) {
+        return Status::OutOfRange("bit position out of range");
+      }
+    }
+    const std::vector<int64_t> pattern_counts = index_.PatternCounts(positions);
+    std::vector<double> counts(pattern_counts.begin(), pattern_counts.end());
+    return scheme_.ReconstructFromPatternCounts(std::move(counts),
+                                               perturbed_.num_rows());
   }
   return scheme_.EstimateItemsetSupport(perturbed_, positions);
 }

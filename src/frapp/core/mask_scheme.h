@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "frapp/common/statusor.h"
+#include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
 #include "frapp/mining/apriori.h"
 #include "frapp/random/rng.h"
@@ -60,6 +61,13 @@ class MaskScheme {
   StatusOr<double> EstimateItemsetSupport(const data::BooleanTable& perturbed,
                                           const std::vector<size_t>& bit_positions) const;
 
+  /// Inversion half of EstimateItemsetSupport, on precomputed pattern
+  /// counts: counts[idx] = #perturbed rows whose k bits equal pattern idx
+  /// (bit b of idx = b-th itemset position), num_rows = table size. Lets
+  /// callers supply counts from a vertical index instead of a row scan.
+  StatusOr<double> ReconstructFromPatternCounts(std::vector<double> counts,
+                                               size_t num_rows) const;
+
  private:
   explicit MaskScheme(double p) : p_(p) {}
 
@@ -68,12 +76,17 @@ class MaskScheme {
 
 /// Support oracle plugging MASK into Apriori: one-hot layout resolution plus
 /// per-candidate tensor reconstruction over the perturbed boolean database.
+/// Short candidates get their pattern counts from a vertical bitmap index of
+/// the perturbed table; long ones fall back to the scalar row scan.
 class MaskSupportEstimator : public mining::SupportEstimator {
  public:
   /// `perturbed` must outlive the estimator.
   MaskSupportEstimator(const MaskScheme& scheme, data::BooleanLayout layout,
                        const data::BooleanTable& perturbed)
-      : scheme_(scheme), layout_(std::move(layout)), perturbed_(perturbed) {}
+      : scheme_(scheme),
+        layout_(std::move(layout)),
+        perturbed_(perturbed),
+        index_(perturbed) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
@@ -81,6 +94,7 @@ class MaskSupportEstimator : public mining::SupportEstimator {
   MaskScheme scheme_;
   data::BooleanLayout layout_;
   const data::BooleanTable& perturbed_;
+  data::BooleanVerticalIndex index_;
 };
 
 }  // namespace core

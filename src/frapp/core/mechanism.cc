@@ -1,6 +1,7 @@
 #include "frapp/core/mechanism.h"
 
 #include <cmath>
+#include <limits>
 
 #include "frapp/mining/support_counter.h"
 
@@ -23,9 +24,30 @@ uint64_t SubsetDomainSize(const data::CategoricalSchema& schema,
 
 StatusOr<double> GammaSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
-  const double perturbed_support = mining::SupportFraction(perturbed_, itemset);
+  const double perturbed_support =
+      index_.has_value() ? index_->SupportFraction(itemset)
+                         : mining::SupportFraction(perturbed_, itemset);
   return reconstructor_.ReconstructSupport(perturbed_support,
                                            SubsetDomainSize(schema_, itemset));
+}
+
+StatusOr<std::vector<double>> GammaSupportEstimator::EstimateSupports(
+    const std::vector<mining::Itemset>& itemsets) {
+  if (!index_.has_value()) {
+    return mining::SupportEstimator::EstimateSupports(itemsets);
+  }
+  // Whole-pass counting over the bitmaps, then the per-candidate closed-form
+  // inverse (cheap scalar math).
+  const std::vector<size_t> counts = index_->CountSupports(itemsets);
+  const double n = static_cast<double>(index_->num_rows());
+  std::vector<double> supports(itemsets.size());
+  for (size_t c = 0; c < itemsets.size(); ++c) {
+    const double fraction = n == 0.0 ? 0.0 : static_cast<double>(counts[c]) / n;
+    FRAPP_ASSIGN_OR_RETURN(
+        supports[c], reconstructor_.ReconstructSupport(
+                         fraction, SubsetDomainSize(schema_, itemsets[c])));
+  }
+  return supports;
 }
 
 // ---------------------------------------------------------------- DET-GD --

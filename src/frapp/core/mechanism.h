@@ -199,23 +199,31 @@ class IndependentColumnMechanism : public Mechanism {
 
 /// Support oracle shared by DET-GD and RAN-GD: counts the candidate's
 /// support in the perturbed categorical table and applies the Eq. 28
-/// closed-form inverse.
+/// closed-form inverse. Counting runs over a vertical bitmap index of the
+/// perturbed table (built once at construction); `use_vertical_index =
+/// false` keeps the scalar row scan, as a benchmark baseline.
 class GammaSupportEstimator : public mining::SupportEstimator {
  public:
   /// `perturbed` must outlive the estimator.
   GammaSupportEstimator(const data::CategoricalSchema& schema,
                         GammaSubsetReconstructor reconstructor,
-                        const data::CategoricalTable& perturbed)
+                        const data::CategoricalTable& perturbed,
+                        bool use_vertical_index = true)
       : schema_(schema),
         reconstructor_(std::move(reconstructor)),
-        perturbed_(perturbed) {}
+        perturbed_(perturbed) {
+    if (use_vertical_index) index_ = mining::VerticalIndex::Build(perturbed);
+  }
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
+  StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<mining::Itemset>& itemsets) override;
 
  private:
   const data::CategoricalSchema& schema_;
   GammaSubsetReconstructor reconstructor_;
   const data::CategoricalTable& perturbed_;
+  std::optional<mining::VerticalIndex> index_;
 };
 
 }  // namespace core

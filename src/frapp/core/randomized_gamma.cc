@@ -1,7 +1,16 @@
 #include "frapp/core/randomized_gamma.h"
 
+#include <algorithm>
+
+#include "frapp/common/parallel.h"
+#include "frapp/core/seeded_chunking.h"
+
 namespace frapp {
 namespace core {
+
+using internal::ChunkRng;
+using internal::ColumnPointers;
+using internal::kPerturbChunkRows;
 
 StatusOr<RandomizedGammaPerturber> RandomizedGammaPerturber::Create(
     const data::CategoricalSchema& schema, double gamma, double alpha,
@@ -25,35 +34,60 @@ StatusOr<RandomizedGammaPerturber> RandomizedGammaPerturber::Create(
   for (size_t j = 0; j < schema.num_attributes(); ++j) {
     cardinalities[j] = schema.Cardinality(j);
   }
-  return RandomizedGammaPerturber(std::move(matrix), std::move(cardinalities), alpha,
+  FRAPP_ASSIGN_OR_RETURN(
+      GammaPerturbPlan plan,
+      GammaPerturbPlan::Create(std::move(cardinalities), schema.DomainSize()));
+  return RandomizedGammaPerturber(std::move(matrix), std::move(plan), alpha,
                                   kind);
+}
+
+void RandomizedGammaPerturber::PerturbRow(const uint8_t* const* in_cols,
+                                          uint8_t* const* out_cols, size_t i,
+                                          random::Pcg64& rng) const {
+  // This client's private matrix realization: E[diagonal] = gamma x.
+  const double r = random::SampleRandomizationParameter(kind_, alpha_, rng);
+  const double d = matrix_.DiagonalValue() + r;
+  const double o =
+      matrix_.OffDiagonalValue() -
+      r / (static_cast<double>(matrix_.domain_size()) - 1.0);
+  plan_.FillRow(plan_.SampleDivergenceColumn(d, o, rng), in_cols, out_cols, i,
+                rng);
 }
 
 StatusOr<data::CategoricalTable> RandomizedGammaPerturber::Perturb(
     const data::CategoricalTable& table, random::Pcg64& rng) const {
-  if (table.num_attributes() != cardinalities_.size()) {
+  if (table.num_attributes() != plan_.num_attributes()) {
     return Status::InvalidArgument("table schema does not match perturber");
   }
   FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
                          data::CategoricalTable::Create(table.schema()));
-  out.Reserve(table.num_rows());
-  const uint64_t n = matrix_.domain_size();
-  const double n_minus_1 = static_cast<double>(n) - 1.0;
-
-  std::vector<uint8_t> record(cardinalities_.size());
-  std::vector<uint8_t> perturbed(cardinalities_.size());
+  out.AppendZeroRows(table.num_rows());
+  ColumnPointers cols(table, &out);
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    // This client's private matrix realization: E[diagonal] = gamma x.
-    const double r = random::SampleRandomizationParameter(kind_, alpha_, rng);
-    const double d = matrix_.DiagonalValue() + r;
-    const double o = matrix_.OffDiagonalValue() - r / n_minus_1;
-
-    for (size_t j = 0; j < cardinalities_.size(); ++j) {
-      record[j] = table.Value(i, j);
-    }
-    PerturbRecordDiagonalForm(record, cardinalities_, n, d, o, rng, &perturbed);
-    FRAPP_RETURN_IF_ERROR(out.AppendRow(perturbed));
+    PerturbRow(cols.in.data(), cols.out.data(), i, rng);
   }
+  return out;
+}
+
+StatusOr<data::CategoricalTable> RandomizedGammaPerturber::PerturbSeeded(
+    const data::CategoricalTable& table, uint64_t seed,
+    size_t num_threads) const {
+  if (table.num_attributes() != plan_.num_attributes()) {
+    return Status::InvalidArgument("table schema does not match perturber");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.AppendZeroRows(table.num_rows());
+  ColumnPointers cols(table, &out);
+  const size_t n = table.num_rows();
+  common::ParallelForChunks(
+      common::NumChunks(n, kPerturbChunkRows), num_threads, [&](size_t c) {
+        random::Pcg64 rng = ChunkRng(seed, c);
+        const size_t end = std::min(n, (c + 1) * kPerturbChunkRows);
+        for (size_t i = c * kPerturbChunkRows; i < end; ++i) {
+          PerturbRow(cols.in.data(), cols.out.data(), i, rng);
+        }
+      });
   return out;
 }
 

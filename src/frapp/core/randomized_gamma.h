@@ -37,9 +37,19 @@ class RandomizedGammaPerturber {
       const data::CategoricalSchema& schema, double gamma, double alpha,
       random::RandomizationKind kind = random::RandomizationKind::kUniform);
 
-  /// Perturbs every record with an independent matrix realization.
+  /// Perturbs every record with an independent matrix realization, consuming
+  /// randomness from `rng` sequentially. Per record, the first-divergence
+  /// column is inverted from a single uniform against the precomputed
+  /// per-column thresholds (see GammaPerturbPlan) — no per-column Bernoulli
+  /// chain, no per-row temporaries.
   StatusOr<data::CategoricalTable> Perturb(const data::CategoricalTable& table,
                                            random::Pcg64& rng) const;
+
+  /// Deterministic, optionally multi-threaded variant: output depends only
+  /// on (table, seed), never on the thread count (0 = hardware concurrency).
+  StatusOr<data::CategoricalTable> PerturbSeeded(const data::CategoricalTable& table,
+                                                 uint64_t seed,
+                                                 size_t num_threads = 1) const;
 
   /// The expected matrix (what the miner reconstructs with).
   const GammaDiagonalMatrix& expected_matrix() const { return matrix_; }
@@ -55,16 +65,20 @@ class RandomizedGammaPerturber {
   }
 
  private:
-  RandomizedGammaPerturber(GammaDiagonalMatrix matrix,
-                           std::vector<size_t> cardinalities, double alpha,
-                           random::RandomizationKind kind)
+  RandomizedGammaPerturber(GammaDiagonalMatrix matrix, GammaPerturbPlan plan,
+                           double alpha, random::RandomizationKind kind)
       : matrix_(std::move(matrix)),
-        cardinalities_(std::move(cardinalities)),
+        plan_(std::move(plan)),
         alpha_(alpha),
         kind_(kind) {}
 
+  /// One record: draw this client's matrix realization, then divergence
+  /// column + fill.
+  void PerturbRow(const uint8_t* const* in_cols, uint8_t* const* out_cols,
+                  size_t i, random::Pcg64& rng) const;
+
   GammaDiagonalMatrix matrix_;
-  std::vector<size_t> cardinalities_;
+  GammaPerturbPlan plan_;
   double alpha_;
   random::RandomizationKind kind_;
 };

@@ -1,0 +1,54 @@
+// Shared machinery for deterministic seeded bulk perturbation.
+//
+// Both gamma perturbers split rows into fixed-size chunks whose RNG stream
+// is a pure function of (master seed, chunk index). The chunk size and the
+// stream derivation ARE the determinism contract — one definition here so
+// the perturbers can never drift apart.
+
+#ifndef FRAPP_CORE_SEEDED_CHUNKING_H_
+#define FRAPP_CORE_SEEDED_CHUNKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/data/table.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace core {
+namespace internal {
+
+/// Fixed chunk size for seeded perturbation: chunk boundaries (and the RNG
+/// stream of each chunk) depend only on the row count and master seed, never
+/// on the thread count, which makes the output thread-count-invariant.
+inline constexpr size_t kPerturbChunkRows = 8192;
+
+/// Independent per-chunk generator: distinct PCG streams, seed mixed with
+/// the chunk index so neighbouring chunks share nothing.
+inline random::Pcg64 ChunkRng(uint64_t seed, size_t chunk) {
+  return random::Pcg64(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)),
+                       /*stream=*/2 * chunk + 1);
+}
+
+/// Gathers the raw column pointers of both tables once per bulk call.
+struct ColumnPointers {
+  std::vector<const uint8_t*> in;
+  std::vector<uint8_t*> out;
+
+  ColumnPointers(const data::CategoricalTable& input,
+                 data::CategoricalTable* output) {
+    const size_t m = input.num_attributes();
+    in.resize(m);
+    out.resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      in[j] = input.Column(j).data();
+      out[j] = output->MutableColumnData(j);
+    }
+  }
+};
+
+}  // namespace internal
+}  // namespace core
+}  // namespace frapp
+
+#endif  // FRAPP_CORE_SEEDED_CHUNKING_H_

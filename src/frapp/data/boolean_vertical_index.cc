@@ -1,0 +1,71 @@
+#include "frapp/data/boolean_vertical_index.h"
+
+#include "frapp/common/check.h"
+
+namespace frapp {
+namespace data {
+
+BooleanVerticalIndex::BooleanVerticalIndex(const BooleanTable& table) {
+  num_rows_ = table.num_rows();
+  words_ = (num_rows_ + 63) / 64;
+  const size_t num_bits = table.num_bits();
+  bits_.assign(num_bits * words_, 0);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    uint64_t row = table.RowBits(i);
+    const size_t word = i >> 6;
+    const uint64_t bit = 1ull << (i & 63);
+    while (row != 0) {
+      const unsigned p = static_cast<unsigned>(__builtin_ctzll(row));
+      bits_[p * words_ + word] |= bit;
+      row &= row - 1;
+    }
+  }
+}
+
+std::vector<int64_t> BooleanVerticalIndex::PatternCounts(
+    const std::vector<size_t>& positions) const {
+  const size_t k = positions.size();
+  FRAPP_CHECK_LE(k, kMaxIndexedLength);
+  const size_t patterns = 1ull << k;
+
+  // Superset intersection counts: counts[S] = #rows with all bits of S set
+  // (bits of positions OUTSIDE S unconstrained).
+  std::vector<int64_t> counts(patterns);
+  counts[0] = static_cast<int64_t>(num_rows_);
+  for (size_t s = 1; s < patterns; ++s) {
+    const uint64_t* first = Bitmap(positions[static_cast<size_t>(
+        __builtin_ctzll(static_cast<uint64_t>(s)))]);
+    int64_t c = 0;
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t acc = first[w];
+      for (uint64_t rest = s & (s - 1); rest != 0; rest &= rest - 1) {
+        acc &= Bitmap(positions[static_cast<size_t>(__builtin_ctzll(rest))])[w];
+      }
+      c += __builtin_popcountll(acc);
+    }
+    counts[s] = c;
+  }
+
+  // Mobius transform over the subset lattice turns "at least S" into
+  // "exactly S": subtract, per axis, the count with that bit forced set.
+  for (size_t b = 0; b < k; ++b) {
+    const size_t bit = 1ull << b;
+    for (size_t s = 0; s < patterns; ++s) {
+      if ((s & bit) == 0) counts[s] -= counts[s | bit];
+    }
+  }
+  return counts;
+}
+
+std::vector<int64_t> BooleanVerticalIndex::HitHistogram(
+    const std::vector<size_t>& positions) const {
+  const std::vector<int64_t> patterns = PatternCounts(positions);
+  std::vector<int64_t> histogram(positions.size() + 1, 0);
+  for (size_t a = 0; a < patterns.size(); ++a) {
+    histogram[static_cast<size_t>(__builtin_popcountll(a))] += patterns[a];
+  }
+  return histogram;
+}
+
+}  // namespace data
+}  // namespace frapp

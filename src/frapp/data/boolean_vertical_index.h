@@ -1,0 +1,57 @@
+// Vertical (bitmap) index over a BooleanTable.
+//
+// MASK and Cut-and-Paste reconstruction both start from row statistics of
+// the perturbed boolean database: MASK needs the count of every exact
+// 0/1 pattern on a candidate's k bit positions, C&P needs the histogram of
+// per-row hit counts against a bit mask. Both reduce to subset-intersection
+// cardinalities: N_S = #rows whose bits are all set on subset S. This index
+// stores one row-bitset per boolean attribute so that every N_S is a
+// word-wise AND + popcount, and derives the exact-pattern counts by a
+// superset Mobius transform over the 2^k lattice — no row rescan per
+// candidate.
+
+#ifndef FRAPP_DATA_BOOLEAN_VERTICAL_INDEX_H_
+#define FRAPP_DATA_BOOLEAN_VERTICAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/data/boolean_view.h"
+
+namespace frapp {
+namespace data {
+
+/// Immutable per-bit bitmap index over a BooleanTable snapshot.
+class BooleanVerticalIndex {
+ public:
+  /// Transposes `table` (one pass over the rows).
+  explicit BooleanVerticalIndex(const BooleanTable& table);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Cutoff up to which pattern counting via the index beats the scalar row
+  /// scan: 2^k * k words of AND work vs. 64 * words * k bit extractions.
+  static constexpr size_t kMaxIndexedLength = 5;
+
+  /// counts[A] (A in [0, 2^k)) = #rows whose bits on `positions` match
+  /// pattern A exactly — bit b of A corresponds to positions[b]. Requires
+  /// positions.size() <= kMaxIndexedLength and in-range positions.
+  std::vector<int64_t> PatternCounts(const std::vector<size_t>& positions) const;
+
+  /// histogram[j] = #rows with exactly j of `positions` set.
+  std::vector<int64_t> HitHistogram(const std::vector<size_t>& positions) const;
+
+ private:
+  const uint64_t* Bitmap(size_t position) const {
+    return bits_.data() + position * words_;
+  }
+
+  size_t num_rows_ = 0;
+  size_t words_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_BOOLEAN_VERTICAL_INDEX_H_

@@ -30,6 +30,11 @@ Status CategoricalTable::AppendRow(const std::vector<uint8_t>& values) {
   return Status::OK();
 }
 
+void CategoricalTable::AppendZeroRows(size_t n) {
+  for (auto& col : columns_) col.resize(num_rows_ + n, 0);
+  num_rows_ += n;
+}
+
 void CategoricalTable::Reserve(size_t n) {
   for (auto& col : columns_) col.reserve(n);
 }

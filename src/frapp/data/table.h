@@ -29,6 +29,16 @@ class CategoricalTable {
   /// Appends one record; `values[j]` is the category id of attribute j.
   Status AppendRow(const std::vector<uint8_t>& values);
 
+  /// Appends n rows of category 0 (always valid: cardinality >= 1) for bulk
+  /// writers that fill values in place via MutableColumnData.
+  void AppendZeroRows(size_t n);
+
+  /// Raw mutable column for bulk writers. Values stored through this pointer
+  /// are UNCHECKED; callers must keep them < Cardinality(attribute).
+  uint8_t* MutableColumnData(size_t attribute) {
+    return columns_[attribute].data();
+  }
+
   /// Reserves capacity for n rows.
   void Reserve(size_t n);
 

@@ -8,8 +8,32 @@
 namespace frapp {
 namespace mining {
 
+StatusOr<std::vector<double>> SupportEstimator::EstimateSupports(
+    const std::vector<Itemset>& itemsets) {
+  std::vector<double> supports(itemsets.size());
+  for (size_t c = 0; c < itemsets.size(); ++c) {
+    FRAPP_ASSIGN_OR_RETURN(supports[c], EstimateSupport(itemsets[c]));
+  }
+  return supports;
+}
+
 StatusOr<double> ExactSupportEstimator::EstimateSupport(const Itemset& itemset) {
-  return SupportFraction(table_, itemset);
+  return index_.SupportFraction(itemset);
+}
+
+StatusOr<std::vector<double>> ExactSupportEstimator::EstimateSupports(
+    const std::vector<Itemset>& itemsets) {
+  std::vector<double> supports(itemsets.size());
+  if (index_.num_rows() == 0) {
+    std::fill(supports.begin(), supports.end(), 0.0);
+    return supports;
+  }
+  const double n = static_cast<double>(index_.num_rows());
+  const std::vector<size_t> counts = index_.CountSupports(itemsets);
+  for (size_t c = 0; c < counts.size(); ++c) {
+    supports[c] = static_cast<double>(counts[c]) / n;
+  }
+  return supports;
 }
 
 size_t AprioriResult::TotalFrequent() const {
@@ -109,11 +133,14 @@ StatusOr<AprioriResult> MineFrequentItemsets(const data::CategoricalSchema& sche
 
   for (size_t k = 1; k <= max_length && !candidates.empty(); ++k) {
     result.candidates_per_pass.push_back(candidates.size());
+    // One batch call per pass lets vertical-index estimators count the whole
+    // candidate list without rescanning rows.
+    FRAPP_ASSIGN_OR_RETURN(std::vector<double> supports,
+                           estimator.EstimateSupports(candidates));
     std::vector<FrequentItemset> frequent;
-    for (const Itemset& candidate : candidates) {
-      FRAPP_ASSIGN_OR_RETURN(double support, estimator.EstimateSupport(candidate));
-      if (support >= options.min_support) {
-        frequent.push_back(FrequentItemset{candidate, support});
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (supports[c] >= options.min_support) {
+        frequent.push_back(FrequentItemset{candidates[c], supports[c]});
       }
     }
     std::sort(frequent.begin(), frequent.end(),

@@ -17,6 +17,7 @@
 #include "frapp/data/schema.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/itemset.h"
+#include "frapp/mining/vertical_index.h"
 
 namespace frapp {
 namespace mining {
@@ -30,19 +31,28 @@ class SupportEstimator {
 
   /// Support estimate for one itemset, as a fraction of records.
   virtual StatusOr<double> EstimateSupport(const Itemset& itemset) = 0;
+
+  /// Batch estimate for a whole Apriori pass's candidate list. The default
+  /// loops over EstimateSupport; estimators with a vertical index override
+  /// this to count the entire list without rescanning rows.
+  virtual StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<Itemset>& itemsets);
 };
 
-/// Exact estimator backed by a table scan (the miner's ground truth).
+/// Exact estimator backed by a vertical bitmap index over the table (the
+/// miner's ground truth).
 class ExactSupportEstimator : public SupportEstimator {
  public:
-  /// The table must outlive the estimator.
+  /// Builds the index in one pass; the table must outlive the estimator.
   explicit ExactSupportEstimator(const data::CategoricalTable& table)
-      : table_(table) {}
+      : index_(VerticalIndex::Build(table)) {}
 
   StatusOr<double> EstimateSupport(const Itemset& itemset) override;
+  StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<Itemset>& itemsets) override;
 
  private:
-  const data::CategoricalTable& table_;
+  VerticalIndex index_;
 };
 
 struct AprioriOptions {

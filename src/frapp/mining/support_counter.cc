@@ -1,5 +1,7 @@
 #include "frapp/mining/support_counter.h"
 
+#include "frapp/mining/vertical_index.h"
+
 namespace frapp {
 namespace mining {
 
@@ -38,9 +40,20 @@ double SupportFraction(const data::CategoricalTable& table, const Itemset& items
 
 std::vector<size_t> CountSupports(const data::CategoricalTable& table,
                                   const std::vector<Itemset>& itemsets) {
+  // A candidate list can amortize the single-pass bitmap build: counting
+  // via the index reads ~1/64th of the bytes a row scan does, but building
+  // costs one scan of all M columns (plus zero-filling the bitmaps). The
+  // scan work saved is proportional to the total item count of the list, so
+  // the index pays off once that total clearly exceeds the attribute count.
+  // Callers counting many lists over one table should hold a VerticalIndex
+  // themselves (as the estimators do) instead of paying the build per call.
+  size_t total_items = 0;
+  for (const Itemset& itemset : itemsets) total_items += itemset.size();
+  if (table.num_rows() >= 512 &&
+      total_items >= 2 * table.num_attributes() + 4) {
+    return VerticalIndex::Build(table).CountSupports(itemsets);
+  }
   std::vector<size_t> counts(itemsets.size(), 0);
-  // One pass per itemset is already cache-friendly on columnar storage and
-  // keeps the code simple; the candidate lists in FRAPP's passes are small.
   for (size_t c = 0; c < itemsets.size(); ++c) {
     counts[c] = CountSupport(table, itemsets[c]);
   }

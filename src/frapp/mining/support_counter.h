@@ -18,8 +18,9 @@ size_t CountSupport(const data::CategoricalTable& table, const Itemset& itemset)
 /// Support as a fraction of table rows (0 when the table is empty).
 double SupportFraction(const data::CategoricalTable& table, const Itemset& itemset);
 
-/// Counts several itemsets in one table scan (cheaper than repeated
-/// CountSupport when the candidate list is long).
+/// Counts several itemsets at once. Long candidate lists over non-trivial
+/// tables are routed through a VerticalIndex (bitmap AND + popcount); short
+/// ones fall back to the scalar scan.
 std::vector<size_t> CountSupports(const data::CategoricalTable& table,
                                   const std::vector<Itemset>& itemsets);
 

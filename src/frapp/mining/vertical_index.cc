@@ -1,0 +1,84 @@
+#include "frapp/mining/vertical_index.h"
+
+#include "frapp/common/parallel.h"
+
+namespace frapp {
+namespace mining {
+
+VerticalIndex VerticalIndex::Build(const data::CategoricalTable& table,
+                                   size_t num_threads) {
+  VerticalIndex index;
+  const data::CategoricalSchema& schema = table.schema();
+  const size_t m = schema.num_attributes();
+  index.num_rows_ = table.num_rows();
+  index.words_ = (index.num_rows_ + 63) / 64;
+  index.offsets_.resize(m);
+  size_t items = 0;
+  for (size_t j = 0; j < m; ++j) {
+    index.offsets_[j] = items;
+    items += schema.Cardinality(j);
+  }
+  index.bits_.assign(items * index.words_, 0);
+
+  // Attributes write disjoint bitmap ranges, so parallelizing over them is
+  // race-free and bit-identical for every worker count.
+  common::ParallelForChunks(m, num_threads, [&](size_t j) {
+    const uint8_t* col = table.Column(j).data();
+    uint64_t* base = index.bits_.data() + index.offsets_[j] * index.words_;
+    for (size_t i = 0; i < index.num_rows_; ++i) {
+      base[static_cast<size_t>(col[i]) * index.words_ + (i >> 6)] |=
+          1ull << (i & 63);
+    }
+  });
+  return index;
+}
+
+size_t VerticalIndex::CountSupport(const Itemset& itemset) const {
+  const size_t k = itemset.size();
+  if (k == 0) return num_rows_;
+  if (k == 1) {
+    const uint64_t* b = Bitmap(itemset.item(0).attribute, itemset.item(0).category);
+    size_t count = 0;
+    for (size_t w = 0; w < words_; ++w) count += __builtin_popcountll(b[w]);
+    return count;
+  }
+  // Word-wise AND across the k bitmaps, accumulated without materializing
+  // the intersection. Itemsets have one item per attribute, so k is bounded
+  // by the schema's attribute count; spill to the heap past the inline cap.
+  constexpr size_t kInlineMaps = 32;
+  const uint64_t* inline_maps[kInlineMaps];
+  std::vector<const uint64_t*> heap_maps;
+  const uint64_t** maps = inline_maps;
+  if (k > kInlineMaps) {
+    heap_maps.resize(k);
+    maps = heap_maps.data();
+  }
+  for (size_t j = 0; j < k; ++j) {
+    maps[j] = Bitmap(itemset.item(j).attribute, itemset.item(j).category);
+  }
+  size_t count = 0;
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t acc = maps[0][w] & maps[1][w];
+    for (size_t j = 2; j < k; ++j) acc &= maps[j][w];
+    count += __builtin_popcountll(acc);
+  }
+  return count;
+}
+
+std::vector<size_t> VerticalIndex::CountSupports(
+    const std::vector<Itemset>& itemsets) const {
+  std::vector<size_t> counts(itemsets.size());
+  for (size_t c = 0; c < itemsets.size(); ++c) {
+    counts[c] = CountSupport(itemsets[c]);
+  }
+  return counts;
+}
+
+double VerticalIndex::SupportFraction(const Itemset& itemset) const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(CountSupport(itemset)) /
+         static_cast<double>(num_rows_);
+}
+
+}  // namespace mining
+}  // namespace frapp

@@ -86,6 +86,21 @@ TEST(TableTest, ColumnAccessIsContiguous) {
   EXPECT_EQ(col, (std::vector<uint8_t>{2, 1}));
 }
 
+TEST(TableTest, AppendZeroRowsAndMutableColumns) {
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(MakeSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({1, 2}).ok());
+  t->AppendZeroRows(3);
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->Value(0, 1), 2);  // existing data untouched
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(t->Value(i, 0), 0);
+    EXPECT_EQ(t->Value(i, 1), 0);
+  }
+  t->MutableColumnData(1)[2] = 1;
+  EXPECT_EQ(t->Value(2, 1), 1);
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace frapp

@@ -1,0 +1,140 @@
+#include "frapp/mining/vertical_index.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/mining/support_counter.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace mining {
+namespace {
+
+data::CategoricalSchema RandomSchema(random::Pcg64& rng, size_t max_attributes = 6,
+                                     size_t max_cardinality = 7) {
+  const size_t m = 1 + rng.NextBounded(max_attributes);
+  std::vector<data::Attribute> attrs;
+  for (size_t j = 0; j < m; ++j) {
+    // Cardinality 1 included on purpose: such attributes never diverge and
+    // have a single always-set bitmap.
+    const size_t card = 1 + rng.NextBounded(max_cardinality);
+    std::vector<std::string> categories;
+    for (size_t c = 0; c < card; ++c) categories.push_back(std::to_string(c));
+    attrs.push_back({"a" + std::to_string(j), std::move(categories)});
+  }
+  return *data::CategoricalSchema::Create(std::move(attrs));
+}
+
+data::CategoricalTable RandomTable(const data::CategoricalSchema& schema, size_t n,
+                                   random::Pcg64& rng) {
+  data::CategoricalTable table = *data::CategoricalTable::Create(schema);
+  std::vector<uint8_t> row(schema.num_attributes());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      row[j] = static_cast<uint8_t>(rng.NextBounded(schema.Cardinality(j)));
+    }
+    EXPECT_TRUE(table.AppendRow(row).ok());
+  }
+  return table;
+}
+
+Itemset RandomItemset(const data::CategoricalSchema& schema, size_t k,
+                      random::Pcg64& rng) {
+  std::vector<Item> items;
+  std::vector<size_t> attrs(schema.num_attributes());
+  for (size_t j = 0; j < attrs.size(); ++j) attrs[j] = j;
+  // Partial Fisher-Yates: k distinct attributes.
+  for (size_t i = 0; i < k; ++i) {
+    std::swap(attrs[i], attrs[i + rng.NextBounded(attrs.size() - i)]);
+    const size_t j = attrs[i];
+    items.push_back(Item{static_cast<uint16_t>(j),
+                         static_cast<uint16_t>(rng.NextBounded(schema.Cardinality(j)))});
+  }
+  return *Itemset::Create(std::move(items));
+}
+
+TEST(VerticalIndexTest, MatchesScalarCountsOnRandomTables) {
+  random::Pcg64 rng(7);
+  // Row counts straddling the 64-bit word boundary and beyond.
+  const size_t sizes[] = {0, 1, 63, 64, 65, 127, 128, 1000};
+  for (size_t n : sizes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const data::CategoricalSchema schema = RandomSchema(rng);
+      const data::CategoricalTable table = RandomTable(schema, n, rng);
+      const VerticalIndex index = VerticalIndex::Build(table);
+      ASSERT_EQ(index.num_rows(), n);
+      for (size_t k = 0; k <= schema.num_attributes(); ++k) {
+        const Itemset itemset = RandomItemset(schema, k, rng);
+        EXPECT_EQ(index.CountSupport(itemset), CountSupport(table, itemset))
+            << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(VerticalIndexTest, CountSupportsMatchesScalarBatch) {
+  random::Pcg64 rng(8);
+  const data::CategoricalSchema schema = RandomSchema(rng);
+  const data::CategoricalTable table = RandomTable(schema, 700, rng);
+  const VerticalIndex index = VerticalIndex::Build(table);
+
+  std::vector<Itemset> candidates;
+  for (int i = 0; i < 40; ++i) {
+    candidates.push_back(
+        RandomItemset(schema, 1 + rng.NextBounded(schema.num_attributes()), rng));
+  }
+  const std::vector<size_t> indexed = index.CountSupports(candidates);
+  // CountSupports(table, ...) routes long lists through its own index; check
+  // both against the scalar loop.
+  const std::vector<size_t> routed = CountSupports(table, candidates);
+  ASSERT_EQ(indexed.size(), candidates.size());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    EXPECT_EQ(indexed[c], CountSupport(table, candidates[c]));
+    EXPECT_EQ(routed[c], indexed[c]);
+  }
+}
+
+TEST(VerticalIndexTest, EmptyItemsetCountsAllRows) {
+  random::Pcg64 rng(9);
+  const data::CategoricalSchema schema = RandomSchema(rng);
+  const data::CategoricalTable table = RandomTable(schema, 321, rng);
+  const VerticalIndex index = VerticalIndex::Build(table);
+  EXPECT_EQ(index.CountSupport(Itemset()), 321u);
+  EXPECT_DOUBLE_EQ(index.SupportFraction(Itemset()), 1.0);
+}
+
+TEST(VerticalIndexTest, TailBitsAreZero) {
+  // 65 rows, all category 0 on a binary attribute: bitmap word 1 must carry
+  // exactly one set bit, no tail garbage leaking into counts.
+  data::CategoricalSchema schema =
+      *data::CategoricalSchema::Create({{"a", {"0", "1"}}});
+  data::CategoricalTable table = *data::CategoricalTable::Create(schema);
+  for (int i = 0; i < 65; ++i) ASSERT_TRUE(table.AppendRow({0}).ok());
+  const VerticalIndex index = VerticalIndex::Build(table);
+  EXPECT_EQ(index.CountSupport(*Itemset::Create({{0, 0}})), 65u);
+  EXPECT_EQ(index.CountSupport(*Itemset::Create({{0, 1}})), 0u);
+  EXPECT_EQ(index.words_per_item(), 2u);
+  EXPECT_EQ(index.Bitmap(0, 1)[0], 0u);
+  EXPECT_EQ(index.Bitmap(0, 1)[1], 0u);
+}
+
+TEST(VerticalIndexTest, BuildIsIdenticalAcrossThreadCounts) {
+  random::Pcg64 rng(10);
+  const data::CategoricalSchema schema = RandomSchema(rng);
+  const data::CategoricalTable table = RandomTable(schema, 999, rng);
+  const VerticalIndex serial = VerticalIndex::Build(table, 1);
+  for (size_t threads : {2u, 3u, 8u}) {
+    const VerticalIndex parallel = VerticalIndex::Build(table, threads);
+    for (size_t j = 0; j < schema.num_attributes(); ++j) {
+      for (size_t c = 0; c < schema.Cardinality(j); ++c) {
+        for (size_t w = 0; w < serial.words_per_item(); ++w) {
+          ASSERT_EQ(parallel.Bitmap(j, c)[w], serial.Bitmap(j, c)[w])
+              << "threads=" << threads << " attr=" << j << " cat=" << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

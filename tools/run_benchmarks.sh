@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds Release and emits the perf-trajectory JSON files at the repo root:
+#   BENCH_mining.json       — apriori_benchmark (vertical index vs scalar)
+#   BENCH_perturbation.json — perturbation_benchmark (alias kernel vs naive)
+# google-benchmark JSON, one file per suite; successive PRs append their own
+# runs next to these to track the trajectory.
+#
+# Usage: tools/run_benchmarks.sh [build-dir] (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" \
+  --target apriori_benchmark perturbation_benchmark
+
+"$build_dir/apriori_benchmark" \
+  --benchmark_out="$repo_root/BENCH_mining.json" \
+  --benchmark_out_format=json
+"$build_dir/perturbation_benchmark" \
+  --benchmark_out="$repo_root/BENCH_perturbation.json" \
+  --benchmark_out_format=json
+
+echo "Wrote $repo_root/BENCH_mining.json and $repo_root/BENCH_perturbation.json"
