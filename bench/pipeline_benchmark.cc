@@ -1,0 +1,89 @@
+// Shards x threads sweep of the full shard-streaming privacy pipeline
+// (perturb -> index -> count -> reconstruct -> mine, DET-GD) on the CENSUS
+// 50k stand-in. The (1 shard, 1 thread) row is the monolithic baseline; all
+// rows produce bit-identical mined results, so every speedup is pure
+// parallelism. Counters report the per-shard memory bound:
+//   peak_perturbed_bytes — high-water mark of perturbed rows alive at once
+//   max_shard_rows       — rows of the largest shard
+// Emitted to BENCH_pipeline.json by tools/run_benchmarks.sh.
+
+#include <benchmark/benchmark.h>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/data/census.h"
+#include "frapp/pipeline/privacy_pipeline.h"
+
+namespace {
+
+using namespace frapp;
+
+void BM_DetGdShardedPipeline(benchmark::State& state) {
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  const size_t num_threads = static_cast<size_t>(state.range(1));
+  const data::CategoricalTable table = *data::census::MakeDataset(50000, 10);
+
+  pipeline::PipelineOptions options;
+  options.num_shards = num_shards;
+  options.num_threads = num_threads;
+  options.perturb_seed = 11;
+  options.mining.min_support = 0.02;
+  const pipeline::PrivacyPipeline pipeline(options);
+
+  pipeline::PipelineStats stats;
+  for (auto _ : state) {
+    auto mechanism = *core::DetGdMechanism::Create(table.schema(), 19.0);
+    StatusOr<pipeline::PipelineResult> result = pipeline.Run(*mechanism, table);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+    benchmark::DoNotOptimize(result->mined);
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+  state.counters["shards"] = static_cast<double>(stats.num_shards);
+  state.counters["max_shard_rows"] = static_cast<double>(stats.max_shard_rows);
+  state.counters["peak_perturbed_bytes"] =
+      static_cast<double>(stats.peak_inflight_perturbed_bytes);
+}
+BENCHMARK(BM_DetGdShardedPipeline)
+    ->ArgNames({"shards", "threads"})
+    ->Args({1, 1})  // monolithic baseline
+    ->Args({4, 1})
+    ->Args({7, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({7, 4})
+    ->Args({7, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The counting pass in isolation: one Apriori run over a pre-built exact
+// sharded index, sweeping the same grid. Isolates the shard-parallel
+// CountSupports gain from the perturbation/index-build gain.
+void BM_ExactAprioriSharded(benchmark::State& state) {
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  const size_t num_threads = static_cast<size_t>(state.range(1));
+  const data::CategoricalTable table = *data::census::MakeDataset(50000, 9);
+  mining::AprioriOptions options;
+  options.min_support = 0.02;
+  options.count_shards = num_shards;
+  options.num_threads = num_threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::MineExact(table, options));
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_ExactAprioriSharded)
+    ->ArgNames({"shards", "threads"})
+    ->Args({1, 1})
+    ->Args({7, 1})
+    ->Args({7, 4})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

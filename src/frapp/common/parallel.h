@@ -10,8 +10,14 @@
 #ifndef FRAPP_COMMON_PARALLEL_H_
 #define FRAPP_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -26,11 +32,176 @@ inline size_t ResolveThreadCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+/// Process-wide persistent worker pool behind ParallelForChunks.
+///
+/// FRAPP's parallel sections are short (a candidate-counting pass is a few
+/// hundred microseconds), so spawning OS threads per section would cost more
+/// than the section itself. The pool grows once to the widest requested
+/// dispatch and parks its workers on a condition variable; each dispatch
+/// only publishes a job and wakes them. One job runs at a time (concurrent
+/// top-level dispatches are serialized by the dispatch mutex); nested
+/// dispatches from inside a dispatch run inline. None of this affects
+/// results: the pool only schedules chunks, and every chunk's work is a
+/// pure function of its index.
+class ThreadPool {
+ public:
+  /// The lazily-started shared pool.
+  static ThreadPool& Shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks), the calling thread
+  /// plus at most `max_workers - 1` pool workers claiming chunks from a
+  /// shared counter. Returns after every chunk has finished. noexcept: a
+  /// throwing chunk terminates the process (as the pre-pool per-call thread
+  /// implementation did) rather than unwinding past live workers whose
+  /// captured references would dangle — FRAPP reports errors via Status,
+  /// never exceptions.
+  void ParallelFor(size_t num_chunks, size_t max_workers,
+                   const std::function<void(size_t)>& fn) noexcept {
+    if (num_chunks == 0) return;
+    // Inline when parallelism cannot help or when nested inside another
+    // dispatch (pool worker or dispatching caller): the single job slot is
+    // taken by the outer dispatch, and re-entering would deadlock.
+    if (max_workers <= 1 || num_chunks == 1 || busy_) {
+      for (size_t c = 0; c < num_chunks; ++c) fn(c);
+      return;
+    }
+
+    // One job at a time: a caller losing the dispatch race drains inline
+    // instead of idling on the mutex behind the active dispatch.
+    std::unique_lock<std::mutex> dispatch_lock(dispatch_mu_, std::try_to_lock);
+    if (!dispatch_lock.owns_lock()) {
+      for (size_t c = 0; c < num_chunks; ++c) fn(c);
+      return;
+    }
+    busy_ = true;
+
+    // The job owns a COPY of the callable and its own chunk counters, and
+    // every participant holds it through a shared_ptr: a worker that claimed
+    // a helper slot but got preempted past the end of the job can wake into
+    // a later dispatch and still only touch ITS job's (exhausted) state —
+    // never a dead callable or another job's counters.
+    auto job = std::make_shared<Job>(fn, num_chunks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Helpers beyond num_chunks - 1 could never claim a chunk.
+      EnsureWorkersLocked(std::min(max_workers - 1, num_chunks - 1));
+      job_ = job;
+      job_open_slots_ = std::min(max_workers - 1, num_chunks - 1);
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    Drain(*job);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_chunks;
+    });
+    // Close the job: late-waking workers see no open slots and no job.
+    job_.reset();
+    job_open_slots_ = 0;
+    busy_ = false;
+  }
+
+ private:
+  /// Hard cap on pool threads, guarding runaway explicit requests.
+  static constexpr size_t kMaxPoolWorkers = 64;
+
+  /// One dispatch: an owned copy of the callable plus this job's private
+  /// chunk counters.
+  struct Job {
+    Job(std::function<void(size_t)> f, size_t n)
+        : fn(std::move(f)), num_chunks(n) {}
+
+    const std::function<void(size_t)> fn;
+    const size_t num_chunks;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  ThreadPool() = default;
+
+  /// Grows the pool to `want` parked workers (capped). Growing on demand —
+  /// rather than pinning to hardware_concurrency at startup — keeps
+  /// explicitly requested widths (num_threads > 1) truly concurrent even
+  /// when the hardware reports fewer cores, so thread-count-invariance is
+  /// exercised for real everywhere. Requires mu_ held.
+  void EnsureWorkersLocked(size_t want) {
+    want = std::min(want, kMaxPoolWorkers);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  static void Drain(Job& job) noexcept {
+    for (size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+         c < job.num_chunks;
+         c = job.next.fetch_add(1, std::memory_order_relaxed)) {
+      job.fn(c);
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void WorkerLoop() {
+    busy_ = true;
+    uint64_t seen_generation = 0;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_cv_.wait(lock, [&] {
+          return stop_ || (generation_ != seen_generation && job_open_slots_ > 0);
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        if (job_ == nullptr) continue;  // job already closed by the caller
+        --job_open_slots_;
+        job = job_;
+      }
+      Drain(*job);
+      if (job->done.load(std::memory_order_acquire) == job->num_chunks) {
+        // Notify under the lock so the dispatcher cannot miss the wakeup
+        // between its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_one();
+      }
+    }
+  }
+
+  /// True on pool workers (always) and on a caller inside a dispatch.
+  static thread_local bool busy_;
+
+  std::mutex dispatch_mu_;  // serializes top-level dispatches
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;   // current job; null between dispatches
+  size_t job_open_slots_ = 0;  // helper slots still unclaimed
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+inline thread_local bool ThreadPool::busy_ = false;
+
 /// Runs fn(chunk_index) for every chunk_index in [0, num_chunks) using up to
-/// `num_threads` workers (0 = hardware concurrency). Chunks are claimed from
-/// a shared atomic counter, so scheduling is dynamic but the WORK per chunk
-/// must be a pure function of the chunk index for deterministic results.
-/// With one worker (or one chunk) everything runs on the calling thread.
+/// `num_threads` workers (0 = hardware concurrency) from the shared
+/// persistent pool. Chunks are claimed from a shared atomic counter, so
+/// scheduling is dynamic but the WORK per chunk must be a pure function of
+/// the chunk index for deterministic results. With one worker (or one
+/// chunk) everything runs on the calling thread.
 template <typename Fn>
 void ParallelForChunks(size_t num_chunks, size_t num_threads, Fn&& fn) {
   const size_t workers =
@@ -39,18 +210,7 @@ void ParallelForChunks(size_t num_chunks, size_t num_threads, Fn&& fn) {
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
-  std::atomic<size_t> next{0};
-  auto drain = [&]() {
-    for (size_t c = next.fetch_add(1, std::memory_order_relaxed); c < num_chunks;
-         c = next.fetch_add(1, std::memory_order_relaxed)) {
-      fn(c);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(drain);
-  drain();
-  for (std::thread& t : pool) t.join();
+  ThreadPool::Shared().ParallelFor(num_chunks, workers, fn);
 }
 
 /// Number of fixed-size chunks covering n items.

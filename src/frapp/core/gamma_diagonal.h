@@ -24,6 +24,7 @@
 
 #include "frapp/common/statusor.h"
 #include "frapp/core/perturbation_matrix.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/linalg/uniform_mixture.h"
 #include "frapp/random/alias_sampler.h"
@@ -174,6 +175,16 @@ class GammaDiagonalPerturber {
   StatusOr<data::CategoricalTable> PerturbSeeded(const data::CategoricalTable& table,
                                                  uint64_t seed,
                                                  size_t num_threads = 1) const;
+
+  /// Perturbs only rows [range.begin, range.end) of `table` into a fresh
+  /// table of range-size rows, drawing randomness from the GLOBAL chunk
+  /// streams of the seeded contract — so concatenating the outputs of any
+  /// chunk-aligned partition reproduces PerturbSeeded(table, seed) bit for
+  /// bit. `range` must satisfy the seeded-chunk alignment (begin on a chunk
+  /// boundary, end on one or at the table end).
+  StatusOr<data::CategoricalTable> PerturbShardSeeded(
+      const data::CategoricalTable& table, const data::RowRange& range,
+      uint64_t seed, size_t num_threads = 1) const;
 
   const GammaDiagonalMatrix& matrix() const { return matrix_; }
   const GammaPerturbPlan& plan() const { return plan_; }

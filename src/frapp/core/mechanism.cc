@@ -22,11 +22,21 @@ uint64_t SubsetDomainSize(const data::CategoricalSchema& schema,
 
 }  // namespace
 
+StatusOr<data::CategoricalTable> Mechanism::PerturbShard(
+    const data::CategoricalTable&, const data::RowRange&, uint64_t, size_t) {
+  return Status::Unimplemented(name() + " does not stream shards");
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+Mechanism::MakeShardedEstimator(mining::ShardedVerticalIndex, size_t) {
+  return Status::Unimplemented(name() + " does not stream shards");
+}
+
 StatusOr<double> GammaSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
   const double perturbed_support =
       index_.has_value() ? index_->SupportFraction(itemset)
-                         : mining::SupportFraction(perturbed_, itemset);
+                         : mining::SupportFraction(*perturbed_, itemset);
   return reconstructor_.ReconstructSupport(perturbed_support,
                                            SubsetDomainSize(schema_, itemset));
 }
@@ -36,9 +46,11 @@ StatusOr<std::vector<double>> GammaSupportEstimator::EstimateSupports(
   if (!index_.has_value()) {
     return mining::SupportEstimator::EstimateSupports(itemsets);
   }
-  // Whole-pass counting over the bitmaps, then the per-candidate closed-form
-  // inverse (cheap scalar math).
-  const std::vector<size_t> counts = index_->CountSupports(itemsets);
+  // Whole-pass shard-parallel counting over the bitmaps, then the
+  // per-candidate closed-form inverse (cheap scalar math) on the TOTAL
+  // fraction — one division and one inverse per candidate regardless of the
+  // shard count, so results match the monolithic path bit for bit.
+  const std::vector<size_t> counts = index_->CountSupports(itemsets, num_threads_);
   const double n = static_cast<double>(index_->num_rows());
   std::vector<double> supports(itemsets.size());
   for (size_t c = 0; c < itemsets.size(); ++c) {
@@ -82,6 +94,20 @@ StatusOr<double> DetGdMechanism::ConditionNumberForLength(size_t) const {
   return reconstructor_.ConditionNumber();
 }
 
+StatusOr<data::CategoricalTable> DetGdMechanism::PerturbShard(
+    const data::CategoricalTable& original, const data::RowRange& range,
+    uint64_t seed, size_t num_threads) {
+  return perturber_.PerturbShardSeeded(original, range, seed, num_threads);
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+DetGdMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
+                                     size_t num_threads) {
+  return std::unique_ptr<mining::SupportEstimator>(
+      std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
+                                              std::move(index), num_threads));
+}
+
 // ---------------------------------------------------------------- RAN-GD --
 
 StatusOr<std::unique_ptr<RanGdMechanism>> RanGdMechanism::Create(
@@ -114,6 +140,20 @@ StatusOr<double> RanGdMechanism::ConditionNumberForLength(size_t) const {
   // Reconstruction uses E[A~] = the deterministic gamma-diagonal matrix, so
   // the condition number equals DET-GD's (paper Section 7 / Figure 4).
   return reconstructor_.ConditionNumber();
+}
+
+StatusOr<data::CategoricalTable> RanGdMechanism::PerturbShard(
+    const data::CategoricalTable& original, const data::RowRange& range,
+    uint64_t seed, size_t num_threads) {
+  return perturber_.PerturbShardSeeded(original, range, seed, num_threads);
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+RanGdMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
+                                     size_t num_threads) {
+  return std::unique_ptr<mining::SupportEstimator>(
+      std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
+                                              std::move(index), num_threads));
 }
 
 double RanGdMechanism::Amplification() const {

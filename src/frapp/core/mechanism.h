@@ -19,8 +19,10 @@
 #include "frapp/core/randomized_gamma.h"
 #include "frapp/core/subset_reconstruction.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/random/rng.h"
 
 namespace frapp {
@@ -49,6 +51,30 @@ class Mechanism {
 
   /// Record-level amplification actually delivered (<= the configured gamma).
   virtual double Amplification() const = 0;
+
+  // --- Shard streaming (the frapp/pipeline contract) ----------------------
+  //
+  // Mechanisms whose perturbation is per-record and whose reconstruction
+  // needs only total candidate counts can stream chunk-aligned row shards
+  // through perturb -> index -> count with bit-identical results to the
+  // monolithic pass. Others keep the defaults and the pipeline falls back to
+  // Prepare().
+
+  /// True when PerturbShard/MakeShardedEstimator are implemented.
+  virtual bool SupportsShardStreaming() const { return false; }
+
+  /// Client side of one shard: perturbs rows [range.begin, range.end) of
+  /// `original` under the seeded-chunk determinism contract (global chunk
+  /// indexing, so any chunk-aligned partition concatenates to the monolithic
+  /// seeded output).
+  virtual StatusOr<data::CategoricalTable> PerturbShard(
+      const data::CategoricalTable& original, const data::RowRange& range,
+      uint64_t seed, size_t num_threads);
+
+  /// Miner side over the merged per-shard indexes of the perturbed shards;
+  /// `num_threads` parallelizes each candidate-counting pass.
+  virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeShardedEstimator(mining::ShardedVerticalIndex index, size_t num_threads);
 };
 
 /// DET-GD: deterministic gamma-diagonal matrix (paper Sections 3, 5, 6).
@@ -63,6 +89,13 @@ class DetGdMechanism : public Mechanism {
   mining::SupportEstimator& estimator() override;
   StatusOr<double> ConditionNumberForLength(size_t length) const override;
   double Amplification() const override { return gamma_; }
+
+  bool SupportsShardStreaming() const override { return true; }
+  StatusOr<data::CategoricalTable> PerturbShard(
+      const data::CategoricalTable& original, const data::RowRange& range,
+      uint64_t seed, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
+      mining::ShardedVerticalIndex index, size_t num_threads) override;
 
   /// The perturbed database (valid after Prepare; exposed for examples).
   const data::CategoricalTable& perturbed() const { return *perturbed_; }
@@ -97,6 +130,13 @@ class RanGdMechanism : public Mechanism {
   mining::SupportEstimator& estimator() override;
   StatusOr<double> ConditionNumberForLength(size_t length) const override;
   double Amplification() const override;
+
+  bool SupportsShardStreaming() const override { return true; }
+  StatusOr<data::CategoricalTable> PerturbShard(
+      const data::CategoricalTable& original, const data::RowRange& range,
+      uint64_t seed, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
+      mining::ShardedVerticalIndex index, size_t num_threads) override;
 
   const RandomizedGammaPerturber& perturber() const { return perturber_; }
 
@@ -198,22 +238,38 @@ class IndependentColumnMechanism : public Mechanism {
 };
 
 /// Support oracle shared by DET-GD and RAN-GD: counts the candidate's
-/// support in the perturbed categorical table and applies the Eq. 28
-/// closed-form inverse. Counting runs over a vertical bitmap index of the
-/// perturbed table (built once at construction); `use_vertical_index =
-/// false` keeps the scalar row scan, as a benchmark baseline.
+/// support in the perturbed categorical database and applies the Eq. 28
+/// closed-form inverse. Counting runs over a (possibly sharded) vertical
+/// bitmap index; the inverse needs only the TOTAL perturbed count, so the
+/// reconstructed supports are bit-identical for every shard and thread
+/// count. `use_vertical_index = false` keeps the scalar row scan, as a
+/// benchmark baseline.
 class GammaSupportEstimator : public mining::SupportEstimator {
  public:
-  /// `perturbed` must outlive the estimator.
+  /// Monolithic construction: builds a one-shard index over `perturbed`
+  /// (which must outlive the estimator).
   GammaSupportEstimator(const data::CategoricalSchema& schema,
                         GammaSubsetReconstructor reconstructor,
                         const data::CategoricalTable& perturbed,
                         bool use_vertical_index = true)
       : schema_(schema),
         reconstructor_(std::move(reconstructor)),
-        perturbed_(perturbed) {
-    if (use_vertical_index) index_ = mining::VerticalIndex::Build(perturbed);
+        perturbed_(&perturbed) {
+    if (use_vertical_index) {
+      index_ = mining::ShardedVerticalIndex::Build(perturbed, /*num_shards=*/1);
+    }
   }
+
+  /// Pipeline construction: owns pre-built per-shard indexes of the
+  /// perturbed shards; no perturbed rows are retained. `num_threads`
+  /// parallelizes each candidate-counting pass (0 = hardware concurrency).
+  GammaSupportEstimator(const data::CategoricalSchema& schema,
+                        GammaSubsetReconstructor reconstructor,
+                        mining::ShardedVerticalIndex index, size_t num_threads)
+      : schema_(schema),
+        reconstructor_(std::move(reconstructor)),
+        index_(std::move(index)),
+        num_threads_(num_threads) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
   StatusOr<std::vector<double>> EstimateSupports(
@@ -222,8 +278,9 @@ class GammaSupportEstimator : public mining::SupportEstimator {
  private:
   const data::CategoricalSchema& schema_;
   GammaSubsetReconstructor reconstructor_;
-  const data::CategoricalTable& perturbed_;
-  std::optional<mining::VerticalIndex> index_;
+  const data::CategoricalTable* perturbed_ = nullptr;  // scalar fallback only
+  std::optional<mining::ShardedVerticalIndex> index_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace core

@@ -72,18 +72,29 @@ StatusOr<data::CategoricalTable> RandomizedGammaPerturber::Perturb(
 StatusOr<data::CategoricalTable> RandomizedGammaPerturber::PerturbSeeded(
     const data::CategoricalTable& table, uint64_t seed,
     size_t num_threads) const {
+  return PerturbShardSeeded(table, data::RowRange{0, table.num_rows()}, seed,
+                            num_threads);
+}
+
+StatusOr<data::CategoricalTable> RandomizedGammaPerturber::PerturbShardSeeded(
+    const data::CategoricalTable& table, const data::RowRange& range,
+    uint64_t seed, size_t num_threads) const {
   if (table.num_attributes() != plan_.num_attributes()) {
     return Status::InvalidArgument("table schema does not match perturber");
   }
+  FRAPP_RETURN_IF_ERROR(internal::ValidateShardRange(range, table.num_rows()));
   FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
                          data::CategoricalTable::Create(table.schema()));
-  out.AppendZeroRows(table.num_rows());
-  ColumnPointers cols(table, &out);
-  const size_t n = table.num_rows();
+  out.AppendZeroRows(range.size());
+  ColumnPointers cols(table, &out, range.begin);
+  // Local chunk c of the shard is global chunk first_chunk + c: same rows,
+  // same RNG stream as in the monolithic pass over the whole table.
+  const size_t first_chunk = range.begin / kPerturbChunkRows;
+  const size_t len = range.size();
   common::ParallelForChunks(
-      common::NumChunks(n, kPerturbChunkRows), num_threads, [&](size_t c) {
-        random::Pcg64 rng = ChunkRng(seed, c);
-        const size_t end = std::min(n, (c + 1) * kPerturbChunkRows);
+      common::NumChunks(len, kPerturbChunkRows), num_threads, [&](size_t c) {
+        random::Pcg64 rng = ChunkRng(seed, first_chunk + c);
+        const size_t end = std::min(len, (c + 1) * kPerturbChunkRows);
         for (size_t i = c * kPerturbChunkRows; i < end; ++i) {
           PerturbRow(cols.in.data(), cols.out.data(), i, rng);
         }

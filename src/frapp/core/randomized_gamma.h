@@ -18,6 +18,7 @@
 #include "frapp/common/statusor.h"
 #include "frapp/core/gamma_diagonal.h"
 #include "frapp/core/privacy.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/random/distributions.h"
 #include "frapp/random/rng.h"
@@ -50,6 +51,14 @@ class RandomizedGammaPerturber {
   StatusOr<data::CategoricalTable> PerturbSeeded(const data::CategoricalTable& table,
                                                  uint64_t seed,
                                                  size_t num_threads = 1) const;
+
+  /// Perturbs only rows [range.begin, range.end) of `table` with the GLOBAL
+  /// chunk streams of the seeded contract; concatenating the outputs of any
+  /// chunk-aligned partition reproduces PerturbSeeded(table, seed) bit for
+  /// bit. `range` must satisfy the seeded-chunk alignment.
+  StatusOr<data::CategoricalTable> PerturbShardSeeded(
+      const data::CategoricalTable& table, const data::RowRange& range,
+      uint64_t seed, size_t num_threads = 1) const;
 
   /// The expected matrix (what the miner reconstructs with).
   const GammaDiagonalMatrix& expected_matrix() const { return matrix_; }

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "frapp/common/status.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/random/rng.h"
 
@@ -21,7 +23,25 @@ namespace internal {
 /// Fixed chunk size for seeded perturbation: chunk boundaries (and the RNG
 /// stream of each chunk) depend only on the row count and master seed, never
 /// on the thread count, which makes the output thread-count-invariant.
-inline constexpr size_t kPerturbChunkRows = 8192;
+/// Aliases the shard alignment quantum so that chunk-aligned shards (see
+/// data/sharded_table.h) perturb bit-identically to the monolithic pass.
+inline constexpr size_t kPerturbChunkRows = data::kShardAlignmentRows;
+
+/// Validates that `range` can be perturbed as a standalone shard under the
+/// seeded-chunk contract: it must start on a chunk boundary and end on one
+/// (or at the end of the table), so that its local chunk grid coincides with
+/// the monolithic chunk grid.
+inline Status ValidateShardRange(const data::RowRange& range, size_t num_rows) {
+  if (range.begin > range.end || range.end > num_rows) {
+    return Status::OutOfRange("shard range exceeds table");
+  }
+  if (range.begin % kPerturbChunkRows != 0 ||
+      (range.end % kPerturbChunkRows != 0 && range.end != num_rows)) {
+    return Status::InvalidArgument(
+        "shard range is not aligned to the seeded chunk quantum");
+  }
+  return Status::OK();
+}
 
 /// Independent per-chunk generator: distinct PCG streams, seed mixed with
 /// the chunk index so neighbouring chunks share nothing.
@@ -31,17 +51,19 @@ inline random::Pcg64 ChunkRng(uint64_t seed, size_t chunk) {
 }
 
 /// Gathers the raw column pointers of both tables once per bulk call.
+/// `in_row_offset` shifts the input pointers so that a shard output table
+/// (local row i) reads from input row `in_row_offset + i`.
 struct ColumnPointers {
   std::vector<const uint8_t*> in;
   std::vector<uint8_t*> out;
 
   ColumnPointers(const data::CategoricalTable& input,
-                 data::CategoricalTable* output) {
+                 data::CategoricalTable* output, size_t in_row_offset = 0) {
     const size_t m = input.num_attributes();
     in.resize(m);
     out.resize(m);
     for (size_t j = 0; j < m; ++j) {
-      in[j] = input.Column(j).data();
+      in[j] = input.Column(j).data() + in_row_offset;
       out[j] = output->MutableColumnData(j);
     }
   }

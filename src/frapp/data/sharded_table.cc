@@ -1,0 +1,66 @@
+#include "frapp/data/sharded_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace frapp {
+namespace data {
+
+std::vector<RowRange> ShardedTable::Plan(size_t num_rows, size_t num_shards,
+                                         size_t alignment) {
+  std::vector<RowRange> shards;
+  if (num_rows == 0 || alignment == 0) return shards;
+  const size_t quanta = (num_rows + alignment - 1) / alignment;
+  const size_t count =
+      num_shards == 0 ? quanta : std::min(num_shards, quanta);
+  shards.reserve(count);
+  // Distribute the quanta as evenly as possible: the first `extra` shards
+  // get one more quantum than the rest. All boundaries except the final
+  // `num_rows` are multiples of `alignment`.
+  const size_t base = quanta / count;
+  const size_t extra = quanta % count;
+  size_t begin = 0;
+  for (size_t s = 0; s < count; ++s) {
+    const size_t span = (base + (s < extra ? 1 : 0)) * alignment;
+    const size_t end = std::min(num_rows, begin + span);
+    shards.push_back(RowRange{begin, end});
+    begin = end;
+  }
+  return shards;
+}
+
+ShardedTable ShardedTable::Create(const CategoricalTable& table,
+                                  size_t num_shards, size_t alignment) {
+  return ShardedTable(table, Plan(table.num_rows(), num_shards, alignment));
+}
+
+size_t ShardedTable::MaxShardRows() const {
+  size_t max_rows = 0;
+  for (const RowRange& range : shards_) max_rows = std::max(max_rows, range.size());
+  return max_rows;
+}
+
+StatusOr<CategoricalTable> ShardedTable::MaterializeShard(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard index out of range");
+  }
+  return CopyRowRange(*table_, shards_[shard]);
+}
+
+StatusOr<CategoricalTable> CopyRowRange(const CategoricalTable& table,
+                                        const RowRange& range) {
+  if (range.begin > range.end || range.end > table.num_rows()) {
+    return Status::OutOfRange("row range exceeds table");
+  }
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable out,
+                         CategoricalTable::Create(table.schema()));
+  out.AppendZeroRows(range.size());
+  for (size_t j = 0; j < table.num_attributes(); ++j) {
+    std::memcpy(out.MutableColumnData(j), table.Column(j).data() + range.begin,
+                range.size());
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace frapp

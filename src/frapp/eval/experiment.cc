@@ -7,21 +7,21 @@ StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
                                     const data::CategoricalTable& original,
                                     const mining::AprioriResult& truth,
                                     const ExperimentConfig& config) {
-  random::Pcg64 rng(config.perturb_seed);
-  FRAPP_RETURN_IF_ERROR(mechanism.Prepare(original, rng));
-
-  mining::AprioriOptions options;
-  options.min_support = config.min_support;
-  options.max_length = config.max_length;
-  FRAPP_ASSIGN_OR_RETURN(
-      mining::AprioriResult mined,
-      mining::MineFrequentItemsets(original.schema(), mechanism.estimator(),
-                                   options));
+  pipeline::PipelineOptions options;
+  options.num_shards = config.num_shards;
+  options.num_threads = config.num_threads;
+  options.perturb_seed = config.perturb_seed;
+  options.mining.min_support = config.min_support;
+  options.mining.max_length = config.max_length;
+  pipeline::PrivacyPipeline privacy_pipeline(options);
+  FRAPP_ASSIGN_OR_RETURN(pipeline::PipelineResult result,
+                         privacy_pipeline.Run(mechanism, original));
 
   MechanismRun run;
   run.mechanism_name = mechanism.name();
-  run.accuracy = CompareMiningResults(truth, mined);
-  run.mined = std::move(mined);
+  run.accuracy = CompareMiningResults(truth, result.mined);
+  run.mined = std::move(result.mined);
+  run.pipeline_stats = result.stats;
   return run;
 }
 

@@ -12,6 +12,7 @@
 #include "frapp/data/table.h"
 #include "frapp/eval/metrics.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/pipeline/privacy_pipeline.h"
 #include "frapp/random/rng.h"
 
 namespace frapp {
@@ -27,6 +28,15 @@ struct ExperimentConfig {
 
   /// Seed for the perturbation randomness.
   uint64_t perturb_seed = 7;
+
+  /// Row shards streamed through the perturb -> index -> count pipeline
+  /// (0 = one per seeded-chunk quantum). Results are bit-identical for
+  /// every value; more shards expose parallelism and bound peak memory.
+  size_t num_shards = 1;
+
+  /// Worker threads for shard streaming and candidate counting (0 =
+  /// hardware concurrency). Never affects results.
+  size_t num_threads = 1;
 };
 
 /// One mechanism's result on one dataset.
@@ -34,10 +44,13 @@ struct MechanismRun {
   std::string mechanism_name;
   mining::AprioriResult mined;
   std::vector<LengthAccuracy> accuracy;
+  pipeline::PipelineStats pipeline_stats;
 };
 
-/// Runs `mechanism` on `original`: perturbs with a fresh Pcg64(perturb_seed),
-/// mines with the mechanism's reconstructing estimator, and scores against
+/// Runs `mechanism` on `original` through the shard-streaming
+/// pipeline::PrivacyPipeline (monolithic fallback for mechanisms without
+/// shard support): perturbs deterministically from `perturb_seed`, mines
+/// with the mechanism's reconstructing estimator, and scores against
 /// `truth` (the exact mining result at the same threshold).
 StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
                                     const data::CategoricalTable& original,

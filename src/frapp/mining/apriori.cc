@@ -29,7 +29,7 @@ StatusOr<std::vector<double>> ExactSupportEstimator::EstimateSupports(
     return supports;
   }
   const double n = static_cast<double>(index_.num_rows());
-  const std::vector<size_t> counts = index_.CountSupports(itemsets);
+  const std::vector<size_t> counts = index_.CountSupports(itemsets, num_threads_);
   for (size_t c = 0; c < counts.size(); ++c) {
     supports[c] = static_cast<double>(counts[c]) / n;
   }
@@ -160,7 +160,8 @@ StatusOr<AprioriResult> MineFrequentItemsets(const data::CategoricalSchema& sche
 
 StatusOr<AprioriResult> MineExact(const data::CategoricalTable& table,
                                   const AprioriOptions& options) {
-  ExactSupportEstimator estimator(table);
+  ExactSupportEstimator estimator(table, options.count_shards,
+                                  options.num_threads);
   return MineFrequentItemsets(table.schema(), estimator, options);
 }
 

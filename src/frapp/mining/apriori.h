@@ -17,6 +17,7 @@
 #include "frapp/data/schema.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/itemset.h"
+#include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/mining/vertical_index.h"
 
 namespace frapp {
@@ -39,20 +40,27 @@ class SupportEstimator {
       const std::vector<Itemset>& itemsets);
 };
 
-/// Exact estimator backed by a vertical bitmap index over the table (the
-/// miner's ground truth).
+/// Exact estimator backed by a sharded vertical bitmap index over the table
+/// (the miner's ground truth). With the defaults (one shard, one thread) it
+/// behaves exactly like the former monolithic-index estimator; more shards
+/// and threads parallelize every candidate-counting pass with bit-identical
+/// results.
 class ExactSupportEstimator : public SupportEstimator {
  public:
-  /// Builds the index in one pass; the table must outlive the estimator.
-  explicit ExactSupportEstimator(const data::CategoricalTable& table)
-      : index_(VerticalIndex::Build(table)) {}
+  /// Builds the per-shard indexes in one pass; the table must outlive the
+  /// estimator. `num_threads` 0 = hardware concurrency.
+  explicit ExactSupportEstimator(const data::CategoricalTable& table,
+                                 size_t num_shards = 1, size_t num_threads = 1)
+      : index_(ShardedVerticalIndex::Build(table, num_shards, num_threads)),
+        num_threads_(num_threads) {}
 
   StatusOr<double> EstimateSupport(const Itemset& itemset) override;
   StatusOr<std::vector<double>> EstimateSupports(
       const std::vector<Itemset>& itemsets) override;
 
  private:
-  VerticalIndex index_;
+  ShardedVerticalIndex index_;
+  size_t num_threads_;
 };
 
 struct AprioriOptions {
@@ -61,6 +69,14 @@ struct AprioriOptions {
 
   /// Stop after this itemset length; 0 = no cap (bounded by M anyway).
   size_t max_length = 0;
+
+  /// Row shards for the exact counting substrate (MineExact). Results are
+  /// bit-identical for every value; more shards expose more parallelism.
+  size_t count_shards = 1;
+
+  /// Worker threads for shard-parallel candidate counting (0 = hardware
+  /// concurrency). Results are bit-identical for every value.
+  size_t num_threads = 1;
 };
 
 /// A discovered frequent itemset with its (estimated) support fraction.

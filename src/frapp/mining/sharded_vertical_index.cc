@@ -1,0 +1,102 @@
+#include "frapp/mining/sharded_vertical_index.h"
+
+#include <algorithm>
+
+#include "frapp/common/parallel.h"
+
+namespace frapp {
+namespace mining {
+
+namespace {
+
+/// Candidates per counting task: small enough to load-balance a pass of a
+/// few hundred candidates across workers, large enough to amortize the task
+/// dispatch over the bitmap AND loops.
+constexpr size_t kCandidateBlock = 32;
+
+}  // namespace
+
+ShardedVerticalIndex ShardedVerticalIndex::Build(
+    const data::CategoricalTable& table, size_t num_shards,
+    size_t num_threads) {
+  // Counting needs no chunk alignment (alignment 1 splits even small tables
+  // into the requested number of shards), so "one shard per quantum" is
+  // resolved to a count first.
+  const size_t resolved_shards =
+      num_shards != 0 ? num_shards
+                      : common::NumChunks(table.num_rows(),
+                                          data::kShardAlignmentRows);
+  const std::vector<data::RowRange> plan =
+      data::ShardedTable::Plan(table.num_rows(), resolved_shards,
+                               /*alignment=*/1);
+  ShardedVerticalIndex index;
+  index.num_rows_ = table.num_rows();
+  index.shards_.resize(plan.size());
+  common::ParallelForChunks(plan.size(), num_threads, [&](size_t s) {
+    index.shards_[s] = VerticalIndex::BuildRange(table, plan[s]);
+  });
+  return index;
+}
+
+ShardedVerticalIndex ShardedVerticalIndex::FromShards(
+    std::vector<VerticalIndex> shards) {
+  ShardedVerticalIndex index;
+  index.shards_ = std::move(shards);
+  for (const VerticalIndex& shard : index.shards_) {
+    index.num_rows_ += shard.num_rows();
+  }
+  return index;
+}
+
+size_t ShardedVerticalIndex::CountSupport(const Itemset& itemset) const {
+  size_t count = 0;
+  for (const VerticalIndex& shard : shards_) count += shard.CountSupport(itemset);
+  return count;
+}
+
+std::vector<size_t> ShardedVerticalIndex::CountSupports(
+    const std::vector<Itemset>& itemsets, size_t num_threads) const {
+  const size_t num_candidates = itemsets.size();
+  if (num_candidates == 0) return {};
+  if (shards_.empty()) return std::vector<size_t>(num_candidates, 0);
+
+  // Fan the (shard x candidate-block) grid out: every task fills a disjoint
+  // slice of one shard's count vector, so the writes are race-free and the
+  // values are a pure function of the cell — deterministic at any worker
+  // count.
+  const size_t blocks = common::NumChunks(num_candidates, kCandidateBlock);
+  std::vector<std::vector<size_t>> per_shard(
+      shards_.size(), std::vector<size_t>(num_candidates, 0));
+  common::ParallelForChunks(
+      shards_.size() * blocks, num_threads, [&](size_t task) {
+        const size_t s = task / blocks;
+        const size_t first = (task % blocks) * kCandidateBlock;
+        const size_t last = std::min(num_candidates, first + kCandidateBlock);
+        const VerticalIndex& shard = shards_[s];
+        std::vector<size_t>& counts = per_shard[s];
+        for (size_t c = first; c < last; ++c) {
+          counts[c] = shard.CountSupport(itemsets[c]);
+        }
+      });
+
+  // Deterministic pairwise tree merge of the per-shard vectors. Integer sums
+  // are order-independent anyway; the fixed tree keeps the merge schedule a
+  // pure function of the shard count, the shape a distributed reduce uses.
+  for (size_t stride = 1; stride < per_shard.size(); stride *= 2) {
+    for (size_t s = 0; s + stride < per_shard.size(); s += 2 * stride) {
+      std::vector<size_t>& into = per_shard[s];
+      const std::vector<size_t>& from = per_shard[s + stride];
+      for (size_t c = 0; c < num_candidates; ++c) into[c] += from[c];
+    }
+  }
+  return std::move(per_shard.front());
+}
+
+double ShardedVerticalIndex::SupportFraction(const Itemset& itemset) const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(CountSupport(itemset)) /
+         static_cast<double>(num_rows_);
+}
+
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,73 @@
+// Sharded vertical bitmap index: the support-counting substrate of the
+// parallel perturb -> index -> count pipeline.
+//
+// A k-itemset's support count over a row-partitioned table is the sum of its
+// per-shard counts — integer addition, so ANY shard partition and ANY
+// evaluation order yields the same totals as the monolithic index, bit for
+// bit. That makes an Apriori candidate-counting pass embarrassingly
+// parallel: the (shard x candidate-block) grid is fanned out on
+// common::ParallelForChunks, each cell writing a disjoint slice of its
+// shard's count vector, and the per-shard vectors are combined by a
+// deterministic pairwise tree merge. Shards also let the index be built from
+// independently perturbed shard tables whose rows are dropped immediately
+// after indexing (O(shard) peak memory, see frapp/pipeline).
+
+#ifndef FRAPP_MINING_SHARDED_VERTICAL_INDEX_H_
+#define FRAPP_MINING_SHARDED_VERTICAL_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "frapp/data/sharded_table.h"
+#include "frapp/data/table.h"
+#include "frapp/mining/itemset.h"
+#include "frapp/mining/vertical_index.h"
+
+namespace frapp {
+namespace mining {
+
+/// Immutable collection of per-shard VerticalIndexes over a row partition of
+/// one table. Counting answers are independent of the shard count and of the
+/// thread count.
+class ShardedVerticalIndex {
+ public:
+  /// Builds per-shard indexes over an even `num_shards`-way row split of
+  /// `table` (alignment-free: counting needs no chunk alignment). 0 shards
+  /// means one shard per seeded-chunk quantum. `num_threads` parallelizes
+  /// the shard builds (0 = hardware concurrency).
+  static ShardedVerticalIndex Build(const data::CategoricalTable& table,
+                                    size_t num_shards, size_t num_threads = 1);
+
+  /// Assembles from pre-built shard indexes (the pipeline path, where each
+  /// shard was indexed right after perturbation). Shard order must follow
+  /// row order; totals are independent of it regardless.
+  static ShardedVerticalIndex FromShards(std::vector<VerticalIndex> shards);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_shards() const { return shards_.size(); }
+  const VerticalIndex& shard(size_t s) const { return shards_[s]; }
+
+  /// Total support count of one itemset (sum of per-shard counts).
+  size_t CountSupport(const Itemset& itemset) const;
+
+  /// Counts a whole candidate list, fanning the (shard x candidate-block)
+  /// grid out over `num_threads` workers and tree-merging the per-shard
+  /// vectors. Bit-identical to the monolithic count for every shard and
+  /// thread count.
+  std::vector<size_t> CountSupports(const std::vector<Itemset>& itemsets,
+                                    size_t num_threads = 1) const;
+
+  /// Support as a fraction of all rows (0 for an empty table).
+  double SupportFraction(const Itemset& itemset) const;
+
+ private:
+  ShardedVerticalIndex() = default;
+
+  size_t num_rows_ = 0;
+  std::vector<VerticalIndex> shards_;
+};
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_SHARDED_VERTICAL_INDEX_H_

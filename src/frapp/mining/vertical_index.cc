@@ -7,10 +7,16 @@ namespace mining {
 
 VerticalIndex VerticalIndex::Build(const data::CategoricalTable& table,
                                    size_t num_threads) {
+  return BuildRange(table, data::RowRange{0, table.num_rows()}, num_threads);
+}
+
+VerticalIndex VerticalIndex::BuildRange(const data::CategoricalTable& table,
+                                        const data::RowRange& range,
+                                        size_t num_threads) {
   VerticalIndex index;
   const data::CategoricalSchema& schema = table.schema();
   const size_t m = schema.num_attributes();
-  index.num_rows_ = table.num_rows();
+  index.num_rows_ = range.size();
   index.words_ = (index.num_rows_ + 63) / 64;
   index.offsets_.resize(m);
   size_t items = 0;
@@ -23,7 +29,7 @@ VerticalIndex VerticalIndex::Build(const data::CategoricalTable& table,
   // Attributes write disjoint bitmap ranges, so parallelizing over them is
   // race-free and bit-identical for every worker count.
   common::ParallelForChunks(m, num_threads, [&](size_t j) {
-    const uint8_t* col = table.Column(j).data();
+    const uint8_t* col = table.Column(j).data() + range.begin;
     uint64_t* base = index.bits_.data() + index.offsets_[j] * index.words_;
     for (size_t i = 0; i < index.num_rows_; ++i) {
       base[static_cast<size_t>(col[i]) * index.words_ + (i >> 6)] |=

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/itemset.h"
 
@@ -26,11 +27,23 @@ namespace mining {
 /// Immutable per-item bitmap index over a CategoricalTable snapshot.
 class VerticalIndex {
  public:
+  /// Empty (zero-row, zero-item) index: the placeholder slot value of the
+  /// sharded builders, overwritten by Build/BuildRange results.
+  VerticalIndex() = default;
+
   /// Builds the index in one pass over `table`'s columns. `num_threads`
   /// parallelizes over attributes (0 = hardware concurrency); the result is
   /// bit-identical for every thread count.
   static VerticalIndex Build(const data::CategoricalTable& table,
                              size_t num_threads = 1);
+
+  /// Builds an index over only rows [range.begin, range.end) of `table`,
+  /// renumbered to local rows [0, range.size()): the per-shard index of the
+  /// sharded counting path (see ShardedVerticalIndex). The range must lie
+  /// within the table.
+  static VerticalIndex BuildRange(const data::CategoricalTable& table,
+                                  const data::RowRange& range,
+                                  size_t num_threads = 1);
 
   size_t num_rows() const { return num_rows_; }
   size_t words_per_item() const { return words_; }
@@ -52,8 +65,6 @@ class VerticalIndex {
   double SupportFraction(const Itemset& itemset) const;
 
  private:
-  VerticalIndex() = default;
-
   size_t num_rows_ = 0;
   size_t words_ = 0;
   std::vector<size_t> offsets_;  // first item slot of each attribute

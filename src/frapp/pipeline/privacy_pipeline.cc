@@ -1,0 +1,111 @@
+#include "frapp/pipeline/privacy_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "frapp/common/parallel.h"
+#include "frapp/mining/sharded_vertical_index.h"
+#include "frapp/mining/vertical_index.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace pipeline {
+
+namespace {
+
+/// Raises `peak` to at least `value` (relaxed CAS loop).
+void RaiseToAtLeast(std::atomic<size_t>& peak, size_t value) {
+  size_t observed = peak.load(std::memory_order_relaxed);
+  while (observed < value &&
+         !peak.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+StatusOr<PipelineResult> PrivacyPipeline::Run(
+    core::Mechanism& mechanism, const data::CategoricalTable& original) const {
+  PipelineResult result;
+
+  if (!mechanism.SupportsShardStreaming()) {
+    // Monolithic fallback: the classic Prepare() path, whole perturbed
+    // database in memory.
+    random::Pcg64 rng(options_.perturb_seed);
+    FRAPP_RETURN_IF_ERROR(mechanism.Prepare(original, rng));
+    FRAPP_ASSIGN_OR_RETURN(
+        result.mined,
+        mining::MineFrequentItemsets(original.schema(), mechanism.estimator(),
+                                     options_.mining));
+    result.stats.num_shards = 1;
+    result.stats.max_shard_rows = original.num_rows();
+    // The mechanism owns its perturbed representation (e.g. a one-hot
+    // BooleanTable for MASK/C&P); its footprint is not observable here.
+    result.stats.peak_inflight_perturbed_bytes = 0;
+    result.stats.shard_streamed = false;
+    return result;
+  }
+
+  const data::ShardedTable sharded =
+      data::ShardedTable::Create(original, options_.num_shards);
+  const std::vector<data::RowRange>& plan = sharded.shards();
+  const size_t bytes_per_row = original.num_attributes();
+
+  // Stream the shards: each task perturbs its shard, transposes it into a
+  // local vertical index, and drops the perturbed rows before returning, so
+  // at most `workers` shards of rows are ever alive at once. Every task is a
+  // pure function of its shard index (global seeded-chunk RNG streams), so
+  // the concatenated result is bit-identical at any shard/thread count.
+  std::vector<mining::VerticalIndex> shard_indexes(plan.size());
+  std::vector<Status> shard_status(plan.size());
+  std::atomic<size_t> inflight_bytes{0};
+  std::atomic<size_t> peak_bytes{0};
+  // With several shards the outer dispatch occupies the pool's single job
+  // slot, so nested parallel calls would run inline anyway — give shard
+  // tasks one thread. The one-shard case runs inline at the outer level
+  // instead, so the full thread budget flows into the shard's own
+  // chunk-parallel perturbation and index build.
+  const size_t inner_threads = plan.size() == 1 ? options_.num_threads : 1;
+  common::ParallelForChunks(plan.size(), options_.num_threads, [&](size_t s) {
+    const size_t shard_bytes = plan[s].size() * bytes_per_row;
+    {
+      StatusOr<data::CategoricalTable> shard = mechanism.PerturbShard(
+          original, plan[s], options_.perturb_seed, inner_threads);
+      if (!shard.ok()) {
+        shard_status[s] = shard.status();
+        return;
+      }
+      RaiseToAtLeast(peak_bytes,
+                     inflight_bytes.fetch_add(shard_bytes,
+                                              std::memory_order_relaxed) +
+                         shard_bytes);
+      shard_indexes[s] = mining::VerticalIndex::Build(*shard, inner_threads);
+    }  // the perturbed shard rows are dropped here, before the next shard
+    inflight_bytes.fetch_sub(shard_bytes, std::memory_order_relaxed);
+  });
+  for (const Status& status : shard_status) {
+    FRAPP_RETURN_IF_ERROR(status);
+  }
+
+  FRAPP_ASSIGN_OR_RETURN(
+      std::unique_ptr<mining::SupportEstimator> estimator,
+      mechanism.MakeShardedEstimator(
+          mining::ShardedVerticalIndex::FromShards(std::move(shard_indexes)),
+          options_.num_threads));
+  FRAPP_ASSIGN_OR_RETURN(
+      result.mined, mining::MineFrequentItemsets(original.schema(), *estimator,
+                                                 options_.mining));
+
+  result.stats.num_shards = plan.size();
+  result.stats.max_shard_rows = sharded.MaxShardRows();
+  result.stats.peak_inflight_perturbed_bytes =
+      peak_bytes.load(std::memory_order_relaxed);
+  result.stats.shard_streamed = true;
+  return result;
+}
+
+}  // namespace pipeline
+}  // namespace frapp

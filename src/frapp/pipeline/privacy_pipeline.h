@@ -1,0 +1,95 @@
+// The shard-streaming privacy pipeline: one API for the whole
+// perturb -> index -> count -> reconstruct -> mine flow.
+//
+// FRAPP's guarantees are per-record, so the pipeline shards the input table
+// into chunk-aligned row ranges (data::ShardedTable) and streams each shard
+// through client-side perturbation and vertical-index construction; the
+// perturbed rows are dropped the moment their shard is indexed, so peak
+// memory for perturbed data is O(in-flight shards x shard), never O(table).
+// Mining then runs over the merged per-shard indexes with shard-parallel
+// candidate counting. Because perturbation draws global seeded-chunk RNG
+// streams and support counts are integer sums, the mined result is
+// BIT-IDENTICAL for every (shard count, thread count) combination —
+// parallelism and memory bounds are free of accuracy semantics.
+//
+// Mechanisms advertise shard support via core::Mechanism's shard-streaming
+// contract (DET-GD and RAN-GD do); for the rest (MASK, C&P, IND-GD) the
+// pipeline transparently falls back to the monolithic Prepare() path, so
+// callers can route every mechanism through this one API.
+
+#ifndef FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
+#define FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
+
+#include <cstdint>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/mechanism.h"
+#include "frapp/data/sharded_table.h"
+#include "frapp/data/table.h"
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace pipeline {
+
+struct PipelineOptions {
+  /// Row shards to stream (clamped to the number of seeded-chunk quanta;
+  /// 0 = one shard per quantum). One shard reproduces the monolithic pass.
+  size_t num_shards = 1;
+
+  /// Worker threads for shard perturbation/indexing and for every
+  /// candidate-counting pass (0 = hardware concurrency). Never affects
+  /// results.
+  size_t num_threads = 1;
+
+  /// Master seed of the deterministic perturbation.
+  uint64_t perturb_seed = 7;
+
+  /// Mining parameters (threshold, length cap).
+  mining::AprioriOptions mining;
+};
+
+/// Observability of one pipeline run.
+struct PipelineStats {
+  /// Shards actually streamed (1 on the monolithic fallback).
+  size_t num_shards = 0;
+
+  /// Rows of the largest shard: the per-shard work/memory unit.
+  size_t max_shard_rows = 0;
+
+  /// High-water mark of perturbed categorical-row bytes alive at once on
+  /// the streaming path, bounded by (in-flight shards <= threads) x shard
+  /// bytes. 0 on the fallback: the mechanism owns its perturbed
+  /// representation there and its footprint is not observable.
+  size_t peak_inflight_perturbed_bytes = 0;
+
+  /// False when the mechanism lacks shard support and Prepare() ran instead.
+  bool shard_streamed = false;
+};
+
+struct PipelineResult {
+  mining::AprioriResult mined;
+  PipelineStats stats;
+};
+
+/// Runs the full privacy-preserving mining flow for one mechanism.
+class PrivacyPipeline {
+ public:
+  explicit PrivacyPipeline(PipelineOptions options) : options_(options) {}
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Perturbs `original` shard by shard (or monolithically for mechanisms
+  /// without shard support), then mines with the mechanism's reconstructing
+  /// estimator. Mining happens inside the pipeline; the mechanism's own
+  /// estimator() state is populated only on the monolithic fallback path.
+  StatusOr<PipelineResult> Run(core::Mechanism& mechanism,
+                               const data::CategoricalTable& original) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace pipeline
+}  // namespace frapp
+
+#endif  // FRAPP_PIPELINE_PRIVACY_PIPELINE_H_

@@ -1,0 +1,119 @@
+#include "frapp/data/sharded_table.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/data/schema.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace data {
+namespace {
+
+CategoricalSchema TwoAttributeSchema() {
+  return *CategoricalSchema::Create({
+      {"a", {"a0", "a1", "a2"}},
+      {"b", {"b0", "b1"}},
+  });
+}
+
+CategoricalTable RandomTable(size_t n, uint64_t seed) {
+  CategoricalTable table = *CategoricalTable::Create(TwoAttributeSchema());
+  random::Pcg64 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    (void)table.AppendRow({static_cast<uint8_t>(rng.NextBounded(3)),
+                           static_cast<uint8_t>(rng.NextBounded(2))});
+  }
+  return table;
+}
+
+void ExpectValidPartition(const std::vector<RowRange>& plan, size_t num_rows,
+                          size_t alignment) {
+  size_t expected_begin = 0;
+  for (const RowRange& range : plan) {
+    EXPECT_EQ(range.begin, expected_begin);
+    EXPECT_GT(range.size(), 0u);
+    EXPECT_EQ(range.begin % alignment, 0u);
+    if (range.end != num_rows) EXPECT_EQ(range.end % alignment, 0u);
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(expected_begin, num_rows);
+}
+
+TEST(ShardedTablePlanTest, CoversAllRowsContiguouslyAndAligned) {
+  for (size_t num_rows : {1ul, 100ul, 8192ul, 8193ul, 50000ul, 100000ul}) {
+    for (size_t num_shards : {1ul, 2ul, 3ul, 7ul, 100ul}) {
+      const std::vector<RowRange> plan =
+          ShardedTable::Plan(num_rows, num_shards);
+      SCOPED_TRACE(testing::Message() << "rows=" << num_rows
+                                      << " shards=" << num_shards);
+      ExpectValidPartition(plan, num_rows, kShardAlignmentRows);
+      // Clamped to the number of alignment quanta, never beyond the request.
+      const size_t quanta =
+          (num_rows + kShardAlignmentRows - 1) / kShardAlignmentRows;
+      EXPECT_EQ(plan.size(), std::min(num_shards, quanta));
+    }
+  }
+}
+
+TEST(ShardedTablePlanTest, ZeroShardsMeansOnePerQuantum) {
+  const std::vector<RowRange> plan = ShardedTable::Plan(50000, 0);
+  EXPECT_EQ(plan.size(), 7u);  // ceil(50000 / 8192)
+  ExpectValidPartition(plan, 50000, kShardAlignmentRows);
+}
+
+TEST(ShardedTablePlanTest, EmptyTableHasNoShards) {
+  EXPECT_TRUE(ShardedTable::Plan(0, 4).empty());
+}
+
+TEST(ShardedTablePlanTest, ShardsAreEvenInQuanta) {
+  // 10 quanta over 3 shards: 4 + 3 + 3, never 8 + 1 + 1.
+  const size_t rows = 10 * kShardAlignmentRows;
+  const std::vector<RowRange> plan = ShardedTable::Plan(rows, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].size(), 4 * kShardAlignmentRows);
+  EXPECT_EQ(plan[1].size(), 3 * kShardAlignmentRows);
+  EXPECT_EQ(plan[2].size(), 3 * kShardAlignmentRows);
+}
+
+TEST(ShardedTablePlanTest, UnalignedPlanSplitsSmallTables) {
+  // Alignment 1 (pure counting): a 10-row table really splits 3 ways.
+  const std::vector<RowRange> plan = ShardedTable::Plan(10, 3, 1);
+  ASSERT_EQ(plan.size(), 3u);
+  ExpectValidPartition(plan, 10, 1);
+  EXPECT_EQ(plan[0].size(), 4u);
+}
+
+TEST(ShardedTableTest, MaterializedShardsConcatenateToTable) {
+  const CategoricalTable table = RandomTable(1000, 7);
+  const ShardedTable sharded = ShardedTable::Create(table, 3, /*alignment=*/64);
+  ASSERT_EQ(sharded.num_shards(), 3u);
+  EXPECT_EQ(sharded.MaxShardRows(), sharded.Range(0).size());
+  size_t row = 0;
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const StatusOr<CategoricalTable> shard = sharded.MaterializeShard(s);
+    ASSERT_TRUE(shard.ok());
+    ASSERT_EQ(shard->num_rows(), sharded.Range(s).size());
+    for (size_t i = 0; i < shard->num_rows(); ++i, ++row) {
+      for (size_t j = 0; j < table.num_attributes(); ++j) {
+        ASSERT_EQ(shard->Value(i, j), table.Value(row, j));
+      }
+    }
+  }
+  EXPECT_EQ(row, table.num_rows());
+}
+
+TEST(ShardedTableTest, MaterializeOutOfRangeFails) {
+  const CategoricalTable table = RandomTable(10, 3);
+  const ShardedTable sharded = ShardedTable::Create(table, 2, /*alignment=*/1);
+  EXPECT_FALSE(sharded.MaterializeShard(99).ok());
+}
+
+TEST(CopyRowRangeTest, RejectsRangeBeyondTable) {
+  const CategoricalTable table = RandomTable(10, 3);
+  EXPECT_FALSE(CopyRowRange(table, RowRange{5, 20}).ok());
+  EXPECT_FALSE(CopyRowRange(table, RowRange{7, 3}).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

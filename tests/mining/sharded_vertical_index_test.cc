@@ -1,0 +1,159 @@
+// Shard-equivalence of the counting substrate: per-shard counts summed must
+// equal the monolithic vertical-index counts EXACTLY — for every shard
+// count, every thread count, and randomized tables/candidates.
+
+#include "frapp/mining/sharded_vertical_index.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/data/schema.h"
+#include "frapp/data/table.h"
+#include "frapp/mining/itemset.h"
+#include "frapp/mining/vertical_index.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace mining {
+namespace {
+
+data::CategoricalTable RandomTable(size_t n, uint64_t seed) {
+  data::CategoricalSchema schema = *data::CategoricalSchema::Create({
+      {"a", {"0", "1", "2", "3"}},
+      {"b", {"0", "1", "2"}},
+      {"c", {"0", "1"}},
+      {"d", {"0", "1", "2", "3", "4"}},
+  });
+  data::CategoricalTable table = *data::CategoricalTable::Create(schema);
+  random::Pcg64 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    (void)table.AppendRow({static_cast<uint8_t>(rng.NextBounded(4)),
+                           static_cast<uint8_t>(rng.NextBounded(3)),
+                           static_cast<uint8_t>(rng.NextBounded(2)),
+                           static_cast<uint8_t>(rng.NextBounded(5))});
+  }
+  return table;
+}
+
+// Random itemsets of length 1..4 over distinct attributes.
+std::vector<Itemset> RandomCandidates(const data::CategoricalSchema& schema,
+                                      size_t count, uint64_t seed) {
+  random::Pcg64 rng(seed);
+  std::vector<Itemset> candidates;
+  const size_t m = schema.num_attributes();
+  while (candidates.size() < count) {
+    const size_t length = 1 + rng.NextBounded(m);
+    std::vector<Item> items;
+    for (size_t j = 0; j < m && items.size() < length; ++j) {
+      if (rng.NextBernoulli(0.6)) {
+        items.push_back(Item{
+            static_cast<uint16_t>(j),
+            static_cast<uint16_t>(rng.NextBounded(schema.Cardinality(j)))});
+      }
+    }
+    if (items.empty()) continue;
+    candidates.push_back(Itemset::FromSortedUnchecked(std::move(items)));
+  }
+  return candidates;
+}
+
+TEST(ShardedVerticalIndexTest, CountsMatchMonolithicForAllShardAndThreadCounts) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const data::CategoricalTable table = RandomTable(5000 + 137 * seed, seed);
+    const std::vector<Itemset> candidates =
+        RandomCandidates(table.schema(), 200, seed + 100);
+    const VerticalIndex monolithic = VerticalIndex::Build(table);
+    const std::vector<size_t> expected = monolithic.CountSupports(candidates);
+
+    for (size_t num_shards : {1ul, 3ul, 7ul}) {
+      for (size_t num_threads : {1ul, 4ul}) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed << " shards="
+                                        << num_shards << " threads="
+                                        << num_threads);
+        const ShardedVerticalIndex sharded =
+            ShardedVerticalIndex::Build(table, num_shards, num_threads);
+        EXPECT_EQ(sharded.num_rows(), table.num_rows());
+        EXPECT_EQ(sharded.CountSupports(candidates, num_threads), expected);
+      }
+    }
+  }
+}
+
+TEST(ShardedVerticalIndexTest, SingleCountAndFractionMatchMonolithic) {
+  const data::CategoricalTable table = RandomTable(4000, 9);
+  const VerticalIndex monolithic = VerticalIndex::Build(table);
+  const ShardedVerticalIndex sharded = ShardedVerticalIndex::Build(table, 5);
+  for (const Itemset& itemset : RandomCandidates(table.schema(), 50, 10)) {
+    EXPECT_EQ(sharded.CountSupport(itemset), monolithic.CountSupport(itemset));
+    EXPECT_EQ(sharded.SupportFraction(itemset),
+              monolithic.SupportFraction(itemset));
+  }
+}
+
+TEST(ShardedVerticalIndexTest, ZeroShardsMeansOnePerQuantum) {
+  const data::CategoricalTable table =
+      RandomTable(data::kShardAlignmentRows + 10, 5);
+  const ShardedVerticalIndex sharded = ShardedVerticalIndex::Build(table, 0);
+  EXPECT_EQ(sharded.num_shards(), 2u);
+}
+
+TEST(ShardedVerticalIndexTest, EmptyItemsetCountsAllRows) {
+  const data::CategoricalTable table = RandomTable(1234, 4);
+  const ShardedVerticalIndex sharded = ShardedVerticalIndex::Build(table, 3);
+  EXPECT_EQ(sharded.CountSupport(Itemset()), table.num_rows());
+}
+
+TEST(ShardedVerticalIndexTest, FromShardsMatchesBuild) {
+  const data::CategoricalTable table = RandomTable(3000, 11);
+  const std::vector<data::RowRange> plan =
+      data::ShardedTable::Plan(table.num_rows(), 4, /*alignment=*/1);
+  std::vector<VerticalIndex> shards;
+  for (const data::RowRange& range : plan) {
+    shards.push_back(VerticalIndex::BuildRange(table, range));
+  }
+  const ShardedVerticalIndex assembled =
+      ShardedVerticalIndex::FromShards(std::move(shards));
+  EXPECT_EQ(assembled.num_rows(), table.num_rows());
+  EXPECT_EQ(assembled.num_shards(), plan.size());
+  const std::vector<Itemset> candidates =
+      RandomCandidates(table.schema(), 64, 12);
+  EXPECT_EQ(assembled.CountSupports(candidates),
+            VerticalIndex::Build(table).CountSupports(candidates));
+}
+
+TEST(ShardedVerticalIndexTest, EmptyTableAndEmptyCandidateList) {
+  const data::CategoricalTable table = RandomTable(0, 1);
+  const ShardedVerticalIndex sharded = ShardedVerticalIndex::Build(table, 3);
+  EXPECT_EQ(sharded.num_rows(), 0u);
+  EXPECT_EQ(sharded.num_shards(), 0u);
+  EXPECT_TRUE(sharded.CountSupports({}).empty());
+  const Itemset single = Itemset::FromSortedUnchecked({Item{0, 0}});
+  EXPECT_EQ(sharded.CountSupport(single), 0u);
+  EXPECT_EQ(sharded.SupportFraction(single), 0.0);
+  EXPECT_EQ(sharded.CountSupports({single, single}),
+            (std::vector<size_t>{0, 0}));
+}
+
+TEST(VerticalIndexBuildRangeTest, RangeIndexMatchesSlice) {
+  const data::CategoricalTable table = RandomTable(777, 21);
+  const data::RowRange range{100, 400};
+  const VerticalIndex index = VerticalIndex::BuildRange(table, range);
+  EXPECT_EQ(index.num_rows(), range.size());
+  for (const Itemset& itemset : RandomCandidates(table.schema(), 32, 22)) {
+    size_t expected = 0;
+    for (size_t i = range.begin; i < range.end; ++i) {
+      bool supported = true;
+      for (const Item& item : itemset.items()) {
+        if (table.Value(i, item.attribute) != item.category) {
+          supported = false;
+          break;
+        }
+      }
+      if (supported) ++expected;
+    }
+    EXPECT_EQ(index.CountSupport(itemset), expected);
+  }
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Builds Release and emits the perf-trajectory JSON files at the repo root:
+# Builds Release and maintains the perf-trajectory JSON files at the repo root:
 #   BENCH_mining.json       — apriori_benchmark (vertical index vs scalar)
 #   BENCH_perturbation.json — perturbation_benchmark (alias kernel vs naive)
-# google-benchmark JSON, one file per suite; successive PRs append their own
-# runs next to these to track the trajectory.
+#   BENCH_pipeline.json     — pipeline_benchmark (shards x threads sweep)
+# Each file holds {"runs": [<google-benchmark output>, ...]}: every
+# invocation APPENDS its run (with its context/date) to the trajectory
+# instead of overwriting it, so successive PRs accumulate a perf history.
+# A pre-existing single-run file (the PR-1 format) is wrapped as the first
+# trajectory entry on the next append.
 #
 # Usage: tools/run_benchmarks.sh [build-dir] (default: build)
 
@@ -14,13 +18,58 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
-  --target apriori_benchmark perturbation_benchmark
+  --target apriori_benchmark perturbation_benchmark pipeline_benchmark
 
-"$build_dir/apriori_benchmark" \
-  --benchmark_out="$repo_root/BENCH_mining.json" \
-  --benchmark_out_format=json
-"$build_dir/perturbation_benchmark" \
-  --benchmark_out="$repo_root/BENCH_perturbation.json" \
-  --benchmark_out_format=json
+# Appends the single-run google-benchmark JSON $2 to the trajectory file $1.
+merge_run() {
+  local trajectory="$1" new_run="$2"
+  python3 - "$trajectory" "$new_run" <<'PY'
+import json
+import os
+import sys
 
-echo "Wrote $repo_root/BENCH_mining.json and $repo_root/BENCH_perturbation.json"
+trajectory_path, new_run_path = sys.argv[1], sys.argv[2]
+with open(new_run_path) as f:
+    new_run = json.load(f)
+
+runs = []
+try:
+    with open(trajectory_path) as f:
+        existing = json.load(f)
+    # Wrap a legacy single-run file; keep an existing trajectory as is.
+    runs = existing["runs"] if "runs" in existing else [existing]
+except FileNotFoundError:
+    pass
+except json.JSONDecodeError:
+    # Never silently discard an accumulated trajectory: preserve the
+    # unparseable file next to the fresh one and say so.
+    backup = trajectory_path + ".corrupt"
+    os.replace(trajectory_path, backup)
+    print(f"WARNING: {trajectory_path} was not valid JSON; "
+          f"moved it to {backup} and started a fresh trajectory",
+          file=sys.stderr)
+
+runs.append(new_run)
+with open(trajectory_path, "w") as f:
+    json.dump({"runs": runs}, f, indent=1)
+    f.write("\n")
+print(f"{trajectory_path}: {len(runs)} run(s)")
+PY
+}
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+run_suite() {
+  local benchmark="$1" trajectory="$2"
+  "$build_dir/$benchmark" \
+    --benchmark_out="$tmp_dir/$benchmark.json" \
+    --benchmark_out_format=json
+  merge_run "$repo_root/$trajectory" "$tmp_dir/$benchmark.json"
+}
+
+run_suite apriori_benchmark BENCH_mining.json
+run_suite perturbation_benchmark BENCH_perturbation.json
+run_suite pipeline_benchmark BENCH_pipeline.json
+
+echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json"
