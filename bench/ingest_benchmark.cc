@@ -1,0 +1,173 @@
+// Streaming CSV ingest vs. preloaded table: the memory/time trade of the
+// end-to-end streaming pipeline on CENSUS 50k (DET-GD, supmin = 2%).
+//
+//   BM_PreloadedCsvPipeline  ReadCsv materializes the whole table, then the
+//                            pipeline streams in-memory shards from it.
+//   BM_StreamingCsvPipeline  CsvTableSource parses one chunk-quantum shard
+//                            at a time; no full table ever exists.
+//   BM_StreamingSynthetic    generator-fed pipeline, rows created on demand.
+//
+// Counters:
+//   peak_perturbed_bytes   high-water mark of perturbed rows alive at once
+//                          (the pipeline's O(in-flight shards x shard) bound)
+//   source_table_bytes     categorical rows materialized by the source at
+//                          once: whole table when preloaded, one shard when
+//                          streamed
+//   max_shard_rows, shards pipeline shape
+//   vm_hwm_kib             process peak RSS (Linux VmHWM; process-lifetime
+//                          monotone, so compare across separate runs)
+//
+// Emitted to BENCH_ingest.json by tools/run_benchmarks.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/data/census.h"
+#include "frapp/data/csv.h"
+#include "frapp/pipeline/privacy_pipeline.h"
+#include "frapp/pipeline/table_source.h"
+
+namespace {
+
+using namespace frapp;
+
+constexpr size_t kRows = 50000;
+constexpr uint64_t kDataSeed = 10;
+
+/// Peak resident set (VmHWM) in KiB, 0 when unavailable.
+double VmHwmKib() {
+  std::ifstream status("/proc/self/status");
+  std::string token;
+  while (status >> token) {
+    if (token == "VmHWM:") {
+      double kib = 0.0;
+      status >> kib;
+      return kib;
+    }
+  }
+  return 0.0;
+}
+
+/// The benchmark's shared CSV fixture on disk (written once).
+const std::string& CsvPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string("/tmp/frapp_ingest_benchmark.csv");
+    const data::CategoricalTable table = *data::census::MakeDataset(kRows, kDataSeed);
+    if (!data::WriteCsv(table, *p).ok()) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", p->c_str());
+      std::exit(1);
+    }
+    return p;
+  }();
+  return *path;
+}
+
+pipeline::PipelineOptions Options() {
+  pipeline::PipelineOptions options;
+  options.num_shards = 0;  // one shard per chunk quantum
+  options.num_threads = 1;
+  options.perturb_seed = 11;
+  options.mining.min_support = 0.02;
+  return options;
+}
+
+void ReportStats(benchmark::State& state, const pipeline::PipelineStats& stats,
+                 size_t source_table_rows) {
+  const data::CategoricalSchema schema = data::census::Schema();
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["shards"] = static_cast<double>(stats.num_shards);
+  state.counters["max_shard_rows"] = static_cast<double>(stats.max_shard_rows);
+  state.counters["peak_perturbed_bytes"] =
+      static_cast<double>(stats.peak_inflight_perturbed_bytes);
+  state.counters["source_table_bytes"] = static_cast<double>(
+      source_table_rows * schema.num_attributes());
+  state.counters["vm_hwm_kib"] = VmHwmKib();
+}
+
+void BM_PreloadedCsvPipeline(benchmark::State& state) {
+  const data::CategoricalSchema schema = data::census::Schema();
+  pipeline::PipelineStats stats;
+  for (auto _ : state) {
+    // Materialize the entire table, then mine it.
+    StatusOr<data::CategoricalTable> table = data::ReadCsv(CsvPath(), schema);
+    if (!table.ok()) {
+      state.SkipWithError(table.status().ToString().c_str());
+      return;
+    }
+    auto mechanism = *core::DetGdMechanism::Create(schema, 19.0);
+    StatusOr<pipeline::PipelineResult> result =
+        pipeline::PrivacyPipeline(Options()).Run(*mechanism, *table);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+    benchmark::DoNotOptimize(result->mined);
+  }
+  ReportStats(state, stats, kRows);
+}
+BENCHMARK(BM_PreloadedCsvPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamingCsvPipeline(benchmark::State& state) {
+  const data::CategoricalSchema schema = data::census::Schema();
+  pipeline::PipelineStats stats;
+  size_t max_shard_rows = 0;
+  for (auto _ : state) {
+    // One chunk-quantum shard of rows in memory at a time.
+    StatusOr<pipeline::CsvTableSource> source =
+        pipeline::CsvTableSource::Open(CsvPath(), schema);
+    if (!source.ok()) {
+      state.SkipWithError(source.status().ToString().c_str());
+      return;
+    }
+    auto mechanism = *core::DetGdMechanism::Create(schema, 19.0);
+    StatusOr<pipeline::PipelineResult> result =
+        pipeline::PrivacyPipeline(Options()).Run(*mechanism, *source);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+    max_shard_rows = result->stats.max_shard_rows;
+    benchmark::DoNotOptimize(result->mined);
+  }
+  ReportStats(state, stats, max_shard_rows);
+}
+BENCHMARK(BM_StreamingCsvPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamingSyntheticPipeline(benchmark::State& state) {
+  const data::CategoricalSchema schema = data::census::Schema();
+  pipeline::PipelineStats stats;
+  size_t max_shard_rows = 0;
+  for (auto _ : state) {
+    StatusOr<pipeline::SyntheticTableSource> source =
+        pipeline::SyntheticTableSource::Create(*data::census::Generator(),
+                                               kRows, kDataSeed);
+    if (!source.ok()) {
+      state.SkipWithError(source.status().ToString().c_str());
+      return;
+    }
+    auto mechanism = *core::DetGdMechanism::Create(schema, 19.0);
+    StatusOr<pipeline::PipelineResult> result =
+        pipeline::PrivacyPipeline(Options()).Run(*mechanism, *source);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+    max_shard_rows = result->stats.max_shard_rows;
+    benchmark::DoNotOptimize(result->mined);
+  }
+  ReportStats(state, stats, max_shard_rows);
+}
+BENCHMARK(BM_StreamingSyntheticPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

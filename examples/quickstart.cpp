@@ -11,10 +11,12 @@
 #include <iostream>
 
 #include "frapp/core/gamma_diagonal.h"
+#include "frapp/core/mechanism.h"
 #include "frapp/core/privacy.h"
 #include "frapp/core/reconstructor.h"
 #include "frapp/data/schema.h"
 #include "frapp/data/table.h"
+#include "frapp/pipeline/privacy_pipeline.h"
 #include "frapp/random/rng.h"
 
 using namespace frapp;
@@ -82,6 +84,27 @@ int main() {
            truth[static_cast<size_t>(v)] / n,
            (*estimate)[static_cast<size_t>(v)] / n);
   }
+
+  // --- Frequent-pattern mining through the streaming pipeline. ------------
+  // The same privacy budget also supports itemset mining: the pipeline
+  // perturbs shard by shard (dropping each shard once indexed) and runs
+  // Apriori with per-pass support reconstruction.
+  StatusOr<std::unique_ptr<core::DetGdMechanism>> mechanism =
+      core::DetGdMechanism::Create(*schema, gamma);
+  pipeline::PipelineOptions options;
+  options.perturb_seed = 42;
+  options.num_shards = 0;  // one shard per seeded chunk
+  options.mining.min_support = 0.05;
+  StatusOr<pipeline::PipelineResult> mined =
+      pipeline::PrivacyPipeline(options).Run(**mechanism, *original);
+  if (!mined.ok()) {
+    std::cerr << mined.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nPrivacy-preserving mining (supmin = 5%, streamed in "
+            << mined->stats.num_shards << " shards): "
+            << mined->mined.TotalFrequent()
+            << " frequent itemsets reconstructed.\n";
 
   std::cout << "\nNo individual record was revealed: any adversary seeing one\n"
                "perturbed record can raise a 5%-prior property to at most a\n"

@@ -4,11 +4,48 @@
 #include <cmath>
 
 #include "frapp/common/combinatorics.h"
+#include "frapp/common/parallel.h"
+#include "frapp/core/seeded_chunking.h"
 #include "frapp/linalg/condition.h"
 #include "frapp/random/distributions.h"
 
 namespace frapp {
 namespace core {
+
+namespace {
+
+/// One record through the cut-and-paste operator (shared by the sequential
+/// and the seeded-chunk bulk paths; both must consume `rng` identically).
+uint64_t CutPasteRow(uint64_t row, size_t cutoff_k, double rho,
+                     size_t universe_bits, std::vector<size_t>& ones,
+                     random::Pcg64& rng) {
+  ones.clear();
+  for (uint64_t bits = row; bits != 0; bits &= bits - 1) {
+    ones.push_back(static_cast<size_t>(__builtin_ctzll(bits)));
+  }
+  const size_t m = ones.size();
+
+  // Step 1: cut size.
+  size_t z = static_cast<size_t>(rng.NextBounded(cutoff_k + 1));
+  if (z > m) z = m;
+
+  // Step 2: copy a uniform z-subset of the record's items.
+  uint64_t cut_mask = 0;
+  for (size_t pick : random::SampleSubset(m, z, rng)) {
+    cut_mask |= (1ull << ones[pick]);
+  }
+
+  // Step 3: paste every other universe item with probability rho.
+  uint64_t new_bits = cut_mask;
+  for (size_t b = 0; b < universe_bits; ++b) {
+    const uint64_t bit = 1ull << b;
+    if ((cut_mask & bit) != 0) continue;
+    if (rng.NextBernoulli(rho)) new_bits |= bit;
+  }
+  return new_bits;
+}
+
+}  // namespace
 
 StatusOr<CutPasteScheme> CutPasteScheme::Create(size_t cutoff_k, double rho,
                                                 size_t record_items,
@@ -49,33 +86,41 @@ StatusOr<data::BooleanTable> CutPasteScheme::Perturb(const data::BooleanTable& t
   std::vector<size_t> ones;
   ones.reserve(record_items_);
   for (size_t i = 0; i < table.num_rows(); ++i) {
-    const uint64_t row = table.RowBits(i);
-
-    ones.clear();
-    for (uint64_t bits = row; bits != 0; bits &= bits - 1) {
-      ones.push_back(static_cast<size_t>(__builtin_ctzll(bits)));
-    }
-    const size_t m = ones.size();
-
-    // Step 1: cut size.
-    size_t z = static_cast<size_t>(rng.NextBounded(cutoff_k_ + 1));
-    if (z > m) z = m;
-
-    // Step 2: copy a uniform z-subset of the record's items.
-    uint64_t cut_mask = 0;
-    for (size_t pick : random::SampleSubset(m, z, rng)) {
-      cut_mask |= (1ull << ones[pick]);
-    }
-
-    // Step 3: paste every other universe item with probability rho.
-    uint64_t new_bits = cut_mask;
-    for (size_t b = 0; b < universe_bits_; ++b) {
-      const uint64_t bit = 1ull << b;
-      if ((cut_mask & bit) != 0) continue;
-      if (rng.NextBernoulli(rho_)) new_bits |= bit;
-    }
-    out.AppendRow(new_bits);
+    out.AppendRow(CutPasteRow(table.RowBits(i), cutoff_k_, rho_, universe_bits_,
+                              ones, rng));
   }
+  return out;
+}
+
+StatusOr<data::BooleanTable> CutPasteScheme::PerturbSeeded(
+    const data::BooleanTable& table, uint64_t seed, size_t num_threads) const {
+  return PerturbShardSeeded(table, /*global_begin=*/0, seed, num_threads);
+}
+
+StatusOr<data::BooleanTable> CutPasteScheme::PerturbShardSeeded(
+    const data::BooleanTable& onehot, size_t global_begin, uint64_t seed,
+    size_t num_threads) const {
+  if (onehot.num_bits() != universe_bits_) {
+    return Status::InvalidArgument("table universe does not match scheme");
+  }
+  if (global_begin % internal::kPerturbChunkRows != 0) {
+    return Status::InvalidArgument(
+        "shard does not start on a seeded chunk boundary");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable out,
+                         data::BooleanTable::CreateEmpty(onehot.num_bits()));
+  const size_t len = onehot.num_rows();
+  for (size_t i = 0; i < len; ++i) out.AppendRow(0);
+  internal::ForEachSeededChunk(
+      len, global_begin, seed, num_threads,
+      [&](size_t begin, size_t end, random::Pcg64& rng) {
+        std::vector<size_t> ones;
+        ones.reserve(record_items_);
+        for (size_t i = begin; i < end; ++i) {
+          out.SetRowBits(i, CutPasteRow(onehot.RowBits(i), cutoff_k_, rho_,
+                                        universe_bits_, ones, rng));
+        }
+      });
   return out;
 }
 
@@ -241,29 +286,32 @@ StatusOr<double> CutPasteScheme::CalibrateRho(size_t cutoff_k, size_t record_ite
 StatusOr<double> CutPasteSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
   const size_t k = itemset.size();
-  if (k >= 1 && k <= data::BooleanVerticalIndex::kMaxIndexedLength) {
-    std::vector<size_t> positions;
-    positions.reserve(k);
-    bool in_range = true;
-    for (const mining::Item& item : itemset.items()) {
-      const size_t pos = layout_.BitPosition(item.attribute, item.category);
-      // A layout wider than the table would index past the bitmaps; the
-      // scalar path below degrades gracefully (such bits are just 0).
-      in_range = in_range && pos < perturbed_.num_bits();
-      positions.push_back(pos);
-    }
-    if (in_range) {
-      const std::vector<int64_t> histogram = index_.HitHistogram(positions);
-      linalg::Vector y(k + 1);
-      for (size_t j = 0; j <= k; ++j) y[j] = static_cast<double>(histogram[j]);
-      return scheme_.ReconstructFromHitHistogram(y, perturbed_.num_rows(), k);
-    }
+  if (k == 0) return Status::InvalidArgument("empty itemset");
+  // For k > K the channel is structurally singular (rank min(K, k) + 1):
+  // the support is unreconstructible and the solve below would return 0
+  // after an exponential 2^k counting pass — the operator's documented
+  // "does not work after K-length itemsets" behaviour. Answer 0 up front.
+  if (k > scheme_.cutoff_k()) return 0.0;
+  if (k > data::BooleanVerticalIndex::kMaxPatternLength) {
+    // Only the pathological cutoff_k >= k > 2^k-cap configuration errors.
+    return Status::InvalidArgument("itemset too long for 2^k counting");
   }
-  uint64_t mask = 0;
+  // A layout wider than the indexed table can reference bits no row has;
+  // such positions contribute zero hits, so the histogram over the in-range
+  // positions IS the full histogram (upper buckets stay empty).
+  std::vector<size_t> positions;
+  positions.reserve(k);
   for (const mining::Item& item : itemset.items()) {
-    mask |= 1ull << layout_.BitPosition(item.attribute, item.category);
+    const size_t pos = layout_.BitPosition(item.attribute, item.category);
+    if (pos < index_.num_bits()) positions.push_back(pos);
   }
-  return scheme_.EstimateItemsetSupport(perturbed_, mask, itemset.size());
+  const std::vector<int64_t> histogram =
+      index_.HitHistogram(positions, num_threads_);
+  linalg::Vector y(k + 1);
+  for (size_t j = 0; j < histogram.size(); ++j) {
+    y[j] = static_cast<double>(histogram[j]);
+  }
+  return scheme_.ReconstructFromHitHistogram(y, index_.num_rows(), k);
 }
 
 }  // namespace core

@@ -27,6 +27,7 @@
 #include "frapp/common/statusor.h"
 #include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/linalg/lu.h"
 #include "frapp/linalg/matrix.h"
 #include "frapp/mining/apriori.h"
@@ -55,6 +56,21 @@ class CutPasteScheme {
   /// Applies the operator to every record.
   StatusOr<data::BooleanTable> Perturb(const data::BooleanTable& table,
                                        random::Pcg64& rng) const;
+
+  /// Deterministic seeded form on the global seeded-chunk grid (see
+  /// core/seeded_chunking.h): depends only on (table, seed), and any
+  /// chunk-aligned shard partition concatenates bit-for-bit.
+  StatusOr<data::BooleanTable> PerturbSeeded(const data::BooleanTable& table,
+                                             uint64_t seed,
+                                             size_t num_threads = 1) const;
+
+  /// Shard form of PerturbSeeded: perturbs all rows of `onehot` (one shard's
+  /// one-hot encoding) with the chunk streams of its global position;
+  /// `global_begin` must be chunk-aligned.
+  StatusOr<data::BooleanTable> PerturbShardSeeded(const data::BooleanTable& onehot,
+                                                  size_t global_begin,
+                                                  uint64_t seed,
+                                                  size_t num_threads = 1) const;
 
   /// The (k+1)x(k+1) partial-support transition matrix Q for k-itemsets:
   /// Q[q'][q] = P(perturbed record has q' of the k items | original has q).
@@ -106,26 +122,37 @@ class CutPasteScheme {
   size_t universe_bits_;
 };
 
-/// Support oracle plugging C&P into Apriori. Short candidates take their
-/// partial-support histogram from a vertical bitmap index of the perturbed
-/// table; long ones fall back to the scalar row scan.
+/// Support oracle plugging C&P into Apriori. Every candidate's
+/// partial-support histogram comes from a sharded vertical bitmap index of
+/// the perturbed boolean database — no perturbed rows are retained, so the
+/// pipeline can drop each shard's rows the moment they are indexed.
 class CutPasteSupportEstimator : public mining::SupportEstimator {
  public:
-  /// `perturbed` must outlive the estimator.
+  /// Owns the (possibly multi-shard) index; `num_threads` parallelizes each
+  /// histogram pass (never affects results).
   CutPasteSupportEstimator(const CutPasteScheme& scheme, data::BooleanLayout layout,
-                           const data::BooleanTable& perturbed)
+                           data::ShardedBooleanVerticalIndex index,
+                           size_t num_threads = 1)
       : scheme_(scheme),
         layout_(std::move(layout)),
-        perturbed_(perturbed),
-        index_(perturbed) {}
+        index_(std::move(index)),
+        num_threads_(num_threads) {}
+
+  /// Convenience for the monolithic Prepare() path: one shard over
+  /// `perturbed` (the rows are not retained).
+  CutPasteSupportEstimator(const CutPasteScheme& scheme, data::BooleanLayout layout,
+                           const data::BooleanTable& perturbed)
+      : CutPasteSupportEstimator(scheme, std::move(layout),
+                                 data::ShardedBooleanVerticalIndex::Build(
+                                     perturbed, /*num_shards=*/1)) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
  private:
   CutPasteScheme scheme_;
   data::BooleanLayout layout_;
-  const data::BooleanTable& perturbed_;
-  data::BooleanVerticalIndex index_;
+  data::ShardedBooleanVerticalIndex index_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace core

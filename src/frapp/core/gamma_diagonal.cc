@@ -160,23 +160,26 @@ StatusOr<data::CategoricalTable> GammaDiagonalPerturber::PerturbSeeded(
 StatusOr<data::CategoricalTable> GammaDiagonalPerturber::PerturbShardSeeded(
     const data::CategoricalTable& table, const data::RowRange& range,
     uint64_t seed, size_t num_threads) const {
+  FRAPP_RETURN_IF_ERROR(internal::ValidateShardRange(range, table.num_rows()));
+  return PerturbShardSeeded(data::ShardView{&table, range, range.begin}, seed,
+                            num_threads);
+}
+
+StatusOr<data::CategoricalTable> GammaDiagonalPerturber::PerturbShardSeeded(
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) const {
+  FRAPP_RETURN_IF_ERROR(internal::ValidateShardView(shard));
+  const data::CategoricalTable& table = *shard.rows;
   if (table.num_attributes() != plan_.num_attributes()) {
     return Status::InvalidArgument("table schema does not match perturber");
   }
-  FRAPP_RETURN_IF_ERROR(internal::ValidateShardRange(range, table.num_rows()));
   FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
                          data::CategoricalTable::Create(table.schema()));
-  out.AppendZeroRows(range.size());
-  ColumnPointers cols(table, &out, range.begin);
-  // Local chunk c of the shard is global chunk first_chunk + c: same rows,
-  // same RNG stream as in the monolithic pass over the whole table.
-  const size_t first_chunk = range.begin / kPerturbChunkRows;
-  const size_t len = range.size();
-  common::ParallelForChunks(
-      common::NumChunks(len, kPerturbChunkRows), num_threads, [&](size_t c) {
-        random::Pcg64 rng = ChunkRng(seed, first_chunk + c);
-        const size_t end = std::min(len, (c + 1) * kPerturbChunkRows);
-        for (size_t i = c * kPerturbChunkRows; i < end; ++i) {
+  out.AppendZeroRows(shard.size());
+  ColumnPointers cols(table, &out, shard.local.begin);
+  internal::ForEachSeededChunk(
+      shard.size(), shard.global_begin, seed, num_threads,
+      [&](size_t begin, size_t end, random::Pcg64& rng) {
+        for (size_t i = begin; i < end; ++i) {
           plan_.FillRow(divergence_.Sample(rng), cols.in.data(), cols.out.data(),
                         i, rng);
         }

@@ -186,6 +186,14 @@ class GammaDiagonalPerturber {
       const data::CategoricalTable& table, const data::RowRange& range,
       uint64_t seed, size_t num_threads = 1) const;
 
+  /// Streaming form: perturbs the rows of `shard` (a window whose buffer
+  /// need not be the whole table) with the chunk streams of its GLOBAL
+  /// position — the primitive behind both the in-memory overload above and
+  /// the pipeline's CSV/generator ingest, which never materialize a full
+  /// table.
+  StatusOr<data::CategoricalTable> PerturbShardSeeded(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads = 1) const;
+
   const GammaDiagonalMatrix& matrix() const { return matrix_; }
   const GammaPerturbPlan& plan() const { return plan_; }
 

@@ -1,11 +1,39 @@
 #include "frapp/core/independent_column_scheme.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "frapp/common/parallel.h"
+#include "frapp/core/seeded_chunking.h"
+#include "frapp/data/domain_index.h"
 #include "frapp/linalg/kronecker.h"
 
 namespace frapp {
 namespace core {
+
+namespace {
+
+/// Per-attribute diagonal probabilities d_j = gamma_j * x_j.
+std::vector<double> StayProbabilities(const data::CategoricalSchema& schema,
+                                      double per_attribute_gamma) {
+  std::vector<double> stay(schema.num_attributes());
+  for (size_t j = 0; j < stay.size(); ++j) {
+    const double nj = static_cast<double>(schema.Cardinality(j));
+    stay[j] = per_attribute_gamma / (per_attribute_gamma + nj - 1.0);
+  }
+  return stay;
+}
+
+/// One attribute value through its gamma-diagonal matrix.
+uint8_t PerturbValue(uint8_t original, size_t card, double stay,
+                     random::Pcg64& rng) {
+  if (card == 1 || rng.NextBernoulli(stay)) return original;
+  size_t value = static_cast<size_t>(rng.NextBounded(card - 1));
+  if (value >= original) ++value;
+  return static_cast<uint8_t>(value);
+}
+
+}  // namespace
 
 StatusOr<IndependentColumnScheme> IndependentColumnScheme::Create(
     const data::CategoricalSchema& schema, double gamma) {
@@ -24,29 +52,50 @@ StatusOr<data::CategoricalTable> IndependentColumnScheme::Perturb(
                          data::CategoricalTable::Create(table.schema()));
   out.Reserve(table.num_rows());
 
-  // Per-attribute diagonal probability d_j = gamma_j * x_j.
   const size_t m = schema_.num_attributes();
-  std::vector<double> stay(m);
-  for (size_t j = 0; j < m; ++j) {
-    const double nj = static_cast<double>(schema_.Cardinality(j));
-    stay[j] = per_attribute_gamma_ / (per_attribute_gamma_ + nj - 1.0);
-  }
-
+  const std::vector<double> stay = StayProbabilities(schema_, per_attribute_gamma_);
   std::vector<uint8_t> row(m);
   for (size_t i = 0; i < table.num_rows(); ++i) {
     for (size_t j = 0; j < m; ++j) {
-      const uint8_t original = table.Value(i, j);
-      const size_t card = schema_.Cardinality(j);
-      if (card == 1 || rng.NextBernoulli(stay[j])) {
-        row[j] = original;
-      } else {
-        size_t value = static_cast<size_t>(rng.NextBounded(card - 1));
-        if (value >= original) ++value;
-        row[j] = static_cast<uint8_t>(value);
-      }
+      row[j] = PerturbValue(table.Value(i, j), schema_.Cardinality(j), stay[j], rng);
     }
     FRAPP_RETURN_IF_ERROR(out.AppendRow(row));
   }
+  return out;
+}
+
+StatusOr<data::CategoricalTable> IndependentColumnScheme::PerturbSeeded(
+    const data::CategoricalTable& table, uint64_t seed,
+    size_t num_threads) const {
+  return PerturbShardSeeded(
+      data::ShardView{&table, data::RowRange{0, table.num_rows()}, 0}, seed,
+      num_threads);
+}
+
+StatusOr<data::CategoricalTable> IndependentColumnScheme::PerturbShardSeeded(
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) const {
+  using internal::kPerturbChunkRows;
+  FRAPP_RETURN_IF_ERROR(internal::ValidateShardView(shard));
+  const data::CategoricalTable& table = *shard.rows;
+  if (table.num_attributes() != schema_.num_attributes()) {
+    return Status::InvalidArgument("table schema does not match scheme");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable out,
+                         data::CategoricalTable::Create(table.schema()));
+  out.AppendZeroRows(shard.size());
+  internal::ColumnPointers cols(table, &out, shard.local.begin);
+  const size_t m = schema_.num_attributes();
+  const std::vector<double> stay = StayProbabilities(schema_, per_attribute_gamma_);
+  internal::ForEachSeededChunk(
+      shard.size(), shard.global_begin, seed, num_threads,
+      [&](size_t begin, size_t end, random::Pcg64& rng) {
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = 0; j < m; ++j) {
+            cols.out[j][i] = PerturbValue(cols.in[j][i], schema_.Cardinality(j),
+                                          stay[j], rng);
+          }
+        }
+      });
   return out;
 }
 
@@ -78,8 +127,27 @@ StatusOr<double> IndependentColumnSupportEstimator::EstimateSupport(
     FRAPP_ASSIGN_OR_RETURN(
         data::DomainIndexer indexer,
         data::DomainIndexer::OverSubset(scheme_.schema(), attrs));
-    linalg::Vector y = perturbed_.JointHistogram(indexer);
-    const double n = static_cast<double>(perturbed_.num_rows());
+    // Joint histogram over the subset domain as one batched counting pass:
+    // cell u of the histogram is the support count of the itemset fixing
+    // every subset attribute to u's categories. Integer counts summed over
+    // shards — identical to a row scan of the perturbed table.
+    const size_t domain = static_cast<size_t>(indexer.domain_size());
+    std::vector<mining::Itemset> cells;
+    cells.reserve(domain);
+    for (size_t u = 0; u < domain; ++u) {
+      const std::vector<size_t> values = indexer.Decode(static_cast<uint64_t>(u));
+      std::vector<mining::Item> items;
+      items.reserve(attrs.size());
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        items.push_back(mining::Item{static_cast<uint16_t>(attrs[a]),
+                                     static_cast<uint16_t>(values[a])});
+      }
+      cells.push_back(mining::Itemset::FromSortedUnchecked(std::move(items)));
+    }
+    const std::vector<size_t> counts = index_.CountSupports(cells, num_threads_);
+    linalg::Vector y(domain);
+    for (size_t u = 0; u < domain; ++u) y[u] = static_cast<double>(counts[u]);
+    const double n = static_cast<double>(index_.num_rows());
     if (n > 0.0) y.Scale(1.0 / n);
 
     std::vector<linalg::Matrix> factors;

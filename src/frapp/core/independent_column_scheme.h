@@ -21,9 +21,11 @@
 #include <vector>
 
 #include "frapp/common/statusor.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/linalg/matrix.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/random/rng.h"
 
 namespace frapp {
@@ -44,6 +46,18 @@ class IndependentColumnScheme {
   /// Perturbs each column independently with its gamma-diagonal matrix.
   StatusOr<data::CategoricalTable> Perturb(const data::CategoricalTable& table,
                                            random::Pcg64& rng) const;
+
+  /// Deterministic seeded form on the global seeded-chunk grid: depends only
+  /// on (table, seed); chunk-aligned shard partitions concatenate
+  /// bit-for-bit (see core/seeded_chunking.h).
+  StatusOr<data::CategoricalTable> PerturbSeeded(const data::CategoricalTable& table,
+                                                 uint64_t seed,
+                                                 size_t num_threads = 1) const;
+
+  /// Shard form over a ShardView (buffer + global position), the streaming
+  /// pipeline's perturbation primitive.
+  StatusOr<data::CategoricalTable> PerturbShardSeeded(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads = 1) const;
 
   /// Dense per-attribute transition matrix (|S_j| x |S_j|).
   linalg::Matrix AttributeMatrix(size_t attribute) const;
@@ -68,19 +82,34 @@ class IndependentColumnScheme {
 
 /// Support oracle for the independent-column scheme: reconstructs the joint
 /// histogram over each candidate's attribute subset through the Kronecker
-/// inverse of the per-attribute matrices, caching per attribute subset.
+/// inverse of the per-attribute matrices, caching per attribute subset. The
+/// joint histogram is assembled by batch-counting every category combination
+/// of the subset domain against a sharded vertical index of the perturbed
+/// table — integer sums over any row partition, so no perturbed rows are
+/// retained and results are shard- and thread-count invariant.
 class IndependentColumnSupportEstimator : public mining::SupportEstimator {
  public:
-  /// `perturbed` must outlive the estimator.
+  /// Owns the (possibly multi-shard) index; `scheme` must outlive the
+  /// estimator. `num_threads` parallelizes each counting pass.
+  IndependentColumnSupportEstimator(const IndependentColumnScheme& scheme,
+                                    mining::ShardedVerticalIndex index,
+                                    size_t num_threads = 1)
+      : scheme_(scheme), index_(std::move(index)), num_threads_(num_threads) {}
+
+  /// Convenience for the monolithic Prepare() path: one shard over
+  /// `perturbed` (the rows are not retained).
   IndependentColumnSupportEstimator(const IndependentColumnScheme& scheme,
                                     const data::CategoricalTable& perturbed)
-      : scheme_(scheme), perturbed_(perturbed) {}
+      : IndependentColumnSupportEstimator(
+            scheme, mining::ShardedVerticalIndex::Build(perturbed,
+                                                        /*num_shards=*/1)) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
  private:
   const IndependentColumnScheme& scheme_;
-  const data::CategoricalTable& perturbed_;
+  mining::ShardedVerticalIndex index_;
+  size_t num_threads_ = 1;
   // attribute-mask -> reconstructed support fractions over the subset domain
   std::map<uint32_t, linalg::Vector> cache_;
 };

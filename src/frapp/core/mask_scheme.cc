@@ -1,6 +1,10 @@
 #include "frapp/core/mask_scheme.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "frapp/common/parallel.h"
+#include "frapp/core/seeded_chunking.h"
 
 namespace frapp {
 namespace core {
@@ -44,6 +48,38 @@ StatusOr<data::BooleanTable> MaskScheme::Perturb(const data::BooleanTable& table
     }
     out.AppendRow(table.RowBits(i) ^ flip_mask);
   }
+  return out;
+}
+
+StatusOr<data::BooleanTable> MaskScheme::PerturbSeeded(
+    const data::BooleanTable& table, uint64_t seed, size_t num_threads) const {
+  return PerturbShardSeeded(table, /*global_begin=*/0, seed, num_threads);
+}
+
+StatusOr<data::BooleanTable> MaskScheme::PerturbShardSeeded(
+    const data::BooleanTable& onehot, size_t global_begin, uint64_t seed,
+    size_t num_threads) const {
+  if (global_begin % internal::kPerturbChunkRows != 0) {
+    return Status::InvalidArgument(
+        "shard does not start on a seeded chunk boundary");
+  }
+  FRAPP_ASSIGN_OR_RETURN(data::BooleanTable out,
+                         data::BooleanTable::CreateEmpty(onehot.num_bits()));
+  const size_t len = onehot.num_rows();
+  for (size_t i = 0; i < len; ++i) out.AppendRow(0);
+  const double flip = 1.0 - p_;
+  const size_t bits = onehot.num_bits();
+  internal::ForEachSeededChunk(
+      len, global_begin, seed, num_threads,
+      [&](size_t begin, size_t end, random::Pcg64& rng) {
+        for (size_t i = begin; i < end; ++i) {
+          uint64_t flip_mask = 0;
+          for (size_t b = 0; b < bits; ++b) {
+            if (rng.NextBernoulli(flip)) flip_mask |= (1ull << b);
+          }
+          out.SetRowBits(i, onehot.RowBits(i) ^ flip_mask);
+        }
+      });
   return out;
 }
 
@@ -107,24 +143,26 @@ StatusOr<double> MaskScheme::ReconstructFromPatternCounts(
 
 StatusOr<double> MaskSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
+  if (itemset.empty()) return Status::InvalidArgument("empty itemset");
+  if (itemset.size() > data::BooleanVerticalIndex::kMaxPatternLength) {
+    return Status::InvalidArgument("itemset too long for 2^k counting");
+  }
+  // An empty stream has no bits to resolve against; every support is 0.
+  if (index_.num_rows() == 0) return 0.0;
   std::vector<size_t> positions;
   positions.reserve(itemset.size());
   for (const mining::Item& item : itemset.items()) {
-    positions.push_back(layout_.BitPosition(item.attribute, item.category));
-  }
-  if (!positions.empty() &&
-      positions.size() <= data::BooleanVerticalIndex::kMaxIndexedLength) {
-    for (size_t pos : positions) {
-      if (pos >= perturbed_.num_bits()) {
-        return Status::OutOfRange("bit position out of range");
-      }
+    const size_t pos = layout_.BitPosition(item.attribute, item.category);
+    if (pos >= index_.num_bits()) {
+      return Status::OutOfRange("bit position out of range");
     }
-    const std::vector<int64_t> pattern_counts = index_.PatternCounts(positions);
-    std::vector<double> counts(pattern_counts.begin(), pattern_counts.end());
-    return scheme_.ReconstructFromPatternCounts(std::move(counts),
-                                               perturbed_.num_rows());
+    positions.push_back(pos);
   }
-  return scheme_.EstimateItemsetSupport(perturbed_, positions);
+  const std::vector<int64_t> pattern_counts =
+      index_.PatternCounts(positions, num_threads_);
+  std::vector<double> counts(pattern_counts.begin(), pattern_counts.end());
+  return scheme_.ReconstructFromPatternCounts(std::move(counts),
+                                              index_.num_rows());
 }
 
 }  // namespace core

@@ -22,6 +22,7 @@
 #include "frapp/common/statusor.h"
 #include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/mining/apriori.h"
 #include "frapp/random/rng.h"
 
@@ -54,6 +55,24 @@ class MaskScheme {
   StatusOr<data::BooleanTable> Perturb(const data::BooleanTable& table,
                                        random::Pcg64& rng) const;
 
+  /// Deterministic seeded form: rows are split into the global seeded-chunk
+  /// grid (core/seeded_chunking.h) and each chunk draws its own RNG stream,
+  /// so the output depends only on (table, seed) — never on the thread
+  /// count — and any chunk-aligned shard partition concatenates bit-for-bit
+  /// to the monolithic pass.
+  StatusOr<data::BooleanTable> PerturbSeeded(const data::BooleanTable& table,
+                                             uint64_t seed,
+                                             size_t num_threads = 1) const;
+
+  /// Shard form of PerturbSeeded: perturbs all rows of `onehot` (the one-hot
+  /// encoding of one shard) with the chunk streams of its global position.
+  /// `global_begin` is the global row index of the shard's first row and
+  /// must be chunk-aligned.
+  StatusOr<data::BooleanTable> PerturbShardSeeded(const data::BooleanTable& onehot,
+                                                  size_t global_begin,
+                                                  uint64_t seed,
+                                                  size_t num_threads = 1) const;
+
   /// Reconstructs the original count of the all-ones pattern on the given
   /// bit positions from the perturbed table: counts all 2^k patterns, then
   /// applies the inverse flip transform along each bit axis. Returns the
@@ -75,26 +94,37 @@ class MaskScheme {
 };
 
 /// Support oracle plugging MASK into Apriori: one-hot layout resolution plus
-/// per-candidate tensor reconstruction over the perturbed boolean database.
-/// Short candidates get their pattern counts from a vertical bitmap index of
-/// the perturbed table; long ones fall back to the scalar row scan.
+/// per-candidate tensor reconstruction. Every pattern count comes from a
+/// sharded vertical bitmap index of the perturbed boolean database — no
+/// perturbed rows are retained, which is what lets the pipeline drop each
+/// shard's rows the moment they are indexed.
 class MaskSupportEstimator : public mining::SupportEstimator {
  public:
-  /// `perturbed` must outlive the estimator.
+  /// Owns the (possibly multi-shard) index; `num_threads` parallelizes each
+  /// pattern-counting pass (never affects results).
   MaskSupportEstimator(const MaskScheme& scheme, data::BooleanLayout layout,
-                       const data::BooleanTable& perturbed)
+                       data::ShardedBooleanVerticalIndex index,
+                       size_t num_threads = 1)
       : scheme_(scheme),
         layout_(std::move(layout)),
-        perturbed_(perturbed),
-        index_(perturbed) {}
+        index_(std::move(index)),
+        num_threads_(num_threads) {}
+
+  /// Convenience for the monolithic Prepare() path: one shard over
+  /// `perturbed` (the rows are not retained).
+  MaskSupportEstimator(const MaskScheme& scheme, data::BooleanLayout layout,
+                       const data::BooleanTable& perturbed)
+      : MaskSupportEstimator(scheme, std::move(layout),
+                             data::ShardedBooleanVerticalIndex::Build(
+                                 perturbed, /*num_shards=*/1)) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
  private:
   MaskScheme scheme_;
   data::BooleanLayout layout_;
-  const data::BooleanTable& perturbed_;
-  data::BooleanVerticalIndex index_;
+  data::ShardedBooleanVerticalIndex index_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace core

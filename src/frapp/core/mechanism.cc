@@ -22,14 +22,25 @@ uint64_t SubsetDomainSize(const data::CategoricalSchema& schema,
 
 }  // namespace
 
-StatusOr<data::CategoricalTable> Mechanism::PerturbShard(
-    const data::CategoricalTable&, const data::RowRange&, uint64_t, size_t) {
-  return Status::Unimplemented(name() + " does not stream shards");
+StatusOr<data::CategoricalTable> Mechanism::PerturbShard(const data::ShardView&,
+                                                         uint64_t, size_t) {
+  return Status::Unimplemented(name() + " does not stream categorical shards");
+}
+
+StatusOr<data::BooleanTable> Mechanism::PerturbBooleanShard(
+    const data::ShardView&, uint64_t, size_t) {
+  return Status::Unimplemented(name() + " does not stream boolean shards");
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
 Mechanism::MakeShardedEstimator(mining::ShardedVerticalIndex, size_t) {
-  return Status::Unimplemented(name() + " does not stream shards");
+  return Status::Unimplemented(name() + " does not stream categorical shards");
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+Mechanism::MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex,
+                                       size_t) {
+  return Status::Unimplemented(name() + " does not stream boolean shards");
 }
 
 StatusOr<double> GammaSupportEstimator::EstimateSupport(
@@ -95,9 +106,8 @@ StatusOr<double> DetGdMechanism::ConditionNumberForLength(size_t) const {
 }
 
 StatusOr<data::CategoricalTable> DetGdMechanism::PerturbShard(
-    const data::CategoricalTable& original, const data::RowRange& range,
-    uint64_t seed, size_t num_threads) {
-  return perturber_.PerturbShardSeeded(original, range, seed, num_threads);
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) {
+  return perturber_.PerturbShardSeeded(shard, seed, num_threads);
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
@@ -143,9 +153,8 @@ StatusOr<double> RanGdMechanism::ConditionNumberForLength(size_t) const {
 }
 
 StatusOr<data::CategoricalTable> RanGdMechanism::PerturbShard(
-    const data::CategoricalTable& original, const data::RowRange& range,
-    uint64_t seed, size_t num_threads) {
-  return perturber_.PerturbShardSeeded(original, range, seed, num_threads);
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) {
+  return perturber_.PerturbShardSeeded(shard, seed, num_threads);
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
@@ -181,10 +190,28 @@ Status MaskMechanism::Prepare(const data::CategoricalTable& original,
   FRAPP_ASSIGN_OR_RETURN(data::BooleanTable onehot,
                          data::BooleanTable::FromCategorical(original));
   FRAPP_ASSIGN_OR_RETURN(data::BooleanTable perturbed, scheme_.Perturb(onehot, rng));
-  perturbed_ = std::move(perturbed);
+  // The estimator's index is self-contained; the perturbed rows are not
+  // retained.
   estimator_ =
-      std::make_unique<MaskSupportEstimator>(scheme_, layout_, *perturbed_);
+      std::make_unique<MaskSupportEstimator>(scheme_, layout_, perturbed);
   return Status::OK();
+}
+
+StatusOr<data::BooleanTable> MaskMechanism::PerturbBooleanShard(
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) {
+  FRAPP_ASSIGN_OR_RETURN(
+      data::BooleanTable onehot,
+      data::BooleanTable::FromCategoricalRange(*shard.rows, shard.local));
+  return scheme_.PerturbShardSeeded(onehot, shard.global_begin, seed,
+                                    num_threads);
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+MaskMechanism::MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex index,
+                                           size_t num_threads) {
+  return std::unique_ptr<mining::SupportEstimator>(
+      std::make_unique<MaskSupportEstimator>(scheme_, layout_, std::move(index),
+                                             num_threads));
 }
 
 mining::SupportEstimator& MaskMechanism::estimator() {
@@ -219,10 +246,26 @@ Status CutPasteMechanism::Prepare(const data::CategoricalTable& original,
   FRAPP_ASSIGN_OR_RETURN(data::BooleanTable onehot,
                          data::BooleanTable::FromCategorical(original));
   FRAPP_ASSIGN_OR_RETURN(data::BooleanTable perturbed, scheme_.Perturb(onehot, rng));
-  perturbed_ = std::move(perturbed);
   estimator_ =
-      std::make_unique<CutPasteSupportEstimator>(scheme_, layout_, *perturbed_);
+      std::make_unique<CutPasteSupportEstimator>(scheme_, layout_, perturbed);
   return Status::OK();
+}
+
+StatusOr<data::BooleanTable> CutPasteMechanism::PerturbBooleanShard(
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) {
+  FRAPP_ASSIGN_OR_RETURN(
+      data::BooleanTable onehot,
+      data::BooleanTable::FromCategoricalRange(*shard.rows, shard.local));
+  return scheme_.PerturbShardSeeded(onehot, shard.global_begin, seed,
+                                    num_threads);
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+CutPasteMechanism::MakeShardedBooleanEstimator(
+    data::ShardedBooleanVerticalIndex index, size_t num_threads) {
+  return std::unique_ptr<mining::SupportEstimator>(
+      std::make_unique<CutPasteSupportEstimator>(scheme_, layout_,
+                                                 std::move(index), num_threads));
 }
 
 mining::SupportEstimator& CutPasteMechanism::estimator() {
@@ -253,10 +296,22 @@ Status IndependentColumnMechanism::Prepare(const data::CategoricalTable& origina
                                            random::Pcg64& rng) {
   FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable perturbed,
                          scheme_.Perturb(original, rng));
-  perturbed_ = std::move(perturbed);
   estimator_ =
-      std::make_unique<IndependentColumnSupportEstimator>(scheme_, *perturbed_);
+      std::make_unique<IndependentColumnSupportEstimator>(scheme_, perturbed);
   return Status::OK();
+}
+
+StatusOr<data::CategoricalTable> IndependentColumnMechanism::PerturbShard(
+    const data::ShardView& shard, uint64_t seed, size_t num_threads) {
+  return scheme_.PerturbShardSeeded(shard, seed, num_threads);
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+IndependentColumnMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
+                                                 size_t num_threads) {
+  return std::unique_ptr<mining::SupportEstimator>(
+      std::make_unique<IndependentColumnSupportEstimator>(scheme_, std::move(index),
+                                                          num_threads));
 }
 
 mining::SupportEstimator& IndependentColumnMechanism::estimator() {

@@ -19,6 +19,7 @@
 #include "frapp/core/randomized_gamma.h"
 #include "frapp/core/subset_reconstruction.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/apriori.h"
@@ -54,27 +55,52 @@ class Mechanism {
 
   // --- Shard streaming (the frapp/pipeline contract) ----------------------
   //
-  // Mechanisms whose perturbation is per-record and whose reconstruction
-  // needs only total candidate counts can stream chunk-aligned row shards
-  // through perturb -> index -> count with bit-identical results to the
-  // monolithic pass. Others keep the defaults and the pipeline falls back to
-  // Prepare().
+  // FRAPP's perturbation is per-record and every reconstruction input is a
+  // row-partitionable count, so ALL mechanisms stream chunk-aligned row
+  // shards through perturb -> index -> count with bit-identical results to
+  // the monolithic seeded pass. A mechanism declares which perturbed
+  // representation it streams: categorical rows indexed by
+  // mining::VerticalIndex (DET-GD, RAN-GD, IND-GD) or one-hot boolean rows
+  // indexed by data::BooleanVerticalIndex (MASK, C&P). The pipeline calls
+  // the matching PerturbShard*/MakeSharded*Estimator pair; there is no
+  // monolithic fallback.
 
-  /// True when PerturbShard/MakeShardedEstimator are implemented.
+  /// Representation of a perturbed shard in the streaming pipeline.
+  enum class ShardKind { kCategorical, kBoolean };
+
+  /// True when the matching PerturbShard*/MakeSharded*Estimator pair is
+  /// implemented. Every mechanism in this library streams; the default
+  /// remains false so out-of-tree mechanisms fail loudly in the pipeline
+  /// rather than silently mis-streaming.
   virtual bool SupportsShardStreaming() const { return false; }
 
-  /// Client side of one shard: perturbs rows [range.begin, range.end) of
-  /// `original` under the seeded-chunk determinism contract (global chunk
-  /// indexing, so any chunk-aligned partition concatenates to the monolithic
-  /// seeded output).
-  virtual StatusOr<data::CategoricalTable> PerturbShard(
-      const data::CategoricalTable& original, const data::RowRange& range,
-      uint64_t seed, size_t num_threads);
+  /// Which representation the pipeline should stream for this mechanism.
+  virtual ShardKind shard_kind() const { return ShardKind::kCategorical; }
 
-  /// Miner side over the merged per-shard indexes of the perturbed shards;
-  /// `num_threads` parallelizes each candidate-counting pass.
+  /// Client side of one categorical shard: perturbs the rows of `shard`
+  /// under the seeded-chunk determinism contract (global chunk indexing via
+  /// shard.global_begin, so any chunk-aligned partition concatenates to the
+  /// monolithic seeded output). Only for shard_kind() == kCategorical.
+  virtual StatusOr<data::CategoricalTable> PerturbShard(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads);
+
+  /// Client side of one boolean shard: one-hot encodes the shard's rows and
+  /// perturbs the bits under the same contract. Only for shard_kind() ==
+  /// kBoolean.
+  virtual StatusOr<data::BooleanTable> PerturbBooleanShard(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads);
+
+  /// Miner side over the merged per-shard indexes of the perturbed
+  /// categorical shards; `num_threads` parallelizes each candidate-counting
+  /// pass.
   virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
   MakeShardedEstimator(mining::ShardedVerticalIndex index, size_t num_threads);
+
+  /// Miner side over the merged per-shard boolean indexes of the perturbed
+  /// boolean shards.
+  virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex index,
+                              size_t num_threads);
 };
 
 /// DET-GD: deterministic gamma-diagonal matrix (paper Sections 3, 5, 6).
@@ -92,8 +118,7 @@ class DetGdMechanism : public Mechanism {
 
   bool SupportsShardStreaming() const override { return true; }
   StatusOr<data::CategoricalTable> PerturbShard(
-      const data::CategoricalTable& original, const data::RowRange& range,
-      uint64_t seed, size_t num_threads) override;
+      const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
   StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
       mining::ShardedVerticalIndex index, size_t num_threads) override;
 
@@ -133,8 +158,7 @@ class RanGdMechanism : public Mechanism {
 
   bool SupportsShardStreaming() const override { return true; }
   StatusOr<data::CategoricalTable> PerturbShard(
-      const data::CategoricalTable& original, const data::RowRange& range,
-      uint64_t seed, size_t num_threads) override;
+      const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
   StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
       mining::ShardedVerticalIndex index, size_t num_threads) override;
 
@@ -170,6 +194,13 @@ class MaskMechanism : public Mechanism {
   StatusOr<double> ConditionNumberForLength(size_t length) const override;
   double Amplification() const override;
 
+  bool SupportsShardStreaming() const override { return true; }
+  ShardKind shard_kind() const override { return ShardKind::kBoolean; }
+  StatusOr<data::BooleanTable> PerturbBooleanShard(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedBooleanEstimator(
+      data::ShardedBooleanVerticalIndex index, size_t num_threads) override;
+
   const MaskScheme& scheme() const { return scheme_; }
 
  private:
@@ -181,7 +212,6 @@ class MaskMechanism : public Mechanism {
   data::CategoricalSchema schema_;
   MaskScheme scheme_;
   data::BooleanLayout layout_;
-  std::optional<data::BooleanTable> perturbed_;
   std::unique_ptr<mining::SupportEstimator> estimator_;
 };
 
@@ -198,6 +228,13 @@ class CutPasteMechanism : public Mechanism {
   StatusOr<double> ConditionNumberForLength(size_t length) const override;
   double Amplification() const override;
 
+  bool SupportsShardStreaming() const override { return true; }
+  ShardKind shard_kind() const override { return ShardKind::kBoolean; }
+  StatusOr<data::BooleanTable> PerturbBooleanShard(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedBooleanEstimator(
+      data::ShardedBooleanVerticalIndex index, size_t num_threads) override;
+
   const CutPasteScheme& scheme() const { return scheme_; }
 
  private:
@@ -209,7 +246,6 @@ class CutPasteMechanism : public Mechanism {
   data::CategoricalSchema schema_;
   CutPasteScheme scheme_;
   data::BooleanLayout layout_;
-  std::optional<data::BooleanTable> perturbed_;
   std::unique_ptr<mining::SupportEstimator> estimator_;
 };
 
@@ -226,6 +262,12 @@ class IndependentColumnMechanism : public Mechanism {
   StatusOr<double> ConditionNumberForLength(size_t length) const override;
   double Amplification() const override;
 
+  bool SupportsShardStreaming() const override { return true; }
+  StatusOr<data::CategoricalTable> PerturbShard(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
+      mining::ShardedVerticalIndex index, size_t num_threads) override;
+
  private:
   IndependentColumnMechanism(data::CategoricalSchema schema,
                              IndependentColumnScheme scheme)
@@ -233,7 +275,6 @@ class IndependentColumnMechanism : public Mechanism {
 
   data::CategoricalSchema schema_;
   IndependentColumnScheme scheme_;
-  std::optional<data::CategoricalTable> perturbed_;
   std::unique_ptr<mining::SupportEstimator> estimator_;
 };
 

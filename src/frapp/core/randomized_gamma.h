@@ -60,6 +60,11 @@ class RandomizedGammaPerturber {
       const data::CategoricalTable& table, const data::RowRange& range,
       uint64_t seed, size_t num_threads = 1) const;
 
+  /// Streaming form over a ShardView (buffer + global position); see
+  /// GammaDiagonalPerturber::PerturbShardSeeded.
+  StatusOr<data::CategoricalTable> PerturbShardSeeded(
+      const data::ShardView& shard, uint64_t seed, size_t num_threads = 1) const;
+
   /// The expected matrix (what the miner reconstructs with).
   const GammaDiagonalMatrix& expected_matrix() const { return matrix_; }
 

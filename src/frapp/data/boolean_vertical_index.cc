@@ -5,13 +5,16 @@
 namespace frapp {
 namespace data {
 
-BooleanVerticalIndex::BooleanVerticalIndex(const BooleanTable& table) {
-  num_rows_ = table.num_rows();
+BooleanVerticalIndex::BooleanVerticalIndex(const BooleanTable& table,
+                                           const RowRange& range) {
+  FRAPP_CHECK_LE(range.begin, range.end);
+  FRAPP_CHECK_LE(range.end, table.num_rows());
+  num_rows_ = range.size();
+  num_bits_ = table.num_bits();
   words_ = (num_rows_ + 63) / 64;
-  const size_t num_bits = table.num_bits();
-  bits_.assign(num_bits * words_, 0);
+  bits_.assign(num_bits_ * words_, 0);
   for (size_t i = 0; i < num_rows_; ++i) {
-    uint64_t row = table.RowBits(i);
+    uint64_t row = table.RowBits(range.begin + i);
     const size_t word = i >> 6;
     const uint64_t bit = 1ull << (i & 63);
     while (row != 0) {
@@ -22,17 +25,20 @@ BooleanVerticalIndex::BooleanVerticalIndex(const BooleanTable& table) {
   }
 }
 
-std::vector<int64_t> BooleanVerticalIndex::PatternCounts(
-    const std::vector<size_t>& positions) const {
+void BooleanVerticalIndex::SupersetCounts(const std::vector<size_t>& positions,
+                                          size_t begin_pattern,
+                                          size_t end_pattern,
+                                          int64_t* out) const {
   const size_t k = positions.size();
-  FRAPP_CHECK_LE(k, kMaxIndexedLength);
-  const size_t patterns = 1ull << k;
-
-  // Superset intersection counts: counts[S] = #rows with all bits of S set
-  // (bits of positions OUTSIDE S unconstrained).
-  std::vector<int64_t> counts(patterns);
-  counts[0] = static_cast<int64_t>(num_rows_);
-  for (size_t s = 1; s < patterns; ++s) {
+  // Checked before any caller shifts/allocates 2^k, see PatternCounts.
+  FRAPP_CHECK_LE(k, kMaxPatternLength);
+  FRAPP_CHECK_LE(end_pattern, 1ull << k);
+  for (size_t pos : positions) FRAPP_CHECK_LT(pos, num_bits_);
+  for (size_t s = begin_pattern; s < end_pattern; ++s) {
+    if (s == 0) {
+      out[0] = static_cast<int64_t>(num_rows_);
+      continue;
+    }
     const uint64_t* first = Bitmap(positions[static_cast<size_t>(
         __builtin_ctzll(static_cast<uint64_t>(s)))]);
     int64_t c = 0;
@@ -43,17 +49,30 @@ std::vector<int64_t> BooleanVerticalIndex::PatternCounts(
       }
       c += __builtin_popcountll(acc);
     }
-    counts[s] = c;
+    out[s - begin_pattern] = c;
   }
+}
 
-  // Mobius transform over the subset lattice turns "at least S" into
-  // "exactly S": subtract, per axis, the count with that bit forced set.
-  for (size_t b = 0; b < k; ++b) {
-    const size_t bit = 1ull << b;
+void BooleanVerticalIndex::MobiusExactCounts(std::vector<int64_t>& counts) {
+  // Subtract, per bit axis, the count with that bit forced set: "at least S"
+  // becomes "exactly S".
+  const size_t patterns = counts.size();
+  for (size_t bit = 1; bit < patterns; bit <<= 1) {
     for (size_t s = 0; s < patterns; ++s) {
       if ((s & bit) == 0) counts[s] -= counts[s | bit];
     }
   }
+}
+
+std::vector<int64_t> BooleanVerticalIndex::PatternCounts(
+    const std::vector<size_t>& positions) const {
+  // Enforce the length cap BEFORE the 2^k shift/allocation: 64+ positions
+  // would be undefined behavior on the shift, 30+ a multi-GiB allocation.
+  FRAPP_CHECK_LE(positions.size(), kMaxPatternLength);
+  const size_t patterns = 1ull << positions.size();
+  std::vector<int64_t> counts(patterns);
+  SupersetCounts(positions, 0, patterns, counts.data());
+  MobiusExactCounts(counts);
   return counts;
 }
 

@@ -9,6 +9,11 @@
 // word-wise AND + popcount, and derives the exact-pattern counts by a
 // superset Mobius transform over the 2^k lattice — no row rescan per
 // candidate.
+//
+// Because every statistic is a per-row count, the index shards trivially:
+// the superset counts (and therefore the Mobius-transformed exact-pattern
+// counts) of a row-partitioned table are the integer sums of the per-shard
+// ones. ShardedBooleanVerticalIndex builds on that.
 
 #ifndef FRAPP_DATA_BOOLEAN_VERTICAL_INDEX_H_
 #define FRAPP_DATA_BOOLEAN_VERTICAL_INDEX_H_
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/sharded_table.h"
 
 namespace frapp {
 namespace data {
@@ -24,22 +30,54 @@ namespace data {
 /// Immutable per-bit bitmap index over a BooleanTable snapshot.
 class BooleanVerticalIndex {
  public:
+  /// Empty (zero-row) index: the placeholder slot value of the sharded
+  /// builders, overwritten by per-shard construction results.
+  BooleanVerticalIndex() = default;
+
   /// Transposes `table` (one pass over the rows).
-  explicit BooleanVerticalIndex(const BooleanTable& table);
+  explicit BooleanVerticalIndex(const BooleanTable& table)
+      : BooleanVerticalIndex(table, RowRange{0, table.num_rows()}) {}
+
+  /// Transposes only rows [range.begin, range.end) of `table`, renumbered to
+  /// local rows [0, range.size()): the per-shard constructor of the sharded
+  /// counting path. The range must lie within the table.
+  BooleanVerticalIndex(const BooleanTable& table, const RowRange& range);
 
   size_t num_rows() const { return num_rows_; }
+  size_t num_bits() const { return num_bits_; }
 
-  /// Cutoff up to which pattern counting via the index beats the scalar row
+  /// Cutoff up to which pattern counting via the index beats a scalar row
   /// scan: 2^k * k words of AND work vs. 64 * words * k bit extractions.
+  /// Above it the index is still exact, just no longer the fastest path —
+  /// relevant only to callers that retain rows to scan (the sharded
+  /// estimators do not).
   static constexpr size_t kMaxIndexedLength = 5;
+
+  /// Hard cap on pattern-counting length (2^k counts are materialized).
+  static constexpr size_t kMaxPatternLength = 20;
 
   /// counts[A] (A in [0, 2^k)) = #rows whose bits on `positions` match
   /// pattern A exactly — bit b of A corresponds to positions[b]. Requires
-  /// positions.size() <= kMaxIndexedLength and in-range positions.
+  /// positions.size() <= kMaxPatternLength and in-range positions.
   std::vector<int64_t> PatternCounts(const std::vector<size_t>& positions) const;
 
   /// histogram[j] = #rows with exactly j of `positions` set.
   std::vector<int64_t> HitHistogram(const std::vector<size_t>& positions) const;
+
+  /// Superset-intersection counts for patterns [begin_pattern, end_pattern):
+  /// out[S - begin_pattern] = #rows with ALL bits of subset S set (bits
+  /// outside S free), S interpreted as a bitmask over `positions`; `out`
+  /// needs end_pattern - begin_pattern slots. This is the block primitive
+  /// the sharded index fans out over its (shard x pattern-block) grid;
+  /// MobiusExactCounts turns a full superset vector into exact-pattern
+  /// counts.
+  void SupersetCounts(const std::vector<size_t>& positions, size_t begin_pattern,
+                      size_t end_pattern, int64_t* out) const;
+
+  /// In-place superset Mobius transform over the 2^k lattice: turns
+  /// "at least S" counts into "exactly S" counts. Linear in the counts, so
+  /// it commutes with summing per-shard superset vectors.
+  static void MobiusExactCounts(std::vector<int64_t>& counts);
 
  private:
   const uint64_t* Bitmap(size_t position) const {
@@ -47,6 +85,7 @@ class BooleanVerticalIndex {
   }
 
   size_t num_rows_ = 0;
+  size_t num_bits_ = 0;
   size_t words_ = 0;
   std::vector<uint64_t> bits_;
 };

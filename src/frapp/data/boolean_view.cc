@@ -14,6 +14,14 @@ BooleanLayout::BooleanLayout(const CategoricalSchema& schema) {
 }
 
 StatusOr<BooleanTable> BooleanTable::FromCategorical(const CategoricalTable& table) {
+  return FromCategoricalRange(table, RowRange{0, table.num_rows()});
+}
+
+StatusOr<BooleanTable> BooleanTable::FromCategoricalRange(
+    const CategoricalTable& table, const RowRange& range) {
+  if (range.begin > range.end || range.end > table.num_rows()) {
+    return Status::OutOfRange("row range exceeds table");
+  }
   BooleanLayout layout(table.schema());
   if (layout.num_bits() > 64) {
     return Status::InvalidArgument(
@@ -21,8 +29,8 @@ StatusOr<BooleanTable> BooleanTable::FromCategorical(const CategoricalTable& tab
         std::to_string(layout.num_bits()));
   }
   BooleanTable out(layout.num_bits());
-  out.rows_.reserve(table.num_rows());
-  for (size_t i = 0; i < table.num_rows(); ++i) {
+  out.rows_.reserve(range.size());
+  for (size_t i = range.begin; i < range.end; ++i) {
     uint64_t bits = 0;
     for (size_t j = 0; j < table.num_attributes(); ++j) {
       bits |= 1ull << layout.BitPosition(j, table.Value(i, j));

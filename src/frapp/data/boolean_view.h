@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "frapp/common/statusor.h"
+#include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 
 namespace frapp {
@@ -49,6 +50,11 @@ class BooleanTable {
   /// One-hot encodes `table` per the layout. Fails when M_b > 64.
   static StatusOr<BooleanTable> FromCategorical(const CategoricalTable& table);
 
+  /// One-hot encodes only rows [range.begin, range.end) of `table` (the
+  /// shard-streaming encoder: a boolean shard never needs the whole table).
+  static StatusOr<BooleanTable> FromCategoricalRange(const CategoricalTable& table,
+                                                     const RowRange& range);
+
   /// Empty table with `num_bits` boolean attributes.
   static StatusOr<BooleanTable> CreateEmpty(size_t num_bits);
 
@@ -57,6 +63,9 @@ class BooleanTable {
 
   uint64_t RowBits(size_t i) const { return rows_[i]; }
   void AppendRow(uint64_t bits) { rows_.push_back(bits & mask_); }
+
+  /// Overwrites row i (bulk writers that pre-size with AppendRow(0)).
+  void SetRowBits(size_t i, uint64_t bits) { rows_[i] = bits & mask_; }
 
   bool Get(size_t row, size_t bit) const { return (rows_[row] >> bit) & 1u; }
 

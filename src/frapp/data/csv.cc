@@ -1,76 +1,212 @@
 #include "frapp/data/csv.h"
 
-#include <fstream>
+#include <limits>
+#include <utility>
 
 #include "frapp/common/string_util.h"
 
 namespace frapp {
 namespace data {
 
-StatusOr<CategoricalTable> ReadCsv(const std::string& path,
-                                   const CategoricalSchema& schema) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+namespace {
 
+/// Splits one physical line into cells. Cells are comma-separated; a cell
+/// whose first non-space character is '"' is quoted: commas inside it are
+/// literal and "" encodes one '"'. Embedded newlines are not supported (the
+/// reader is line-oriented). Returns InvalidArgument on an unterminated
+/// quote or on garbage after a closing quote.
+StatusOr<std::vector<std::string>> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> cells;
+  size_t i = 0;
+  const size_t n = line.size();
+  while (true) {
+    // Leading spaces before an opening quote are tolerated (and dropped for
+    // quoted cells; unquoted cells keep them — callers strip).
+    size_t start = i;
+    size_t peek = i;
+    while (peek < n && (line[peek] == ' ' || line[peek] == '\t')) ++peek;
+    std::string cell;
+    if (peek < n && line[peek] == '"') {
+      i = peek + 1;
+      bool closed = false;
+      while (i < n) {
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {  // escaped quote
+            cell.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        cell.push_back(line[i]);
+        ++i;
+      }
+      if (!closed) return Status::InvalidArgument("unterminated quoted cell");
+      while (i < n && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i < n && line[i] != ',') {
+        return Status::InvalidArgument("unexpected character after closing quote");
+      }
+    } else {
+      while (i < n && line[i] != ',') ++i;
+      cell.assign(line.substr(start, i - start));
+    }
+    cells.push_back(std::move(cell));
+    if (i >= n) break;
+    ++i;  // consume the comma
+    if (i == n) {  // trailing comma: one final empty cell
+      cells.emplace_back();
+      break;
+    }
+  }
+  return cells;
+}
+
+/// Reads the next line, stripping a trailing CR (CRLF input). Returns false
+/// at end of file.
+bool GetLine(std::ifstream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+/// Quotes `label` if the CSV dialect requires it.
+std::string EscapeCsvCell(const std::string& label) {
+  if (label.find_first_of(",\"\r\n") == std::string::npos) return label;
+  std::string out;
+  out.reserve(label.size() + 2);
+  out.push_back('"');
+  for (char c : label) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ShardedCsvReader> ShardedCsvReader::Open(
+    const std::string& path, const CategoricalSchema& schema) {
+  ShardedCsvReader reader(path, schema);
+  reader.in_.open(path);
+  if (!reader.in_) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
   std::string line;
-  if (!std::getline(in, line)) {
+  if (!GetLine(reader.in_, line)) {
     return Status::IOError("'" + path + "' is empty (missing header)");
   }
-  const std::vector<std::string> header = Split(line, ',');
-  if (header.size() != schema.num_attributes()) {
+  reader.line_number_ = 1;
+  StatusOr<std::vector<std::string>> header = SplitCsvLine(line);
+  if (!header.ok()) {
+    return Status::InvalidArgument("'" + path + "' line 1: " +
+                                   header.status().message());
+  }
+  if (header->size() != schema.num_attributes()) {
     return Status::InvalidArgument(
-        "'" + path + "': header has " + std::to_string(header.size()) +
+        "'" + path + "': header has " + std::to_string(header->size()) +
         " columns, schema expects " + std::to_string(schema.num_attributes()));
   }
-  for (size_t j = 0; j < header.size(); ++j) {
-    if (std::string(StripWhitespace(header[j])) != schema.attribute(j).name) {
+  for (size_t j = 0; j < header->size(); ++j) {
+    if (std::string(StripWhitespace((*header)[j])) != schema.attribute(j).name) {
       return Status::InvalidArgument("'" + path + "': column " + std::to_string(j) +
-                                     " is '" + header[j] + "', schema expects '" +
+                                     " is '" + (*header)[j] + "', schema expects '" +
                                      schema.attribute(j).name + "'");
     }
   }
+  return reader;
+}
 
-  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema));
-  std::vector<uint8_t> row(schema.num_attributes());
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
+StatusOr<CategoricalTable> ShardedCsvReader::ReadShard(size_t max_rows) {
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema_));
+  std::vector<uint8_t> row(schema_.num_attributes());
+  std::string line;
+  while (table.num_rows() < max_rows && GetLine(in_, line)) {
+    ++line_number_;
     if (StripWhitespace(line).empty()) continue;
-    const std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != schema.num_attributes()) {
-      return Status::InvalidArgument("'" + path + "' line " +
-                                     std::to_string(line_number) + ": expected " +
-                                     std::to_string(schema.num_attributes()) +
-                                     " cells, found " + std::to_string(cells.size()));
+    StatusOr<std::vector<std::string>> cells = SplitCsvLine(line);
+    if (!cells.ok()) {
+      return Status::InvalidArgument("'" + path_ + "' line " +
+                                     std::to_string(line_number_) + ": " +
+                                     cells.status().message());
     }
-    for (size_t j = 0; j < cells.size(); ++j) {
+    if (cells->size() != schema_.num_attributes()) {
+      return Status::InvalidArgument("'" + path_ + "' line " +
+                                     std::to_string(line_number_) + ": expected " +
+                                     std::to_string(schema_.num_attributes()) +
+                                     " cells, found " + std::to_string(cells->size()));
+    }
+    for (size_t j = 0; j < cells->size(); ++j) {
       StatusOr<size_t> cat =
-          schema.CategoryIndex(j, std::string(StripWhitespace(cells[j])));
+          schema_.CategoryIndex(j, std::string(StripWhitespace((*cells)[j])));
       if (!cat.ok()) {
-        return Status::InvalidArgument("'" + path + "' line " +
-                                       std::to_string(line_number) + ": " +
+        return Status::InvalidArgument("'" + path_ + "' line " +
+                                       std::to_string(line_number_) + ": " +
                                        cat.status().message());
       }
       row[j] = static_cast<uint8_t>(*cat);
     }
     FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
   }
+  // getline() returning false means EOF *or* a stream error; only EOF may be
+  // treated as end of data — a read error must not silently truncate the
+  // stream into a shorter (but "successful") dataset.
+  if (in_.bad()) {
+    return Status::IOError("read failure on '" + path_ + "' after line " +
+                           std::to_string(line_number_));
+  }
+  rows_read_ += table.num_rows();
   return table;
+}
+
+StatusOr<CategoricalTable> ReadCsv(const std::string& path,
+                                   const CategoricalSchema& schema) {
+  FRAPP_ASSIGN_OR_RETURN(ShardedCsvReader reader,
+                         ShardedCsvReader::Open(path, schema));
+  // One shard covering the whole file: the monolithic read is the streaming
+  // read with an unbounded chunk.
+  return reader.ReadShard(std::numeric_limits<size_t>::max());
 }
 
 Status WriteCsv(const CategoricalTable& table, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   const CategoricalSchema& schema = table.schema();
+  // Refuse to write labels our own reader cannot round-trip: newlines (the
+  // reader is line-oriented, quoted cells cannot span lines), empty labels
+  // (a blank line reads back as a skipped separator) and whitespace-padded
+  // labels (the reader strips every cell, silently remapping " A" to "A").
+  const auto unwritable = [](const std::string& label) -> const char* {
+    if (label.find('\n') != std::string::npos) return "contains a newline";
+    if (label.empty()) return "is empty";
+    if (std::string(StripWhitespace(label)) != label) {
+      return "has leading/trailing whitespace";
+    }
+    return nullptr;
+  };
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const Attribute& attribute = schema.attribute(j);
+    if (const char* why = unwritable(attribute.name)) {
+      return Status::InvalidArgument("attribute name '" + attribute.name +
+                                     "' " + why);
+    }
+    for (const std::string& label : attribute.categories) {
+      if (const char* why = unwritable(label)) {
+        return Status::InvalidArgument("category label '" + label + "' " + why);
+      }
+    }
+  }
   for (size_t j = 0; j < schema.num_attributes(); ++j) {
     if (j > 0) out << ',';
-    out << schema.attribute(j).name;
+    out << EscapeCsvCell(schema.attribute(j).name);
   }
   out << '\n';
   for (size_t i = 0; i < table.num_rows(); ++i) {
     for (size_t j = 0; j < schema.num_attributes(); ++j) {
       if (j > 0) out << ',';
-      out << schema.attribute(j).categories[table.Value(i, j)];
+      out << EscapeCsvCell(schema.attribute(j).categories[table.Value(i, j)]);
     }
     out << '\n';
   }

@@ -1,10 +1,21 @@
 // CSV import/export for categorical tables. Enables running the FRAPP
 // pipelines on real extracts (e.g. the UCI Adult file) when available; the
 // benches default to the built-in synthetic generators.
+//
+// The dialect is RFC-4180-flavoured: comma-separated cells of category
+// labels, optional "..."-quoting (with "" escaping a literal quote) for
+// labels containing commas/quotes, tolerant of CRLF line endings and of a
+// missing trailing newline. Parse errors carry 1-based line numbers.
+//
+// ShardedCsvReader is the streaming half: it parses the file in bounded
+// row chunks so a table never needs to exist fully in memory — the
+// pipeline::CsvTableSource ingest path is built on it, and ReadCsv is just
+// "one chunk covering the whole file".
 
 #ifndef FRAPP_DATA_CSV_H_
 #define FRAPP_DATA_CSV_H_
 
+#include <fstream>
 #include <string>
 
 #include "frapp/common/statusor.h"
@@ -13,13 +24,47 @@
 namespace frapp {
 namespace data {
 
+/// Incremental reader: header validated on Open, data rows parsed in
+/// caller-sized chunks.
+class ShardedCsvReader {
+ public:
+  /// Opens `path` and validates that the header matches `schema`'s attribute
+  /// names in order.
+  static StatusOr<ShardedCsvReader> Open(const std::string& path,
+                                         const CategoricalSchema& schema);
+
+  /// Parses up to `max_rows` further data rows into a fresh table over the
+  /// schema (blank lines are skipped and do not count). Returns a table with
+  /// zero rows once the file is exhausted; IO/parse errors (wrong cell
+  /// count, unknown category label, unterminated quote) name the offending
+  /// 1-based line.
+  StatusOr<CategoricalTable> ReadShard(size_t max_rows);
+
+  /// Data rows successfully parsed so far (the next shard's first global
+  /// row index).
+  size_t rows_read() const { return rows_read_; }
+
+  const CategoricalSchema& schema() const { return schema_; }
+
+ private:
+  ShardedCsvReader(std::string path, CategoricalSchema schema)
+      : path_(std::move(path)), schema_(std::move(schema)) {}
+
+  std::string path_;
+  CategoricalSchema schema_;
+  std::ifstream in_;
+  size_t line_number_ = 0;
+  size_t rows_read_ = 0;
+};
+
 /// Reads a headered CSV whose columns match `schema` attribute names (same
 /// order) and whose cells are category labels. Returns IOError / parse
 /// errors with line numbers.
 StatusOr<CategoricalTable> ReadCsv(const std::string& path,
                                    const CategoricalSchema& schema);
 
-/// Writes the table as a headered CSV of category labels.
+/// Writes the table as a headered CSV of category labels, quoting labels
+/// that contain commas, quotes or newlines.
 Status WriteCsv(const CategoricalTable& table, const std::string& path);
 
 }  // namespace data

@@ -1,0 +1,106 @@
+#include "frapp/data/sharded_boolean_vertical_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "frapp/common/check.h"
+#include "frapp/common/parallel.h"
+#include "frapp/data/sharded_table.h"
+
+namespace frapp {
+namespace data {
+
+namespace {
+
+/// Patterns per (shard x block) grid cell: small enough to spread a single
+/// candidate's 2^k lattice over several workers, large enough that a cell
+/// amortizes its dispatch.
+constexpr size_t kPatternsPerBlock = 16;
+
+}  // namespace
+
+ShardedBooleanVerticalIndex ShardedBooleanVerticalIndex::FromShards(
+    std::vector<BooleanVerticalIndex> shards) {
+  ShardedBooleanVerticalIndex out;
+  out.shards_ = std::move(shards);
+  for (const BooleanVerticalIndex& shard : out.shards_) {
+    out.num_rows_ += shard.num_rows();
+    if (shard.num_bits() != 0) {
+      FRAPP_CHECK(out.num_bits_ == 0 || out.num_bits_ == shard.num_bits())
+          << "shards disagree on num_bits";
+      out.num_bits_ = shard.num_bits();
+    }
+  }
+  return out;
+}
+
+ShardedBooleanVerticalIndex ShardedBooleanVerticalIndex::Build(
+    const BooleanTable& table, size_t num_shards, size_t num_threads) {
+  // Counting needs no chunk alignment (alignment 1 splits even small tables
+  // into the requested number of shards), so "one shard per quantum" is
+  // resolved to a count first.
+  const size_t resolved_shards =
+      num_shards != 0
+          ? num_shards
+          : common::NumChunks(table.num_rows(), kShardAlignmentRows);
+  const std::vector<RowRange> plan =
+      ShardedTable::Plan(table.num_rows(), resolved_shards, /*alignment=*/1);
+  std::vector<BooleanVerticalIndex> shards(plan.size());
+  common::ParallelForChunks(plan.size(), num_threads, [&](size_t s) {
+    shards[s] = BooleanVerticalIndex(table, plan[s]);
+  });
+  return FromShards(std::move(shards));
+}
+
+std::vector<int64_t> ShardedBooleanVerticalIndex::PatternCounts(
+    const std::vector<size_t>& positions, size_t num_threads) const {
+  const size_t k = positions.size();
+  FRAPP_CHECK_LE(k, BooleanVerticalIndex::kMaxPatternLength);
+  const size_t patterns = 1ull << k;
+  std::vector<int64_t> totals(patterns, 0);
+  if (shards_.empty()) return totals;
+
+  // (shard x pattern-block) grid: cell (s, b) computes block b of shard s's
+  // superset counts into a stack-sized scratch, then adds it into the shared
+  // totals. Cells racing on a block only ever ADD integers, so the totals
+  // are exact and order-independent — deterministic at any worker count —
+  // while keeping peak memory O(2^k), not O(shards x 2^k) (a streamed table
+  // has one shard per chunk quantum, so the latter would scale with rows).
+  const size_t num_blocks = common::NumChunks(patterns, kPatternsPerBlock);
+  std::vector<std::atomic<int64_t>> shared(patterns);
+  for (auto& slot : shared) slot.store(0, std::memory_order_relaxed);
+  common::ParallelForChunks(
+      shards_.size() * num_blocks, num_threads, [&](size_t cell) {
+        const size_t s = cell / num_blocks;
+        const size_t b = cell % num_blocks;
+        const size_t begin = b * kPatternsPerBlock;
+        const size_t end = std::min(patterns, begin + kPatternsPerBlock);
+        int64_t scratch[kPatternsPerBlock];
+        shards_[s].SupersetCounts(positions, begin, end, scratch);
+        for (size_t a = begin; a < end; ++a) {
+          shared[a].fetch_add(scratch[a - begin], std::memory_order_relaxed);
+        }
+      });
+  for (size_t a = 0; a < patterns; ++a) {
+    totals[a] = shared[a].load(std::memory_order_relaxed);
+  }
+
+  // The Mobius transform is linear, so transforming the summed superset
+  // counts equals summing the per-shard transforms.
+  BooleanVerticalIndex::MobiusExactCounts(totals);
+  return totals;
+}
+
+std::vector<int64_t> ShardedBooleanVerticalIndex::HitHistogram(
+    const std::vector<size_t>& positions, size_t num_threads) const {
+  const std::vector<int64_t> patterns = PatternCounts(positions, num_threads);
+  std::vector<int64_t> histogram(positions.size() + 1, 0);
+  for (size_t a = 0; a < patterns.size(); ++a) {
+    histogram[static_cast<size_t>(__builtin_popcountll(a))] += patterns[a];
+  }
+  return histogram;
+}
+
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,81 @@
+// Sharded boolean bitmap index: the counting substrate that makes the
+// boolean-table mechanisms (MASK, Cut-and-Paste) shard-streamable.
+//
+// Every statistic these mechanisms reconstruct from — exact-pattern counts
+// and per-row hit histograms over a candidate's bit positions — is a sum of
+// per-row indicators, so it is row-partitionable: the superset-intersection
+// counts of a partitioned table are the integer sums of the per-shard ones,
+// and because the superset Mobius transform is LINEAR, transforming the
+// summed vector equals summing the transformed ones. Any shard partition
+// therefore yields pattern counts bit-identical to the monolithic index
+// ("On Addressing Efficiency Concerns in Privacy-Preserving Mining" makes
+// the same observation for the estimation counts generally).
+//
+// Counting fans the (shard x pattern-block) grid out on the shared
+// common::ThreadPool: each grid cell computes one block of one shard's
+// superset counts into a disjoint slice, then the per-shard vectors are
+// Mobius-transformed and summed in fixed shard order. Integer arithmetic
+// end to end, so results are independent of both shard count and thread
+// count.
+
+#ifndef FRAPP_DATA_SHARDED_BOOLEAN_VERTICAL_INDEX_H_
+#define FRAPP_DATA_SHARDED_BOOLEAN_VERTICAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/data/boolean_vertical_index.h"
+#include "frapp/data/boolean_view.h"
+
+namespace frapp {
+namespace data {
+
+/// Immutable collection of per-shard BooleanVerticalIndexes over a row
+/// partition of one boolean table. Counting answers are independent of the
+/// shard count and of the thread count.
+class ShardedBooleanVerticalIndex {
+ public:
+  /// Zero-shard (empty-stream) index.
+  ShardedBooleanVerticalIndex() = default;
+
+  /// Assembles from pre-built shard indexes (the pipeline path, where each
+  /// shard was indexed right after perturbation and its rows dropped).
+  /// Shard order must follow row order; totals are independent of it
+  /// regardless. All shards must agree on num_bits.
+  static ShardedBooleanVerticalIndex FromShards(
+      std::vector<BooleanVerticalIndex> shards);
+
+  /// Builds per-shard indexes over an even `num_shards`-way row split of
+  /// `table` (counting needs no chunk alignment; 0 means one shard per
+  /// seeded-chunk quantum). `num_threads` parallelizes the shard builds.
+  static ShardedBooleanVerticalIndex Build(const BooleanTable& table,
+                                           size_t num_shards,
+                                           size_t num_threads = 1);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_bits() const { return num_bits_; }
+  size_t num_shards() const { return shards_.size(); }
+  const BooleanVerticalIndex& shard(size_t s) const { return shards_[s]; }
+
+  /// counts[A] = #rows (across all shards) whose bits on `positions` match
+  /// pattern A exactly. The (shard x pattern-block) grid runs on up to
+  /// `num_threads` workers (0 = hardware concurrency); bit-identical for
+  /// every shard and thread count.
+  std::vector<int64_t> PatternCounts(const std::vector<size_t>& positions,
+                                     size_t num_threads = 1) const;
+
+  /// histogram[j] = #rows (across all shards) with exactly j of `positions`
+  /// set.
+  std::vector<int64_t> HitHistogram(const std::vector<size_t>& positions,
+                                    size_t num_threads = 1) const;
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_bits_ = 0;
+  std::vector<BooleanVerticalIndex> shards_;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_SHARDED_BOOLEAN_VERTICAL_INDEX_H_

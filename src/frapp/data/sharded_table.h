@@ -40,6 +40,28 @@ struct RowRange {
   }
 };
 
+/// One chunk-aligned window of a logical row stream: rows
+/// [local.begin, local.end) of *rows hold the stream's global rows
+/// [global_begin, global_begin + local.size()).
+///
+/// This is the unit the streaming pipeline hands to a mechanism's shard
+/// perturbation. For an in-memory table the view aliases the parent table
+/// (local IS the global range); for a streaming source (CSV, generator) the
+/// view covers a small owned buffer whose global position is carried by
+/// `global_begin`. Seeded perturbation derives its RNG streams from GLOBAL
+/// chunk indices, so the two cases perturb bit-identically.
+///
+/// Contract: global_begin must be a multiple of kShardAlignmentRows, and
+/// local.size() must be a multiple of it too UNLESS this is the stream's
+/// final shard (streams may end mid-chunk).
+struct ShardView {
+  const CategoricalTable* rows = nullptr;
+  RowRange local;
+  size_t global_begin = 0;
+
+  size_t size() const { return local.size(); }
+};
+
 /// Fixed partition of a CategoricalTable into contiguous row shards.
 ///
 /// The partition is a pure function of (num_rows, num_shards, alignment) —

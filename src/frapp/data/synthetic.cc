@@ -45,8 +45,14 @@ StatusOr<ChainGenerator> ChainGenerator::Create(CategoricalSchema schema,
 
 StatusOr<CategoricalTable> ChainGenerator::Generate(size_t n, uint64_t seed) const {
   FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema_));
-  table.Reserve(n);
   random::Pcg64 rng(seed);
+  FRAPP_RETURN_IF_ERROR(AppendRows(&table, n, rng));
+  return table;
+}
+
+Status ChainGenerator::AppendRows(CategoricalTable* out, size_t n,
+                                  random::Pcg64& rng) const {
+  out->Reserve(out->num_rows() + n);
   std::vector<uint8_t> row(schema_.num_attributes());
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < schema_.num_attributes(); ++j) {
@@ -55,9 +61,9 @@ StatusOr<CategoricalTable> ChainGenerator::Generate(size_t n, uint64_t seed) con
           (spec.parent < 0) ? 0 : row[static_cast<size_t>(spec.parent)];
       row[j] = static_cast<uint8_t>(samplers_[j][sampler_row].Sample(rng));
     }
-    FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
+    FRAPP_RETURN_IF_ERROR(out->AppendRow(row));
   }
-  return table;
+  return Status::OK();
 }
 
 linalg::Vector ChainGenerator::ExactMarginal(size_t attribute) const {

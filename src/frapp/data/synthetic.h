@@ -45,6 +45,12 @@ class ChainGenerator {
   /// Draws `n` records deterministically from `seed`.
   StatusOr<CategoricalTable> Generate(size_t n, uint64_t seed) const;
 
+  /// Appends `n` further records drawn from `rng` to `out` (whose schema
+  /// must match). Streaming form of Generate: pulling chunks with a
+  /// persistent Pcg64(seed) concatenates bit-for-bit to Generate(total,
+  /// seed) — the pipeline::SyntheticTableSource contract.
+  Status AppendRows(CategoricalTable* out, size_t n, random::Pcg64& rng) const;
+
   const CategoricalSchema& schema() const { return schema_; }
 
   /// Exact marginal probability vector of attribute j under the chain model

@@ -3,26 +3,46 @@
 namespace frapp {
 namespace eval {
 
-StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
-                                    const data::CategoricalTable& original,
-                                    const mining::AprioriResult& truth,
-                                    const ExperimentConfig& config) {
+namespace {
+
+pipeline::PipelineOptions ToPipelineOptions(const ExperimentConfig& config) {
   pipeline::PipelineOptions options;
   options.num_shards = config.num_shards;
   options.num_threads = config.num_threads;
   options.perturb_seed = config.perturb_seed;
   options.mining.min_support = config.min_support;
   options.mining.max_length = config.max_length;
-  pipeline::PrivacyPipeline privacy_pipeline(options);
-  FRAPP_ASSIGN_OR_RETURN(pipeline::PipelineResult result,
-                         privacy_pipeline.Run(mechanism, original));
+  return options;
+}
 
+StatusOr<MechanismRun> ScoreRun(core::Mechanism& mechanism,
+                                StatusOr<pipeline::PipelineResult> result,
+                                const mining::AprioriResult& truth) {
+  FRAPP_RETURN_IF_ERROR(result.status());
   MechanismRun run;
   run.mechanism_name = mechanism.name();
-  run.accuracy = CompareMiningResults(truth, result.mined);
-  run.mined = std::move(result.mined);
-  run.pipeline_stats = result.stats;
+  run.accuracy = CompareMiningResults(truth, result->mined);
+  run.mined = std::move(result->mined);
+  run.pipeline_stats = result->stats;
   return run;
+}
+
+}  // namespace
+
+StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
+                                    const data::CategoricalTable& original,
+                                    const mining::AprioriResult& truth,
+                                    const ExperimentConfig& config) {
+  pipeline::PrivacyPipeline privacy_pipeline(ToPipelineOptions(config));
+  return ScoreRun(mechanism, privacy_pipeline.Run(mechanism, original), truth);
+}
+
+StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
+                                    pipeline::TableSource& source,
+                                    const mining::AprioriResult& truth,
+                                    const ExperimentConfig& config) {
+  pipeline::PrivacyPipeline privacy_pipeline(ToPipelineOptions(config));
+  return ScoreRun(mechanism, privacy_pipeline.Run(mechanism, source), truth);
 }
 
 }  // namespace eval

@@ -48,12 +48,19 @@ struct MechanismRun {
 };
 
 /// Runs `mechanism` on `original` through the shard-streaming
-/// pipeline::PrivacyPipeline (monolithic fallback for mechanisms without
-/// shard support): perturbs deterministically from `perturb_seed`, mines
+/// pipeline::PrivacyPipeline (every mechanism streams; there is no
+/// monolithic path): perturbs deterministically from `perturb_seed`, mines
 /// with the mechanism's reconstructing estimator, and scores against
 /// `truth` (the exact mining result at the same threshold).
 StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
                                     const data::CategoricalTable& original,
+                                    const mining::AprioriResult& truth,
+                                    const ExperimentConfig& config);
+
+/// Same flow fed by an arbitrary TableSource (CSV stream, synthetic
+/// generator, ...): the table never needs to exist fully in memory.
+StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
+                                    pipeline::TableSource& source,
                                     const mining::AprioriResult& truth,
                                     const ExperimentConfig& config);
 

@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "frapp/common/parallel.h"
+#include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/mining/vertical_index.h"
-#include "frapp/random/rng.h"
 
 namespace frapp {
 namespace pipeline {
@@ -29,81 +29,134 @@ void RaiseToAtLeast(std::atomic<size_t>& peak, size_t value) {
 
 StatusOr<PipelineResult> PrivacyPipeline::Run(
     core::Mechanism& mechanism, const data::CategoricalTable& original) const {
-  PipelineResult result;
+  InMemoryTableSource source(original, options_.num_shards);
+  return Run(mechanism, source);
+}
 
+StatusOr<PipelineResult> PrivacyPipeline::Run(core::Mechanism& mechanism,
+                                              TableSource& source) const {
   if (!mechanism.SupportsShardStreaming()) {
-    // Monolithic fallback: the classic Prepare() path, whole perturbed
-    // database in memory.
-    random::Pcg64 rng(options_.perturb_seed);
-    FRAPP_RETURN_IF_ERROR(mechanism.Prepare(original, rng));
-    FRAPP_ASSIGN_OR_RETURN(
-        result.mined,
-        mining::MineFrequentItemsets(original.schema(), mechanism.estimator(),
-                                     options_.mining));
-    result.stats.num_shards = 1;
-    result.stats.max_shard_rows = original.num_rows();
-    // The mechanism owns its perturbed representation (e.g. a one-hot
-    // BooleanTable for MASK/C&P); its footprint is not observable here.
-    result.stats.peak_inflight_perturbed_bytes = 0;
-    result.stats.shard_streamed = false;
-    return result;
+    return Status::Unimplemented(
+        mechanism.name() +
+        " does not implement the shard-streaming contract; every pipeline "
+        "mechanism must (there is no monolithic fallback)");
   }
+  PipelineResult result;
+  const bool boolean_shards =
+      mechanism.shard_kind() == core::Mechanism::ShardKind::kBoolean;
+  const size_t bytes_per_row = boolean_shards
+                                   ? sizeof(uint64_t)
+                                   : source.schema().num_attributes();
 
-  const data::ShardedTable sharded =
-      data::ShardedTable::Create(original, options_.num_shards);
-  const std::vector<data::RowRange>& plan = sharded.shards();
-  const size_t bytes_per_row = original.num_attributes();
-
-  // Stream the shards: each task perturbs its shard, transposes it into a
-  // local vertical index, and drops the perturbed rows before returning, so
-  // at most `workers` shards of rows are ever alive at once. Every task is a
-  // pure function of its shard index (global seeded-chunk RNG streams), so
-  // the concatenated result is bit-identical at any shard/thread count.
-  std::vector<mining::VerticalIndex> shard_indexes(plan.size());
-  std::vector<Status> shard_status(plan.size());
+  // Stream the source in batches of up to `batch` shards: shards are pulled
+  // sequentially (sources are single-threaded parsers/generators), then each
+  // batch fans perturb + index out over the workers. A task perturbs its
+  // shard, transposes it into a local vertical index, and drops both the
+  // perturbed rows and (for streaming sources) the input buffer before
+  // returning, so at most one batch of rows is ever alive at once. Every
+  // task is a pure function of its shard's global position (global
+  // seeded-chunk RNG streams) and counts merge as integer sums, so the
+  // result is bit-identical for any source kind, shard count and thread
+  // count.
+  std::vector<mining::VerticalIndex> cat_indexes;
+  std::vector<data::BooleanVerticalIndex> bool_indexes;
   std::atomic<size_t> inflight_bytes{0};
   std::atomic<size_t> peak_bytes{0};
-  // With several shards the outer dispatch occupies the pool's single job
-  // slot, so nested parallel calls would run inline anyway — give shard
-  // tasks one thread. The one-shard case runs inline at the outer level
-  // instead, so the full thread budget flows into the shard's own
-  // chunk-parallel perturbation and index build.
-  const size_t inner_threads = plan.size() == 1 ? options_.num_threads : 1;
-  common::ParallelForChunks(plan.size(), options_.num_threads, [&](size_t s) {
-    const size_t shard_bytes = plan[s].size() * bytes_per_row;
-    {
-      StatusOr<data::CategoricalTable> shard = mechanism.PerturbShard(
-          original, plan[s], options_.perturb_seed, inner_threads);
-      if (!shard.ok()) {
-        shard_status[s] = shard.status();
-        return;
+  const size_t batch = std::max<size_t>(
+      1, common::ResolveThreadCount(options_.num_threads));
+  std::vector<PulledShard> pending;
+  pending.reserve(batch);
+  bool exhausted = false;
+  while (!exhausted) {
+    pending.clear();
+    while (pending.size() < batch) {
+      PulledShard shard;
+      FRAPP_ASSIGN_OR_RETURN(bool more, source.NextShard(&shard));
+      if (!more) {
+        exhausted = true;
+        break;
       }
-      RaiseToAtLeast(peak_bytes,
-                     inflight_bytes.fetch_add(shard_bytes,
-                                              std::memory_order_relaxed) +
-                         shard_bytes);
-      shard_indexes[s] = mining::VerticalIndex::Build(*shard, inner_threads);
-    }  // the perturbed shard rows are dropped here, before the next shard
-    inflight_bytes.fetch_sub(shard_bytes, std::memory_order_relaxed);
-  });
-  for (const Status& status : shard_status) {
-    FRAPP_RETURN_IF_ERROR(status);
+      if (shard.view.size() == 0) continue;
+      pending.push_back(std::move(shard));
+    }
+    if (pending.empty()) break;
+
+    const size_t base = boolean_shards ? bool_indexes.size() : cat_indexes.size();
+    if (boolean_shards) {
+      bool_indexes.resize(base + pending.size());
+    } else {
+      cat_indexes.resize(base + pending.size());
+    }
+    std::vector<Status> statuses(pending.size());
+    // With several shards in the batch the outer dispatch occupies the
+    // pool's single job slot, so nested parallel calls would run inline
+    // anyway — give shard tasks one thread. A one-shard batch runs inline at
+    // the outer level instead, so the full thread budget flows into the
+    // shard's own chunk-parallel perturbation and index build.
+    const size_t inner_threads =
+        pending.size() == 1 ? options_.num_threads : 1;
+    common::ParallelForChunks(
+        pending.size(), options_.num_threads, [&](size_t i) {
+          PulledShard& shard = pending[i];
+          const size_t shard_bytes = shard.view.size() * bytes_per_row;
+          if (boolean_shards) {
+            StatusOr<data::BooleanTable> perturbed = mechanism.PerturbBooleanShard(
+                shard.view, options_.perturb_seed, inner_threads);
+            shard.owned.reset();  // source buffer dropped once perturbed
+            if (!perturbed.ok()) {
+              statuses[i] = perturbed.status();
+              return;
+            }
+            RaiseToAtLeast(peak_bytes,
+                           inflight_bytes.fetch_add(shard_bytes,
+                                                    std::memory_order_relaxed) +
+                               shard_bytes);
+            bool_indexes[base + i] = data::BooleanVerticalIndex(*perturbed);
+          } else {
+            StatusOr<data::CategoricalTable> perturbed = mechanism.PerturbShard(
+                shard.view, options_.perturb_seed, inner_threads);
+            shard.owned.reset();
+            if (!perturbed.ok()) {
+              statuses[i] = perturbed.status();
+              return;
+            }
+            RaiseToAtLeast(peak_bytes,
+                           inflight_bytes.fetch_add(shard_bytes,
+                                                    std::memory_order_relaxed) +
+                               shard_bytes);
+            cat_indexes[base + i] =
+                mining::VerticalIndex::Build(*perturbed, inner_threads);
+          }  // the perturbed shard rows are dropped here
+          inflight_bytes.fetch_sub(shard_bytes, std::memory_order_relaxed);
+        });
+    for (size_t i = 0; i < pending.size(); ++i) {
+      FRAPP_RETURN_IF_ERROR(statuses[i]);
+      result.stats.max_shard_rows =
+          std::max(result.stats.max_shard_rows, pending[i].view.size());
+      result.stats.total_rows += pending[i].view.size();
+      ++result.stats.num_shards;
+    }
   }
 
+  std::unique_ptr<mining::SupportEstimator> estimator;
+  if (boolean_shards) {
+    FRAPP_ASSIGN_OR_RETURN(
+        estimator, mechanism.MakeShardedBooleanEstimator(
+                       data::ShardedBooleanVerticalIndex::FromShards(
+                           std::move(bool_indexes)),
+                       options_.num_threads));
+  } else {
+    FRAPP_ASSIGN_OR_RETURN(
+        estimator, mechanism.MakeShardedEstimator(
+                       mining::ShardedVerticalIndex::FromShards(
+                           std::move(cat_indexes)),
+                       options_.num_threads));
+  }
   FRAPP_ASSIGN_OR_RETURN(
-      std::unique_ptr<mining::SupportEstimator> estimator,
-      mechanism.MakeShardedEstimator(
-          mining::ShardedVerticalIndex::FromShards(std::move(shard_indexes)),
-          options_.num_threads));
-  FRAPP_ASSIGN_OR_RETURN(
-      result.mined, mining::MineFrequentItemsets(original.schema(), *estimator,
+      result.mined, mining::MineFrequentItemsets(source.schema(), *estimator,
                                                  options_.mining));
-
-  result.stats.num_shards = plan.size();
-  result.stats.max_shard_rows = sharded.MaxShardRows();
   result.stats.peak_inflight_perturbed_bytes =
       peak_bytes.load(std::memory_order_relaxed);
-  result.stats.shard_streamed = true;
   return result;
 }
 

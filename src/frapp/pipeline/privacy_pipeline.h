@@ -1,21 +1,24 @@
 // The shard-streaming privacy pipeline: one API for the whole
 // perturb -> index -> count -> reconstruct -> mine flow.
 //
-// FRAPP's guarantees are per-record, so the pipeline shards the input table
-// into chunk-aligned row ranges (data::ShardedTable) and streams each shard
-// through client-side perturbation and vertical-index construction; the
-// perturbed rows are dropped the moment their shard is indexed, so peak
-// memory for perturbed data is O(in-flight shards x shard), never O(table).
-// Mining then runs over the merged per-shard indexes with shard-parallel
-// candidate counting. Because perturbation draws global seeded-chunk RNG
-// streams and support counts are integer sums, the mined result is
-// BIT-IDENTICAL for every (shard count, thread count) combination —
-// parallelism and memory bounds are free of accuracy semantics.
+// FRAPP's guarantees are per-record, so the pipeline pulls chunk-aligned row
+// shards from a TableSource (in-memory table, chunked CSV stream, or
+// synthetic generator — see table_source.h) and streams each shard through
+// client-side perturbation and vertical-index construction; the perturbed
+// rows are dropped the moment their shard is indexed, and a streaming
+// source's input rows the moment their shard is perturbed, so peak memory is
+// O(in-flight shards x shard), never O(table). Mining then runs over the
+// merged per-shard indexes with shard-parallel candidate counting. Because
+// perturbation draws global seeded-chunk RNG streams and support counts are
+// integer sums, the mined result is BIT-IDENTICAL for every (source kind,
+// shard count, thread count) combination — parallelism and memory bounds are
+// free of accuracy semantics.
 //
-// Mechanisms advertise shard support via core::Mechanism's shard-streaming
-// contract (DET-GD and RAN-GD do); for the rest (MASK, C&P, IND-GD) the
-// pipeline transparently falls back to the monolithic Prepare() path, so
-// callers can route every mechanism through this one API.
+// Every mechanism streams: DET-GD, RAN-GD and IND-GD as categorical shards
+// counted by mining::ShardedVerticalIndex, MASK and C&P as one-hot boolean
+// shards counted by data::ShardedBooleanVerticalIndex (the superset Mobius
+// transform commutes with the row partition). There is no monolithic
+// fallback; a mechanism without shard support is an error.
 
 #ifndef FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
 #define FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
@@ -27,13 +30,16 @@
 #include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/pipeline/table_source.h"
 
 namespace frapp {
 namespace pipeline {
 
 struct PipelineOptions {
-  /// Row shards to stream (clamped to the number of seeded-chunk quanta;
-  /// 0 = one shard per quantum). One shard reproduces the monolithic pass.
+  /// Row shards to stream for IN-MEMORY inputs (clamped to the number of
+  /// seeded-chunk quanta; 0 = one shard per quantum). Streaming sources
+  /// bring their own shard size instead. One shard reproduces the
+  /// monolithic pass.
   size_t num_shards = 1;
 
   /// Worker threads for shard perturbation/indexing and for every
@@ -50,20 +56,20 @@ struct PipelineOptions {
 
 /// Observability of one pipeline run.
 struct PipelineStats {
-  /// Shards actually streamed (1 on the monolithic fallback).
+  /// Shards actually streamed.
   size_t num_shards = 0;
+
+  /// Total rows pulled from the source.
+  size_t total_rows = 0;
 
   /// Rows of the largest shard: the per-shard work/memory unit.
   size_t max_shard_rows = 0;
 
-  /// High-water mark of perturbed categorical-row bytes alive at once on
-  /// the streaming path, bounded by (in-flight shards <= threads) x shard
-  /// bytes. 0 on the fallback: the mechanism owns its perturbed
-  /// representation there and its footprint is not observable.
+  /// High-water mark of perturbed-row bytes alive at once, bounded by
+  /// (in-flight shards <= threads) x shard bytes. Categorical shards count
+  /// one byte per attribute per row; boolean (one-hot) shards eight bytes
+  /// per row.
   size_t peak_inflight_perturbed_bytes = 0;
-
-  /// False when the mechanism lacks shard support and Prepare() ran instead.
-  bool shard_streamed = false;
 };
 
 struct PipelineResult {
@@ -78,10 +84,15 @@ class PrivacyPipeline {
 
   const PipelineOptions& options() const { return options_; }
 
-  /// Perturbs `original` shard by shard (or monolithically for mechanisms
-  /// without shard support), then mines with the mechanism's reconstructing
+  /// Streams `source`'s shards through the mechanism's perturbation, indexes
+  /// and drops each shard, then mines with the mechanism's reconstructing
   /// estimator. Mining happens inside the pipeline; the mechanism's own
-  /// estimator() state is populated only on the monolithic fallback path.
+  /// estimator() state is not touched.
+  StatusOr<PipelineResult> Run(core::Mechanism& mechanism,
+                               TableSource& source) const;
+
+  /// Convenience: streams an in-memory table through options().num_shards
+  /// shards.
   StatusOr<PipelineResult> Run(core::Mechanism& mechanism,
                                const data::CategoricalTable& original) const;
 

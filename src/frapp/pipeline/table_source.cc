@@ -1,0 +1,83 @@
+#include "frapp/pipeline/table_source.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace frapp {
+namespace pipeline {
+
+namespace {
+
+Status ValidateRowsPerShard(size_t rows_per_shard) {
+  if (rows_per_shard == 0 || rows_per_shard % data::kShardAlignmentRows != 0) {
+    return Status::InvalidArgument(
+        "rows_per_shard must be a positive multiple of the chunk quantum (" +
+        std::to_string(data::kShardAlignmentRows) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<bool> InMemoryTableSource::NextShard(PulledShard* out) {
+  if (next_ >= plan_.size()) return false;
+  const data::RowRange& range = plan_[next_++];
+  out->view = data::ShardView{table_, range, range.begin};
+  out->owned.reset();
+  return true;
+}
+
+StatusOr<CsvTableSource> CsvTableSource::Open(
+    const std::string& path, const data::CategoricalSchema& schema,
+    size_t rows_per_shard) {
+  FRAPP_RETURN_IF_ERROR(ValidateRowsPerShard(rows_per_shard));
+  FRAPP_ASSIGN_OR_RETURN(data::ShardedCsvReader reader,
+                         data::ShardedCsvReader::Open(path, schema));
+  return CsvTableSource(std::move(reader), rows_per_shard);
+}
+
+StatusOr<bool> CsvTableSource::NextShard(PulledShard* out) {
+  if (exhausted_) return false;
+  const size_t global_begin = reader_.rows_read();
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable shard,
+                         reader_.ReadShard(rows_per_shard_));
+  if (shard.num_rows() == 0) {
+    exhausted_ = true;
+    return false;
+  }
+  // A short read means the file ended mid-shard; this is the stream's final
+  // shard (allowed to end off the chunk grid).
+  if (shard.num_rows() < rows_per_shard_) exhausted_ = true;
+  auto buffer =
+      std::make_shared<const data::CategoricalTable>(std::move(shard));
+  out->view = data::ShardView{buffer.get(),
+                              data::RowRange{0, buffer->num_rows()},
+                              global_begin};
+  out->owned = std::move(buffer);
+  return true;
+}
+
+StatusOr<SyntheticTableSource> SyntheticTableSource::Create(
+    data::ChainGenerator generator, size_t total_rows, uint64_t seed,
+    size_t rows_per_shard) {
+  FRAPP_RETURN_IF_ERROR(ValidateRowsPerShard(rows_per_shard));
+  return SyntheticTableSource(std::move(generator), total_rows, seed,
+                              rows_per_shard);
+}
+
+StatusOr<bool> SyntheticTableSource::NextShard(PulledShard* out) {
+  if (emitted_ >= total_rows_) return false;
+  const size_t n = std::min(rows_per_shard_, total_rows_ - emitted_);
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable shard,
+                         data::CategoricalTable::Create(generator_.schema()));
+  FRAPP_RETURN_IF_ERROR(generator_.AppendRows(&shard, n, rng_));
+  auto buffer =
+      std::make_shared<const data::CategoricalTable>(std::move(shard));
+  out->view = data::ShardView{buffer.get(), data::RowRange{0, n}, emitted_};
+  out->owned = std::move(buffer);
+  emitted_ += n;
+  return true;
+}
+
+}  // namespace pipeline
+}  // namespace frapp

@@ -208,6 +208,29 @@ TEST(CutPasteSchemeTest, EstimateValidation) {
   EXPECT_FALSE(s.PartialSupportMatrix(7).ok());  // longer than record items
 }
 
+TEST(CutPasteSchemeTest, ShardSeededConcatenatesToMonolithic) {
+  const CutPasteScheme s = CensusScheme();
+  StatusOr<data::CategoricalTable> table = data::census::MakeDataset(20000, 13);
+  ASSERT_TRUE(table.ok());
+  StatusOr<data::BooleanTable> onehot = data::BooleanTable::FromCategorical(*table);
+  ASSERT_TRUE(onehot.ok());
+
+  const data::BooleanTable whole = *s.PerturbSeeded(*onehot, 23, /*num_threads=*/2);
+  size_t row = 0;
+  for (const data::RowRange& range :
+       data::ShardedTable::Plan(onehot->num_rows(), 3)) {
+    StatusOr<data::BooleanTable> shard_input =
+        data::BooleanTable::FromCategoricalRange(*table, range);
+    ASSERT_TRUE(shard_input.ok());
+    const data::BooleanTable shard =
+        *s.PerturbShardSeeded(*shard_input, range.begin, 23);
+    for (size_t i = 0; i < shard.num_rows(); ++i, ++row) {
+      ASSERT_EQ(shard.RowBits(i), whole.RowBits(row)) << "row " << row;
+    }
+  }
+  EXPECT_EQ(row, onehot->num_rows());
+}
+
 TEST(CutPasteSupportEstimatorTest, SingletonEstimateOnCensusData) {
   data::CategoricalSchema schema = data::census::Schema();
   StatusOr<data::CategoricalTable> table = data::census::MakeDataset(30000, 6);

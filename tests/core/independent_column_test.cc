@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "frapp/core/privacy.h"
+#include "frapp/data/census.h"
 #include "frapp/linalg/condition.h"
 #include "frapp/linalg/kronecker.h"
 
@@ -133,6 +134,41 @@ TEST(IndependentColumnEstimatorTest, ExactOnNoiselessSubsetHistogram) {
 
 TEST(IndependentColumnTest, Validation) {
   EXPECT_FALSE(IndependentColumnScheme::Create(TinySchema(), 1.0).ok());
+}
+
+TEST(IndependentColumnTest, ShardSeededConcatenatesToMonolithic) {
+  StatusOr<data::CategoricalTable> table = data::census::MakeDataset(20000, 19);
+  ASSERT_TRUE(table.ok());
+  StatusOr<IndependentColumnScheme> s =
+      IndependentColumnScheme::Create(table->schema(), 19.0);
+  ASSERT_TRUE(s.ok());
+
+  const data::CategoricalTable whole =
+      *s->PerturbSeeded(*table, 31, /*num_threads=*/2);
+  for (size_t num_shards : {3ul, 7ul}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << num_shards);
+    size_t row = 0;
+    for (const data::RowRange& range :
+         data::ShardedTable::Plan(table->num_rows(), num_shards)) {
+      const data::CategoricalTable shard = *s->PerturbShardSeeded(
+          data::ShardView{&*table, range, range.begin}, 31);
+      ASSERT_EQ(shard.num_rows(), range.size());
+      for (size_t i = 0; i < shard.num_rows(); ++i, ++row) {
+        for (size_t j = 0; j < table->num_attributes(); ++j) {
+          ASSERT_EQ(shard.Value(i, j), whole.Value(row, j))
+              << "row " << row << " attr " << j;
+        }
+      }
+    }
+    EXPECT_EQ(row, table->num_rows());
+  }
+
+  // Misaligned global positions are rejected.
+  EXPECT_FALSE(
+      s->PerturbShardSeeded(
+           data::ShardView{&*table, data::RowRange{0, 100}, /*global_begin=*/100},
+           31)
+          .ok());
 }
 
 }  // namespace

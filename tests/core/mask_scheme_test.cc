@@ -158,6 +158,37 @@ TEST(MaskSchemeTest, EstimateValidation) {
   EXPECT_FALSE(s->EstimateItemsetSupport(*t, {5}).ok());
 }
 
+TEST(MaskSchemeTest, ShardSeededConcatenatesToMonolithic) {
+  StatusOr<MaskScheme> s = MaskScheme::CalibrateForGamma(19.0, 6);
+  ASSERT_TRUE(s.ok());
+  StatusOr<data::BooleanTable> table = data::BooleanTable::CreateEmpty(23);
+  ASSERT_TRUE(table.ok());
+  random::Pcg64 rng(5);
+  const size_t rows = 20000;  // three seeded chunks, last one partial
+  for (size_t i = 0; i < rows; ++i) table->AppendRow(rng.Next());
+
+  const data::BooleanTable whole = *s->PerturbSeeded(*table, 17, /*num_threads=*/2);
+  ASSERT_EQ(whole.num_rows(), rows);
+  size_t row = 0;
+  for (const data::RowRange& range : data::ShardedTable::Plan(rows, 3)) {
+    StatusOr<data::BooleanTable> shard_input = data::BooleanTable::CreateEmpty(23);
+    ASSERT_TRUE(shard_input.ok());
+    for (size_t i = range.begin; i < range.end; ++i) {
+      shard_input->AppendRow(table->RowBits(i));
+    }
+    const data::BooleanTable shard =
+        *s->PerturbShardSeeded(*shard_input, range.begin, 17);
+    ASSERT_EQ(shard.num_rows(), range.size());
+    for (size_t i = 0; i < shard.num_rows(); ++i, ++row) {
+      ASSERT_EQ(shard.RowBits(i), whole.RowBits(row)) << "row " << row;
+    }
+  }
+  EXPECT_EQ(row, rows);
+
+  // Misaligned shards are rejected.
+  EXPECT_FALSE(s->PerturbShardSeeded(*table, /*global_begin=*/100, 17).ok());
+}
+
 TEST(MaskSupportEstimatorTest, ResolvesItemsetBits) {
   data::CategoricalSchema schema = data::census::Schema();
   StatusOr<data::CategoricalTable> table = data::census::MakeDataset(20000, 4);

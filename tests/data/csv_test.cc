@@ -91,6 +91,128 @@ TEST_F(CsvTest, UnknownCategoryRejected) {
   EXPECT_NE(t.status().message().find("purple"), std::string::npos);
 }
 
+TEST_F(CsvTest, UnknownCategoryNamesOffendingLine) {
+  WriteFile("color,size\nred,S\nblue,L\npurple,S\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 4"), std::string::npos);
+}
+
+TEST_F(CsvTest, ReadsCrlfLineEndings) {
+  WriteFile("color,size\r\nred,S\r\nblue,L\r\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->Value(1, 0), 1);
+  EXPECT_EQ(t->Value(1, 1), 1);
+}
+
+TEST_F(CsvTest, ReadsFileWithoutTrailingNewline) {
+  WriteFile("color,size\nred,S\nblue,L");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, ReadsQuotedCells) {
+  WriteFile("color,size\n\"red\",\"S\"\n\"blue\", \"L\" \n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->Value(1, 1), 1);
+}
+
+TEST_F(CsvTest, QuotedCellsMayContainCommasAndQuotes) {
+  StatusOr<CategoricalSchema> schema = CategoricalSchema::Create(
+      {{"name", {"a,b", "plain", "sa\"id"}}, {"size", {"S", "L"}}});
+  ASSERT_TRUE(schema.ok());
+  WriteFile("name,size\n\"a,b\",S\n\"sa\"\"id\",L\nplain,S\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, *schema);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->Value(0, 0), 0);
+  EXPECT_EQ(t->Value(1, 0), 2);
+  EXPECT_EQ(t->Value(2, 0), 1);
+}
+
+TEST_F(CsvTest, UnterminatedQuoteRejectedWithLineNumber) {
+  WriteFile("color,size\nred,S\n\"blue,L\n");
+  StatusOr<CategoricalTable> t = ReadCsv(path_, Schema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(t.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST_F(CsvTest, WriteQuotesLabelsThatNeedIt) {
+  StatusOr<CategoricalSchema> schema = CategoricalSchema::Create(
+      {{"name", {"a,b", "plain"}}, {"size", {"S", "L"}}});
+  ASSERT_TRUE(schema.ok());
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(*schema);
+  ASSERT_TRUE(t->AppendRow({0, 1}).ok());
+  ASSERT_TRUE(t->AppendRow({1, 0}).ok());
+  ASSERT_TRUE(WriteCsv(*t, path_).ok());
+
+  // Round trip: the comma-bearing label must survive its quoting.
+  StatusOr<CategoricalTable> back = ReadCsv(path_, *schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->Value(0, 0), 0);
+  EXPECT_EQ(back->Value(0, 1), 1);
+  EXPECT_EQ(back->Value(1, 0), 1);
+}
+
+TEST_F(CsvTest, WriteRejectsNewlineLabels) {
+  // The line-oriented reader cannot parse cells spanning lines, so writing
+  // such labels must fail instead of producing an unreadable file.
+  StatusOr<CategoricalSchema> schema = CategoricalSchema::Create(
+      {{"name", {"two\nlines", "plain"}}, {"size", {"S", "L"}}});
+  ASSERT_TRUE(schema.ok());
+  StatusOr<CategoricalTable> t = CategoricalTable::Create(*schema);
+  ASSERT_TRUE(t->AppendRow({1, 0}).ok());
+  EXPECT_EQ(WriteCsv(*t, path_).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, ShardedReaderStreamsInChunks) {
+  WriteFile("color,size\nred,S\nblue,L\nred,L\nblue,S\nred,S\n");
+  StatusOr<ShardedCsvReader> reader = ShardedCsvReader::Open(path_, Schema());
+  ASSERT_TRUE(reader.ok());
+  StatusOr<CategoricalTable> first = reader->ReadShard(2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->num_rows(), 2u);
+  EXPECT_EQ(reader->rows_read(), 2u);
+  StatusOr<CategoricalTable> second = reader->ReadShard(2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->num_rows(), 2u);
+  StatusOr<CategoricalTable> tail = reader->ReadShard(2);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->num_rows(), 1u);
+  EXPECT_EQ(reader->rows_read(), 5u);
+  StatusOr<CategoricalTable> done = reader->ReadShard(2);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->num_rows(), 0u);
+}
+
+TEST_F(CsvTest, ShardedReaderChunksConcatenateToWholeFile) {
+  WriteFile("color,size\nred,S\n\nblue,L\nred,L\nblue,S\n");
+  StatusOr<CategoricalTable> whole = ReadCsv(path_, Schema());
+  ASSERT_TRUE(whole.ok());
+
+  StatusOr<ShardedCsvReader> reader = ShardedCsvReader::Open(path_, Schema());
+  ASSERT_TRUE(reader.ok());
+  size_t row = 0;
+  while (true) {
+    StatusOr<CategoricalTable> chunk = reader->ReadShard(3);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->num_rows() == 0) break;
+    for (size_t i = 0; i < chunk->num_rows(); ++i, ++row) {
+      for (size_t j = 0; j < whole->num_attributes(); ++j) {
+        EXPECT_EQ(chunk->Value(i, j), whole->Value(row, j));
+      }
+    }
+  }
+  EXPECT_EQ(row, whole->num_rows());
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace frapp

@@ -1,0 +1,101 @@
+// The boolean-index shard merge invariant: exact-pattern counts and hit
+// histograms are per-row sums, and the superset Mobius transform is linear,
+// so ANY row partition of a boolean table must answer every query
+// bit-identically to the monolithic index, at every thread count.
+
+#include "frapp/data/sharded_boolean_vertical_index.h"
+
+#include <gtest/gtest.h>
+
+#include "frapp/data/boolean_view.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace data {
+namespace {
+
+BooleanTable RandomTable(size_t rows, size_t bits, uint64_t seed) {
+  BooleanTable table = *BooleanTable::CreateEmpty(bits);
+  random::Pcg64 rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    table.AppendRow(rng.Next());
+  }
+  return table;
+}
+
+TEST(ShardedBooleanVerticalIndexTest, PatternCountsMatchMonolithicOverGrid) {
+  const BooleanTable table = RandomTable(20011, 23, 5);
+  const BooleanVerticalIndex monolithic(table);
+  const std::vector<std::vector<size_t>> queries = {
+      {0}, {3, 7}, {1, 4, 9}, {0, 5, 11, 17}, {2, 6, 10, 15, 22}};
+  for (size_t num_shards : {1ul, 3ul, 7ul}) {
+    for (size_t num_threads : {1ul, 4ul}) {
+      SCOPED_TRACE(testing::Message() << "shards=" << num_shards
+                                      << " threads=" << num_threads);
+      const ShardedBooleanVerticalIndex sharded =
+          ShardedBooleanVerticalIndex::Build(table, num_shards, num_threads);
+      EXPECT_EQ(sharded.num_rows(), table.num_rows());
+      EXPECT_EQ(sharded.num_bits(), table.num_bits());
+      EXPECT_EQ(sharded.num_shards(), num_shards);
+      for (const std::vector<size_t>& positions : queries) {
+        EXPECT_EQ(sharded.PatternCounts(positions, num_threads),
+                  monolithic.PatternCounts(positions));
+        EXPECT_EQ(sharded.HitHistogram(positions, num_threads),
+                  monolithic.HitHistogram(positions));
+      }
+    }
+  }
+}
+
+TEST(ShardedBooleanVerticalIndexTest, PatternCountsSumToRowCount) {
+  const BooleanTable table = RandomTable(4097, 12, 11);
+  const ShardedBooleanVerticalIndex index =
+      ShardedBooleanVerticalIndex::Build(table, 3);
+  const std::vector<int64_t> counts = index.PatternCounts({1, 5, 8, 11});
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    EXPECT_GE(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(table.num_rows()));
+}
+
+TEST(ShardedBooleanVerticalIndexTest, LongPatternsBeyondIndexedCutoff) {
+  // Lengths above kMaxIndexedLength (the perf heuristic) must stay exact:
+  // the sharded estimators have no row-scan fallback.
+  const BooleanTable table = RandomTable(1000, 10, 3);
+  const BooleanVerticalIndex monolithic(table);
+  const std::vector<size_t> positions = {0, 1, 2, 4, 5, 7, 9};
+  ASSERT_GT(positions.size(), BooleanVerticalIndex::kMaxIndexedLength);
+  const ShardedBooleanVerticalIndex sharded =
+      ShardedBooleanVerticalIndex::Build(table, 4, 2);
+  EXPECT_EQ(sharded.PatternCounts(positions, 2),
+            monolithic.PatternCounts(positions));
+}
+
+TEST(ShardedBooleanVerticalIndexTest, FromShardsConcatenatesRowCounts) {
+  const BooleanTable table = RandomTable(300, 8, 9);
+  std::vector<BooleanVerticalIndex> shards;
+  shards.emplace_back(table, RowRange{0, 100});
+  shards.emplace_back(table, RowRange{100, 170});
+  shards.emplace_back(table, RowRange{170, 300});
+  const ShardedBooleanVerticalIndex index =
+      ShardedBooleanVerticalIndex::FromShards(std::move(shards));
+  EXPECT_EQ(index.num_rows(), 300u);
+  EXPECT_EQ(index.num_shards(), 3u);
+  const BooleanVerticalIndex monolithic(table);
+  EXPECT_EQ(index.PatternCounts({2, 3, 6}), monolithic.PatternCounts({2, 3, 6}));
+}
+
+TEST(ShardedBooleanVerticalIndexTest, EmptyIndexAnswersZero) {
+  const ShardedBooleanVerticalIndex empty;
+  EXPECT_EQ(empty.num_rows(), 0u);
+  EXPECT_EQ(empty.num_shards(), 0u);
+  const std::vector<int64_t> counts = empty.PatternCounts({});
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

@@ -1,11 +1,16 @@
-// Shard-streaming pipeline equivalence: for every (shard count, thread
-// count), the pipeline's perturbed database, reconstructed supports, and
-// mined itemsets must equal the monolithic path BIT FOR BIT — sharding is a
-// pure parallelism/memory transform, never an accuracy one.
+// Shard-streaming pipeline equivalence: for every mechanism and every
+// (shard count, thread count), the pipeline's perturbed database,
+// reconstructed supports, and mined itemsets must equal the single-shard,
+// single-thread pass BIT FOR BIT — sharding is a pure parallelism/memory
+// transform, never an accuracy one. Since PR 3 this holds for ALL five
+// mechanisms (DET-GD, RAN-GD, MASK, C&P, IND-GD); the monolithic fallback
+// no longer exists.
 
 #include "frapp/pipeline/privacy_pipeline.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "frapp/core/mechanism.h"
 #include "frapp/data/census.h"
@@ -56,6 +61,32 @@ class PrivacyPipelineTest : public ::testing::Test {
     return options;
   }
 
+  using MechanismFactory = std::unique_ptr<core::Mechanism> (*)();
+
+  // Runs `make()`'s mechanism over the shard x thread grid and expects every
+  // grid point to mine bit-identically to the (1 shard, 1 thread) reference.
+  static void ExpectGridBitIdentical(MechanismFactory make) {
+    auto baseline_mechanism = make();
+    const StatusOr<PipelineResult> reference =
+        PrivacyPipeline(Options(1, 1)).Run(*baseline_mechanism, *table_);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ASSERT_GT(reference->mined.TotalFrequent(), 0u);
+    for (size_t num_shards : {3ul, 7ul}) {
+      for (size_t num_threads : {1ul, 4ul}) {
+        SCOPED_TRACE(testing::Message() << "shards=" << num_shards
+                                        << " threads=" << num_threads);
+        auto mechanism = make();
+        const StatusOr<PipelineResult> run =
+            PrivacyPipeline(Options(num_shards, num_threads))
+                .Run(*mechanism, *table_);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        EXPECT_EQ(run->stats.num_shards, num_shards);
+        EXPECT_EQ(run->stats.total_rows, table_->num_rows());
+        ExpectSameMiningResult(reference->mined, run->mined);
+      }
+    }
+  }
+
   static data::CategoricalTable* table_;
 };
 
@@ -99,46 +130,52 @@ TEST_F(PrivacyPipelineTest, ShardMisalignmentIsRejected) {
 }
 
 TEST_F(PrivacyPipelineTest, DetGdBitIdenticalAcrossShardsAndThreads) {
-  auto baseline_mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
-  const PrivacyPipeline baseline(Options(1, 1));
-  const PipelineResult reference = *baseline.Run(*baseline_mechanism, *table_);
-  ASSERT_TRUE(reference.stats.shard_streamed);
-  ASSERT_GT(reference.mined.TotalFrequent(), 0u);
-
-  for (size_t num_shards : {3ul, 7ul}) {
-    for (size_t num_threads : {1ul, 4ul}) {
-      SCOPED_TRACE(testing::Message() << "shards=" << num_shards
-                                      << " threads=" << num_threads);
-      auto mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
-      const PrivacyPipeline pipeline(Options(num_shards, num_threads));
-      const StatusOr<PipelineResult> run = pipeline.Run(*mechanism, *table_);
-      ASSERT_TRUE(run.ok());
-      EXPECT_EQ(run->stats.num_shards, num_shards);
-      ExpectSameMiningResult(reference.mined, run->mined);
-    }
-  }
+  ExpectGridBitIdentical([]() -> std::unique_ptr<core::Mechanism> {
+    return *core::DetGdMechanism::Create(table_->schema(), kGamma);
+  });
 }
 
 TEST_F(PrivacyPipelineTest, RanGdBitIdenticalAcrossShardsAndThreads) {
-  const double x =
-      1.0 / (kGamma + static_cast<double>(table_->schema().DomainSize()) - 1.0);
-  auto make = [&] {
+  ExpectGridBitIdentical([]() -> std::unique_ptr<core::Mechanism> {
+    const double x = 1.0 / (kGamma +
+                            static_cast<double>(table_->schema().DomainSize()) -
+                            1.0);
     return *core::RanGdMechanism::Create(table_->schema(), kGamma,
                                          kGamma * x / 2.0);
-  };
-  auto baseline_mechanism = make();
-  const PipelineResult reference =
-      *PrivacyPipeline(Options(1, 1)).Run(*baseline_mechanism, *table_);
-  for (size_t num_shards : {3ul, 7ul}) {
-    for (size_t num_threads : {1ul, 4ul}) {
-      SCOPED_TRACE(testing::Message() << "shards=" << num_shards
-                                      << " threads=" << num_threads);
-      auto mechanism = make();
-      const StatusOr<PipelineResult> run =
-          PrivacyPipeline(Options(num_shards, num_threads)).Run(*mechanism, *table_);
-      ASSERT_TRUE(run.ok());
-      ExpectSameMiningResult(reference.mined, run->mined);
-    }
+  });
+}
+
+TEST_F(PrivacyPipelineTest, MaskBitIdenticalAcrossShardsAndThreads) {
+  ExpectGridBitIdentical([]() -> std::unique_ptr<core::Mechanism> {
+    return *core::MaskMechanism::Create(table_->schema(), kGamma);
+  });
+}
+
+TEST_F(PrivacyPipelineTest, CutPasteBitIdenticalAcrossShardsAndThreads) {
+  ExpectGridBitIdentical([]() -> std::unique_ptr<core::Mechanism> {
+    return *core::CutPasteMechanism::Create(table_->schema(), 3, 0.494);
+  });
+}
+
+TEST_F(PrivacyPipelineTest, IndependentColumnBitIdenticalAcrossShardsAndThreads) {
+  ExpectGridBitIdentical([]() -> std::unique_ptr<core::Mechanism> {
+    return *core::IndependentColumnMechanism::Create(table_->schema(), kGamma);
+  });
+}
+
+TEST_F(PrivacyPipelineTest, EveryMechanismReportsShardStreaming) {
+  const double x =
+      1.0 / (kGamma + static_cast<double>(table_->schema().DomainSize()) - 1.0);
+  std::vector<std::unique_ptr<core::Mechanism>> mechanisms;
+  mechanisms.push_back(*core::DetGdMechanism::Create(table_->schema(), kGamma));
+  mechanisms.push_back(
+      *core::RanGdMechanism::Create(table_->schema(), kGamma, kGamma * x / 2.0));
+  mechanisms.push_back(*core::MaskMechanism::Create(table_->schema(), kGamma));
+  mechanisms.push_back(*core::CutPasteMechanism::Create(table_->schema(), 3, 0.494));
+  mechanisms.push_back(
+      *core::IndependentColumnMechanism::Create(table_->schema(), kGamma));
+  for (const auto& mechanism : mechanisms) {
+    EXPECT_TRUE(mechanism->SupportsShardStreaming()) << mechanism->name();
   }
 }
 
@@ -147,7 +184,6 @@ TEST_F(PrivacyPipelineTest, StreamingBoundsPeakMemoryToOneShardPerWorker) {
   auto mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
   const PipelineResult serial =
       *PrivacyPipeline(Options(7, 1)).Run(*mechanism, *table_);
-  EXPECT_TRUE(serial.stats.shard_streamed);
   EXPECT_EQ(serial.stats.num_shards, 7u);
   // One worker -> exactly one shard of perturbed rows alive at a time.
   EXPECT_EQ(serial.stats.peak_inflight_perturbed_bytes,
@@ -163,23 +199,16 @@ TEST_F(PrivacyPipelineTest, StreamingBoundsPeakMemoryToOneShardPerWorker) {
             4 * parallel.stats.max_shard_rows * bytes_per_row);
 }
 
-TEST_F(PrivacyPipelineTest, NonShardableMechanismFallsBackToMonolithic) {
+TEST_F(PrivacyPipelineTest, BooleanStreamingBoundsPeakMemoryToOneShardPerWorker) {
   auto mechanism = *core::MaskMechanism::Create(table_->schema(), kGamma);
-  const StatusOr<PipelineResult> run =
-      PrivacyPipeline(Options(4, 2)).Run(*mechanism, *table_);
-  ASSERT_TRUE(run.ok());
-  EXPECT_FALSE(run->stats.shard_streamed);
-  EXPECT_EQ(run->stats.num_shards, 1u);
-
-  // The fallback must equal the classic Prepare-then-mine flow exactly.
-  auto direct = *core::MaskMechanism::Create(table_->schema(), kGamma);
-  random::Pcg64 rng(kSeed);
-  ASSERT_TRUE(direct->Prepare(*table_, rng).ok());
-  mining::AprioriOptions options;
-  options.min_support = 0.02;
-  const mining::AprioriResult expected = *mining::MineFrequentItemsets(
-      table_->schema(), direct->estimator(), options);
-  ExpectSameMiningResult(expected, run->mined);
+  const PipelineResult serial =
+      *PrivacyPipeline(Options(7, 1)).Run(*mechanism, *table_);
+  EXPECT_EQ(serial.stats.num_shards, 7u);
+  // One worker -> one shard of perturbed one-hot rows (8 bytes each) alive.
+  EXPECT_EQ(serial.stats.peak_inflight_perturbed_bytes,
+            serial.stats.max_shard_rows * sizeof(uint64_t));
+  EXPECT_LT(serial.stats.peak_inflight_perturbed_bytes,
+            table_->num_rows() * sizeof(uint64_t));
 }
 
 TEST_F(PrivacyPipelineTest, RunMechanismMatchesPipelineAtAnyShardCount) {
@@ -207,7 +236,6 @@ TEST_F(PrivacyPipelineTest, RunMechanismMatchesPipelineAtAnyShardCount) {
               run.accuracy[i].found_frequent);
   }
   EXPECT_EQ(run.pipeline_stats.num_shards, 7u);
-  EXPECT_TRUE(run.pipeline_stats.shard_streamed);
 }
 
 TEST_F(PrivacyPipelineTest, ExactMiningBitIdenticalAcrossCountShards) {
@@ -233,6 +261,17 @@ TEST_F(PrivacyPipelineTest, EmptyTableYieldsEmptyResult) {
   const data::CategoricalTable empty =
       *data::CategoricalTable::Create(table_->schema());
   auto mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
+  const StatusOr<PipelineResult> run =
+      PrivacyPipeline(Options(4, 2)).Run(*mechanism, empty);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->mined.TotalFrequent(), 0u);
+  EXPECT_EQ(run->stats.num_shards, 0u);
+}
+
+TEST_F(PrivacyPipelineTest, EmptyTableYieldsEmptyResultForBooleanMechanisms) {
+  const data::CategoricalTable empty =
+      *data::CategoricalTable::Create(table_->schema());
+  auto mechanism = *core::MaskMechanism::Create(table_->schema(), kGamma);
   const StatusOr<PipelineResult> run =
       PrivacyPipeline(Options(4, 2)).Run(*mechanism, empty);
   ASSERT_TRUE(run.ok());

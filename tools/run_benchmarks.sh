@@ -3,6 +3,7 @@
 #   BENCH_mining.json       — apriori_benchmark (vertical index vs scalar)
 #   BENCH_perturbation.json — perturbation_benchmark (alias kernel vs naive)
 #   BENCH_pipeline.json     — pipeline_benchmark (shards x threads sweep)
+#   BENCH_ingest.json       — ingest_benchmark (streaming CSV vs preloaded)
 # Each file holds {"runs": [<google-benchmark output>, ...]}: every
 # invocation APPENDS its run (with its context/date) to the trajectory
 # instead of overwriting it, so successive PRs accumulate a perf history.
@@ -18,7 +19,8 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
-  --target apriori_benchmark perturbation_benchmark pipeline_benchmark
+  --target apriori_benchmark perturbation_benchmark pipeline_benchmark \
+  ingest_benchmark
 
 # Appends the single-run google-benchmark JSON $2 to the trajectory file $1.
 merge_run() {
@@ -71,5 +73,6 @@ run_suite() {
 run_suite apriori_benchmark BENCH_mining.json
 run_suite perturbation_benchmark BENCH_perturbation.json
 run_suite pipeline_benchmark BENCH_pipeline.json
+run_suite ingest_benchmark BENCH_ingest.json
 
-echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json"
+echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json, BENCH_ingest.json"
