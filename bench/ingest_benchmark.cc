@@ -1,11 +1,20 @@
-// Streaming CSV ingest vs. preloaded table: the memory/time trade of the
+// Streaming ingest paths vs. preloaded table: the memory/time trade of the
 // end-to-end streaming pipeline on CENSUS 50k (DET-GD, supmin = 2%).
 //
-//   BM_PreloadedCsvPipeline  ReadCsv materializes the whole table, then the
-//                            pipeline streams in-memory shards from it.
-//   BM_StreamingCsvPipeline  CsvTableSource parses one chunk-quantum shard
-//                            at a time; no full table ever exists.
-//   BM_StreamingSynthetic    generator-fed pipeline, rows created on demand.
+//   BM_PreloadedCsvPipeline       ReadCsv materializes the whole table, then
+//                                 the pipeline streams in-memory shards.
+//   BM_StreamingCsvPipeline       CsvTableSource parses one chunk-quantum
+//                                 shard at a time; no full table ever exists.
+//   BM_StreamingCsvPrefetch...    same, pulled through the
+//                                 PrefetchingTableSource producer thread —
+//                                 the next shard parses while the pipeline
+//                                 perturbs/counts the current one.
+//   BM_StreamingBinaryPipeline    BinaryTableSource reads the pre-tokenized
+//                                 shard file (data/shard_io.h): no text
+//                                 parsing at all.
+//   BM_StreamingBinaryPrefetch... the full fast path: binary shards behind
+//                                 the producer thread.
+//   BM_StreamingSynthetic         generator-fed pipeline, rows on demand.
 //
 // Counters:
 //   peak_perturbed_bytes   high-water mark of perturbed rows alive at once
@@ -13,11 +22,20 @@
 //   source_table_bytes     categorical rows materialized by the source at
 //                          once: whole table when preloaded, one shard when
 //                          streamed
+//   source_wait_ms         ingest latency left on the pipeline's critical
+//                          path (blocked in NextShard)
+//   producer_parse_ms      ingest work the prefetch producer overlapped with
+//                          compute (0 when prefetch is off)
 //   max_shard_rows, shards pipeline shape
 //   vm_hwm_kib             process peak RSS (Linux VmHWM; process-lifetime
 //                          monotone, so compare across separate runs)
 //
-// Emitted to BENCH_ingest.json by tools/run_benchmarks.sh.
+// Emitted to BENCH_ingest.json by tools/run_benchmarks.sh. Single-core
+// caveat: with one core the producer thread time-slices against the
+// workers, so prefetch shows up in source_wait_ms/producer_parse_ms rather
+// than wall-clock; multi-core hosts realize the overlap as wall-clock.
+//
+// Build & run:  ./build/ingest_benchmark
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +46,7 @@
 #include "frapp/core/mechanism.h"
 #include "frapp/data/census.h"
 #include "frapp/data/csv.h"
+#include "frapp/data/shard_io.h"
 #include "frapp/pipeline/privacy_pipeline.h"
 #include "frapp/pipeline/table_source.h"
 
@@ -66,10 +85,26 @@ const std::string& CsvPath() {
   return *path;
 }
 
-pipeline::PipelineOptions Options() {
+/// The same rows pre-tokenized in the binary shard format (what a
+/// `frapp convert` of CsvPath() produces).
+const std::string& BinaryPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string("/tmp/frapp_ingest_benchmark.bin");
+    const data::CategoricalTable table = *data::census::MakeDataset(kRows, kDataSeed);
+    if (!data::WriteBinaryTable(table, *p).ok()) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", p->c_str());
+      std::exit(1);
+    }
+    return p;
+  }();
+  return *path;
+}
+
+pipeline::PipelineOptions Options(bool prefetch = false) {
   pipeline::PipelineOptions options;
   options.num_shards = 0;  // one shard per chunk quantum
   options.num_threads = 1;
+  options.prefetch_source = prefetch;
   options.perturb_seed = 11;
   options.mining.min_support = 0.02;
   return options;
@@ -85,7 +120,47 @@ void ReportStats(benchmark::State& state, const pipeline::PipelineStats& stats,
       static_cast<double>(stats.peak_inflight_perturbed_bytes);
   state.counters["source_table_bytes"] = static_cast<double>(
       source_table_rows * schema.num_attributes());
+  state.counters["source_wait_ms"] =
+      static_cast<double>(stats.source_wait_nanos) / 1e6;
+  state.counters["producer_parse_ms"] =
+      static_cast<double>(stats.producer_parse_nanos) / 1e6;
   state.counters["vm_hwm_kib"] = VmHwmKib();
+}
+
+/// Shared body of the streamed-source benchmarks: open -> run -> report.
+template <typename SourceT>
+void RunStreamedBenchmark(benchmark::State& state, bool prefetch,
+                          StatusOr<SourceT> (*open)()) {
+  pipeline::PipelineStats stats;
+  size_t max_shard_rows = 0;
+  const data::CategoricalSchema schema = data::census::Schema();
+  for (auto _ : state) {
+    StatusOr<SourceT> source = open();
+    if (!source.ok()) {
+      state.SkipWithError(source.status().ToString().c_str());
+      return;
+    }
+    auto mechanism = *core::DetGdMechanism::Create(schema, 19.0);
+    StatusOr<pipeline::PipelineResult> result =
+        pipeline::PrivacyPipeline(Options(prefetch)).Run(*mechanism, *source);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+    max_shard_rows = result->stats.max_shard_rows;
+    benchmark::DoNotOptimize(result->mined);
+  }
+  ReportStats(state, stats, max_shard_rows);
+}
+
+StatusOr<pipeline::CsvTableSource> OpenCsv() {
+  return pipeline::CsvTableSource::Open(CsvPath(), data::census::Schema());
+}
+
+StatusOr<pipeline::BinaryTableSource> OpenBinary() {
+  return pipeline::BinaryTableSource::Open(BinaryPath(),
+                                           data::census::Schema());
 }
 
 void BM_PreloadedCsvPipeline(benchmark::State& state) {
@@ -112,32 +187,32 @@ void BM_PreloadedCsvPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_PreloadedCsvPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// One chunk-quantum shard of rows in memory at a time.
 void BM_StreamingCsvPipeline(benchmark::State& state) {
-  const data::CategoricalSchema schema = data::census::Schema();
-  pipeline::PipelineStats stats;
-  size_t max_shard_rows = 0;
-  for (auto _ : state) {
-    // One chunk-quantum shard of rows in memory at a time.
-    StatusOr<pipeline::CsvTableSource> source =
-        pipeline::CsvTableSource::Open(CsvPath(), schema);
-    if (!source.ok()) {
-      state.SkipWithError(source.status().ToString().c_str());
-      return;
-    }
-    auto mechanism = *core::DetGdMechanism::Create(schema, 19.0);
-    StatusOr<pipeline::PipelineResult> result =
-        pipeline::PrivacyPipeline(Options()).Run(*mechanism, *source);
-    if (!result.ok()) {
-      state.SkipWithError(result.status().ToString().c_str());
-      return;
-    }
-    stats = result->stats;
-    max_shard_rows = result->stats.max_shard_rows;
-    benchmark::DoNotOptimize(result->mined);
-  }
-  ReportStats(state, stats, max_shard_rows);
+  RunStreamedBenchmark(state, /*prefetch=*/false, OpenCsv);
 }
 BENCHMARK(BM_StreamingCsvPipeline)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_StreamingCsvPrefetchPipeline(benchmark::State& state) {
+  RunStreamedBenchmark(state, /*prefetch=*/true, OpenCsv);
+}
+BENCHMARK(BM_StreamingCsvPrefetchPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_StreamingBinaryPipeline(benchmark::State& state) {
+  RunStreamedBenchmark(state, /*prefetch=*/false, OpenBinary);
+}
+BENCHMARK(BM_StreamingBinaryPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_StreamingBinaryPrefetchPipeline(benchmark::State& state) {
+  RunStreamedBenchmark(state, /*prefetch=*/true, OpenBinary);
+}
+BENCHMARK(BM_StreamingBinaryPrefetchPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_StreamingSyntheticPipeline(benchmark::State& state) {
   const data::CategoricalSchema schema = data::census::Schema();

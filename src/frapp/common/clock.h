@@ -1,0 +1,28 @@
+// Monotonic wall-clock sampling for pipeline observability counters.
+//
+// One definition so the paired ingest stats (PipelineStats::source_wait_nanos
+// vs producer_parse_nanos) are always measured against the same clock and
+// cannot drift onto different time bases.
+
+#ifndef FRAPP_COMMON_CLOCK_H_
+#define FRAPP_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace frapp {
+namespace common {
+
+/// Nanoseconds on the steady (monotonic) clock. Only differences are
+/// meaningful; the epoch is unspecified.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace common
+}  // namespace frapp
+
+#endif  // FRAPP_COMMON_CLOCK_H_

@@ -116,37 +116,70 @@ StatusOr<ShardedCsvReader> ShardedCsvReader::Open(
                                      schema.attribute(j).name + "'");
     }
   }
+  reader.interners_ = MakeColumnInterners(reader.schema_);
   return reader;
 }
 
 StatusOr<CategoricalTable> ShardedCsvReader::ReadShard(size_t max_rows) {
   FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema_));
-  std::vector<uint8_t> row(schema_.num_attributes());
+  const size_t num_attributes = schema_.num_attributes();
+  std::vector<uint8_t> row(num_attributes);
   std::string line;
+
+  const auto line_error = [&](const std::string& what) {
+    return Status::InvalidArgument("'" + path_ + "' line " +
+                                   std::to_string(line_number_) + ": " + what);
+  };
+  // Resolves one stripped cell through the column's interner; shared by the
+  // quoted and unquoted paths.
+  const auto intern_cell = [&](size_t j, std::string_view cell) -> Status {
+    const int id = interners_[j].Intern(StripWhitespace(cell));
+    if (id < 0) {
+      return line_error("attribute '" + schema_.attribute(j).name +
+                        "' has no category '" +
+                        std::string(StripWhitespace(cell)) + "'");
+    }
+    row[j] = static_cast<uint8_t>(id);
+    return Status::OK();
+  };
+
   while (table.num_rows() < max_rows && GetLine(in_, line)) {
     ++line_number_;
     if (StripWhitespace(line).empty()) continue;
-    StatusOr<std::vector<std::string>> cells = SplitCsvLine(line);
-    if (!cells.ok()) {
-      return Status::InvalidArgument("'" + path_ + "' line " +
-                                     std::to_string(line_number_) + ": " +
-                                     cells.status().message());
-    }
-    if (cells->size() != schema_.num_attributes()) {
-      return Status::InvalidArgument("'" + path_ + "' line " +
-                                     std::to_string(line_number_) + ": expected " +
-                                     std::to_string(schema_.num_attributes()) +
-                                     " cells, found " + std::to_string(cells->size()));
-    }
-    for (size_t j = 0; j < cells->size(); ++j) {
-      StatusOr<size_t> cat =
-          schema_.CategoryIndex(j, std::string(StripWhitespace((*cells)[j])));
-      if (!cat.ok()) {
-        return Status::InvalidArgument("'" + path_ + "' line " +
-                                       std::to_string(line_number_) + ": " +
-                                       cat.status().message());
+    if (line.find('"') == std::string::npos) {
+      // Fast path (the overwhelming case): no quoting anywhere on the line,
+      // so cells are the comma-separated string_views in place — no per-cell
+      // allocation, labels resolved through the interners.
+      std::string_view rest = line;
+      size_t j = 0;
+      while (true) {
+        const size_t comma = rest.find(',');
+        const std::string_view cell =
+            comma == std::string_view::npos ? rest : rest.substr(0, comma);
+        if (j >= num_attributes) {
+          ++j;  // keep counting for the error message
+        } else {
+          FRAPP_RETURN_IF_ERROR(intern_cell(j, cell));
+          ++j;
+        }
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
       }
-      row[j] = static_cast<uint8_t>(*cat);
+      if (j != num_attributes) {
+        return line_error("expected " + std::to_string(num_attributes) +
+                         " cells, found " + std::to_string(j));
+      }
+    } else {
+      // Quoted path: full RFC-4180 unquoting, then the same interners.
+      StatusOr<std::vector<std::string>> cells = SplitCsvLine(line);
+      if (!cells.ok()) return line_error(std::string(cells.status().message()));
+      if (cells->size() != num_attributes) {
+        return line_error("expected " + std::to_string(num_attributes) +
+                          " cells, found " + std::to_string(cells->size()));
+      }
+      for (size_t j = 0; j < cells->size(); ++j) {
+        FRAPP_RETURN_IF_ERROR(intern_cell(j, (*cells)[j]));
+      }
     }
     FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
   }

@@ -11,14 +11,23 @@
 // row chunks so a table never needs to exist fully in memory — the
 // pipeline::CsvTableSource ingest path is built on it, and ReadCsv is just
 // "one chunk covering the whole file".
+//
+// Cell decoding is the ingest hot loop, so it avoids per-cell work: lines
+// without quotes (the overwhelming case) are split into string_views in
+// place — no per-cell string allocations — and labels resolve through
+// per-column LabelInterners (open-addressing hash with a last-hit fast path
+// for sorted/clustered columns) instead of the linear-scan
+// CategoricalSchema::CategoryIndex.
 
 #ifndef FRAPP_DATA_CSV_H_
 #define FRAPP_DATA_CSV_H_
 
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "frapp/common/statusor.h"
+#include "frapp/data/label_interner.h"
 #include "frapp/data/table.h"
 
 namespace frapp {
@@ -26,6 +35,10 @@ namespace data {
 
 /// Incremental reader: header validated on Open, data rows parsed in
 /// caller-sized chunks.
+///
+/// Not thread-safe: one reader per stream, advanced by a single producer
+/// thread (which is exactly how pipeline::CsvTableSource — optionally behind
+/// a pipeline::PrefetchingTableSource producer thread — drives it).
 class ShardedCsvReader {
  public:
   /// Opens `path` and validates that the header matches `schema`'s attribute
@@ -52,6 +65,10 @@ class ShardedCsvReader {
 
   std::string path_;
   CategoricalSchema schema_;
+  // Per-column label resolvers, built once at Open. They borrow the category
+  // vectors inside schema_; moving the reader moves schema_'s heap storage
+  // without relocating those vectors, so the borrowed pointers stay valid.
+  std::vector<LabelInterner> interners_;
   std::ifstream in_;
   size_t line_number_ = 0;
   size_t rows_read_ = 0;

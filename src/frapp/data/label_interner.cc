@@ -1,0 +1,66 @@
+#include "frapp/data/label_interner.h"
+
+#include "frapp/data/schema.h"
+
+namespace frapp {
+namespace data {
+
+namespace {
+
+/// FNV-1a over the label bytes: no setup cost, good spread for the short
+/// human-readable labels categorical schemas carry.
+uint64_t HashLabel(std::string_view label) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Smallest power of two >= 2 * n (load factor <= 0.5 keeps linear-probe
+/// chains short).
+size_t TableSize(size_t n) {
+  size_t size = 8;
+  while (size < 2 * n) size *= 2;
+  return size;
+}
+
+}  // namespace
+
+LabelInterner::LabelInterner(const std::vector<std::string>& labels)
+    : labels_(&labels), slots_(TableSize(labels.size()), 0) {
+  mask_ = slots_.size() - 1;
+  for (size_t id = 0; id < labels.size(); ++id) {
+    size_t slot = HashLabel(labels[id]) & mask_;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = static_cast<uint32_t>(id) + 1;
+  }
+}
+
+int LabelInterner::Probe(std::string_view label) {
+  size_t slot = HashLabel(label) & mask_;
+  while (true) {
+    const uint32_t stored = slots_[slot];
+    if (stored == 0) return -1;
+    const int id = static_cast<int>(stored - 1);
+    if ((*labels_)[static_cast<size_t>(id)] == label) {
+      last_hit_ = id;
+      return id;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+std::vector<LabelInterner> MakeColumnInterners(
+    const CategoricalSchema& schema) {
+  std::vector<LabelInterner> interners;
+  interners.reserve(schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    interners.emplace_back(schema.attribute(j).categories);
+  }
+  return interners;
+}
+
+}  // namespace data
+}  // namespace frapp

@@ -1,0 +1,76 @@
+// Per-column label interning for the CSV ingest hot loop.
+//
+// CategoricalSchema::CategoryIndex is a linear scan with a std::string
+// compare per candidate — fine for occasional lookups, ruinous when ingest
+// resolves one label per cell over millions of rows. A LabelInterner is the
+// amortized answer: built once per column, it resolves a label to its
+// category id through
+//
+//   1. a LAST-HIT fast path: real tabular extracts are sorted or clustered
+//      (long runs of the same label down a column), so the previous cell's
+//      id answers most lookups with one string compare and no hashing;
+//   2. an open-addressing hash table (power-of-two capacity, linear
+//      probing, FNV-1a over the bytes) when the run breaks.
+//
+// Lookups take a string_view and never allocate. The interner borrows the
+// label vector it was built from; callers keep it alive (a
+// CategoricalSchema's attributes are immutable after construction, so
+// interners built from one are valid for the schema's lifetime).
+
+#ifndef FRAPP_DATA_LABEL_INTERNER_H_
+#define FRAPP_DATA_LABEL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frapp {
+namespace data {
+
+class CategoricalSchema;
+
+/// Hash-based label -> category-id resolver for ONE column.
+///
+/// Not thread-safe: the last-hit fast path mutates a cursor on every lookup.
+/// Ingest is single-producer (one parser thread per stream), so each stream
+/// owns its interners; give each thread its own instance.
+class LabelInterner {
+ public:
+  /// Builds the table over `labels` (distinct, as schema validation
+  /// guarantees; at most 2^31 entries). `labels` is borrowed and must
+  /// outlive the interner.
+  explicit LabelInterner(const std::vector<std::string>& labels);
+
+  /// Category id of `label`, or -1 when the column has no such label.
+  int Intern(std::string_view label) {
+    // Fast path: columns of real extracts are clustered, so the previous
+    // cell's answer usually repeats.
+    if (last_hit_ >= 0 &&
+        label == (*labels_)[static_cast<size_t>(last_hit_)]) {
+      return last_hit_;
+    }
+    return Probe(label);
+  }
+
+  /// Labels this interner resolves against (the column's category list).
+  const std::vector<std::string>& labels() const { return *labels_; }
+
+ private:
+  int Probe(std::string_view label);
+
+  const std::vector<std::string>* labels_;
+  std::vector<uint32_t> slots_;  // category id + 1; 0 marks an empty slot
+  size_t mask_ = 0;              // slots_.size() - 1 (power of two)
+  int last_hit_ = -1;
+};
+
+/// One interner per schema column, in attribute order — the unit the CSV /
+/// binary readers hold. Borrows `schema`; same single-thread contract as
+/// LabelInterner.
+std::vector<LabelInterner> MakeColumnInterners(const CategoricalSchema& schema);
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_LABEL_INTERNER_H_

@@ -1,0 +1,96 @@
+// Binary shard format: pre-tokenized categorical rows on disk.
+//
+// CSV ingest pays a text-parsing tax on every run — splitting lines,
+// unquoting cells, resolving labels — even when the same extract is mined
+// repeatedly. This format pays it ONCE: a converted file stores category ids
+// directly (packed little-endian u16 cells, row-major), so reading a shard
+// is one bulk read plus a column scatter, no string work at all.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic "FRAPPBIN"
+//   8       4     u32 format version (currently 1)
+//   12      8     u64 schema fingerprint (SchemaFingerprint below)
+//   20      4     u32 column count
+//   24      8     u64 row count
+//   32      ...   rows * columns u16 cells, row-major
+//
+// The schema fingerprint hashes attribute names, cardinalities and every
+// category label IN ORDER, so a file written under one schema refuses to
+// open under a different one (renamed column, reordered labels, ...) instead
+// of silently mis-labelling cells. Cells are u16 — wider than the in-memory
+// u8 table — so the file format will survive a future cardinality bump
+// without a version break; values are still validated against the schema's
+// cardinalities on read.
+//
+// BinaryShardReader mirrors ShardedCsvReader (Open validates the header,
+// ReadShard pulls bounded row chunks, errors name the offending row), which
+// is what lets pipeline::BinaryTableSource slot into the same streaming
+// contract as the CSV path. Unlike CSV, the row count is in the header, so
+// the reader exposes total_rows() up front.
+//
+// Not thread-safe: one reader per stream, advanced by a single producer
+// thread (the TableSource contract).
+
+#ifndef FRAPP_DATA_SHARD_IO_H_
+#define FRAPP_DATA_SHARD_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/table.h"
+
+namespace frapp {
+namespace data {
+
+/// Order-sensitive FNV-1a digest of a schema's attribute names,
+/// cardinalities and category labels. Two schemas agree on every cell id
+/// mapping iff their fingerprints match (modulo hash collisions).
+uint64_t SchemaFingerprint(const CategoricalSchema& schema);
+
+/// Writes `table` in the binary shard format. Overwrites `path`.
+Status WriteBinaryTable(const CategoricalTable& table, const std::string& path);
+
+/// Incremental reader over one binary file: header validated on Open, rows
+/// materialized in caller-sized chunks (the streaming half the CSV reader
+/// also implements).
+class BinaryShardReader {
+ public:
+  /// Opens `path`, validating magic, version, column count and the schema
+  /// fingerprint against `schema`.
+  static StatusOr<BinaryShardReader> Open(const std::string& path,
+                                          const CategoricalSchema& schema);
+
+  /// Materializes up to `max_rows` further rows into a fresh table over the
+  /// schema. Returns a zero-row table once the file is exhausted. A file
+  /// shorter than its header's row count, or a cell id at or above its
+  /// column's cardinality, is a data-corruption error naming the 0-based
+  /// row.
+  StatusOr<CategoricalTable> ReadShard(size_t max_rows);
+
+  /// Rows materialized so far (the next shard's first global row index).
+  size_t rows_read() const { return rows_read_; }
+
+  /// Total rows in the file (from the header — known up front, unlike CSV).
+  size_t total_rows() const { return total_rows_; }
+
+  const CategoricalSchema& schema() const { return schema_; }
+
+ private:
+  BinaryShardReader(std::string path, CategoricalSchema schema)
+      : path_(std::move(path)), schema_(std::move(schema)) {}
+
+  std::string path_;
+  CategoricalSchema schema_;
+  std::ifstream in_;
+  size_t total_rows_ = 0;
+  size_t rows_read_ = 0;
+};
+
+}  // namespace data
+}  // namespace frapp
+
+#endif  // FRAPP_DATA_SHARD_IO_H_

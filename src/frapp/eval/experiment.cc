@@ -9,6 +9,7 @@ pipeline::PipelineOptions ToPipelineOptions(const ExperimentConfig& config) {
   pipeline::PipelineOptions options;
   options.num_shards = config.num_shards;
   options.num_threads = config.num_threads;
+  options.prefetch_source = config.prefetch_source;
   options.perturb_seed = config.perturb_seed;
   options.mining.min_support = config.min_support;
   options.mining.max_length = config.max_length;

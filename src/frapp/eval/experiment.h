@@ -37,6 +37,11 @@ struct ExperimentConfig {
   /// Worker threads for shard streaming and candidate counting (0 =
   /// hardware concurrency). Never affects results.
   size_t num_threads = 1;
+
+  /// Pull the source through a PrefetchingTableSource producer thread
+  /// (parse the next shard while the workers perturb the current one).
+  /// Never affects results.
+  bool prefetch_source = false;
 };
 
 /// One mechanism's result on one dataset.

@@ -1,0 +1,89 @@
+#include "frapp/pipeline/prefetching_table_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "frapp/common/clock.h"
+
+namespace frapp {
+namespace pipeline {
+
+PrefetchingTableSource::PrefetchingTableSource(TableSource& inner,
+                                               size_t max_queued_shards)
+    : inner_(&inner),
+      schema_(&inner.schema()),
+      total_rows_(inner.TotalRows()),
+      capacity_(std::max<size_t>(1, max_queued_shards)),
+      producer_([this] { ProducerLoop(); }) {}
+
+PrefetchingTableSource::~PrefetchingTableSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  can_produce_.notify_all();
+  producer_.join();
+}
+
+void PrefetchingTableSource::ProducerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      can_produce_.wait(lock,
+                        [&] { return stop_ || queue_.size() < capacity_; });
+      if (stop_) break;
+    }
+    // The inner pull runs OUTSIDE the lock: this is the parse/generate work
+    // the decorator exists to overlap with the consumer's compute.
+    PulledShard shard;
+    const uint64_t t0 = common::NowNanos();
+    StatusOr<bool> more = inner_->NextShard(&shard);
+    const uint64_t elapsed = common::NowNanos() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.parse_nanos += elapsed;
+      if (!more.ok()) {
+        status_ = more.status();
+        done_ = true;
+      } else if (!*more) {
+        done_ = true;
+      } else {
+        ++stats_.shards_produced;
+        queue_.push_back(std::move(shard));
+      }
+    }
+    can_consume_.notify_one();
+    if (done_) break;  // done_ only ever transitions false -> true
+  }
+  // A stop_ exit must still mark the stream done so a concurrent consumer
+  // blocked in NextShard wakes up instead of hanging forever.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  can_consume_.notify_all();
+}
+
+StatusOr<bool> PrefetchingTableSource::NextShard(PulledShard* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_consume_.wait(lock, [&] { return !queue_.empty() || done_; });
+  if (!queue_.empty()) {
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    can_produce_.notify_one();
+    return true;
+  }
+  // Drained: clean end or the producer's sticky error.
+  if (!status_.ok()) return status_;
+  return false;
+}
+
+PrefetchingTableSource::ProducerStats PrefetchingTableSource::producer_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pipeline
+}  // namespace frapp

@@ -1,0 +1,111 @@
+// PrefetchingTableSource: hide ingest latency behind compute.
+//
+// The pipeline's consumer loop is strictly alternating without this: pull a
+// batch of shards from the (single-threaded) source, fan perturb+index out
+// over the workers, pull the next batch — so CSV parse latency, which
+// dominates the streaming ingest path, serializes with compute. This
+// decorator runs the inner source on a dedicated PRODUCER thread that stays
+// exactly `max_queued_shards` ahead of the consumer through a bounded
+// queue: the next shard parses while the ThreadPool perturbs and counts the
+// current one.
+//
+// Contract:
+//  - Order-preserving: shards come off the queue in exactly the order the
+//    inner source yields them, so the TableSource global-row-order contract
+//    (and with it grid bit-identity) holds unchanged. Prefetching can never
+//    affect results, only when the parse work happens.
+//  - Error propagation: an inner-source error (e.g. a line-numbered CSV
+//    parse Status) ends production; the consumer first drains the shards
+//    produced before the error, then receives that exact Status — sticky on
+//    every later call. No hang, no lost shards, no swallowed error.
+//  - Shutdown-safe: the destructor stops the producer even mid-stream
+//    (consumer abandoned the pull early) and joins it; at most one
+//    in-flight inner NextShard call delays destruction.
+//  - The inner source is touched ONLY by the producer thread after
+//    construction (TableSource is single-producer by contract); schema and
+//    total-row count are captured up front so the consumer never races it.
+//
+// The wrapper is itself a TableSource, so it composes with any inner source
+// (CSV, binary, synthetic, in-memory) and any consumer.
+
+#ifndef FRAPP_PIPELINE_PREFETCHING_TABLE_SOURCE_H_
+#define FRAPP_PIPELINE_PREFETCHING_TABLE_SOURCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "frapp/pipeline/table_source.h"
+
+namespace frapp {
+namespace pipeline {
+
+/// Decorates a TableSource with a producer thread and a bounded shard queue.
+class PrefetchingTableSource : public TableSource {
+ public:
+  /// Producer-side observability, readable once the stream has reported
+  /// exhaustion (or an error) through NextShard. (The latency NOT hidden —
+  /// consumer time blocked pulling — is the consumer's to measure; the
+  /// pipeline reports it as PipelineStats::source_wait_nanos.)
+  struct ProducerStats {
+    /// Nanoseconds the producer spent inside the inner source's NextShard —
+    /// the parse/generate work that overlapped with consumer compute.
+    uint64_t parse_nanos = 0;
+
+    /// Shards the producer pulled from the inner source.
+    size_t shards_produced = 0;
+  };
+
+  /// Starts the producer thread immediately. `inner` must outlive this
+  /// object and must not be touched by anyone else until it is destroyed.
+  /// `max_queued_shards` (floored at 1) bounds the shards parsed ahead —
+  /// and with them the extra source-side buffer memory prefetching costs.
+  explicit PrefetchingTableSource(TableSource& inner,
+                                  size_t max_queued_shards = 2);
+
+  /// Stops the producer (even if the stream was not drained) and joins it.
+  ~PrefetchingTableSource() override;
+
+  PrefetchingTableSource(const PrefetchingTableSource&) = delete;
+  PrefetchingTableSource& operator=(const PrefetchingTableSource&) = delete;
+
+  const data::CategoricalSchema& schema() const override { return *schema_; }
+
+  /// Pops the next shard, blocking until the producer has one (or the
+  /// stream ends). Yields the inner source's shards in order, then its
+  /// terminal condition: false on clean exhaustion, the producer's Status
+  /// on error (sticky).
+  StatusOr<bool> NextShard(PulledShard* out) override;
+
+  std::optional<size_t> TotalRows() const override { return total_rows_; }
+
+  /// Valid after NextShard has returned false or an error (the producer has
+  /// exited by then); concurrent with production it would race.
+  ProducerStats producer_stats() const;
+
+ private:
+  void ProducerLoop();
+
+  TableSource* inner_;
+  const data::CategoricalSchema* schema_;  // captured pre-thread: race-free
+  std::optional<size_t> total_rows_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable can_produce_;
+  std::condition_variable can_consume_;
+  std::deque<PulledShard> queue_;
+  Status status_;      // first inner-source error; OK on clean exhaustion
+  bool done_ = false;  // producer finished (exhausted, error, or stopped)
+  bool stop_ = false;  // destructor asked the producer to quit
+  ProducerStats stats_;
+  std::thread producer_;  // last member: starts after everything it reads
+};
+
+}  // namespace pipeline
+}  // namespace frapp
+
+#endif  // FRAPP_PIPELINE_PREFETCHING_TABLE_SOURCE_H_

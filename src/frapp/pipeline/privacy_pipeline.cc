@@ -6,10 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include "frapp/common/clock.h"
 #include "frapp/common/parallel.h"
 #include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/mining/vertical_index.h"
+#include "frapp/pipeline/prefetching_table_source.h"
 
 namespace frapp {
 namespace pipeline {
@@ -35,6 +37,21 @@ StatusOr<PipelineResult> PrivacyPipeline::Run(
 
 StatusOr<PipelineResult> PrivacyPipeline::Run(core::Mechanism& mechanism,
                                               TableSource& source) const {
+  if (options_.prefetch_source) {
+    // Wrap the caller's source in the producer-thread decorator for the
+    // duration of this run. Order is preserved, so the result is
+    // bit-identical to the unprefetched pull — only the parse/compute
+    // overlap (and the stats describing it) change.
+    PrefetchingTableSource prefetched(source, options_.prefetch_shards);
+    PipelineOptions inner_options = options_;
+    inner_options.prefetch_source = false;
+    FRAPP_ASSIGN_OR_RETURN(
+        PipelineResult result,
+        PrivacyPipeline(inner_options).Run(mechanism, prefetched));
+    result.stats.producer_parse_nanos =
+        prefetched.producer_stats().parse_nanos;
+    return result;
+  }
   if (!mechanism.SupportsShardStreaming()) {
     return Status::Unimplemented(
         mechanism.name() +
@@ -71,8 +88,11 @@ StatusOr<PipelineResult> PrivacyPipeline::Run(core::Mechanism& mechanism,
     pending.clear();
     while (pending.size() < batch) {
       PulledShard shard;
-      FRAPP_ASSIGN_OR_RETURN(bool more, source.NextShard(&shard));
-      if (!more) {
+      const uint64_t pull_start = common::NowNanos();
+      StatusOr<bool> more = source.NextShard(&shard);
+      result.stats.source_wait_nanos += common::NowNanos() - pull_start;
+      FRAPP_RETURN_IF_ERROR(more.status());
+      if (!*more) {
         exhausted = true;
         break;
       }

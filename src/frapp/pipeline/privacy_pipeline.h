@@ -19,6 +19,13 @@
 // shards counted by data::ShardedBooleanVerticalIndex (the superset Mobius
 // transform commutes with the row partition). There is no monolithic
 // fallback; a mechanism without shard support is an error.
+//
+// Ingest can be pipelined: with PipelineOptions::prefetch_source the source
+// is pulled through a PrefetchingTableSource producer thread, so the next
+// shard parses while the workers perturb the current batch (see
+// prefetching_table_source.h). PipelineStats reports where the ingest time
+// went (source_wait_nanos on the critical path vs producer_parse_nanos
+// overlapped).
 
 #ifndef FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
 #define FRAPP_PIPELINE_PRIVACY_PIPELINE_H_
@@ -50,6 +57,18 @@ struct PipelineOptions {
   /// Master seed of the deterministic perturbation.
   uint64_t perturb_seed = 7;
 
+  /// When true, the source is pulled through a PrefetchingTableSource: a
+  /// dedicated producer thread parses/generates the next shard(s) while the
+  /// worker pool perturbs and indexes the current batch, hiding ingest
+  /// latency behind compute. Order-preserving, so it NEVER affects results
+  /// — only where the parse time goes (see PipelineStats).
+  bool prefetch_source = false;
+
+  /// Bounded prefetch queue depth in shards (floored at 1): how far the
+  /// producer may run ahead, and therefore how many extra source-side shard
+  /// buffers prefetching can hold alive. Only read when prefetch_source.
+  size_t prefetch_shards = 2;
+
   /// Mining parameters (threshold, length cap).
   mining::AprioriOptions mining;
 };
@@ -70,6 +89,18 @@ struct PipelineStats {
   /// one byte per attribute per row; boolean (one-hot) shards eight bytes
   /// per row.
   size_t peak_inflight_perturbed_bytes = 0;
+
+  /// Nanoseconds the pipeline's pull loop spent blocked in
+  /// TableSource::NextShard. Without prefetch this IS the ingest cost on
+  /// the critical path; with prefetch it is only the residual latency the
+  /// producer failed to hide.
+  uint64_t source_wait_nanos = 0;
+
+  /// Nanoseconds the prefetch producer spent inside the inner source —
+  /// parse/generate work overlapped with perturb/count compute. 0 when
+  /// prefetch_source is off. (producer_parse_nanos - source_wait_nanos is
+  /// roughly the ingest latency prefetching hid.)
+  uint64_t producer_parse_nanos = 0;
 };
 
 struct PipelineResult {
@@ -78,6 +109,12 @@ struct PipelineResult {
 };
 
 /// Runs the full privacy-preserving mining flow for one mechanism.
+///
+/// The pipeline object itself is immutable configuration; each Run call is
+/// self-contained. One Run streams from one thread (plus the worker pool it
+/// fans out on, plus the prefetch producer when enabled) — callers must not
+/// share a TableSource between concurrent Run calls, since sources are
+/// single-producer by contract.
 class PrivacyPipeline {
  public:
   explicit PrivacyPipeline(PipelineOptions options) : options_(options) {}
@@ -87,7 +124,9 @@ class PrivacyPipeline {
   /// Streams `source`'s shards through the mechanism's perturbation, indexes
   /// and drops each shard, then mines with the mechanism's reconstructing
   /// estimator. Mining happens inside the pipeline; the mechanism's own
-  /// estimator() state is not touched.
+  /// estimator() state is not touched. With options().prefetch_source the
+  /// source is driven from a producer thread for the duration of the call
+  /// (it is back under the caller's control when Run returns).
   StatusOr<PipelineResult> Run(core::Mechanism& mechanism,
                                TableSource& source) const;
 

@@ -57,6 +57,30 @@ StatusOr<bool> CsvTableSource::NextShard(PulledShard* out) {
   return true;
 }
 
+StatusOr<BinaryTableSource> BinaryTableSource::Open(
+    const std::string& path, const data::CategoricalSchema& schema,
+    size_t rows_per_shard) {
+  FRAPP_RETURN_IF_ERROR(ValidateRowsPerShard(rows_per_shard));
+  FRAPP_ASSIGN_OR_RETURN(data::BinaryShardReader reader,
+                         data::BinaryShardReader::Open(path, schema));
+  return BinaryTableSource(std::move(reader), rows_per_shard);
+}
+
+StatusOr<bool> BinaryTableSource::NextShard(PulledShard* out) {
+  if (reader_.rows_read() >= reader_.total_rows()) return false;
+  const size_t global_begin = reader_.rows_read();
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable shard,
+                         reader_.ReadShard(rows_per_shard_));
+  if (shard.num_rows() == 0) return false;
+  auto buffer =
+      std::make_shared<const data::CategoricalTable>(std::move(shard));
+  out->view = data::ShardView{buffer.get(),
+                              data::RowRange{0, buffer->num_rows()},
+                              global_begin};
+  out->owned = std::move(buffer);
+  return true;
+}
+
 StatusOr<SyntheticTableSource> SyntheticTableSource::Create(
     data::ChainGenerator generator, size_t total_rows, uint64_t seed,
     size_t rows_per_shard) {

@@ -7,17 +7,31 @@
 //   InMemoryTableSource   zero-copy views into an existing CategoricalTable
 //   CsvTableSource        chunked CSV parse (data::ShardedCsvReader) into
 //                         short-lived shard buffers
+//   BinaryTableSource     pre-tokenized binary shard files
+//                         (data::BinaryShardReader) — repeated runs skip
+//                         text parsing entirely
 //   SyntheticTableSource  chain-generator rows drawn shard by shard from one
 //                         persistent RNG stream
+//
+// Any of them can be wrapped in a PrefetchingTableSource (see
+// prefetching_table_source.h) to parse the next shard on a producer thread
+// while the pipeline perturbs the current one.
 //
 // The contract every source upholds (and the pipeline relies on):
 //  - NextShard yields shards in global row order, each starting on a
 //    seeded-chunk boundary (data::kShardAlignmentRows), with every shard but
 //    the last a whole number of chunks — so seeded perturbation of the
-//    shards concatenates bit-for-bit to the monolithic pass;
+//    shards concatenates bit-for-bit to the monolithic pass. The ShardView
+//    inside each PulledShard carries that GLOBAL begin row: for streaming
+//    sources the buffer is shard-local (local rows [0, n) are global rows
+//    [global_begin, global_begin + n)), and seeded perturbation derives its
+//    RNG streams from the GLOBAL chunk index, which is why rows perturb
+//    bit-identically no matter where they came from;
 //  - each PulledShard keeps its own buffer alive (`owned`); once the caller
 //    drops it, the rows are gone — which is what bounds peak memory to the
-//    shards in flight.
+//    shards in flight;
+//  - NextShard is pulled by ONE thread at a time (sources are
+//    single-producer; they need no internal locking).
 
 #ifndef FRAPP_PIPELINE_TABLE_SOURCE_H_
 #define FRAPP_PIPELINE_TABLE_SOURCE_H_
@@ -29,6 +43,7 @@
 
 #include "frapp/common/statusor.h"
 #include "frapp/data/csv.h"
+#include "frapp/data/shard_io.h"
 #include "frapp/data/sharded_table.h"
 #include "frapp/data/synthetic.h"
 #include "frapp/data/table.h"
@@ -107,6 +122,38 @@ class CsvTableSource : public TableSource {
   data::ShardedCsvReader reader_;
   size_t rows_per_shard_;
   bool exhausted_ = false;
+};
+
+/// Streaming binary ingest: materializes `rows_per_shard` pre-tokenized
+/// rows at a time from a data/shard_io.h binary file (written by
+/// data::WriteBinaryTable or `frapp convert`). Same shape as CsvTableSource
+/// but with no text parsing at all — one bulk read and a column scatter per
+/// shard — so it is the fast path for repeatedly mined extracts.
+class BinaryTableSource : public TableSource {
+ public:
+  /// `rows_per_shard` must be a positive multiple of the chunk quantum
+  /// (data::kShardAlignmentRows); defaults to one quantum. Open validates
+  /// the file's schema fingerprint against `schema`.
+  static StatusOr<BinaryTableSource> Open(
+      const std::string& path, const data::CategoricalSchema& schema,
+      size_t rows_per_shard = data::kShardAlignmentRows);
+
+  const data::CategoricalSchema& schema() const override {
+    return reader_.schema();
+  }
+  StatusOr<bool> NextShard(PulledShard* out) override;
+
+  /// Known up front: the binary header stores the row count.
+  std::optional<size_t> TotalRows() const override {
+    return reader_.total_rows();
+  }
+
+ private:
+  BinaryTableSource(data::BinaryShardReader reader, size_t rows_per_shard)
+      : reader_(std::move(reader)), rows_per_shard_(rows_per_shard) {}
+
+  data::BinaryShardReader reader_;
+  size_t rows_per_shard_;
 };
 
 /// Synthetic source: draws `total_rows` chain-generator records shard by

@@ -1,0 +1,76 @@
+// LabelInterner must agree with CategoricalSchema::CategoryIndex on every
+// label (it replaces it on the ingest hot path) and reject unknown labels.
+
+#include "frapp/data/label_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "frapp/data/census.h"
+#include "frapp/data/schema.h"
+
+namespace frapp {
+namespace data {
+namespace {
+
+TEST(LabelInternerTest, ResolvesEveryLabelOfEveryCensusColumn) {
+  const CategoricalSchema schema = census::Schema();
+  std::vector<LabelInterner> interners = MakeColumnInterners(schema);
+  ASSERT_EQ(interners.size(), schema.num_attributes());
+  for (size_t j = 0; j < schema.num_attributes(); ++j) {
+    const Attribute& attr = schema.attribute(j);
+    for (size_t c = 0; c < attr.cardinality(); ++c) {
+      EXPECT_EQ(interners[j].Intern(attr.categories[c]), static_cast<int>(c))
+          << attr.name << " / " << attr.categories[c];
+      // Against the reference resolver it replaces.
+      EXPECT_EQ(*schema.CategoryIndex(j, attr.categories[c]), c);
+    }
+  }
+}
+
+TEST(LabelInternerTest, RejectsUnknownAndNearMissLabels) {
+  const CategoricalSchema schema = census::Schema();  // outlives the interner
+  LabelInterner interner(schema.attribute(0).categories);
+  EXPECT_EQ(interner.Intern("no-such-label"), -1);
+  EXPECT_EQ(interner.Intern(""), -1);
+  // A known label with altered case/whitespace is a different label.
+  EXPECT_EQ(interner.Intern(schema.attribute(0).categories[0] + " "), -1);
+}
+
+TEST(LabelInternerTest, ClusteredLookupsHitTheLastHitFastPath) {
+  const std::vector<std::string> labels = {"alpha", "beta", "gamma", "delta"};
+  LabelInterner interner(labels);
+  // Long runs of the same label (a sorted column) and run breaks must both
+  // resolve correctly; the fast path is an internal detail, correctness is
+  // the observable.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t id = 0; id < labels.size(); ++id) {
+      for (int rep = 0; rep < 100; ++rep) {
+        ASSERT_EQ(interner.Intern(labels[id]), static_cast<int>(id));
+      }
+    }
+  }
+  // A miss in the middle of a run must not poison the cursor.
+  EXPECT_EQ(interner.Intern("delta"), 3);
+  EXPECT_EQ(interner.Intern("epsilon"), -1);
+  EXPECT_EQ(interner.Intern("delta"), 3);
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+}
+
+TEST(LabelInternerTest, ManyLabelsSurviveProbeCollisions) {
+  // 300+ labels force a deeper table and genuine linear-probe collisions.
+  std::vector<std::string> labels;
+  for (int i = 0; i < 317; ++i) labels.push_back("label_" + std::to_string(i));
+  LabelInterner interner(labels);
+  for (size_t id = 0; id < labels.size(); ++id) {
+    ASSERT_EQ(interner.Intern(labels[id]), static_cast<int>(id));
+  }
+  EXPECT_EQ(interner.Intern("label_317"), -1);
+  EXPECT_EQ(interner.Intern("label_"), -1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

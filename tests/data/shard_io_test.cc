@@ -1,0 +1,181 @@
+// Binary shard format: round-trips must be exact, the schema fingerprint
+// must refuse mismatched schemas, and corrupt/truncated payloads must fail
+// loudly instead of producing wrong rows.
+
+#include "frapp/data/shard_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "frapp/data/census.h"
+#include "frapp/data/csv.h"
+
+namespace frapp {
+namespace data {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/frapp_shard_io_" + stem + "_" +
+         std::to_string(::getpid());
+}
+
+void ExpectSameTable(const CategoricalTable& a, const CategoricalTable& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  for (size_t j = 0; j < a.num_attributes(); ++j) {
+    ASSERT_EQ(a.Column(j), b.Column(j)) << "column " << j;
+  }
+}
+
+TEST(SchemaFingerprintTest, DistinguishesSchemas) {
+  const uint64_t census = SchemaFingerprint(census::Schema());
+  EXPECT_EQ(census, SchemaFingerprint(census::Schema()));  // deterministic
+
+  CategoricalSchema renamed = *CategoricalSchema::Create(
+      {{"a", {"x", "y"}}, {"b", {"p", "q"}}});
+  CategoricalSchema reordered = *CategoricalSchema::Create(
+      {{"a", {"y", "x"}}, {"b", {"p", "q"}}});
+  CategoricalSchema renamed_col = *CategoricalSchema::Create(
+      {{"a2", {"x", "y"}}, {"b", {"p", "q"}}});
+  EXPECT_NE(SchemaFingerprint(renamed), census);
+  // Reordering labels remaps every cell id -> must change the fingerprint.
+  EXPECT_NE(SchemaFingerprint(renamed), SchemaFingerprint(reordered));
+  EXPECT_NE(SchemaFingerprint(renamed), SchemaFingerprint(renamed_col));
+}
+
+TEST(ShardIoTest, RoundTripsWholeTable) {
+  const CategoricalTable table = *census::MakeDataset(10000, 3);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+
+  StatusOr<BinaryShardReader> reader =
+      BinaryShardReader::Open(path, table.schema());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->total_rows(), 10000u);
+  StatusOr<CategoricalTable> back =
+      reader->ReadShard(std::numeric_limits<size_t>::max());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameTable(table, *back);
+  std::remove(path.c_str());
+}
+
+TEST(ShardIoTest, ShardedReadsConcatenateToTheWholeTable) {
+  const CategoricalTable table = *census::MakeDataset(5000, 9);
+  const std::string path = TempPath("sharded");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+
+  BinaryShardReader reader = *BinaryShardReader::Open(path, table.schema());
+  CategoricalTable rebuilt = *CategoricalTable::Create(table.schema());
+  size_t shards = 0;
+  while (true) {
+    const size_t before = reader.rows_read();
+    CategoricalTable shard = *reader.ReadShard(1024);
+    if (shard.num_rows() == 0) break;
+    EXPECT_EQ(before + shard.num_rows(), reader.rows_read());
+    for (size_t i = 0; i < shard.num_rows(); ++i) {
+      ASSERT_TRUE(rebuilt.AppendRow(shard.Row(i)).ok());
+    }
+    ++shards;
+  }
+  EXPECT_EQ(shards, 5u);  // 4 x 1024 + 904
+  ExpectSameTable(table, rebuilt);
+  std::remove(path.c_str());
+}
+
+TEST(ShardIoTest, CsvToBinaryToTableEqualsDirectCsvLoad) {
+  // The conversion workflow end to end: CSV -> binary -> table must equal
+  // the direct CSV load bit for bit.
+  const CategoricalTable table = *census::MakeDataset(3000, 21);
+  const std::string csv_path = TempPath("conv") + ".csv";
+  const std::string bin_path = TempPath("conv") + ".bin";
+  ASSERT_TRUE(WriteCsv(table, csv_path).ok());
+
+  const CategoricalTable from_csv = *ReadCsv(csv_path, table.schema());
+  ASSERT_TRUE(WriteBinaryTable(from_csv, bin_path).ok());
+  BinaryShardReader reader = *BinaryShardReader::Open(bin_path, table.schema());
+  const CategoricalTable from_bin =
+      *reader.ReadShard(std::numeric_limits<size_t>::max());
+
+  ExpectSameTable(from_csv, from_bin);
+  ExpectSameTable(table, from_bin);
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(ShardIoTest, RejectsMismatchedSchema) {
+  const CategoricalTable table = *census::MakeDataset(100, 1);
+  const std::string path = TempPath("fingerprint");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+
+  const CategoricalSchema other = *CategoricalSchema::Create(
+      {{"a", {"x", "y"}}, {"b", {"p", "q"}}});
+  StatusOr<BinaryShardReader> reader = BinaryShardReader::Open(path, other);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("fingerprint"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShardIoTest, RejectsNonBinaryFile) {
+  const std::string path = TempPath("garbage");
+  {
+    std::ofstream out(path);
+    out << "age,fnlwgt\nthis,is,csv\n";
+  }
+  StatusOr<BinaryShardReader> reader =
+      BinaryShardReader::Open(path, census::Schema());
+  ASSERT_FALSE(reader.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ShardIoTest, TruncatedPayloadNamesTheRow) {
+  const CategoricalTable table = *census::MakeDataset(1000, 5);
+  const std::string path = TempPath("truncated");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+  // Chop the file mid-payload: the header still promises 1000 rows.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  BinaryShardReader reader = *BinaryShardReader::Open(path, table.schema());
+  StatusOr<CategoricalTable> shard =
+      reader.ReadShard(std::numeric_limits<size_t>::max());
+  ASSERT_FALSE(shard.ok());
+  EXPECT_NE(shard.status().message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ShardIoTest, OutOfRangeCellIdNamesRowAndColumn) {
+  const CategoricalTable table = *census::MakeDataset(100, 5);
+  const std::string path = TempPath("corrupt");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+  // Overwrite row 7, column 0's u16 with an id past the cardinality.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    const size_t header = 32;
+    const size_t cell = header + 7 * table.num_attributes() * 2;
+    file.seekp(static_cast<std::streamoff>(cell));
+    const char big[2] = {static_cast<char>(0xff), static_cast<char>(0x7f)};
+    file.write(big, 2);
+  }
+  BinaryShardReader reader = *BinaryShardReader::Open(path, table.schema());
+  StatusOr<CategoricalTable> shard =
+      reader.ReadShard(std::numeric_limits<size_t>::max());
+  ASSERT_FALSE(shard.ok());
+  EXPECT_NE(shard.status().message().find("row 7"), std::string::npos);
+  EXPECT_NE(shard.status().message().find("cardinality"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace frapp

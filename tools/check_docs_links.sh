@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Fails when README.md or docs/*.md contain relative markdown links to
+# files that do not exist (lychee-style, no network: external http(s)/mailto
+# links are skipped). Anchors are checked only for existence of the target
+# file; `#fragment`-only links are resolved against the containing file.
+#
+# Usage: tools/check_docs_links.sh
+# Exit:  0 all links resolve, 1 otherwise (each broken link is listed).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+files=(README.md)
+while IFS= read -r f; do files+=("$f"); done < <(find docs -name '*.md' | sort)
+
+broken=0
+for file in "${files[@]}"; do
+  dir="$(dirname "$file")"
+  # Extract the (target) of every [text](target) markdown link, tolerating
+  # several links per line. Fenced code blocks (```...```) are skipped so
+  # example snippets cannot trip the check.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external: not checked
+    esac
+    path="${target%%#*}"                        # drop the anchor
+    [[ -z "$path" ]] && continue                # same-file #fragment
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "BROKEN: $file -> $target"
+      broken=1
+    fi
+  done < <(awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$file" \
+             | grep -oE '\[[^][]*\]\([^()[:space:]]+\)' \
+             | sed -E 's/^\[[^][]*\]\(([^()]*)\)$/\1/')
+done
+
+if [[ "$broken" -ne 0 ]]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK (${#files[@]} files)"

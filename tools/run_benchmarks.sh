@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
-# Builds Release and maintains the perf-trajectory JSON files at the repo root:
+# Builds Release and maintains the perf-trajectory JSON files at the repo root.
+#
+# Usage: tools/run_benchmarks.sh [build-dir]
+#
+#   build-dir   CMake build directory to (re)configure and build
+#               (default: <repo-root>/build)
+#   -h, --help  print this header and exit
+#
+# Maintained trajectories (see docs/BENCHMARKS.md for the full schema):
 #   BENCH_mining.json       — apriori_benchmark (vertical index vs scalar)
 #   BENCH_perturbation.json — perturbation_benchmark (alias kernel vs naive)
 #   BENCH_pipeline.json     — pipeline_benchmark (shards x threads sweep)
-#   BENCH_ingest.json       — ingest_benchmark (streaming CSV vs preloaded)
+#   BENCH_ingest.json       — ingest_benchmark (preloaded vs streamed CSV /
+#                             prefetched / binary / synthetic sources)
+#
 # Each file holds {"runs": [<google-benchmark output>, ...]}: every
 # invocation APPENDS its run (with its context/date) to the trajectory
 # instead of overwriting it, so successive PRs accumulate a perf history.
 # A pre-existing single-run file (the PR-1 format) is wrapped as the first
-# trajectory entry on the next append.
-#
-# Usage: tools/run_benchmarks.sh [build-dir] (default: build)
+# trajectory entry on the next append. Numbers from the single-core CI
+# container measure work distribution (CPU time), not wall-clock speedup —
+# see the caveat in docs/BENCHMARKS.md.
 
 set -euo pipefail
+
+if [[ "${1:-}" == "-h" || "${1:-}" == "--help" ]]; then
+  # Print the header comment above (minus the shebang) as the usage text.
+  sed -n '2,/^set -euo/p' "$0" | sed '$d' | sed 's/^# \{0,1\}//'
+  exit 0
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
