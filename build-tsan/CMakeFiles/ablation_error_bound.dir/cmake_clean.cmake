@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_bound.dir/bench/ablation_error_bound.cc.o"
+  "CMakeFiles/ablation_error_bound.dir/bench/ablation_error_bound.cc.o.d"
+  "ablation_error_bound"
+  "ablation_error_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimality.dir/bench/ablation_optimality.cc.o"
+  "CMakeFiles/ablation_optimality.dir/bench/ablation_optimality.cc.o.d"
+  "ablation_optimality"
+  "ablation_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

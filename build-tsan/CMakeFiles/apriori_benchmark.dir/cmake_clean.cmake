@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_benchmark.dir/bench/apriori_benchmark.cc.o"
+  "CMakeFiles/apriori_benchmark.dir/bench/apriori_benchmark.cc.o.d"
+  "apriori_benchmark"
+  "apriori_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

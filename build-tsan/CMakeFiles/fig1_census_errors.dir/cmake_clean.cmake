@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_census_errors.dir/bench/fig1_census_errors.cc.o"
+  "CMakeFiles/fig1_census_errors.dir/bench/fig1_census_errors.cc.o.d"
+  "fig1_census_errors"
+  "fig1_census_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_census_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

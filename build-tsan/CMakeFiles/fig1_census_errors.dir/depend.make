@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_census_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_health_errors.dir/bench/fig2_health_errors.cc.o"
+  "CMakeFiles/fig2_health_errors.dir/bench/fig2_health_errors.cc.o.d"
+  "fig2_health_errors"
+  "fig2_health_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_health_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

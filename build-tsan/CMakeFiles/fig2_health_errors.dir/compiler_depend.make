@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_health_errors.
+# This may be replaced when dependencies are built.

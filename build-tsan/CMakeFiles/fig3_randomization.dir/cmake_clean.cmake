@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_randomization.dir/bench/fig3_randomization.cc.o"
+  "CMakeFiles/fig3_randomization.dir/bench/fig3_randomization.cc.o.d"
+  "fig3_randomization"
+  "fig3_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_condition_numbers.dir/bench/fig4_condition_numbers.cc.o"
+  "CMakeFiles/fig4_condition_numbers.dir/bench/fig4_condition_numbers.cc.o.d"
+  "fig4_condition_numbers"
+  "fig4_condition_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_condition_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

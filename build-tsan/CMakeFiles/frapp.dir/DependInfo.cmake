@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frapp/common/combinatorics.cc" "CMakeFiles/frapp.dir/src/frapp/common/combinatorics.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/common/combinatorics.cc.o.d"
+  "/root/repo/src/frapp/common/logging.cc" "CMakeFiles/frapp.dir/src/frapp/common/logging.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/common/logging.cc.o.d"
+  "/root/repo/src/frapp/common/status.cc" "CMakeFiles/frapp.dir/src/frapp/common/status.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/common/status.cc.o.d"
+  "/root/repo/src/frapp/common/string_util.cc" "CMakeFiles/frapp.dir/src/frapp/common/string_util.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/common/string_util.cc.o.d"
+  "/root/repo/src/frapp/core/cut_paste_scheme.cc" "CMakeFiles/frapp.dir/src/frapp/core/cut_paste_scheme.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/cut_paste_scheme.cc.o.d"
+  "/root/repo/src/frapp/core/designer.cc" "CMakeFiles/frapp.dir/src/frapp/core/designer.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/designer.cc.o.d"
+  "/root/repo/src/frapp/core/error_analysis.cc" "CMakeFiles/frapp.dir/src/frapp/core/error_analysis.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/error_analysis.cc.o.d"
+  "/root/repo/src/frapp/core/gamma_diagonal.cc" "CMakeFiles/frapp.dir/src/frapp/core/gamma_diagonal.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/gamma_diagonal.cc.o.d"
+  "/root/repo/src/frapp/core/independent_column_scheme.cc" "CMakeFiles/frapp.dir/src/frapp/core/independent_column_scheme.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/independent_column_scheme.cc.o.d"
+  "/root/repo/src/frapp/core/mask_scheme.cc" "CMakeFiles/frapp.dir/src/frapp/core/mask_scheme.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/mask_scheme.cc.o.d"
+  "/root/repo/src/frapp/core/mechanism.cc" "CMakeFiles/frapp.dir/src/frapp/core/mechanism.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/mechanism.cc.o.d"
+  "/root/repo/src/frapp/core/naive_perturber.cc" "CMakeFiles/frapp.dir/src/frapp/core/naive_perturber.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/naive_perturber.cc.o.d"
+  "/root/repo/src/frapp/core/perturbation_matrix.cc" "CMakeFiles/frapp.dir/src/frapp/core/perturbation_matrix.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/perturbation_matrix.cc.o.d"
+  "/root/repo/src/frapp/core/privacy.cc" "CMakeFiles/frapp.dir/src/frapp/core/privacy.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/privacy.cc.o.d"
+  "/root/repo/src/frapp/core/randomized_gamma.cc" "CMakeFiles/frapp.dir/src/frapp/core/randomized_gamma.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/randomized_gamma.cc.o.d"
+  "/root/repo/src/frapp/core/reconstructor.cc" "CMakeFiles/frapp.dir/src/frapp/core/reconstructor.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/reconstructor.cc.o.d"
+  "/root/repo/src/frapp/core/subset_reconstruction.cc" "CMakeFiles/frapp.dir/src/frapp/core/subset_reconstruction.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/core/subset_reconstruction.cc.o.d"
+  "/root/repo/src/frapp/data/boolean_vertical_index.cc" "CMakeFiles/frapp.dir/src/frapp/data/boolean_vertical_index.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/boolean_vertical_index.cc.o.d"
+  "/root/repo/src/frapp/data/boolean_view.cc" "CMakeFiles/frapp.dir/src/frapp/data/boolean_view.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/boolean_view.cc.o.d"
+  "/root/repo/src/frapp/data/census.cc" "CMakeFiles/frapp.dir/src/frapp/data/census.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/census.cc.o.d"
+  "/root/repo/src/frapp/data/csv.cc" "CMakeFiles/frapp.dir/src/frapp/data/csv.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/csv.cc.o.d"
+  "/root/repo/src/frapp/data/discretize.cc" "CMakeFiles/frapp.dir/src/frapp/data/discretize.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/discretize.cc.o.d"
+  "/root/repo/src/frapp/data/domain_index.cc" "CMakeFiles/frapp.dir/src/frapp/data/domain_index.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/domain_index.cc.o.d"
+  "/root/repo/src/frapp/data/health.cc" "CMakeFiles/frapp.dir/src/frapp/data/health.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/health.cc.o.d"
+  "/root/repo/src/frapp/data/label_interner.cc" "CMakeFiles/frapp.dir/src/frapp/data/label_interner.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/label_interner.cc.o.d"
+  "/root/repo/src/frapp/data/schema.cc" "CMakeFiles/frapp.dir/src/frapp/data/schema.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/schema.cc.o.d"
+  "/root/repo/src/frapp/data/shard_io.cc" "CMakeFiles/frapp.dir/src/frapp/data/shard_io.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/shard_io.cc.o.d"
+  "/root/repo/src/frapp/data/sharded_boolean_vertical_index.cc" "CMakeFiles/frapp.dir/src/frapp/data/sharded_boolean_vertical_index.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/sharded_boolean_vertical_index.cc.o.d"
+  "/root/repo/src/frapp/data/sharded_table.cc" "CMakeFiles/frapp.dir/src/frapp/data/sharded_table.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/sharded_table.cc.o.d"
+  "/root/repo/src/frapp/data/synthetic.cc" "CMakeFiles/frapp.dir/src/frapp/data/synthetic.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/synthetic.cc.o.d"
+  "/root/repo/src/frapp/data/table.cc" "CMakeFiles/frapp.dir/src/frapp/data/table.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/data/table.cc.o.d"
+  "/root/repo/src/frapp/eval/experiment.cc" "CMakeFiles/frapp.dir/src/frapp/eval/experiment.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/eval/experiment.cc.o.d"
+  "/root/repo/src/frapp/eval/metrics.cc" "CMakeFiles/frapp.dir/src/frapp/eval/metrics.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/eval/metrics.cc.o.d"
+  "/root/repo/src/frapp/eval/reporting.cc" "CMakeFiles/frapp.dir/src/frapp/eval/reporting.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/eval/reporting.cc.o.d"
+  "/root/repo/src/frapp/linalg/condition.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/condition.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/condition.cc.o.d"
+  "/root/repo/src/frapp/linalg/jacobi_eigen.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/jacobi_eigen.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/jacobi_eigen.cc.o.d"
+  "/root/repo/src/frapp/linalg/kronecker.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/kronecker.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/kronecker.cc.o.d"
+  "/root/repo/src/frapp/linalg/lu.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/lu.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/lu.cc.o.d"
+  "/root/repo/src/frapp/linalg/matrix.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/matrix.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/matrix.cc.o.d"
+  "/root/repo/src/frapp/linalg/svd.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/svd.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/svd.cc.o.d"
+  "/root/repo/src/frapp/linalg/uniform_mixture.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/uniform_mixture.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/uniform_mixture.cc.o.d"
+  "/root/repo/src/frapp/linalg/vector.cc" "CMakeFiles/frapp.dir/src/frapp/linalg/vector.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/linalg/vector.cc.o.d"
+  "/root/repo/src/frapp/mining/apriori.cc" "CMakeFiles/frapp.dir/src/frapp/mining/apriori.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/apriori.cc.o.d"
+  "/root/repo/src/frapp/mining/itemset.cc" "CMakeFiles/frapp.dir/src/frapp/mining/itemset.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/itemset.cc.o.d"
+  "/root/repo/src/frapp/mining/rules.cc" "CMakeFiles/frapp.dir/src/frapp/mining/rules.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/rules.cc.o.d"
+  "/root/repo/src/frapp/mining/sharded_vertical_index.cc" "CMakeFiles/frapp.dir/src/frapp/mining/sharded_vertical_index.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/sharded_vertical_index.cc.o.d"
+  "/root/repo/src/frapp/mining/support_counter.cc" "CMakeFiles/frapp.dir/src/frapp/mining/support_counter.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/support_counter.cc.o.d"
+  "/root/repo/src/frapp/mining/vertical_index.cc" "CMakeFiles/frapp.dir/src/frapp/mining/vertical_index.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/mining/vertical_index.cc.o.d"
+  "/root/repo/src/frapp/pipeline/prefetching_table_source.cc" "CMakeFiles/frapp.dir/src/frapp/pipeline/prefetching_table_source.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/pipeline/prefetching_table_source.cc.o.d"
+  "/root/repo/src/frapp/pipeline/privacy_pipeline.cc" "CMakeFiles/frapp.dir/src/frapp/pipeline/privacy_pipeline.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/pipeline/privacy_pipeline.cc.o.d"
+  "/root/repo/src/frapp/pipeline/table_source.cc" "CMakeFiles/frapp.dir/src/frapp/pipeline/table_source.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/pipeline/table_source.cc.o.d"
+  "/root/repo/src/frapp/random/alias_sampler.cc" "CMakeFiles/frapp.dir/src/frapp/random/alias_sampler.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/random/alias_sampler.cc.o.d"
+  "/root/repo/src/frapp/random/distributions.cc" "CMakeFiles/frapp.dir/src/frapp/random/distributions.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/random/distributions.cc.o.d"
+  "/root/repo/src/frapp/random/rng.cc" "CMakeFiles/frapp.dir/src/frapp/random/rng.cc.o" "gcc" "CMakeFiles/frapp.dir/src/frapp/random/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

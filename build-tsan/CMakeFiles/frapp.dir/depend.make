@@ -1,0 +1,2 @@
+# Empty dependencies file for frapp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frapp_cli.dir/tools/frapp_cli.cc.o"
+  "CMakeFiles/frapp_cli.dir/tools/frapp_cli.cc.o.d"
+  "frapp_cli"
+  "frapp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frapp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

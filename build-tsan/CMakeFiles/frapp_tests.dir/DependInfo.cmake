@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/combinatorics_test.cc" "CMakeFiles/frapp_tests.dir/tests/common/combinatorics_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/common/combinatorics_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "CMakeFiles/frapp_tests.dir/tests/common/status_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/common/status_test.cc.o.d"
+  "/root/repo/tests/common/statusor_test.cc" "CMakeFiles/frapp_tests.dir/tests/common/statusor_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/common/statusor_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "CMakeFiles/frapp_tests.dir/tests/common/string_util_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/common/string_util_test.cc.o.d"
+  "/root/repo/tests/core/cut_paste_scheme_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/cut_paste_scheme_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/cut_paste_scheme_test.cc.o.d"
+  "/root/repo/tests/core/designer_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/designer_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/designer_test.cc.o.d"
+  "/root/repo/tests/core/error_analysis_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/error_analysis_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/error_analysis_test.cc.o.d"
+  "/root/repo/tests/core/gamma_diagonal_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/gamma_diagonal_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/gamma_diagonal_test.cc.o.d"
+  "/root/repo/tests/core/gamma_perturb_plan_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/gamma_perturb_plan_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/gamma_perturb_plan_test.cc.o.d"
+  "/root/repo/tests/core/independent_column_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/independent_column_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/independent_column_test.cc.o.d"
+  "/root/repo/tests/core/mask_scheme_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/mask_scheme_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/mask_scheme_test.cc.o.d"
+  "/root/repo/tests/core/mechanism_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/mechanism_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/mechanism_test.cc.o.d"
+  "/root/repo/tests/core/naive_perturber_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/naive_perturber_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/naive_perturber_test.cc.o.d"
+  "/root/repo/tests/core/perturber_property_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/perturber_property_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/perturber_property_test.cc.o.d"
+  "/root/repo/tests/core/privacy_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/privacy_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/privacy_test.cc.o.d"
+  "/root/repo/tests/core/randomized_gamma_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/randomized_gamma_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/randomized_gamma_test.cc.o.d"
+  "/root/repo/tests/core/reconstructor_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/reconstructor_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/reconstructor_test.cc.o.d"
+  "/root/repo/tests/core/subset_reconstruction_test.cc" "CMakeFiles/frapp_tests.dir/tests/core/subset_reconstruction_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/core/subset_reconstruction_test.cc.o.d"
+  "/root/repo/tests/data/boolean_vertical_index_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/boolean_vertical_index_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/boolean_vertical_index_test.cc.o.d"
+  "/root/repo/tests/data/boolean_view_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/boolean_view_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/boolean_view_test.cc.o.d"
+  "/root/repo/tests/data/csv_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/csv_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/csv_test.cc.o.d"
+  "/root/repo/tests/data/datasets_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/datasets_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/datasets_test.cc.o.d"
+  "/root/repo/tests/data/discretize_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/discretize_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/discretize_test.cc.o.d"
+  "/root/repo/tests/data/domain_index_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/domain_index_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/domain_index_test.cc.o.d"
+  "/root/repo/tests/data/label_interner_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/label_interner_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/label_interner_test.cc.o.d"
+  "/root/repo/tests/data/schema_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/schema_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/schema_test.cc.o.d"
+  "/root/repo/tests/data/shard_io_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/shard_io_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/shard_io_test.cc.o.d"
+  "/root/repo/tests/data/sharded_boolean_vertical_index_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/sharded_boolean_vertical_index_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/sharded_boolean_vertical_index_test.cc.o.d"
+  "/root/repo/tests/data/sharded_table_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/sharded_table_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/sharded_table_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/synthetic_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/data/table_test.cc" "CMakeFiles/frapp_tests.dir/tests/data/table_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/data/table_test.cc.o.d"
+  "/root/repo/tests/eval/experiment_test.cc" "CMakeFiles/frapp_tests.dir/tests/eval/experiment_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/eval/experiment_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "CMakeFiles/frapp_tests.dir/tests/eval/metrics_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/reporting_test.cc" "CMakeFiles/frapp_tests.dir/tests/eval/reporting_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/eval/reporting_test.cc.o.d"
+  "/root/repo/tests/integration/health_pipeline_test.cc" "CMakeFiles/frapp_tests.dir/tests/integration/health_pipeline_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/integration/health_pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "CMakeFiles/frapp_tests.dir/tests/integration/pipeline_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/linalg/condition_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/condition_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/condition_test.cc.o.d"
+  "/root/repo/tests/linalg/jacobi_eigen_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/jacobi_eigen_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/jacobi_eigen_test.cc.o.d"
+  "/root/repo/tests/linalg/kronecker_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/kronecker_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/kronecker_test.cc.o.d"
+  "/root/repo/tests/linalg/lu_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/lu_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/lu_test.cc.o.d"
+  "/root/repo/tests/linalg/matrix_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/matrix_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/matrix_test.cc.o.d"
+  "/root/repo/tests/linalg/svd_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/svd_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/svd_test.cc.o.d"
+  "/root/repo/tests/linalg/uniform_mixture_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/uniform_mixture_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/uniform_mixture_test.cc.o.d"
+  "/root/repo/tests/linalg/vector_test.cc" "CMakeFiles/frapp_tests.dir/tests/linalg/vector_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/linalg/vector_test.cc.o.d"
+  "/root/repo/tests/mining/apriori_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/apriori_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/apriori_test.cc.o.d"
+  "/root/repo/tests/mining/itemset_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/itemset_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/itemset_test.cc.o.d"
+  "/root/repo/tests/mining/rules_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/rules_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/rules_test.cc.o.d"
+  "/root/repo/tests/mining/sharded_vertical_index_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/sharded_vertical_index_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/sharded_vertical_index_test.cc.o.d"
+  "/root/repo/tests/mining/support_counter_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/support_counter_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/support_counter_test.cc.o.d"
+  "/root/repo/tests/mining/vertical_index_test.cc" "CMakeFiles/frapp_tests.dir/tests/mining/vertical_index_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/mining/vertical_index_test.cc.o.d"
+  "/root/repo/tests/pipeline/prefetch_source_test.cc" "CMakeFiles/frapp_tests.dir/tests/pipeline/prefetch_source_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/pipeline/prefetch_source_test.cc.o.d"
+  "/root/repo/tests/pipeline/privacy_pipeline_test.cc" "CMakeFiles/frapp_tests.dir/tests/pipeline/privacy_pipeline_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/pipeline/privacy_pipeline_test.cc.o.d"
+  "/root/repo/tests/pipeline/table_source_test.cc" "CMakeFiles/frapp_tests.dir/tests/pipeline/table_source_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/pipeline/table_source_test.cc.o.d"
+  "/root/repo/tests/random/alias_sampler_test.cc" "CMakeFiles/frapp_tests.dir/tests/random/alias_sampler_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/random/alias_sampler_test.cc.o.d"
+  "/root/repo/tests/random/distributions_test.cc" "CMakeFiles/frapp_tests.dir/tests/random/distributions_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/random/distributions_test.cc.o.d"
+  "/root/repo/tests/random/rng_test.cc" "CMakeFiles/frapp_tests.dir/tests/random/rng_test.cc.o" "gcc" "CMakeFiles/frapp_tests.dir/tests/random/rng_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/frapp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_benchmark.dir/bench/ingest_benchmark.cc.o"
+  "CMakeFiles/ingest_benchmark.dir/bench/ingest_benchmark.cc.o.d"
+  "ingest_benchmark"
+  "ingest_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

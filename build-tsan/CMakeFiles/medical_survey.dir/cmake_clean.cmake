@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_survey.dir/examples/medical_survey.cpp.o"
+  "CMakeFiles/medical_survey.dir/examples/medical_survey.cpp.o.d"
+  "medical_survey"
+  "medical_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

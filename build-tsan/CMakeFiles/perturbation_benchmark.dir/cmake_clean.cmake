@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturbation_benchmark.dir/bench/perturbation_benchmark.cc.o"
+  "CMakeFiles/perturbation_benchmark.dir/bench/perturbation_benchmark.cc.o.d"
+  "perturbation_benchmark"
+  "perturbation_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturbation_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

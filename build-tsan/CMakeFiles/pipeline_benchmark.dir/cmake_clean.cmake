@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_benchmark.dir/bench/pipeline_benchmark.cc.o"
+  "CMakeFiles/pipeline_benchmark.dir/bench/pipeline_benchmark.cc.o.d"
+  "pipeline_benchmark"
+  "pipeline_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

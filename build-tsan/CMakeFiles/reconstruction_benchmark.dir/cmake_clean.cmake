@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruction_benchmark.dir/bench/reconstruction_benchmark.cc.o"
+  "CMakeFiles/reconstruction_benchmark.dir/bench/reconstruction_benchmark.cc.o.d"
+  "reconstruction_benchmark"
+  "reconstruction_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruction_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

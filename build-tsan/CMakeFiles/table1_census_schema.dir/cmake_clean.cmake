@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_census_schema.dir/bench/table1_census_schema.cc.o"
+  "CMakeFiles/table1_census_schema.dir/bench/table1_census_schema.cc.o.d"
+  "table1_census_schema"
+  "table1_census_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_census_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

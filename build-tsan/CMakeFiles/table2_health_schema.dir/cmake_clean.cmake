@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_health_schema.dir/bench/table2_health_schema.cc.o"
+  "CMakeFiles/table2_health_schema.dir/bench/table2_health_schema.cc.o.d"
+  "table2_health_schema"
+  "table2_health_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_health_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_frequent_itemsets.dir/bench/table3_frequent_itemsets.cc.o"
+  "CMakeFiles/table3_frequent_itemsets.dir/bench/table3_frequent_itemsets.cc.o.d"
+  "table3_frequent_itemsets"
+  "table3_frequent_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_frequent_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

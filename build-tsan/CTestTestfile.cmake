@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/frapp_tests[1]_include.cmake")
+add_test(examples.quickstart_smoke "/root/repo/build-tsan/quickstart")
+set_tests_properties(examples.quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;85;add_test;/root/repo/CMakeLists.txt;0;")
