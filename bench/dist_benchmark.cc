@@ -1,0 +1,207 @@
+// Distributed-counting overhead on CENSUS 50k: the coordinator/worker path
+// (frapp/dist) vs the in-process pipeline it is bit-identical to.
+//
+//   BM_DistMineInProcess/<mech>/<workers>  full distributed mine over N
+//                                          in-process workers (handshake +
+//                                          worker-range ingest + every
+//                                          candidate pass over the wire
+//                                          protocol)
+//   BM_DistMineTcpLoopback/<mech>/<workers> the same over TCP loopback
+//                                          sockets — real kernel round
+//                                          trips per candidate pass
+//   BM_PipelineReference/<mech>            the single-process
+//                                          pipeline::PrivacyPipeline
+//                                          baseline producing the identical
+//                                          result
+//
+// Counters (per iteration):
+//   bytes_sent / bytes_received  coordinator wire traffic, frame headers
+//                                included. Per-pass traffic is exactly the
+//                                candidate-count vectors: compare with
+//                                rows x attributes ~ 300 KB that never
+//                                move.
+//   requests                     frames the coordinator sent
+//   merge_ms                     tree-merge + Mobius time on the merged
+//                                count vectors
+//
+// Single-core caveat (see docs/BENCHMARKS.md): in-process workers
+// time-slice against the coordinator on one core, so distributed rows show
+// protocol + serialization overhead rather than speedup; multi-machine
+// deployments realize the fan-out as wall-clock.
+//
+// Emitted to BENCH_dist.json by tools/run_benchmarks.sh.
+//
+// Build & run:  ./build/dist_benchmark
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "frapp/data/census.h"
+#include "frapp/dist/coordinator.h"
+#include "frapp/dist/worker.h"
+#include "frapp/pipeline/privacy_pipeline.h"
+
+namespace {
+
+using namespace frapp;
+
+constexpr size_t kRows = 50000;
+constexpr uint64_t kDataSeed = 10;
+constexpr uint64_t kPerturbSeed = 7;
+
+const data::CategoricalTable& Table() {
+  static const data::CategoricalTable* table =
+      new data::CategoricalTable(*data::census::MakeDataset(kRows, kDataSeed));
+  return *table;
+}
+
+dist::MechanismSpec SpecFor(int kind) {
+  dist::MechanismSpec spec;
+  spec.kind = static_cast<dist::MechanismSpec::Kind>(kind);
+  return spec;
+}
+
+dist::WorkerOptions MakeWorkerOptions() {
+  dist::WorkerOptions options(Table().schema());
+  options.num_threads = 1;
+  options.source_factory =
+      []() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+    return std::unique_ptr<pipeline::TableSource>(
+        std::make_unique<pipeline::InMemoryTableSource>(Table(),
+                                                        /*num_shards=*/0));
+  };
+  return options;
+}
+
+mining::AprioriOptions MiningOptions() {
+  mining::AprioriOptions options;
+  options.min_support = 0.02;
+  return options;
+}
+
+void ReportStats(benchmark::State& state, const dist::DistStats& stats,
+                 size_t total_frequent) {
+  state.counters["bytes_sent"] = static_cast<double>(stats.bytes_sent);
+  state.counters["bytes_received"] = static_cast<double>(stats.bytes_received);
+  state.counters["requests"] = static_cast<double>(stats.requests_sent);
+  state.counters["merge_ms"] = stats.merge_nanos / 1e6;
+  state.counters["frequent_itemsets"] = static_cast<double>(total_frequent);
+}
+
+void BM_DistMineInProcess(benchmark::State& state) {
+  const dist::MechanismSpec spec = SpecFor(static_cast<int>(state.range(0)));
+  const size_t num_workers = static_cast<size_t>(state.range(1));
+  dist::DistStats stats;
+  size_t total_frequent = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<dist::InProcessWorker>> workers;
+    std::vector<std::unique_ptr<dist::Transport>> transports;
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.push_back(
+          std::make_unique<dist::InProcessWorker>(MakeWorkerOptions()));
+      transports.push_back(workers.back()->TakeCoordinatorEndpoint());
+    }
+    dist::CoordinatorOptions options;
+    options.perturb_seed = kPerturbSeed;
+    auto coordinator = *dist::Coordinator::Connect(
+        std::move(transports), Table().schema(), spec, kRows, options);
+    const mining::AprioriResult result = *coordinator->Mine(MiningOptions());
+    benchmark::DoNotOptimize(result.TotalFrequent());
+    total_frequent = result.TotalFrequent();
+    stats = coordinator->stats();
+    coordinator->Shutdown();
+  }
+  ReportStats(state, stats, total_frequent);
+}
+BENCHMARK(BM_DistMineInProcess)
+    ->ArgNames({"mech", "workers"})
+    // DET-GD (0) and MASK (2), the acceptance grid's mechanisms.
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistMineTcpLoopback(benchmark::State& state) {
+  const dist::MechanismSpec spec = SpecFor(static_cast<int>(state.range(0)));
+  const size_t num_workers = static_cast<size_t>(state.range(1));
+  dist::DistStats stats;
+  size_t total_frequent = 0;
+  for (auto _ : state) {
+    // One listener+thread per worker per iteration: the measured time
+    // includes connection setup, as a real deployment's first mine would.
+    struct TcpWorker {
+      std::unique_ptr<dist::TcpListener> listener;
+      std::thread thread;
+      Status result;
+    };
+    std::vector<std::unique_ptr<TcpWorker>> workers;
+    std::vector<std::unique_ptr<dist::Transport>> transports;
+    for (size_t w = 0; w < num_workers; ++w) {
+      auto worker = std::make_unique<TcpWorker>();
+      worker->listener = std::make_unique<dist::TcpListener>(
+          *dist::TcpListener::Bind("127.0.0.1", 0));
+      dist::TcpListener* listener = worker->listener.get();
+      Status* result = &worker->result;
+      worker->thread = std::thread([listener, result] {
+        StatusOr<std::unique_ptr<dist::Transport>> accepted =
+            listener->Accept();
+        if (!accepted.ok()) {
+          *result = accepted.status();
+          return;
+        }
+        *result = dist::ServeWorker(**accepted, MakeWorkerOptions());
+      });
+      transports.push_back(
+          *dist::TcpConnect("127.0.0.1", worker->listener->port()));
+      workers.push_back(std::move(worker));
+    }
+    dist::CoordinatorOptions options;
+    options.perturb_seed = kPerturbSeed;
+    auto coordinator = *dist::Coordinator::Connect(
+        std::move(transports), Table().schema(), spec, kRows, options);
+    const mining::AprioriResult result = *coordinator->Mine(MiningOptions());
+    benchmark::DoNotOptimize(result.TotalFrequent());
+    total_frequent = result.TotalFrequent();
+    stats = coordinator->stats();
+    coordinator->Shutdown();
+    for (auto& worker : workers) worker->thread.join();
+  }
+  ReportStats(state, stats, total_frequent);
+}
+BENCHMARK(BM_DistMineTcpLoopback)
+    ->ArgNames({"mech", "workers"})
+    ->Args({0, 2})
+    ->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineReference(benchmark::State& state) {
+  const dist::MechanismSpec spec = SpecFor(static_cast<int>(state.range(0)));
+  size_t total_frequent = 0;
+  for (auto _ : state) {
+    auto mechanism = *dist::MakeMechanism(spec, Table().schema());
+    pipeline::PipelineOptions options;
+    options.num_shards = 3;
+    options.perturb_seed = kPerturbSeed;
+    options.mining = MiningOptions();
+    const pipeline::PipelineResult result =
+        *pipeline::PrivacyPipeline(options).Run(*mechanism, Table());
+    benchmark::DoNotOptimize(result.mined.TotalFrequent());
+    total_frequent = result.mined.TotalFrequent();
+  }
+  state.counters["frequent_itemsets"] = static_cast<double>(total_frequent);
+}
+BENCHMARK(BM_PipelineReference)
+    ->ArgNames({"mech"})
+    ->Arg(0)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Deterministic pairwise tree merge of per-partition count vectors: the ONE
+// reduce both the in-process sharded indexes and the frapp/dist coordinator
+// use, so the schedule the bit-identity invariant rests on cannot drift
+// between them.
+
+#ifndef FRAPP_COMMON_TREE_MERGE_H_
+#define FRAPP_COMMON_TREE_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace frapp {
+namespace common {
+
+/// Element-wise sums `vectors[1..]` into `vectors[0]` by a fixed pairwise
+/// tree over the partition order. Integer sums are order-independent
+/// anyway; the fixed tree keeps the merge schedule a pure function of the
+/// partition count and its depth O(log n) — the shape a distributed reduce
+/// uses. All vectors must have equal length.
+template <typename T>
+void TreeMergeVectors(std::vector<std::vector<T>>& vectors) {
+  for (size_t stride = 1; stride < vectors.size(); stride *= 2) {
+    for (size_t i = 0; i + stride < vectors.size(); i += 2 * stride) {
+      std::vector<T>& into = vectors[i];
+      const std::vector<T>& from = vectors[i + stride];
+      for (size_t c = 0; c < into.size(); ++c) into[c] += from[c];
+    }
+  }
+}
+
+}  // namespace common
+}  // namespace frapp
+
+#endif  // FRAPP_COMMON_TREE_MERGE_H_

@@ -303,15 +303,57 @@ StatusOr<double> CutPasteSupportEstimator::EstimateSupport(
   positions.reserve(k);
   for (const mining::Item& item : itemset.items()) {
     const size_t pos = layout_.BitPosition(item.attribute, item.category);
-    if (pos < index_.num_bits()) positions.push_back(pos);
+    if (pos < source_->num_bits()) positions.push_back(pos);
   }
-  const std::vector<int64_t> histogram =
-      index_.HitHistogram(positions, num_threads_);
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<int64_t> histogram,
+                         source_->HitHistogram(positions));
   linalg::Vector y(k + 1);
   for (size_t j = 0; j < histogram.size(); ++j) {
     y[j] = static_cast<double>(histogram[j]);
   }
-  return scheme_.ReconstructFromHitHistogram(y, index_.num_rows(), k);
+  return scheme_.ReconstructFromHitHistogram(y, source_->num_rows(), k);
+}
+
+StatusOr<std::vector<double>> CutPasteSupportEstimator::EstimateSupports(
+    const std::vector<mining::Itemset>& itemsets) {
+  std::vector<double> supports(itemsets.size(), 0.0);
+  std::vector<std::vector<size_t>> candidates;
+  std::vector<size_t> slots;  // candidates[j] reconstructs itemsets[slots[j]]
+  candidates.reserve(itemsets.size());
+  slots.reserve(itemsets.size());
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    const size_t k = itemsets[i].size();
+    if (k == 0) return Status::InvalidArgument("empty itemset");
+    if (k > scheme_.cutoff_k()) continue;  // structurally singular: stays 0
+    if (k > data::BooleanVerticalIndex::kMaxPatternLength) {
+      return Status::InvalidArgument("itemset too long for 2^k counting");
+    }
+    std::vector<size_t> positions;
+    positions.reserve(k);
+    for (const mining::Item& item : itemsets[i].items()) {
+      const size_t pos = layout_.BitPosition(item.attribute, item.category);
+      if (pos < source_->num_bits()) positions.push_back(pos);
+    }
+    candidates.push_back(std::move(positions));
+    slots.push_back(i);
+  }
+  if (candidates.empty()) return supports;
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<std::vector<int64_t>> pattern_counts,
+                         source_->PatternCountsBatch(candidates));
+  for (size_t c = 0; c < pattern_counts.size(); ++c) {
+    const size_t k = itemsets[slots[c]].size();
+    const std::vector<int64_t> histogram =
+        data::BooleanVerticalIndex::HistogramFromPatternCounts(
+            pattern_counts[c], candidates[c].size());
+    linalg::Vector y(k + 1);
+    for (size_t j = 0; j < histogram.size(); ++j) {
+      y[j] = static_cast<double>(histogram[j]);
+    }
+    FRAPP_ASSIGN_OR_RETURN(supports[slots[c]],
+                           scheme_.ReconstructFromHitHistogram(
+                               y, source_->num_rows(), k));
+  }
+  return supports;
 }
 
 }  // namespace core

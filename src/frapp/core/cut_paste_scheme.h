@@ -27,6 +27,7 @@
 #include "frapp/common/statusor.h"
 #include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/pattern_count_source.h"
 #include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/linalg/lu.h"
 #include "frapp/linalg/matrix.h"
@@ -123,20 +124,26 @@ class CutPasteScheme {
 };
 
 /// Support oracle plugging C&P into Apriori. Every candidate's
-/// partial-support histogram comes from a sharded vertical bitmap index of
-/// the perturbed boolean database — no perturbed rows are retained, so the
-/// pipeline can drop each shard's rows the moment they are indexed.
+/// partial-support histogram comes from an abstract PatternCountSource — a
+/// sharded vertical bitmap index of the perturbed boolean database (no
+/// perturbed rows retained, so the pipeline can drop each shard's rows the
+/// moment they are indexed), or a frapp/dist coordinator merging remote
+/// workers' vectors.
 class CutPasteSupportEstimator : public mining::SupportEstimator {
  public:
+  /// Reconstruction over whatever produces the total pattern counts.
+  CutPasteSupportEstimator(const CutPasteScheme& scheme, data::BooleanLayout layout,
+                           std::shared_ptr<data::PatternCountSource> source)
+      : scheme_(scheme), layout_(std::move(layout)), source_(std::move(source)) {}
+
   /// Owns the (possibly multi-shard) index; `num_threads` parallelizes each
   /// histogram pass (never affects results).
   CutPasteSupportEstimator(const CutPasteScheme& scheme, data::BooleanLayout layout,
                            data::ShardedBooleanVerticalIndex index,
                            size_t num_threads = 1)
-      : scheme_(scheme),
-        layout_(std::move(layout)),
-        index_(std::move(index)),
-        num_threads_(num_threads) {}
+      : CutPasteSupportEstimator(scheme, std::move(layout),
+                                 std::make_shared<data::LocalPatternCountSource>(
+                                     std::move(index), num_threads)) {}
 
   /// Convenience for the monolithic Prepare() path: one shard over
   /// `perturbed` (the rows are not retained).
@@ -148,11 +155,16 @@ class CutPasteSupportEstimator : public mining::SupportEstimator {
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
+  /// Whole-pass batch over PatternCountsBatch (few round trips on a remote
+  /// source), histograms derived per candidate by the shared popcount fold
+  /// — identical arithmetic to the one-at-a-time path.
+  StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<mining::Itemset>& itemsets) override;
+
  private:
   CutPasteScheme scheme_;
   data::BooleanLayout layout_;
-  data::ShardedBooleanVerticalIndex index_;
-  size_t num_threads_ = 1;
+  std::shared_ptr<data::PatternCountSource> source_;
 };
 
 }  // namespace core

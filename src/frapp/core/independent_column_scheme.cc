@@ -144,10 +144,11 @@ StatusOr<double> IndependentColumnSupportEstimator::EstimateSupport(
       }
       cells.push_back(mining::Itemset::FromSortedUnchecked(std::move(items)));
     }
-    const std::vector<size_t> counts = index_.CountSupports(cells, num_threads_);
+    FRAPP_ASSIGN_OR_RETURN(const std::vector<uint64_t> counts,
+                           source_->CountSupports(cells));
     linalg::Vector y(domain);
     for (size_t u = 0; u < domain; ++u) y[u] = static_cast<double>(counts[u]);
-    const double n = static_cast<double>(index_.num_rows());
+    const double n = static_cast<double>(source_->num_rows());
     if (n > 0.0) y.Scale(1.0 / n);
 
     std::vector<linalg::Matrix> factors;

@@ -18,6 +18,7 @@
 #define FRAPP_CORE_INDEPENDENT_COLUMN_SCHEME_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "frapp/common/statusor.h"
@@ -25,6 +26,7 @@
 #include "frapp/data/table.h"
 #include "frapp/linalg/matrix.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/mining/count_source.h"
 #include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/random/rng.h"
 
@@ -84,17 +86,28 @@ class IndependentColumnScheme {
 /// histogram over each candidate's attribute subset through the Kronecker
 /// inverse of the per-attribute matrices, caching per attribute subset. The
 /// joint histogram is assembled by batch-counting every category combination
-/// of the subset domain against a sharded vertical index of the perturbed
-/// table — integer sums over any row partition, so no perturbed rows are
-/// retained and results are shard- and thread-count invariant.
+/// of the subset domain against an abstract SupportCountSource (a sharded
+/// vertical index of the perturbed table, or a frapp/dist coordinator's
+/// merged remote vectors) — integer sums over any row partition, so no
+/// perturbed rows are retained and results are shard-, thread- and
+/// worker-count invariant.
 class IndependentColumnSupportEstimator : public mining::SupportEstimator {
  public:
-  /// Owns the (possibly multi-shard) index; `scheme` must outlive the
-  /// estimator. `num_threads` parallelizes each counting pass.
+  /// Reconstruction over whatever produces the total counts; `scheme` must
+  /// outlive the estimator.
+  IndependentColumnSupportEstimator(
+      const IndependentColumnScheme& scheme,
+      std::shared_ptr<mining::SupportCountSource> source)
+      : scheme_(scheme), source_(std::move(source)) {}
+
+  /// Owns the (possibly multi-shard) index; `num_threads` parallelizes each
+  /// counting pass.
   IndependentColumnSupportEstimator(const IndependentColumnScheme& scheme,
                                     mining::ShardedVerticalIndex index,
                                     size_t num_threads = 1)
-      : scheme_(scheme), index_(std::move(index)), num_threads_(num_threads) {}
+      : IndependentColumnSupportEstimator(
+            scheme, std::make_shared<mining::LocalSupportCountSource>(
+                        std::move(index), num_threads)) {}
 
   /// Convenience for the monolithic Prepare() path: one shard over
   /// `perturbed` (the rows are not retained).
@@ -108,8 +121,7 @@ class IndependentColumnSupportEstimator : public mining::SupportEstimator {
 
  private:
   const IndependentColumnScheme& scheme_;
-  mining::ShardedVerticalIndex index_;
-  size_t num_threads_ = 1;
+  std::shared_ptr<mining::SupportCountSource> source_;
   // attribute-mask -> reconstructed support fractions over the subset domain
   std::map<uint32_t, linalg::Vector> cache_;
 };

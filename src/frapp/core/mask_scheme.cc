@@ -148,21 +148,56 @@ StatusOr<double> MaskSupportEstimator::EstimateSupport(
     return Status::InvalidArgument("itemset too long for 2^k counting");
   }
   // An empty stream has no bits to resolve against; every support is 0.
-  if (index_.num_rows() == 0) return 0.0;
+  if (source_->num_rows() == 0) return 0.0;
   std::vector<size_t> positions;
   positions.reserve(itemset.size());
   for (const mining::Item& item : itemset.items()) {
     const size_t pos = layout_.BitPosition(item.attribute, item.category);
-    if (pos >= index_.num_bits()) {
+    if (pos >= source_->num_bits()) {
       return Status::OutOfRange("bit position out of range");
     }
     positions.push_back(pos);
   }
-  const std::vector<int64_t> pattern_counts =
-      index_.PatternCounts(positions, num_threads_);
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<int64_t> pattern_counts,
+                         source_->PatternCounts(positions));
   std::vector<double> counts(pattern_counts.begin(), pattern_counts.end());
   return scheme_.ReconstructFromPatternCounts(std::move(counts),
-                                              index_.num_rows());
+                                              source_->num_rows());
+}
+
+StatusOr<std::vector<double>> MaskSupportEstimator::EstimateSupports(
+    const std::vector<mining::Itemset>& itemsets) {
+  std::vector<double> supports(itemsets.size(), 0.0);
+  std::vector<std::vector<size_t>> candidates;
+  candidates.reserve(itemsets.size());
+  for (const mining::Itemset& itemset : itemsets) {
+    if (itemset.empty()) return Status::InvalidArgument("empty itemset");
+    if (itemset.size() > data::BooleanVerticalIndex::kMaxPatternLength) {
+      return Status::InvalidArgument("itemset too long for 2^k counting");
+    }
+    if (source_->num_rows() == 0) continue;  // every support stays 0
+    std::vector<size_t> positions;
+    positions.reserve(itemset.size());
+    for (const mining::Item& item : itemset.items()) {
+      const size_t pos = layout_.BitPosition(item.attribute, item.category);
+      if (pos >= source_->num_bits()) {
+        return Status::OutOfRange("bit position out of range");
+      }
+      positions.push_back(pos);
+    }
+    candidates.push_back(std::move(positions));
+  }
+  if (candidates.empty()) return supports;
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<std::vector<int64_t>> pattern_counts,
+                         source_->PatternCountsBatch(candidates));
+  for (size_t c = 0; c < pattern_counts.size(); ++c) {
+    std::vector<double> counts(pattern_counts[c].begin(),
+                               pattern_counts[c].end());
+    FRAPP_ASSIGN_OR_RETURN(
+        supports[c], scheme_.ReconstructFromPatternCounts(
+                         std::move(counts), source_->num_rows()));
+  }
+  return supports;
 }
 
 }  // namespace core

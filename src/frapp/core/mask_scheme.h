@@ -17,11 +17,13 @@
 #ifndef FRAPP_CORE_MASK_SCHEME_H_
 #define FRAPP_CORE_MASK_SCHEME_H_
 
+#include <memory>
 #include <vector>
 
 #include "frapp/common/statusor.h"
 #include "frapp/data/boolean_vertical_index.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/pattern_count_source.h"
 #include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/mining/apriori.h"
 #include "frapp/random/rng.h"
@@ -94,21 +96,26 @@ class MaskScheme {
 };
 
 /// Support oracle plugging MASK into Apriori: one-hot layout resolution plus
-/// per-candidate tensor reconstruction. Every pattern count comes from a
-/// sharded vertical bitmap index of the perturbed boolean database — no
-/// perturbed rows are retained, which is what lets the pipeline drop each
-/// shard's rows the moment they are indexed.
+/// per-candidate tensor reconstruction. Every pattern count comes from an
+/// abstract PatternCountSource — a sharded vertical bitmap index of the
+/// perturbed boolean database (no perturbed rows retained, which is what
+/// lets the pipeline drop each shard's rows the moment they are indexed), or
+/// a frapp/dist coordinator merging remote workers' vectors.
 class MaskSupportEstimator : public mining::SupportEstimator {
  public:
+  /// Reconstruction over whatever produces the total pattern counts.
+  MaskSupportEstimator(const MaskScheme& scheme, data::BooleanLayout layout,
+                       std::shared_ptr<data::PatternCountSource> source)
+      : scheme_(scheme), layout_(std::move(layout)), source_(std::move(source)) {}
+
   /// Owns the (possibly multi-shard) index; `num_threads` parallelizes each
   /// pattern-counting pass (never affects results).
   MaskSupportEstimator(const MaskScheme& scheme, data::BooleanLayout layout,
                        data::ShardedBooleanVerticalIndex index,
                        size_t num_threads = 1)
-      : scheme_(scheme),
-        layout_(std::move(layout)),
-        index_(std::move(index)),
-        num_threads_(num_threads) {}
+      : MaskSupportEstimator(scheme, std::move(layout),
+                             std::make_shared<data::LocalPatternCountSource>(
+                                 std::move(index), num_threads)) {}
 
   /// Convenience for the monolithic Prepare() path: one shard over
   /// `perturbed` (the rows are not retained).
@@ -120,11 +127,18 @@ class MaskSupportEstimator : public mining::SupportEstimator {
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
 
+  /// Whole-pass batch: resolves every candidate's bit positions, fetches
+  /// all pattern counts through one PatternCountsBatch (a remote source
+  /// turns that into a few candidate-block round trips instead of one per
+  /// candidate), then reconstructs per candidate — identical arithmetic to
+  /// the one-at-a-time path.
+  StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<mining::Itemset>& itemsets) override;
+
  private:
   MaskScheme scheme_;
   data::BooleanLayout layout_;
-  data::ShardedBooleanVerticalIndex index_;
-  size_t num_threads_ = 1;
+  std::shared_ptr<data::PatternCountSource> source_;
 };
 
 }  // namespace core

@@ -33,36 +33,64 @@ StatusOr<data::BooleanTable> Mechanism::PerturbBooleanShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-Mechanism::MakeShardedEstimator(mining::ShardedVerticalIndex, size_t) {
-  return Status::Unimplemented(name() + " does not stream categorical shards");
+Mechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
+                                size_t num_threads) {
+  return MakeCountSourceEstimator(
+      std::make_shared<mining::LocalSupportCountSource>(std::move(index),
+                                                        num_threads));
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-Mechanism::MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex,
-                                       size_t) {
-  return Status::Unimplemented(name() + " does not stream boolean shards");
+Mechanism::MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex index,
+                                       size_t num_threads) {
+  return MakeBooleanCountSourceEstimator(
+      std::make_shared<data::LocalPatternCountSource>(std::move(index),
+                                                      num_threads));
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+Mechanism::MakeCountSourceEstimator(
+    std::shared_ptr<mining::SupportCountSource>) {
+  return Status::Unimplemented(
+      name() + " does not reconstruct from categorical count vectors");
+}
+
+StatusOr<std::unique_ptr<mining::SupportEstimator>>
+Mechanism::MakeBooleanCountSourceEstimator(
+    std::shared_ptr<data::PatternCountSource>) {
+  return Status::Unimplemented(
+      name() + " does not reconstruct from boolean pattern-count vectors");
 }
 
 StatusOr<double> GammaSupportEstimator::EstimateSupport(
     const mining::Itemset& itemset) {
-  const double perturbed_support =
-      index_.has_value() ? index_->SupportFraction(itemset)
-                         : mining::SupportFraction(*perturbed_, itemset);
-  return reconstructor_.ReconstructSupport(perturbed_support,
+  if (source_ == nullptr) {
+    return reconstructor_.ReconstructSupport(
+        mining::SupportFraction(*perturbed_, itemset),
+        SubsetDomainSize(schema_, itemset));
+  }
+  FRAPP_ASSIGN_OR_RETURN(
+      const std::vector<uint64_t> counts,
+      source_->CountSupports(std::vector<mining::Itemset>{itemset}));
+  const double n = static_cast<double>(source_->num_rows());
+  const double fraction = n == 0.0 ? 0.0 : static_cast<double>(counts[0]) / n;
+  return reconstructor_.ReconstructSupport(fraction,
                                            SubsetDomainSize(schema_, itemset));
 }
 
 StatusOr<std::vector<double>> GammaSupportEstimator::EstimateSupports(
     const std::vector<mining::Itemset>& itemsets) {
-  if (!index_.has_value()) {
+  if (source_ == nullptr) {
     return mining::SupportEstimator::EstimateSupports(itemsets);
   }
-  // Whole-pass shard-parallel counting over the bitmaps, then the
-  // per-candidate closed-form inverse (cheap scalar math) on the TOTAL
-  // fraction — one division and one inverse per candidate regardless of the
-  // shard count, so results match the monolithic path bit for bit.
-  const std::vector<size_t> counts = index_->CountSupports(itemsets, num_threads_);
-  const double n = static_cast<double>(index_->num_rows());
+  // Whole-pass counting over the source (shard-parallel locally, fanned out
+  // and merged remotely), then the per-candidate closed-form inverse (cheap
+  // scalar math) on the TOTAL fraction — one division and one inverse per
+  // candidate regardless of where the counts came from, so results match
+  // the monolithic path bit for bit.
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<uint64_t> counts,
+                         source_->CountSupports(itemsets));
+  const double n = static_cast<double>(source_->num_rows());
   std::vector<double> supports(itemsets.size());
   for (size_t c = 0; c < itemsets.size(); ++c) {
     const double fraction = n == 0.0 ? 0.0 : static_cast<double>(counts[c]) / n;
@@ -111,11 +139,11 @@ StatusOr<data::CategoricalTable> DetGdMechanism::PerturbShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-DetGdMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
-                                     size_t num_threads) {
+DetGdMechanism::MakeCountSourceEstimator(
+    std::shared_ptr<mining::SupportCountSource> source) {
   return std::unique_ptr<mining::SupportEstimator>(
       std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
-                                              std::move(index), num_threads));
+                                              std::move(source)));
 }
 
 // ---------------------------------------------------------------- RAN-GD --
@@ -158,11 +186,11 @@ StatusOr<data::CategoricalTable> RanGdMechanism::PerturbShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-RanGdMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
-                                     size_t num_threads) {
+RanGdMechanism::MakeCountSourceEstimator(
+    std::shared_ptr<mining::SupportCountSource> source) {
   return std::unique_ptr<mining::SupportEstimator>(
       std::make_unique<GammaSupportEstimator>(schema_, reconstructor_,
-                                              std::move(index), num_threads));
+                                              std::move(source)));
 }
 
 double RanGdMechanism::Amplification() const {
@@ -207,11 +235,11 @@ StatusOr<data::BooleanTable> MaskMechanism::PerturbBooleanShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-MaskMechanism::MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex index,
-                                           size_t num_threads) {
+MaskMechanism::MakeBooleanCountSourceEstimator(
+    std::shared_ptr<data::PatternCountSource> source) {
   return std::unique_ptr<mining::SupportEstimator>(
-      std::make_unique<MaskSupportEstimator>(scheme_, layout_, std::move(index),
-                                             num_threads));
+      std::make_unique<MaskSupportEstimator>(scheme_, layout_,
+                                             std::move(source)));
 }
 
 mining::SupportEstimator& MaskMechanism::estimator() {
@@ -261,11 +289,11 @@ StatusOr<data::BooleanTable> CutPasteMechanism::PerturbBooleanShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-CutPasteMechanism::MakeShardedBooleanEstimator(
-    data::ShardedBooleanVerticalIndex index, size_t num_threads) {
+CutPasteMechanism::MakeBooleanCountSourceEstimator(
+    std::shared_ptr<data::PatternCountSource> source) {
   return std::unique_ptr<mining::SupportEstimator>(
       std::make_unique<CutPasteSupportEstimator>(scheme_, layout_,
-                                                 std::move(index), num_threads));
+                                                 std::move(source)));
 }
 
 mining::SupportEstimator& CutPasteMechanism::estimator() {
@@ -307,11 +335,11 @@ StatusOr<data::CategoricalTable> IndependentColumnMechanism::PerturbShard(
 }
 
 StatusOr<std::unique_ptr<mining::SupportEstimator>>
-IndependentColumnMechanism::MakeShardedEstimator(mining::ShardedVerticalIndex index,
-                                                 size_t num_threads) {
+IndependentColumnMechanism::MakeCountSourceEstimator(
+    std::shared_ptr<mining::SupportCountSource> source) {
   return std::unique_ptr<mining::SupportEstimator>(
-      std::make_unique<IndependentColumnSupportEstimator>(scheme_, std::move(index),
-                                                          num_threads));
+      std::make_unique<IndependentColumnSupportEstimator>(scheme_,
+                                                          std::move(source)));
 }
 
 mining::SupportEstimator& IndependentColumnMechanism::estimator() {

@@ -19,10 +19,12 @@
 #include "frapp/core/randomized_gamma.h"
 #include "frapp/core/subset_reconstruction.h"
 #include "frapp/data/boolean_view.h"
+#include "frapp/data/pattern_count_source.h"
 #include "frapp/data/sharded_boolean_vertical_index.h"
 #include "frapp/data/sharded_table.h"
 #include "frapp/data/table.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/mining/count_source.h"
 #include "frapp/mining/sharded_vertical_index.h"
 #include "frapp/random/rng.h"
 
@@ -92,15 +94,33 @@ class Mechanism {
 
   /// Miner side over the merged per-shard indexes of the perturbed
   /// categorical shards; `num_threads` parallelizes each candidate-counting
-  /// pass.
+  /// pass. The default wraps the index in a LocalSupportCountSource and
+  /// delegates to MakeCountSourceEstimator — counting locality is not the
+  /// mechanism's concern.
   virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
   MakeShardedEstimator(mining::ShardedVerticalIndex index, size_t num_threads);
 
   /// Miner side over the merged per-shard boolean indexes of the perturbed
-  /// boolean shards.
+  /// boolean shards. Default delegates to MakeBooleanCountSourceEstimator
+  /// over a LocalPatternCountSource.
   virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
   MakeShardedBooleanEstimator(data::ShardedBooleanVerticalIndex index,
                               size_t num_threads);
+
+  /// Miner side over an ABSTRACT count source: the mechanism's
+  /// reconstruction fed by total integer count vectors, wherever they come
+  /// from — a local sharded index or a frapp/dist coordinator merging
+  /// per-worker vectors. Because reconstruction consumes only the totals,
+  /// the result is bit-identical across those placements. Only for
+  /// shard_kind() == kCategorical.
+  virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeCountSourceEstimator(std::shared_ptr<mining::SupportCountSource> source);
+
+  /// Boolean counterpart (pattern-count vectors). Only for shard_kind() ==
+  /// kBoolean.
+  virtual StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeBooleanCountSourceEstimator(
+      std::shared_ptr<data::PatternCountSource> source);
 };
 
 /// DET-GD: deterministic gamma-diagonal matrix (paper Sections 3, 5, 6).
@@ -119,8 +139,8 @@ class DetGdMechanism : public Mechanism {
   bool SupportsShardStreaming() const override { return true; }
   StatusOr<data::CategoricalTable> PerturbShard(
       const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
-  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
-      mining::ShardedVerticalIndex index, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeCountSourceEstimator(
+      std::shared_ptr<mining::SupportCountSource> source) override;
 
   /// The perturbed database (valid after Prepare; exposed for examples).
   const data::CategoricalTable& perturbed() const { return *perturbed_; }
@@ -159,8 +179,8 @@ class RanGdMechanism : public Mechanism {
   bool SupportsShardStreaming() const override { return true; }
   StatusOr<data::CategoricalTable> PerturbShard(
       const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
-  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
-      mining::ShardedVerticalIndex index, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeCountSourceEstimator(
+      std::shared_ptr<mining::SupportCountSource> source) override;
 
   const RandomizedGammaPerturber& perturber() const { return perturber_; }
 
@@ -198,8 +218,9 @@ class MaskMechanism : public Mechanism {
   ShardKind shard_kind() const override { return ShardKind::kBoolean; }
   StatusOr<data::BooleanTable> PerturbBooleanShard(
       const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
-  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedBooleanEstimator(
-      data::ShardedBooleanVerticalIndex index, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeBooleanCountSourceEstimator(
+      std::shared_ptr<data::PatternCountSource> source) override;
 
   const MaskScheme& scheme() const { return scheme_; }
 
@@ -232,8 +253,9 @@ class CutPasteMechanism : public Mechanism {
   ShardKind shard_kind() const override { return ShardKind::kBoolean; }
   StatusOr<data::BooleanTable> PerturbBooleanShard(
       const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
-  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedBooleanEstimator(
-      data::ShardedBooleanVerticalIndex index, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>>
+  MakeBooleanCountSourceEstimator(
+      std::shared_ptr<data::PatternCountSource> source) override;
 
   const CutPasteScheme& scheme() const { return scheme_; }
 
@@ -265,8 +287,8 @@ class IndependentColumnMechanism : public Mechanism {
   bool SupportsShardStreaming() const override { return true; }
   StatusOr<data::CategoricalTable> PerturbShard(
       const data::ShardView& shard, uint64_t seed, size_t num_threads) override;
-  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeShardedEstimator(
-      mining::ShardedVerticalIndex index, size_t num_threads) override;
+  StatusOr<std::unique_ptr<mining::SupportEstimator>> MakeCountSourceEstimator(
+      std::shared_ptr<mining::SupportCountSource> source) override;
 
  private:
   IndependentColumnMechanism(data::CategoricalSchema schema,
@@ -280,11 +302,12 @@ class IndependentColumnMechanism : public Mechanism {
 
 /// Support oracle shared by DET-GD and RAN-GD: counts the candidate's
 /// support in the perturbed categorical database and applies the Eq. 28
-/// closed-form inverse. Counting runs over a (possibly sharded) vertical
-/// bitmap index; the inverse needs only the TOTAL perturbed count, so the
-/// reconstructed supports are bit-identical for every shard and thread
-/// count. `use_vertical_index = false` keeps the scalar row scan, as a
-/// benchmark baseline.
+/// closed-form inverse. Counting runs over an abstract SupportCountSource
+/// (local sharded bitmap index, or a frapp/dist coordinator's merged remote
+/// vectors); the inverse needs only the TOTAL perturbed count, so the
+/// reconstructed supports are bit-identical for every shard, thread and
+/// worker count. `use_vertical_index = false` keeps the scalar row scan, as
+/// a benchmark baseline.
 class GammaSupportEstimator : public mining::SupportEstimator {
  public:
   /// Monolithic construction: builds a one-shard index over `perturbed`
@@ -297,7 +320,8 @@ class GammaSupportEstimator : public mining::SupportEstimator {
         reconstructor_(std::move(reconstructor)),
         perturbed_(&perturbed) {
     if (use_vertical_index) {
-      index_ = mining::ShardedVerticalIndex::Build(perturbed, /*num_shards=*/1);
+      source_ = std::make_shared<mining::LocalSupportCountSource>(
+          mining::ShardedVerticalIndex::Build(perturbed, /*num_shards=*/1));
     }
   }
 
@@ -309,8 +333,17 @@ class GammaSupportEstimator : public mining::SupportEstimator {
                         mining::ShardedVerticalIndex index, size_t num_threads)
       : schema_(schema),
         reconstructor_(std::move(reconstructor)),
-        index_(std::move(index)),
-        num_threads_(num_threads) {}
+        source_(std::make_shared<mining::LocalSupportCountSource>(
+            std::move(index), num_threads)) {}
+
+  /// Count-source construction: reconstruction over whatever produces the
+  /// total counts (the frapp/dist coordinator path).
+  GammaSupportEstimator(const data::CategoricalSchema& schema,
+                        GammaSubsetReconstructor reconstructor,
+                        std::shared_ptr<mining::SupportCountSource> source)
+      : schema_(schema),
+        reconstructor_(std::move(reconstructor)),
+        source_(std::move(source)) {}
 
   StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override;
   StatusOr<std::vector<double>> EstimateSupports(
@@ -320,8 +353,7 @@ class GammaSupportEstimator : public mining::SupportEstimator {
   const data::CategoricalSchema& schema_;
   GammaSubsetReconstructor reconstructor_;
   const data::CategoricalTable* perturbed_ = nullptr;  // scalar fallback only
-  std::optional<mining::ShardedVerticalIndex> index_;
-  size_t num_threads_ = 1;
+  std::shared_ptr<mining::SupportCountSource> source_;
 };
 
 }  // namespace core

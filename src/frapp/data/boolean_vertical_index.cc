@@ -78,10 +78,15 @@ std::vector<int64_t> BooleanVerticalIndex::PatternCounts(
 
 std::vector<int64_t> BooleanVerticalIndex::HitHistogram(
     const std::vector<size_t>& positions) const {
-  const std::vector<int64_t> patterns = PatternCounts(positions);
-  std::vector<int64_t> histogram(positions.size() + 1, 0);
-  for (size_t a = 0; a < patterns.size(); ++a) {
-    histogram[static_cast<size_t>(__builtin_popcountll(a))] += patterns[a];
+  return HistogramFromPatternCounts(PatternCounts(positions),
+                                    positions.size());
+}
+
+std::vector<int64_t> BooleanVerticalIndex::HistogramFromPatternCounts(
+    const std::vector<int64_t>& counts, size_t num_positions) {
+  std::vector<int64_t> histogram(num_positions + 1, 0);
+  for (size_t a = 0; a < counts.size(); ++a) {
+    histogram[static_cast<size_t>(__builtin_popcountll(a))] += counts[a];
   }
   return histogram;
 }

@@ -79,6 +79,14 @@ class BooleanVerticalIndex {
   /// it commutes with summing per-shard superset vectors.
   static void MobiusExactCounts(std::vector<int64_t>& counts);
 
+  /// Popcount fold of exact-pattern counts into a hit histogram:
+  /// out[j] = sum of counts[A] with popcount(A) == j, for j in
+  /// [0, num_positions]. The ONE derivation every HitHistogram — monolithic,
+  /// sharded, or a remote count source's — goes through, so the local and
+  /// distributed paths cannot drift.
+  static std::vector<int64_t> HistogramFromPatternCounts(
+      const std::vector<int64_t>& counts, size_t num_positions);
+
  private:
   const uint64_t* Bitmap(size_t position) const {
     return bits_.data() + position * words_;

@@ -1,0 +1,29 @@
+#include "frapp/data/pattern_count_source.h"
+
+#include "frapp/data/boolean_vertical_index.h"
+
+namespace frapp {
+namespace data {
+
+StatusOr<std::vector<std::vector<int64_t>>>
+PatternCountSource::PatternCountsBatch(
+    const std::vector<std::vector<size_t>>& candidates) {
+  std::vector<std::vector<int64_t>> counts;
+  counts.reserve(candidates.size());
+  for (const std::vector<size_t>& positions : candidates) {
+    FRAPP_ASSIGN_OR_RETURN(std::vector<int64_t> one, PatternCounts(positions));
+    counts.push_back(std::move(one));
+  }
+  return counts;
+}
+
+StatusOr<std::vector<int64_t>> PatternCountSource::HitHistogram(
+    const std::vector<size_t>& positions) {
+  FRAPP_ASSIGN_OR_RETURN(const std::vector<int64_t> patterns,
+                         PatternCounts(positions));
+  return BooleanVerticalIndex::HistogramFromPatternCounts(patterns,
+                                                          positions.size());
+}
+
+}  // namespace data
+}  // namespace frapp

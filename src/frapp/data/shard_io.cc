@@ -153,6 +153,22 @@ StatusOr<BinaryShardReader> BinaryShardReader::Open(
   return reader;
 }
 
+Status BinaryShardReader::SkipToRow(size_t row) {
+  if (row > total_rows_) {
+    return Status::OutOfRange("cannot skip to row " + std::to_string(row) +
+                              " of '" + path_ + "' (" +
+                              std::to_string(total_rows_) + " rows)");
+  }
+  const size_t m = schema_.num_attributes();
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(kHeaderBytes + row * m * 2));
+  if (!in_) {
+    return Status::IOError("seek failure on '" + path_ + "'");
+  }
+  rows_read_ = row;
+  return Status::OK();
+}
+
 StatusOr<CategoricalTable> BinaryShardReader::ReadShard(size_t max_rows) {
   FRAPP_ASSIGN_OR_RETURN(CategoricalTable table,
                          CategoricalTable::Create(schema_));

@@ -71,6 +71,12 @@ class BinaryShardReader {
   /// row.
   StatusOr<CategoricalTable> ReadShard(size_t max_rows);
 
+  /// Repositions the stream so the next ReadShard starts at global row
+  /// `row` (<= total_rows) — one seek, no cells touched. This is what lets a
+  /// distributed worker assigned rows [begin, end) of a shared file skip the
+  /// preceding workers' rows at zero parse cost.
+  Status SkipToRow(size_t row);
+
   /// Rows materialized so far (the next shard's first global row index).
   size_t rows_read() const { return rows_read_; }
 

@@ -53,7 +53,7 @@ ShardedBooleanVerticalIndex ShardedBooleanVerticalIndex::Build(
   return FromShards(std::move(shards));
 }
 
-std::vector<int64_t> ShardedBooleanVerticalIndex::PatternCounts(
+std::vector<int64_t> ShardedBooleanVerticalIndex::SupersetCounts(
     const std::vector<size_t>& positions, size_t num_threads) const {
   const size_t k = positions.size();
   FRAPP_CHECK_LE(k, BooleanVerticalIndex::kMaxPatternLength);
@@ -85,21 +85,22 @@ std::vector<int64_t> ShardedBooleanVerticalIndex::PatternCounts(
   for (size_t a = 0; a < patterns; ++a) {
     totals[a] = shared[a].load(std::memory_order_relaxed);
   }
+  return totals;
+}
 
+std::vector<int64_t> ShardedBooleanVerticalIndex::PatternCounts(
+    const std::vector<size_t>& positions, size_t num_threads) const {
   // The Mobius transform is linear, so transforming the summed superset
   // counts equals summing the per-shard transforms.
+  std::vector<int64_t> totals = SupersetCounts(positions, num_threads);
   BooleanVerticalIndex::MobiusExactCounts(totals);
   return totals;
 }
 
 std::vector<int64_t> ShardedBooleanVerticalIndex::HitHistogram(
     const std::vector<size_t>& positions, size_t num_threads) const {
-  const std::vector<int64_t> patterns = PatternCounts(positions, num_threads);
-  std::vector<int64_t> histogram(positions.size() + 1, 0);
-  for (size_t a = 0; a < patterns.size(); ++a) {
-    histogram[static_cast<size_t>(__builtin_popcountll(a))] += patterns[a];
-  }
-  return histogram;
+  return BooleanVerticalIndex::HistogramFromPatternCounts(
+      PatternCounts(positions, num_threads), positions.size());
 }
 
 }  // namespace data

@@ -64,6 +64,14 @@ class ShardedBooleanVerticalIndex {
   std::vector<int64_t> PatternCounts(const std::vector<size_t>& positions,
                                      size_t num_threads = 1) const;
 
+  /// RAW superset-intersection totals: counts[S] = #rows (across all shards)
+  /// with ALL bits of subset S set, bits outside S free. This is the
+  /// pre-Mobius half of PatternCounts — the vector a distributed worker
+  /// ships, since the Mobius transform is linear and can run once on the
+  /// merged totals (see frapp/dist).
+  std::vector<int64_t> SupersetCounts(const std::vector<size_t>& positions,
+                                      size_t num_threads = 1) const;
+
   /// histogram[j] = #rows (across all shards) with exactly j of `positions`
   /// set.
   std::vector<int64_t> HitHistogram(const std::vector<size_t>& positions,

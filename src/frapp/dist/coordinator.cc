@@ -1,0 +1,356 @@
+#include "frapp/dist/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "frapp/common/clock.h"
+#include "frapp/common/parallel.h"
+#include "frapp/common/tree_merge.h"
+#include "frapp/data/boolean_vertical_index.h"
+#include "frapp/data/pattern_count_source.h"
+#include "frapp/data/shard_io.h"
+#include "frapp/data/sharded_table.h"
+#include "frapp/dist/wire.h"
+#include "frapp/mining/count_source.h"
+
+namespace frapp {
+namespace dist {
+
+
+/// Atomic counters behind the DistStats snapshot (updated from pool
+/// threads during fan-out).
+struct Coordinator::Internals {
+  std::atomic<uint64_t> requests_sent{0};
+  std::atomic<uint64_t> responses_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> merge_nanos{0};
+};
+
+// ------------------------------------------------------- remote counting --
+
+/// SupportCountSource whose CountSupports fans candidate blocks out to the
+/// workers and tree-merges the returned vectors.
+class Coordinator::RemoteSupportCountSource
+    : public mining::SupportCountSource {
+ public:
+  explicit RemoteSupportCountSource(Coordinator* coordinator)
+      : coordinator_(coordinator) {}
+
+  size_t num_rows() const override {
+    return static_cast<size_t>(coordinator_->total_rows_);
+  }
+
+  StatusOr<std::vector<uint64_t>> CountSupports(
+      const std::vector<mining::Itemset>& itemsets) override {
+    std::vector<uint64_t> totals;
+    totals.reserve(itemsets.size());
+    const size_t block_size =
+        std::max<size_t>(1, coordinator_->options_.max_itemsets_per_request);
+    for (size_t begin = 0; begin < itemsets.size(); begin += block_size) {
+      const size_t end = std::min(itemsets.size(), begin + block_size);
+      CountRequest request;
+      request.itemsets.assign(itemsets.begin() + begin, itemsets.begin() + end);
+      std::vector<Message> responses;
+      FRAPP_RETURN_IF_ERROR(
+          coordinator_->Broadcast(EncodeCountRequest(request), &responses));
+      const uint64_t merge_start = common::NowNanos();
+      std::vector<std::vector<uint64_t>> vectors(responses.size());
+      for (size_t w = 0; w < responses.size(); ++w) {
+        FRAPP_ASSIGN_OR_RETURN(CountResponse response,
+                               DecodeCountResponse(responses[w]));
+        if (response.counts.size() != end - begin) {
+          return Status::Internal(
+              "worker " + std::to_string(w) + " returned " +
+              std::to_string(response.counts.size()) + " counts for " +
+              std::to_string(end - begin) + " candidates");
+        }
+        vectors[w] = std::move(response.counts);
+      }
+      common::TreeMergeVectors(vectors);
+      totals.insert(totals.end(), vectors[0].begin(), vectors[0].end());
+      coordinator_->internals_->merge_nanos.fetch_add(
+          common::NowNanos() - merge_start, std::memory_order_relaxed);
+    }
+    return totals;
+  }
+
+ private:
+  Coordinator* coordinator_;
+};
+
+/// PatternCountSource whose batches fan candidate BLOCKS of bit positions
+/// out (split on the wire's pattern budget, so a whole Apriori pass costs
+/// few round trips instead of one per candidate), tree-merge the RAW
+/// per-candidate superset vectors, and apply the Mobius transform once per
+/// candidate on the merged totals (it is linear, so this equals
+/// transforming per worker and summing — and bit-equals the single-process
+/// ShardedBooleanVerticalIndex path).
+class Coordinator::RemotePatternCountSource
+    : public data::PatternCountSource {
+ public:
+  explicit RemotePatternCountSource(Coordinator* coordinator)
+      : coordinator_(coordinator) {}
+
+  size_t num_rows() const override {
+    return static_cast<size_t>(coordinator_->total_rows_);
+  }
+  size_t num_bits() const override {
+    return static_cast<size_t>(coordinator_->num_bits_);
+  }
+
+  StatusOr<std::vector<int64_t>> PatternCounts(
+      const std::vector<size_t>& positions) override {
+    FRAPP_ASSIGN_OR_RETURN(std::vector<std::vector<int64_t>> counts,
+                           PatternCountsBatch({positions}));
+    return std::move(counts[0]);
+  }
+
+  StatusOr<std::vector<std::vector<int64_t>>> PatternCountsBatch(
+      const std::vector<std::vector<size_t>>& candidates) override {
+    std::vector<std::vector<int64_t>> totals;
+    totals.reserve(candidates.size());
+    // Greedy blocks under the wire's pattern budget (and the categorical
+    // block cap, for symmetry): block boundaries only change round-trip
+    // granularity, never the integers merged per candidate.
+    size_t begin = 0;
+    while (begin < candidates.size()) {
+      uint64_t budget = 0;
+      size_t end = begin;
+      PatternRequest request;
+      while (end < candidates.size() &&
+             request.candidates.size() <
+                 coordinator_->options_.max_itemsets_per_request) {
+        const std::vector<size_t>& positions = candidates[end];
+        if (positions.size() >
+            data::BooleanVerticalIndex::kMaxPatternLength) {
+          return Status::InvalidArgument("pattern length above the 2^k cap");
+        }
+        const uint64_t patterns = 1ull << positions.size();
+        if (end > begin && budget + patterns > kMaxPatternsPerBatch) break;
+        budget += patterns;
+        request.candidates.emplace_back(positions.begin(), positions.end());
+        ++end;
+      }
+      std::vector<Message> responses;
+      FRAPP_RETURN_IF_ERROR(
+          coordinator_->Broadcast(EncodePatternRequest(request), &responses));
+      const uint64_t merge_start = common::NowNanos();
+      std::vector<PatternResponse> decoded(responses.size());
+      for (size_t w = 0; w < responses.size(); ++w) {
+        FRAPP_ASSIGN_OR_RETURN(decoded[w],
+                               DecodePatternResponse(responses[w]));
+        if (decoded[w].superset_counts.size() != end - begin) {
+          return Status::Internal(
+              "worker " + std::to_string(w) + " returned " +
+              std::to_string(decoded[w].superset_counts.size()) +
+              " superset vectors for " + std::to_string(end - begin) +
+              " candidates");
+        }
+      }
+      for (size_t c = 0; c < end - begin; ++c) {
+        const size_t patterns = 1ull << candidates[begin + c].size();
+        std::vector<std::vector<int64_t>> vectors(decoded.size());
+        for (size_t w = 0; w < decoded.size(); ++w) {
+          if (decoded[w].superset_counts[c].size() != patterns) {
+            return Status::Internal(
+                "worker " + std::to_string(w) +
+                " returned a wrong-sized superset vector");
+          }
+          vectors[w] = std::move(decoded[w].superset_counts[c]);
+        }
+        common::TreeMergeVectors(vectors);
+        std::vector<int64_t> merged = std::move(vectors[0]);
+        data::BooleanVerticalIndex::MobiusExactCounts(merged);
+        totals.push_back(std::move(merged));
+      }
+      coordinator_->internals_->merge_nanos.fetch_add(
+          common::NowNanos() - merge_start, std::memory_order_relaxed);
+      begin = end;
+    }
+    return totals;
+  }
+
+ private:
+  Coordinator* coordinator_;
+};
+
+// ------------------------------------------------------------ coordinator --
+
+Coordinator::Coordinator(std::vector<std::unique_ptr<Transport>> workers,
+                         data::CategoricalSchema schema,
+                         const MechanismSpec& spec,
+                         const CoordinatorOptions& options)
+    : workers_(std::move(workers)),
+      schema_(std::move(schema)),
+      spec_(spec),
+      options_(options),
+      internals_(std::make_unique<Internals>()) {}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+StatusOr<std::unique_ptr<Coordinator>> Coordinator::Connect(
+    std::vector<std::unique_ptr<Transport>> workers,
+    const data::CategoricalSchema& schema, const MechanismSpec& spec,
+    size_t total_rows, const CoordinatorOptions& options) {
+  if (workers.empty()) {
+    return Status::InvalidArgument("Connect needs at least one worker");
+  }
+  std::unique_ptr<Coordinator> coordinator(
+      new Coordinator(std::move(workers), schema, spec, options));
+
+  // The coordinator's own mechanism instance: reconstruction parameters and
+  // the shard-kind the workers must index. Never perturbs anything here.
+  FRAPP_ASSIGN_OR_RETURN(coordinator->mechanism_,
+                         MakeMechanism(spec, coordinator->schema_));
+  if (!coordinator->mechanism_->SupportsShardStreaming()) {
+    return Status::Unimplemented(coordinator->mechanism_->name() +
+                                 " does not stream shards");
+  }
+  coordinator->kind_ = coordinator->mechanism_->shard_kind();
+
+  // One contiguous chunk-aligned range per worker — the same partition
+  // function the in-process pipeline shards with. Workers past the number
+  // of chunk quanta get an empty range (and count zeros, harmlessly).
+  const std::vector<data::RowRange> plan = data::ShardedTable::Plan(
+      total_rows, coordinator->workers_.size(), data::kShardAlignmentRows);
+  const uint64_t fingerprint =
+      data::SchemaFingerprint(coordinator->schema_);
+
+  // Send every Hello before waiting on any ack, so all workers ingest
+  // their ranges concurrently.
+  for (size_t w = 0; w < coordinator->workers_.size(); ++w) {
+    HelloRequest hello;
+    hello.schema_fingerprint = fingerprint;
+    hello.perturb_seed = options.perturb_seed;
+    if (w < plan.size()) {
+      hello.range_begin = plan[w].begin;
+      hello.range_end = plan[w].end;
+    }
+    hello.spec = spec;
+    const Message message = EncodeHello(hello);
+    coordinator->internals_->bytes_sent.fetch_add(message.WireSize(),
+                                                  std::memory_order_relaxed);
+    coordinator->internals_->requests_sent.fetch_add(
+        1, std::memory_order_relaxed);
+    FRAPP_RETURN_IF_ERROR(coordinator->workers_[w]->Send(message));
+  }
+  uint64_t acked_rows = 0;
+  for (size_t w = 0; w < coordinator->workers_.size(); ++w) {
+    FRAPP_ASSIGN_OR_RETURN(const Message message,
+                           coordinator->workers_[w]->Receive());
+    coordinator->internals_->bytes_received.fetch_add(
+        message.WireSize(), std::memory_order_relaxed);
+    coordinator->internals_->responses_received.fetch_add(
+        1, std::memory_order_relaxed);
+    FRAPP_ASSIGN_OR_RETURN(const HelloAck ack, DecodeHelloAck(message));
+    const uint8_t want_kind =
+        coordinator->kind_ == core::Mechanism::ShardKind::kBoolean ? 1 : 0;
+    if (ack.shard_kind != want_kind) {
+      return Status::Internal("worker " + std::to_string(w) +
+                              " indexed the wrong shard representation");
+    }
+    acked_rows += ack.num_rows;
+    coordinator->num_bits_ =
+        std::max(coordinator->num_bits_, ack.num_bits);
+  }
+  if (acked_rows != total_rows) {
+    return Status::FailedPrecondition(
+        "workers ingested " + std::to_string(acked_rows) + " rows, expected " +
+        std::to_string(total_rows) +
+        " — worker data does not cover the assigned ranges");
+  }
+  coordinator->total_rows_ = acked_rows;
+  return coordinator;
+}
+
+Status Coordinator::Broadcast(const Message& request,
+                              std::vector<Message>* responses) {
+  // Same request to every worker: the candidate block is global, each
+  // worker counts it over ITS rows. All sends complete before the first
+  // receive can block, so worker compute overlaps.
+  for (std::unique_ptr<Transport>& worker : workers_) {
+    internals_->bytes_sent.fetch_add(request.WireSize(),
+                                     std::memory_order_relaxed);
+    internals_->requests_sent.fetch_add(1, std::memory_order_relaxed);
+    FRAPP_RETURN_IF_ERROR(worker->Send(request));
+  }
+  responses->assign(workers_.size(), Message{});
+  std::vector<Status> statuses(workers_.size());
+  const size_t fan_out = options_.num_threads == 0 ? workers_.size()
+                                                   : options_.num_threads;
+  common::ParallelForChunks(workers_.size(), fan_out, [&](size_t w) {
+    StatusOr<Message> received = workers_[w]->Receive();
+    if (!received.ok()) {
+      statuses[w] = received.status();
+      return;
+    }
+    if (received->type == MessageType::kError) {
+      statuses[w] = DecodeError(*received);
+      return;
+    }
+    internals_->bytes_received.fetch_add(received->WireSize(),
+                                         std::memory_order_relaxed);
+    internals_->responses_received.fetch_add(1, std::memory_order_relaxed);
+    (*responses)[w] = *std::move(received);
+  });
+  for (size_t w = 0; w < statuses.size(); ++w) {
+    if (!statuses[w].ok()) {
+      return Status(statuses[w].code(), "worker " + std::to_string(w) + ": " +
+                                            statuses[w].message());
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DistributedSupportEstimator>>
+Coordinator::MakeEstimator() {
+  std::unique_ptr<mining::SupportEstimator> inner;
+  if (kind_ == core::Mechanism::ShardKind::kBoolean) {
+    FRAPP_ASSIGN_OR_RETURN(
+        inner, mechanism_->MakeBooleanCountSourceEstimator(
+                   std::make_shared<RemotePatternCountSource>(this)));
+  } else {
+    FRAPP_ASSIGN_OR_RETURN(
+        inner, mechanism_->MakeCountSourceEstimator(
+                   std::make_shared<RemoteSupportCountSource>(this)));
+  }
+  return std::unique_ptr<DistributedSupportEstimator>(
+      new DistributedSupportEstimator(std::move(inner)));
+}
+
+StatusOr<mining::AprioriResult> Coordinator::Mine(
+    const mining::AprioriOptions& mining) {
+  FRAPP_ASSIGN_OR_RETURN(std::unique_ptr<DistributedSupportEstimator> estimator,
+                         MakeEstimator());
+  return mining::MineFrequentItemsets(schema_, *estimator, mining);
+}
+
+void Coordinator::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  const Message shutdown = EncodeShutdown();
+  for (std::unique_ptr<Transport>& worker : workers_) {
+    (void)worker->Send(shutdown);
+    worker->Close();
+  }
+}
+
+DistStats Coordinator::stats() const {
+  DistStats stats;
+  stats.num_workers = workers_.size();
+  stats.total_rows = total_rows_;
+  stats.requests_sent =
+      internals_->requests_sent.load(std::memory_order_relaxed);
+  stats.responses_received =
+      internals_->responses_received.load(std::memory_order_relaxed);
+  stats.bytes_sent = internals_->bytes_sent.load(std::memory_order_relaxed);
+  stats.bytes_received =
+      internals_->bytes_received.load(std::memory_order_relaxed);
+  stats.merge_nanos = internals_->merge_nanos.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace dist
+}  // namespace frapp

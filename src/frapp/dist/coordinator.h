@@ -1,0 +1,163 @@
+// The frapp/dist coordinator: drives Apriori over remote shard workers.
+//
+// Connect() splits the global row space [0, total_rows) into one contiguous
+// chunk-aligned range per worker (the same ShardedTable::Plan the
+// single-process pipeline uses), hands each worker its range plus the
+// mechanism spec and perturbation seed, and waits for the ingest acks. From
+// then on every Apriori pass works like this:
+//
+//   candidate block --> every worker            (same request, fanned out)
+//   count vector    <-- every worker            (integers over ITS rows)
+//   tree-merge (integer sums, fixed worker order)
+//   boolean only: superset Mobius transform on the MERGED totals
+//   mechanism's reconstruction on the totals    (coordinator-local)
+//
+// Support counts are linear in the row partition and the Mobius transform is
+// linear too, so the merged integers equal the single-process pipeline's —
+// and since the reconstruction code consuming them is literally the same
+// (the mechanism's estimator over a SupportCountSource/PatternCountSource),
+// mined itemsets and reconstructed supports are BIT-IDENTICAL to
+// pipeline::PrivacyPipeline at any worker count, over any transport.
+//
+// Traffic is O(workers x candidates) integers per pass; rows never cross
+// the wire. DistStats accounts for every byte both ways plus the merge
+// time, which is what bench/dist_benchmark.cc records.
+
+#ifndef FRAPP_DIST_COORDINATOR_H_
+#define FRAPP_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/mechanism.h"
+#include "frapp/data/schema.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/dist/transport.h"
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace dist {
+
+struct CoordinatorOptions {
+  /// Master seed of the deterministic perturbation (worker-side).
+  uint64_t perturb_seed = 7;
+
+  /// Threads fanning per-worker calls out (0 = one per worker). Blocking
+  /// transport I/O runs on the shared common::ThreadPool. Never affects
+  /// results.
+  size_t num_threads = 0;
+
+  /// Candidates per CountRequest frame: bounds frame sizes for huge passes.
+  size_t max_itemsets_per_request = 8192;
+};
+
+/// Observability of one coordinator session.
+struct DistStats {
+  size_t num_workers = 0;
+
+  /// Rows ingested across workers (sum of HelloAck row counts).
+  uint64_t total_rows = 0;
+
+  /// Request/response frames sent to and received from workers.
+  uint64_t requests_sent = 0;
+  uint64_t responses_received = 0;
+
+  /// Wire bytes both ways (frame headers included), as EncodeFrame lays
+  /// them out — identical for TCP and in-process transports.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+
+  /// Nanoseconds merging per-worker count vectors (tree merge + Mobius).
+  uint64_t merge_nanos = 0;
+};
+
+/// A mining::SupportEstimator whose counts come from remote workers: the
+/// mechanism's own reconstructing estimator, fed by merged count vectors.
+/// This is what slots into the existing Apriori/estimator seam — Apriori
+/// cannot tell it from a local one. Created by Coordinator::MakeEstimator;
+/// valid while its Coordinator lives.
+class DistributedSupportEstimator : public mining::SupportEstimator {
+ public:
+  StatusOr<double> EstimateSupport(const mining::Itemset& itemset) override {
+    return inner_->EstimateSupport(itemset);
+  }
+  StatusOr<std::vector<double>> EstimateSupports(
+      const std::vector<mining::Itemset>& itemsets) override {
+    return inner_->EstimateSupports(itemsets);
+  }
+
+ private:
+  friend class Coordinator;
+  explicit DistributedSupportEstimator(
+      std::unique_ptr<mining::SupportEstimator> inner)
+      : inner_(std::move(inner)) {}
+
+  std::unique_ptr<mining::SupportEstimator> inner_;
+};
+
+class Coordinator {
+ public:
+  /// Performs the handshake over already-connected transports (one per
+  /// worker, ownership taken): assigns ranges over [0, total_rows), ships
+  /// the spec + seed, waits for every ingest ack, and verifies the acked
+  /// row counts sum to total_rows (a worker whose local data disagrees
+  /// would silently skew every count otherwise).
+  static StatusOr<std::unique_ptr<Coordinator>> Connect(
+      std::vector<std::unique_ptr<Transport>> workers,
+      const data::CategoricalSchema& schema, const MechanismSpec& spec,
+      size_t total_rows, const CoordinatorOptions& options);
+
+  ~Coordinator();
+
+  /// The distributed estimator over this coordinator's workers.
+  StatusOr<std::unique_ptr<DistributedSupportEstimator>> MakeEstimator();
+
+  /// Runs Apriori with the distributed estimator: perturbation and counting
+  /// on the workers, reconstruction and candidate generation here.
+  StatusOr<mining::AprioriResult> Mine(const mining::AprioriOptions& mining);
+
+  /// Sends Shutdown to every worker and closes the transports. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  const data::CategoricalSchema& schema() const { return schema_; }
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Stats snapshot (cheap; callable between passes).
+  DistStats stats() const;
+
+ private:
+  class RemoteSupportCountSource;
+  class RemotePatternCountSource;
+  struct Internals;
+
+  Coordinator(std::vector<std::unique_ptr<Transport>> workers,
+              data::CategoricalSchema schema, const MechanismSpec& spec,
+              const CoordinatorOptions& options);
+
+  /// Sends `request` to every worker, then collects one response per
+  /// worker (in worker order). The send loop finishes before any receive
+  /// blocks, so all workers compute concurrently; receives fan out on the
+  /// shared thread pool.
+  Status Broadcast(const Message& request, std::vector<Message>* responses);
+
+  std::vector<std::unique_ptr<Transport>> workers_;
+  data::CategoricalSchema schema_;
+  MechanismSpec spec_;
+  CoordinatorOptions options_;
+  std::unique_ptr<core::Mechanism> mechanism_;
+  core::Mechanism::ShardKind kind_ =
+      core::Mechanism::ShardKind::kCategorical;
+  uint64_t total_rows_ = 0;
+  uint64_t num_bits_ = 0;
+  bool shut_down_ = false;
+  std::unique_ptr<Internals> internals_;  // atomic stats counters
+};
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_COORDINATOR_H_

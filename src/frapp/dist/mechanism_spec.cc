@@ -1,0 +1,82 @@
+#include "frapp/dist/mechanism_spec.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace frapp {
+namespace dist {
+
+std::string MechanismSpecName(const MechanismSpec& spec) {
+  switch (spec.kind) {
+    case MechanismSpec::Kind::kDetGd:
+      return "DET-GD";
+    case MechanismSpec::Kind::kRanGd:
+      return "RAN-GD";
+    case MechanismSpec::Kind::kMask:
+      return "MASK";
+    case MechanismSpec::Kind::kCutPaste:
+      return "C&P";
+    case MechanismSpec::Kind::kIndGd:
+      return "IND-GD";
+  }
+  return "?";
+}
+
+StatusOr<MechanismSpec::Kind> ParseMechanismKind(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "det-gd" || lower == "detgd") return MechanismSpec::Kind::kDetGd;
+  if (lower == "ran-gd" || lower == "rangd") return MechanismSpec::Kind::kRanGd;
+  if (lower == "mask") return MechanismSpec::Kind::kMask;
+  if (lower == "cp" || lower == "c&p" || lower == "cut-paste") {
+    return MechanismSpec::Kind::kCutPaste;
+  }
+  if (lower == "ind-gd" || lower == "indgd") return MechanismSpec::Kind::kIndGd;
+  return Status::InvalidArgument(
+      "unknown mechanism '" + name +
+      "' (det-gd|ran-gd|mask|cp|ind-gd)");
+}
+
+StatusOr<std::unique_ptr<core::Mechanism>> MakeMechanism(
+    const MechanismSpec& spec, const data::CategoricalSchema& schema) {
+  std::unique_ptr<core::Mechanism> mechanism;
+  switch (spec.kind) {
+    case MechanismSpec::Kind::kDetGd: {
+      FRAPP_ASSIGN_OR_RETURN(mechanism,
+                             core::DetGdMechanism::Create(schema, spec.gamma));
+      break;
+    }
+    case MechanismSpec::Kind::kRanGd: {
+      FRAPP_ASSIGN_OR_RETURN(
+          mechanism, core::RanGdMechanism::Create(schema, spec.gamma,
+                                                  spec.alpha,
+                                                  spec.randomization));
+      break;
+    }
+    case MechanismSpec::Kind::kMask: {
+      FRAPP_ASSIGN_OR_RETURN(mechanism,
+                             core::MaskMechanism::Create(schema, spec.gamma));
+      break;
+    }
+    case MechanismSpec::Kind::kCutPaste: {
+      FRAPP_ASSIGN_OR_RETURN(
+          mechanism, core::CutPasteMechanism::Create(
+                         schema, static_cast<size_t>(spec.cutoff_k), spec.rho));
+      break;
+    }
+    case MechanismSpec::Kind::kIndGd: {
+      FRAPP_ASSIGN_OR_RETURN(
+          mechanism,
+          core::IndependentColumnMechanism::Create(schema, spec.gamma));
+      break;
+    }
+  }
+  if (mechanism == nullptr) {
+    return Status::InvalidArgument("unknown mechanism kind");
+  }
+  return mechanism;
+}
+
+}  // namespace dist
+}  // namespace frapp

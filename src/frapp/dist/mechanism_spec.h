@@ -1,0 +1,67 @@
+// Serializable mechanism description: the few numbers that pin down a
+// perturbation mechanism, so a coordinator can tell its workers which
+// client-side perturbation to run and build the MATCHING miner-side
+// reconstruction locally. Both ends construct the mechanism from the same
+// spec over the same schema; together with the seeded-chunk RNG contract
+// that is what makes worker-side perturbation bit-identical to the
+// single-process pass.
+
+#ifndef FRAPP_DIST_MECHANISM_SPEC_H_
+#define FRAPP_DIST_MECHANISM_SPEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/core/mechanism.h"
+#include "frapp/data/schema.h"
+#include "frapp/random/distributions.h"
+
+namespace frapp {
+namespace dist {
+
+/// Which mechanism plus its calibration parameters. Field meaning depends on
+/// `kind`; unused fields are ignored (and zeroed by convention).
+struct MechanismSpec {
+  enum class Kind : uint8_t {
+    kDetGd = 0,
+    kRanGd = 1,
+    kMask = 2,
+    kCutPaste = 3,
+    kIndGd = 4,
+  };
+
+  Kind kind = Kind::kDetGd;
+
+  /// Amplification bound (DET-GD, RAN-GD, MASK, IND-GD).
+  double gamma = 19.0;
+
+  /// Randomization spread (RAN-GD).
+  double alpha = 0.0;
+
+  /// Randomization distribution (RAN-GD).
+  random::RandomizationKind randomization = random::RandomizationKind::kUniform;
+
+  /// Cut cutoff K (C&P).
+  uint64_t cutoff_k = 3;
+
+  /// Paste probability rho (C&P; the paper's gamma = 19 calibration).
+  double rho = 0.494;
+};
+
+/// Display name of a spec's mechanism ("DET-GD", "MASK", ...).
+std::string MechanismSpecName(const MechanismSpec& spec);
+
+/// Parses a CLI-style mechanism name ("det-gd", "ran-gd", "mask", "cp",
+/// "ind-gd"; case-insensitive) into a Kind.
+StatusOr<MechanismSpec::Kind> ParseMechanismKind(const std::string& name);
+
+/// Instantiates the mechanism a spec describes over `schema`.
+StatusOr<std::unique_ptr<core::Mechanism>> MakeMechanism(
+    const MechanismSpec& spec, const data::CategoricalSchema& schema);
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_MECHANISM_SPEC_H_

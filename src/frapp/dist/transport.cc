@@ -1,0 +1,330 @@
+#include "frapp/dist/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace frapp {
+namespace dist {
+
+namespace {
+
+Status ClosedError() {
+  return Status::FailedPrecondition("connection closed");
+}
+
+// ------------------------------------------------------------- in-process --
+
+/// Shared state of one direction of an in-process pair: a FIFO of messages
+/// plus a closed flag. Senders enqueue; the receiver blocks on the condition
+/// variable. Closing either endpoint closes both directions, waking blocked
+/// receivers with ClosedError.
+struct InProcessChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+  bool closed = false;
+
+  void Push(Message message) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(message));
+    }
+    cv.notify_one();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(std::shared_ptr<InProcessChannel> send,
+                     std::shared_ptr<InProcessChannel> receive)
+      : send_(std::move(send)), receive_(std::move(receive)) {}
+
+  ~InProcessTransport() override { Close(); }
+
+  Status Send(const Message& message) override {
+    // Round-trip through the frame encoder: an in-process message exercises
+    // (and is size-checked by) the exact same wire format as a TCP one.
+    const std::vector<uint8_t> frame = EncodeFrame(message);
+    size_t consumed = 0;
+    FRAPP_ASSIGN_OR_RETURN(Message decoded,
+                           DecodeFrame(frame.data(), frame.size(), &consumed));
+    {
+      std::lock_guard<std::mutex> lock(send_->mu);
+      if (send_->closed) return ClosedError();
+    }
+    send_->Push(std::move(decoded));
+    return Status::OK();
+  }
+
+  StatusOr<Message> Receive() override {
+    std::unique_lock<std::mutex> lock(receive_->mu);
+    receive_->cv.wait(lock, [&] {
+      return receive_->closed || !receive_->queue.empty();
+    });
+    // Drain pending messages even after a close so a shutdown races
+    // cleanly, exactly like TCP delivering buffered bytes before EOF.
+    if (receive_->queue.empty()) return ClosedError();
+    Message message = std::move(receive_->queue.front());
+    receive_->queue.pop_front();
+    return message;
+  }
+
+  void Close() override {
+    send_->Close();
+    receive_->Close();
+  }
+
+ private:
+  std::shared_ptr<InProcessChannel> send_;
+  std::shared_ptr<InProcessChannel> receive_;
+};
+
+// -------------------------------------------------------------------- tcp --
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Writes all of [data, data+size), looping over partial writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. `eof_ok` distinguishes a clean close on a
+/// frame boundary (ClosedError) from one inside a frame (corruption).
+Status ReadAll(int fd, uint8_t* data, size_t size, bool eof_ok) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) {
+      if (eof_ok && got == 0) return ClosedError();
+      return Status::InvalidArgument(
+          "connection closed mid-frame (" + std::to_string(got) + " of " +
+          std::to_string(size) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  /// The fd is closed only here, never in Close(): Close() merely shuts the
+  /// socket down, so a cross-thread Close cannot race a blocked Receive
+  /// into a recycled descriptor.
+  ~TcpTransport() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Status Send(const Message& message) override {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    if (closed_.load(std::memory_order_acquire)) return ClosedError();
+    const std::vector<uint8_t> frame = EncodeFrame(message);
+    return WriteAll(fd_, frame.data(), frame.size());
+  }
+
+  StatusOr<Message> Receive() override {
+    if (closed_.load(std::memory_order_acquire)) return ClosedError();
+    uint8_t header[kFrameHeaderBytes];
+    FRAPP_RETURN_IF_ERROR(
+        ReadAll(fd_, header, kFrameHeaderBytes, /*eof_ok=*/true));
+    // Validate the header before allocating: DecodeFrame on the 5 header
+    // bytes rejects oversized lengths and unknown types, and tells us the
+    // payload size it expects.
+    uint32_t payload_len = 0;
+    for (int i = 3; i >= 0; --i) {
+      payload_len = (payload_len << 8) | header[static_cast<size_t>(i)];
+    }
+    if (payload_len > kMaxFramePayload) {
+      return Status::InvalidArgument(
+          "frame announces " + std::to_string(payload_len) +
+          " payload bytes, above the " + std::to_string(kMaxFramePayload) +
+          " cap (corrupt length prefix?)");
+    }
+    std::vector<uint8_t> frame(kFrameHeaderBytes + payload_len);
+    std::memcpy(frame.data(), header, kFrameHeaderBytes);
+    FRAPP_RETURN_IF_ERROR(ReadAll(fd_, frame.data() + kFrameHeaderBytes,
+                                  payload_len, /*eof_ok=*/false));
+    size_t consumed = 0;
+    return DecodeFrame(frame.data(), frame.size(), &consumed);
+  }
+
+  void Close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> closed_{false};
+  std::mutex send_mu_;
+};
+
+/// getaddrinfo for a numeric-or-named host.
+StatusOr<struct addrinfo*> Resolve(const std::string& host, uint16_t port,
+                                   bool for_bind) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_bind) hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve '" + host +
+                           "': " + ::gai_strerror(rc));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateInProcessTransportPair() {
+  auto a_to_b = std::make_shared<InProcessChannel>();
+  auto b_to_a = std::make_shared<InProcessChannel>();
+  return {std::make_unique<InProcessTransport>(a_to_b, b_to_a),
+          std::make_unique<InProcessTransport>(b_to_a, a_to_b)};
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+StatusOr<TcpListener> TcpListener::Bind(const std::string& host,
+                                        uint16_t port) {
+  FRAPP_ASSIGN_OR_RETURN(struct addrinfo* addrs,
+                         Resolve(host, port, /*for_bind=*/true));
+  Status last = Status::IOError("no addresses to bind");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, SOMAXCONN) != 0) {
+      last = ErrnoStatus("bind/listen");
+      ::close(fd);
+      continue;
+    }
+    // Recover the actual port for ephemeral binds.
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    uint16_t actual_port = port;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        actual_port = ntohs(
+            reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        actual_port = ntohs(
+            reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    ::freeaddrinfo(addrs);
+    return TcpListener(fd, actual_port);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+StatusOr<std::unique_ptr<Transport>> TcpListener::Accept() {
+  if (fd_ < 0) return ClosedError();
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("accept");
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                uint16_t port) {
+  FRAPP_ASSIGN_OR_RETURN(struct addrinfo* addrs,
+                         Resolve(host, port, /*for_bind=*/false));
+  Status last = Status::IOError("no addresses to connect to");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = ErrnoStatus("connect to " + host + ":" + std::to_string(port));
+      ::close(fd);
+      continue;
+    }
+    ::freeaddrinfo(addrs);
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+}  // namespace dist
+}  // namespace frapp

@@ -1,0 +1,98 @@
+// Message transports for the frapp/dist wire protocol.
+//
+// A Transport is one bidirectional, message-oriented, BLOCKING connection
+// between a coordinator and a worker. Two implementations:
+//
+//   InProcessTransport  a pair of in-memory FIFO queues (unbounded — the
+//                       strict request/response protocol keeps the depth
+//                       at one; there is no backpressure for pipelined
+//                       senders). Deterministic and dependency-free: the
+//                       test and benchmark substrate, and the degenerate
+//                       "distributed on one box" deployment. Messages
+//                       still pay the full wire encode/decode, so byte
+//                       accounting and protocol behaviour match TCP
+//                       exactly.
+//   TcpTransport        POSIX stream sockets, blocking I/O with full
+//                       partial-read/write and EINTR handling, TCP_NODELAY
+//                       (frames are small and latency-bound). The
+//                       coordinator drives its per-worker calls from
+//                       common::ThreadPool workers, so blocking here is
+//                       cheap fan-out, not an event loop.
+//
+// Thread contract: one thread sends and receives on a given endpoint at a
+// time (the dist protocol is strict request/response per connection).
+// Close() may be called from another thread to unblock a receiver.
+
+#ifndef FRAPP_DIST_TRANSPORT_H_
+#define FRAPP_DIST_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/wire.h"
+
+namespace frapp {
+namespace dist {
+
+/// One end of a message connection.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes one message as a wire frame. Blocks until fully written.
+  virtual Status Send(const Message& message) = 0;
+
+  /// Blocks for the next complete message. A cleanly closed peer yields
+  /// kFailedPrecondition ("connection closed"); a frame that violates the
+  /// wire format yields kInvalidArgument.
+  virtual StatusOr<Message> Receive() = 0;
+
+  /// Closes both directions; concurrent and subsequent Send/Receive calls
+  /// fail fast. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// Creates a connected in-process pair: messages sent on one endpoint are
+/// received on the other, in order.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateInProcessTransportPair();
+
+/// Listening TCP socket; Accept yields one Transport per inbound
+/// connection.
+class TcpListener {
+ public:
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  ~TcpListener();
+
+  /// Binds and listens on `host`:`port`. Port 0 picks an ephemeral port —
+  /// read the actual one from port().
+  static StatusOr<TcpListener> Bind(const std::string& host, uint16_t port);
+
+  /// The locally bound port.
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next inbound connection.
+  StatusOr<std::unique_ptr<Transport>> Accept();
+
+  /// Stops listening; a blocked Accept fails.
+  void Close();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to a listening worker at `host`:`port`.
+StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                uint16_t port);
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_TRANSPORT_H_

@@ -1,0 +1,431 @@
+#include "frapp/dist/wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "frapp/data/boolean_vertical_index.h"
+
+namespace frapp {
+namespace dist {
+
+namespace {
+
+/// Little-endian append-only payload builder.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) { Little(v, 2); }
+  void U32(uint32_t v) { Little(v, 4); }
+  void U64(uint64_t v) { Little(v, 8); }
+  void I64(int64_t v) { Little(static_cast<uint64_t>(v), 8); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  void Little(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::vector<uint8_t> out_;
+};
+
+/// Bounds-checked little-endian payload reader with a sticky failure flag:
+/// reads past the end return 0 and poison the reader, and Finish() reports
+/// the first failure (or trailing garbage) as a Status. Keeps the decoders
+/// straight-line without a Status check per field.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8() { return static_cast<uint8_t>(Little(1)); }
+  uint16_t U16() { return static_cast<uint16_t>(Little(2)); }
+  uint32_t U32() { return static_cast<uint32_t>(Little(4)); }
+  uint64_t U64() { return Little(8); }
+  int64_t I64() { return static_cast<int64_t>(Little(8)); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  /// OK iff every read stayed in bounds and the payload is fully consumed.
+  Status Finish(const char* what) const {
+    if (failed_) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": truncated payload");
+    }
+    if (pos_ != size_) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": trailing bytes after payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint64_t Little(int bytes) {
+    if (failed_ || size_ - pos_ < static_cast<size_t>(bytes)) {
+      failed_ = true;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) {
+      v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+    }
+    pos_ += static_cast<size_t>(bytes);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool KnownMessageType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kHello) &&
+         type <= static_cast<uint8_t>(MessageType::kError);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- framing --
+
+std::vector<uint8_t> EncodeFrame(const Message& message) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(message.payload.size()));
+  w.U8(static_cast<uint8_t>(message.type));
+  std::vector<uint8_t> frame = w.Take();
+  frame.insert(frame.end(), message.payload.begin(), message.payload.end());
+  return frame;
+}
+
+StatusOr<Message> DecodeFrame(const uint8_t* data, size_t size,
+                              size_t* consumed) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument(
+        "frame truncated: " + std::to_string(size) + " of " +
+        std::to_string(kFrameHeaderBytes) + " header bytes");
+  }
+  Reader header(data, kFrameHeaderBytes);
+  const uint32_t payload_len = header.U32();
+  const uint8_t type = header.U8();
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame announces " + std::to_string(payload_len) +
+        " payload bytes, above the " + std::to_string(kMaxFramePayload) +
+        " cap (corrupt length prefix?)");
+  }
+  if (!KnownMessageType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  if (size - kFrameHeaderBytes < payload_len) {
+    return Status::InvalidArgument(
+        "frame truncated: payload has " +
+        std::to_string(size - kFrameHeaderBytes) + " of " +
+        std::to_string(payload_len) + " bytes");
+  }
+  Message message;
+  message.type = static_cast<MessageType>(type);
+  message.payload.assign(data + kFrameHeaderBytes,
+                         data + kFrameHeaderBytes + payload_len);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return message;
+}
+
+// --------------------------------------------------------------- messages --
+
+namespace {
+
+Status ExpectType(const Message& message, MessageType want, const char* what) {
+  if (message.type == want) return Status::OK();
+  if (message.type == MessageType::kError) return DecodeError(message);
+  return Status::InvalidArgument(
+      std::string(what) + ": unexpected message type " +
+      std::to_string(static_cast<int>(message.type)));
+}
+
+}  // namespace
+
+Message EncodeHello(const HelloRequest& hello) {
+  Writer w;
+  w.U32(hello.protocol_version);
+  w.U64(hello.schema_fingerprint);
+  w.U64(hello.perturb_seed);
+  w.U64(hello.range_begin);
+  w.U64(hello.range_end);
+  w.U8(static_cast<uint8_t>(hello.spec.kind));
+  w.F64(hello.spec.gamma);
+  w.F64(hello.spec.alpha);
+  w.U8(static_cast<uint8_t>(hello.spec.randomization));
+  w.U64(hello.spec.cutoff_k);
+  w.F64(hello.spec.rho);
+  return Message{MessageType::kHello, w.Take()};
+}
+
+StatusOr<HelloRequest> DecodeHello(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(ExpectType(message, MessageType::kHello, "Hello"));
+  Reader r(message.payload.data(), message.payload.size());
+  HelloRequest hello;
+  hello.protocol_version = r.U32();
+  hello.schema_fingerprint = r.U64();
+  hello.perturb_seed = r.U64();
+  hello.range_begin = r.U64();
+  hello.range_end = r.U64();
+  const uint8_t kind = r.U8();
+  hello.spec.gamma = r.F64();
+  hello.spec.alpha = r.F64();
+  const uint8_t randomization = r.U8();
+  hello.spec.cutoff_k = r.U64();
+  hello.spec.rho = r.F64();
+  FRAPP_RETURN_IF_ERROR(r.Finish("Hello"));
+  if (kind > static_cast<uint8_t>(MechanismSpec::Kind::kIndGd)) {
+    return Status::InvalidArgument("Hello: unknown mechanism kind " +
+                                   std::to_string(kind));
+  }
+  if (randomization >
+      static_cast<uint8_t>(random::RandomizationKind::kTruncatedGaussian)) {
+    return Status::InvalidArgument("Hello: unknown randomization kind " +
+                                   std::to_string(randomization));
+  }
+  if (hello.range_end < hello.range_begin) {
+    return Status::InvalidArgument("Hello: range end before begin");
+  }
+  hello.spec.kind = static_cast<MechanismSpec::Kind>(kind);
+  hello.spec.randomization =
+      static_cast<random::RandomizationKind>(randomization);
+  return hello;
+}
+
+Message EncodeHelloAck(const HelloAck& ack) {
+  Writer w;
+  w.U64(ack.num_rows);
+  w.U8(ack.shard_kind);
+  w.U64(ack.num_bits);
+  return Message{MessageType::kHelloAck, w.Take()};
+}
+
+StatusOr<HelloAck> DecodeHelloAck(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kHelloAck, "HelloAck"));
+  Reader r(message.payload.data(), message.payload.size());
+  HelloAck ack;
+  ack.num_rows = r.U64();
+  ack.shard_kind = r.U8();
+  ack.num_bits = r.U64();
+  FRAPP_RETURN_IF_ERROR(r.Finish("HelloAck"));
+  if (ack.shard_kind > 1) {
+    return Status::InvalidArgument("HelloAck: unknown shard kind " +
+                                   std::to_string(ack.shard_kind));
+  }
+  return ack;
+}
+
+Message EncodeCountRequest(const CountRequest& request) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(request.itemsets.size()));
+  for (const mining::Itemset& itemset : request.itemsets) {
+    w.U16(static_cast<uint16_t>(itemset.size()));
+    for (const mining::Item& item : itemset.items()) {
+      w.U16(item.attribute);
+      w.U16(item.category);
+    }
+  }
+  return Message{MessageType::kCountRequest, w.Take()};
+}
+
+StatusOr<CountRequest> DecodeCountRequest(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kCountRequest, "CountRequest"));
+  Reader r(message.payload.data(), message.payload.size());
+  const uint32_t n = r.U32();
+  CountRequest request;
+  // Never reserve a peer-controlled count beyond what the payload could
+  // possibly hold (6 bytes is the smallest itemset encoding): a corrupt n
+  // must fail as a truncated payload, not as a giant allocation.
+  request.itemsets.reserve(
+      r.failed() ? 0 : std::min<size_t>(n, r.remaining() / 6));
+  for (uint32_t c = 0; c < n && !r.failed(); ++c) {
+    const uint16_t k = r.U16();
+    if (k == 0) {
+      return Status::InvalidArgument("CountRequest: empty itemset");
+    }
+    std::vector<mining::Item> items;
+    items.reserve(k);
+    for (uint16_t i = 0; i < k; ++i) {
+      const uint16_t attribute = r.U16();
+      const uint16_t category = r.U16();
+      items.push_back(mining::Item{attribute, category});
+    }
+    if (r.failed()) break;
+    // Validate the sorted-distinct-attributes invariant instead of trusting
+    // the peer.
+    FRAPP_ASSIGN_OR_RETURN(mining::Itemset itemset,
+                           mining::Itemset::Create(std::move(items)));
+    request.itemsets.push_back(std::move(itemset));
+  }
+  FRAPP_RETURN_IF_ERROR(r.Finish("CountRequest"));
+  return request;
+}
+
+Message EncodeCountResponse(const CountResponse& response) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(response.counts.size()));
+  for (uint64_t count : response.counts) w.U64(count);
+  return Message{MessageType::kCountResponse, w.Take()};
+}
+
+StatusOr<CountResponse> DecodeCountResponse(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kCountResponse, "CountResponse"));
+  Reader r(message.payload.data(), message.payload.size());
+  const uint32_t n = r.U32();
+  CountResponse response;
+  if (!r.failed() && r.remaining() == n * sizeof(uint64_t)) {
+    response.counts.reserve(n);
+  }
+  for (uint32_t c = 0; c < n && !r.failed(); ++c) {
+    response.counts.push_back(r.U64());
+  }
+  FRAPP_RETURN_IF_ERROR(r.Finish("CountResponse"));
+  return response;
+}
+
+Message EncodePatternRequest(const PatternRequest& request) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(request.candidates.size()));
+  for (const std::vector<uint32_t>& positions : request.candidates) {
+    w.U16(static_cast<uint16_t>(positions.size()));
+    for (uint32_t position : positions) w.U32(position);
+  }
+  return Message{MessageType::kPatternRequest, w.Take()};
+}
+
+StatusOr<PatternRequest> DecodePatternRequest(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kPatternRequest, "PatternRequest"));
+  Reader r(message.payload.data(), message.payload.size());
+  const uint32_t n = r.U32();
+  PatternRequest request;
+  // Bounded reserve (2 bytes = the smallest candidate encoding): see
+  // DecodeCountRequest.
+  request.candidates.reserve(
+      r.failed() ? 0 : std::min<size_t>(n, r.remaining() / 2));
+  uint64_t total_patterns = 0;
+  for (uint32_t c = 0; c < n && !r.failed(); ++c) {
+    const uint16_t k = r.U16();
+    if (k > data::BooleanVerticalIndex::kMaxPatternLength) {
+      return Status::InvalidArgument(
+          "PatternRequest: " + std::to_string(k) +
+          " positions exceed the 2^k counting cap");
+    }
+    total_patterns += 1ull << k;
+    if (total_patterns > kMaxPatternsPerBatch) {
+      return Status::InvalidArgument(
+          "PatternRequest: batch exceeds the pattern budget (" +
+          std::to_string(kMaxPatternsPerBatch) + ")");
+    }
+    std::vector<uint32_t> positions;
+    positions.reserve(k);
+    for (uint16_t i = 0; i < k && !r.failed(); ++i) {
+      positions.push_back(r.U32());
+    }
+    request.candidates.push_back(std::move(positions));
+  }
+  FRAPP_RETURN_IF_ERROR(r.Finish("PatternRequest"));
+  return request;
+}
+
+Message EncodePatternResponse(const PatternResponse& response) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(response.superset_counts.size()));
+  for (const std::vector<int64_t>& counts : response.superset_counts) {
+    w.U32(static_cast<uint32_t>(counts.size()));
+    for (int64_t count : counts) w.I64(count);
+  }
+  return Message{MessageType::kPatternResponse, w.Take()};
+}
+
+StatusOr<PatternResponse> DecodePatternResponse(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kPatternResponse, "PatternResponse"));
+  Reader r(message.payload.data(), message.payload.size());
+  const uint32_t n = r.U32();
+  PatternResponse response;
+  // Bounded reserve (4 bytes = the smallest per-candidate encoding): see
+  // DecodeCountRequest.
+  response.superset_counts.reserve(
+      r.failed() ? 0 : std::min<size_t>(n, r.remaining() / 4));
+  uint64_t total_patterns = 0;
+  for (uint32_t c = 0; c < n && !r.failed(); ++c) {
+    const uint32_t patterns = r.U32();
+    total_patterns += patterns;
+    if (total_patterns > kMaxPatternsPerBatch ||
+        (r.remaining() < static_cast<size_t>(patterns) * sizeof(int64_t) &&
+         !r.failed())) {
+      return Status::InvalidArgument(
+          "PatternResponse: counts exceed the payload or pattern budget");
+    }
+    std::vector<int64_t> counts;
+    counts.reserve(patterns);
+    for (uint32_t s = 0; s < patterns && !r.failed(); ++s) {
+      counts.push_back(r.I64());
+    }
+    response.superset_counts.push_back(std::move(counts));
+  }
+  FRAPP_RETURN_IF_ERROR(r.Finish("PatternResponse"));
+  return response;
+}
+
+Message EncodeShutdown() { return Message{MessageType::kShutdown, {}}; }
+
+Message EncodeError(const Status& status) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return Message{MessageType::kError, w.Take()};
+}
+
+Status DecodeError(const Message& message) {
+  if (message.type != MessageType::kError) {
+    return Status::InvalidArgument("DecodeError on a non-Error message");
+  }
+  Reader r(message.payload.data(), message.payload.size());
+  const uint8_t code = r.U8();
+  std::string text = r.Str();
+  FRAPP_RETURN_IF_ERROR(r.Finish("Error"));
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("remote error with unknown status code " +
+                            std::to_string(code) + ": " + text);
+  }
+  return Status(static_cast<StatusCode>(code), "remote: " + std::move(text));
+}
+
+}  // namespace dist
+}  // namespace frapp

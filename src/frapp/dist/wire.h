@@ -1,0 +1,198 @@
+// The frapp/dist binary wire protocol: length-prefixed frames carrying the
+// coordinator <-> worker conversation.
+//
+// Design rules:
+//  - Only CONFIG and COUNT VECTORS ever cross the wire. Rows — original or
+//    perturbed — never do: a candidate pass moves O(workers x candidates)
+//    integers, independent of the table size.
+//  - Everything is little-endian, encoded explicitly byte by byte (no
+//    memcpy-of-struct), so the format is identical across hosts.
+//  - Frames are length-prefixed and size-capped; a truncated, oversized or
+//    trailing-garbage frame is a hard decode error, never a partial read.
+//
+// Frame layout:
+//
+//   offset  size  field
+//   0       4     u32 payload length (bytes after the type byte)
+//   4       1     u8 message type
+//   5       ...   payload
+//
+// Conversation (one coordinator per worker connection):
+//
+//   coordinator                          worker
+//   ----------------------------------- ----------------------------------
+//   Hello {version, schema fingerprint,
+//          seed, row range, mechanism}  ->
+//                                       <- HelloAck {rows, kind, bits}
+//                                          or Error {status}
+//   CountRequest {candidate block}      ->
+//                                       <- CountResponse {u64 counts}
+//   PatternRequest {bit positions}      ->
+//                                       <- PatternResponse {i64 raw
+//                                          superset counts — the Mobius
+//                                          transform runs on the MERGED
+//                                          totals, coordinator side}
+//   Shutdown {}                         -> (worker closes)
+//
+// Status propagation: any worker-side failure is shipped back as an Error
+// frame carrying the StatusCode and message, which the coordinator rethrows
+// as its own Status — a remote failure reads like a local one.
+
+#ifndef FRAPP_DIST_WIRE_H_
+#define FRAPP_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/mining/itemset.h"
+
+namespace frapp {
+namespace dist {
+
+/// Protocol version; bumped on any incompatible frame/payload change. The
+/// handshake rejects mismatches outright (no negotiation).
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard cap on a frame's payload, rejecting corrupt length prefixes before
+/// they turn into allocations. 2^20 patterns x 8 bytes plus headroom.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Frame header bytes (u32 length + u8 type).
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+enum class MessageType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kCountRequest = 3,
+  kCountResponse = 4,
+  kPatternRequest = 5,
+  kPatternResponse = 6,
+  kShutdown = 7,
+  kError = 8,
+};
+
+/// One decoded frame: a type plus its raw payload bytes.
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  std::vector<uint8_t> payload;
+
+  /// Bytes this message occupies on the wire (header + payload).
+  size_t WireSize() const { return kFrameHeaderBytes + payload.size(); }
+};
+
+// ---------------------------------------------------------------- framing --
+
+/// Serializes a message as one frame.
+std::vector<uint8_t> EncodeFrame(const Message& message);
+
+/// Decodes one complete frame from the front of [data, data+size). On
+/// success sets *consumed to the frame's full byte length. A buffer shorter
+/// than the frame it announces, an unknown type, or an oversized length
+/// prefix is an error (truncation names how many more bytes were expected).
+StatusOr<Message> DecodeFrame(const uint8_t* data, size_t size,
+                              size_t* consumed);
+
+// --------------------------------------------------------------- messages --
+
+/// Coordinator -> worker handshake: the job description.
+struct HelloRequest {
+  uint32_t protocol_version = kProtocolVersion;
+
+  /// data::SchemaFingerprint of the coordinator's schema; the worker
+  /// refuses the job unless it matches its own ingest schema, so the two
+  /// sides can never disagree on what a category id means.
+  uint64_t schema_fingerprint = 0;
+
+  /// Master seed of the deterministic perturbation (the global seeded-chunk
+  /// streams are derived from it, worker-side).
+  uint64_t perturb_seed = 0;
+
+  /// The worker's assigned global row range [begin, end), chunk-aligned.
+  uint64_t range_begin = 0;
+  uint64_t range_end = 0;
+
+  MechanismSpec spec;
+};
+
+/// Worker -> coordinator handshake reply.
+struct HelloAck {
+  /// Rows the worker ingested (|assigned range ∩ its stream|).
+  uint64_t num_rows = 0;
+
+  /// core::Mechanism::ShardKind the worker indexed (0 categorical,
+  /// 1 boolean).
+  uint8_t shard_kind = 0;
+
+  /// One-hot width of the boolean index (0 for categorical workers).
+  uint64_t num_bits = 0;
+};
+
+/// One block of an Apriori pass's candidate list (categorical mechanisms).
+struct CountRequest {
+  std::vector<mining::Itemset> itemsets;
+};
+
+/// counts[c] = worker-local support count of itemsets[c].
+struct CountResponse {
+  std::vector<uint64_t> counts;
+};
+
+/// One block of candidates' bit-position lists (boolean mechanisms): a
+/// whole Apriori pass batches into few frames instead of one round trip
+/// per candidate.
+struct PatternRequest {
+  std::vector<std::vector<uint32_t>> candidates;
+};
+
+/// superset_counts[c][S] = worker-local RAW superset-intersection count of
+/// subset S over candidates[c]'s positions (2^k_c entries, pre-Mobius: the
+/// transform is linear, so it runs once on the coordinator's merged
+/// totals).
+struct PatternResponse {
+  std::vector<std::vector<int64_t>> superset_counts;
+};
+
+/// Cap on the TOTAL pattern count (sum of 2^k_c) of one PatternRequest's
+/// batch: bounds the response at 16 MiB of i64 counts, under the frame
+/// cap with headroom. The coordinator splits candidate blocks to fit;
+/// decode rejects batches above it.
+inline constexpr uint64_t kMaxPatternsPerBatch = 1ull << 21;
+
+/// Worker -> coordinator failure report.
+struct ErrorResponse {
+  uint8_t code = 0;
+  std::string message;
+};
+
+Message EncodeHello(const HelloRequest& hello);
+StatusOr<HelloRequest> DecodeHello(const Message& message);
+
+Message EncodeHelloAck(const HelloAck& ack);
+StatusOr<HelloAck> DecodeHelloAck(const Message& message);
+
+Message EncodeCountRequest(const CountRequest& request);
+StatusOr<CountRequest> DecodeCountRequest(const Message& message);
+
+Message EncodeCountResponse(const CountResponse& response);
+StatusOr<CountResponse> DecodeCountResponse(const Message& message);
+
+Message EncodePatternRequest(const PatternRequest& request);
+StatusOr<PatternRequest> DecodePatternRequest(const Message& message);
+
+Message EncodePatternResponse(const PatternResponse& response);
+StatusOr<PatternResponse> DecodePatternResponse(const Message& message);
+
+Message EncodeShutdown();
+
+/// Status <-> Error frame round trip, the remote half of Status
+/// propagation.
+Message EncodeError(const Status& status);
+Status DecodeError(const Message& message);
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_WIRE_H_

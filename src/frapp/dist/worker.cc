@@ -1,0 +1,282 @@
+#include "frapp/dist/worker.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "frapp/core/mechanism.h"
+#include "frapp/data/shard_io.h"
+#include "frapp/data/sharded_boolean_vertical_index.h"
+#include "frapp/data/sharded_table.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/dist/wire.h"
+#include "frapp/mining/sharded_vertical_index.h"
+
+namespace frapp {
+namespace dist {
+
+namespace {
+
+/// The worker's post-ingest state: the local index of its perturbed range
+/// (exactly one of the two populated, by shard kind) plus the mechanism,
+/// which owns the reconstruction parameters the coordinator side uses.
+struct LocalState {
+  std::unique_ptr<core::Mechanism> mechanism;
+  core::Mechanism::ShardKind kind = core::Mechanism::ShardKind::kCategorical;
+  mining::ShardedVerticalIndex categorical =
+      mining::ShardedVerticalIndex::FromShards({});
+  data::ShardedBooleanVerticalIndex boolean;
+
+  size_t num_rows() const {
+    return kind == core::Mechanism::ShardKind::kBoolean
+               ? boolean.num_rows()
+               : categorical.num_rows();
+  }
+};
+
+/// Streams the source's shards intersected with [range.begin, range.end)
+/// through perturb -> index -> drop. Every sub-shard keeps its GLOBAL row
+/// position, so the seeded-chunk streams — and therefore the perturbed bits
+/// — equal the single-process pass over the same rows.
+Status IngestRange(const HelloRequest& hello, const WorkerOptions& options,
+                   pipeline::TableSource& source, LocalState* state) {
+  const data::RowRange range{static_cast<size_t>(hello.range_begin),
+                             static_cast<size_t>(hello.range_end)};
+  // Seekable sources jump straight to the range (binary files seek); others
+  // keep yielding from row 0 and the loop below drops the leading rows.
+  FRAPP_RETURN_IF_ERROR(source.SkipToRow(range.begin));
+
+  const bool boolean = state->kind == core::Mechanism::ShardKind::kBoolean;
+  std::vector<mining::VerticalIndex> categorical_shards;
+  std::vector<data::BooleanVerticalIndex> boolean_shards;
+  pipeline::PulledShard shard;
+  while (true) {
+    FRAPP_ASSIGN_OR_RETURN(const bool more, source.NextShard(&shard));
+    if (!more) break;
+    const size_t shard_begin = shard.view.global_begin;
+    const size_t shard_end = shard_begin + shard.view.size();
+    if (shard_end <= range.begin) continue;  // wholly before the range
+    if (shard_begin >= range.end) break;     // global order: nothing follows
+    // Intersect with the assigned range. Both range bounds and every shard
+    // begin are chunk-aligned, so the sub-shard still starts on the chunk
+    // grid and seeded perturbation draws the same global streams.
+    const size_t begin = std::max(shard_begin, range.begin);
+    const size_t end = std::min(shard_end, range.end);
+    data::ShardView view;
+    view.rows = shard.view.rows;
+    view.local = data::RowRange{shard.view.local.begin + (begin - shard_begin),
+                                shard.view.local.begin + (end - shard_begin)};
+    view.global_begin = begin;
+    if (boolean) {
+      FRAPP_ASSIGN_OR_RETURN(
+          data::BooleanTable perturbed,
+          state->mechanism->PerturbBooleanShard(view, hello.perturb_seed,
+                                                options.num_threads));
+      shard.owned.reset();  // source rows dropped once perturbed
+      boolean_shards.emplace_back(perturbed);
+    } else {
+      FRAPP_ASSIGN_OR_RETURN(
+          data::CategoricalTable perturbed,
+          state->mechanism->PerturbShard(view, hello.perturb_seed,
+                                         options.num_threads));
+      shard.owned.reset();
+      categorical_shards.push_back(
+          mining::VerticalIndex::Build(perturbed, options.num_threads));
+    }  // the perturbed rows are dropped here
+  }
+  if (boolean) {
+    state->boolean =
+        data::ShardedBooleanVerticalIndex::FromShards(std::move(boolean_shards));
+  } else {
+    state->categorical =
+        mining::ShardedVerticalIndex::FromShards(std::move(categorical_shards));
+  }
+  return Status::OK();
+}
+
+/// Handshake: validates the Hello against local reality, then perturbs and
+/// indexes the assigned range.
+Status HandleHello(const Message& message, const WorkerOptions& options,
+                   LocalState* state, HelloAck* ack) {
+  FRAPP_ASSIGN_OR_RETURN(const HelloRequest hello, DecodeHello(message));
+  if (hello.protocol_version != kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "protocol version mismatch: coordinator speaks v" +
+        std::to_string(hello.protocol_version) + ", worker v" +
+        std::to_string(kProtocolVersion));
+  }
+  const uint64_t local_fingerprint = data::SchemaFingerprint(options.schema);
+  if (hello.schema_fingerprint != local_fingerprint) {
+    return Status::FailedPrecondition(
+        "schema fingerprint mismatch: coordinator " +
+        std::to_string(hello.schema_fingerprint) + ", worker " +
+        std::to_string(local_fingerprint) +
+        " — the two sides would disagree on category ids");
+  }
+  if (hello.range_begin % data::kShardAlignmentRows != 0) {
+    return Status::InvalidArgument(
+        "assigned range must start on the chunk quantum (" +
+        std::to_string(data::kShardAlignmentRows) + " rows)");
+  }
+  FRAPP_ASSIGN_OR_RETURN(state->mechanism,
+                         MakeMechanism(hello.spec, options.schema));
+  if (!state->mechanism->SupportsShardStreaming()) {
+    return Status::Unimplemented(state->mechanism->name() +
+                                 " does not stream shards");
+  }
+  state->kind = state->mechanism->shard_kind();
+
+  FRAPP_ASSIGN_OR_RETURN(std::unique_ptr<pipeline::TableSource> source,
+                         options.source_factory());
+  if (data::SchemaFingerprint(source->schema()) != local_fingerprint) {
+    return Status::FailedPrecondition(
+        "worker source schema differs from worker schema");
+  }
+  FRAPP_RETURN_IF_ERROR(IngestRange(hello, options, *source, state));
+
+  ack->num_rows = state->num_rows();
+  ack->shard_kind =
+      state->kind == core::Mechanism::ShardKind::kBoolean ? 1 : 0;
+  ack->num_bits = state->kind == core::Mechanism::ShardKind::kBoolean
+                      ? state->boolean.num_bits()
+                      : 0;
+  return Status::OK();
+}
+
+StatusOr<Message> HandleCountRequest(const Message& message,
+                                     const WorkerOptions& options,
+                                     const LocalState& state) {
+  if (state.kind != core::Mechanism::ShardKind::kCategorical) {
+    return Status::FailedPrecondition(
+        "CountRequest against a boolean-kind worker");
+  }
+  FRAPP_ASSIGN_OR_RETURN(const CountRequest request,
+                         DecodeCountRequest(message));
+  // Validate against the schema before touching bitmaps: a corrupt peer
+  // must get an Error frame, not index out of range.
+  for (const mining::Itemset& itemset : request.itemsets) {
+    for (const mining::Item& item : itemset.items()) {
+      if (item.attribute >= options.schema.num_attributes() ||
+          item.category >= options.schema.Cardinality(item.attribute)) {
+        return Status::OutOfRange("itemset references item (" +
+                                  std::to_string(item.attribute) + ", " +
+                                  std::to_string(item.category) +
+                                  ") outside the schema");
+      }
+    }
+  }
+  const std::vector<size_t> counts =
+      state.categorical.CountSupports(request.itemsets, options.num_threads);
+  CountResponse response;
+  response.counts.assign(counts.begin(), counts.end());
+  return EncodeCountResponse(response);
+}
+
+StatusOr<Message> HandlePatternRequest(const Message& message,
+                                       const WorkerOptions& options,
+                                       const LocalState& state) {
+  if (state.kind != core::Mechanism::ShardKind::kBoolean) {
+    return Status::FailedPrecondition(
+        "PatternRequest against a categorical-kind worker");
+  }
+  FRAPP_ASSIGN_OR_RETURN(const PatternRequest request,
+                         DecodePatternRequest(message));
+  PatternResponse response;
+  response.superset_counts.reserve(request.candidates.size());
+  for (const std::vector<uint32_t>& candidate : request.candidates) {
+    std::vector<size_t> positions(candidate.begin(), candidate.end());
+    // A zero-row worker owns no bits; its superset counts are all zero for
+    // any positions. Otherwise bounds-check against the one-hot width.
+    if (state.boolean.num_shards() > 0) {
+      for (size_t position : positions) {
+        if (position >= state.boolean.num_bits()) {
+          return Status::OutOfRange(
+              "bit position " + std::to_string(position) +
+              " outside the one-hot layout (" +
+              std::to_string(state.boolean.num_bits()) + " bits)");
+        }
+      }
+    }
+    response.superset_counts.push_back(
+        state.boolean.SupersetCounts(positions, options.num_threads));
+  }
+  return EncodePatternResponse(response);
+}
+
+}  // namespace
+
+Status ServeWorker(Transport& transport, const WorkerOptions& options) {
+  LocalState state;
+  bool prepared = false;
+  while (true) {
+    StatusOr<Message> received = transport.Receive();
+    if (!received.ok()) {
+      // A peer that simply went away (clean close) ends the session
+      // without error; anything else — a corrupt frame, an I/O failure —
+      // is the session's failure.
+      if (received.status().code() == StatusCode::kFailedPrecondition) {
+        return Status::OK();
+      }
+      return received.status();
+    }
+    StatusOr<Message> reply = Status::Internal("unhandled message");
+    switch (received->type) {
+      case MessageType::kHello: {
+        HelloAck ack;
+        const Status handshake =
+            HandleHello(*received, options, &state, &ack);
+        prepared = handshake.ok();
+        reply = handshake.ok() ? StatusOr<Message>(EncodeHelloAck(ack))
+                               : StatusOr<Message>(handshake);
+        break;
+      }
+      case MessageType::kCountRequest:
+        reply = prepared ? HandleCountRequest(*received, options, state)
+                         : StatusOr<Message>(Status::FailedPrecondition(
+                               "CountRequest before a successful Hello"));
+        break;
+      case MessageType::kPatternRequest:
+        reply = prepared ? HandlePatternRequest(*received, options, state)
+                         : StatusOr<Message>(Status::FailedPrecondition(
+                               "PatternRequest before a successful Hello"));
+        break;
+      case MessageType::kShutdown:
+        return Status::OK();
+      default:
+        reply = Status::InvalidArgument(
+            "worker cannot handle message type " +
+            std::to_string(static_cast<int>(received->type)));
+        break;
+    }
+    if (reply.ok()) {
+      FRAPP_RETURN_IF_ERROR(transport.Send(*reply));
+    } else {
+      // Status propagation: ship the failure to the coordinator, then end
+      // the session with it locally too.
+      (void)transport.Send(EncodeError(reply.status()));
+      return reply.status();
+    }
+  }
+}
+
+InProcessWorker::InProcessWorker(WorkerOptions options) {
+  auto [worker_side, coordinator_side] = CreateInProcessTransportPair();
+  worker_endpoint_ = std::move(worker_side);
+  coordinator_endpoint_ = std::move(coordinator_side);
+  thread_ = std::thread([this, options = std::move(options)] {
+    result_ = ServeWorker(*worker_endpoint_, options);
+  });
+}
+
+InProcessWorker::~InProcessWorker() { (void)Join(); }
+
+Status InProcessWorker::Join() {
+  if (!joined_) {
+    worker_endpoint_->Close();
+    thread_.join();
+    joined_ = true;
+  }
+  return result_;
+}
+
+}  // namespace dist
+}  // namespace frapp

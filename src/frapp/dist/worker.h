@@ -1,0 +1,93 @@
+// The frapp/dist worker: owns one contiguous chunk-aligned shard range of
+// the table and answers candidate-count requests over it.
+//
+// On Hello the worker validates the protocol version and schema fingerprint,
+// instantiates the mechanism the coordinator named, ingests its assigned
+// global row range from its LOCAL TableSource (CSV, binary shard file,
+// in-memory table, generator — rows never cross the wire), perturbs each
+// shard with the GLOBAL seeded-chunk RNG streams (the shard's global row
+// position selects the streams, so the perturbed bits equal the
+// single-process pass), indexes it, and drops the rows. From then on it
+// serves:
+//
+//   CountRequest    -> per-candidate support counts over the local
+//                      categorical index
+//   PatternRequest  -> RAW superset-intersection counts over the local
+//                      boolean index (pre-Mobius; the transform is linear
+//                      and runs once on the coordinator's merged totals)
+//
+// until Shutdown or peer close. Any local failure is shipped back as an
+// Error frame (Status propagation) and ends the session.
+
+#ifndef FRAPP_DIST_WORKER_H_
+#define FRAPP_DIST_WORKER_H_
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "frapp/common/statusor.h"
+#include "frapp/data/schema.h"
+#include "frapp/dist/transport.h"
+#include "frapp/pipeline/table_source.h"
+
+namespace frapp {
+namespace dist {
+
+struct WorkerOptions {
+  explicit WorkerOptions(data::CategoricalSchema schema_in)
+      : schema(std::move(schema_in)) {}
+
+  /// Schema of the worker's local data; its fingerprint must match the
+  /// coordinator's or the handshake fails.
+  data::CategoricalSchema schema;
+
+  /// Produces a fresh TableSource per session (ingest may need to restart
+  /// from row 0 for a new coordinator). The source yields the FULL stream;
+  /// the worker skips to its assigned range (seekable sources at zero parse
+  /// cost, see TableSource::SkipToRow) and keeps only rows inside it.
+  std::function<StatusOr<std::unique_ptr<pipeline::TableSource>>()>
+      source_factory;
+
+  /// Worker threads for shard perturbation/indexing and for each counting
+  /// pass (0 = hardware concurrency). Never affects results.
+  size_t num_threads = 1;
+};
+
+/// Serves one coordinator session on `transport`; returns OK after a clean
+/// Shutdown (or peer close), the failure otherwise. Blocking: run it on a
+/// dedicated thread or process.
+Status ServeWorker(Transport& transport, const WorkerOptions& options);
+
+/// ServeWorker on a dedicated thread over an in-process transport pair: the
+/// test/bench substrate, and the one-box degenerate deployment.
+class InProcessWorker {
+ public:
+  explicit InProcessWorker(WorkerOptions options);
+
+  /// Joins the serving thread (closing the transport first if the
+  /// coordinator never did).
+  ~InProcessWorker();
+
+  /// The coordinator-side endpoint; call once and hand it to the
+  /// Coordinator, which takes ownership.
+  std::unique_ptr<Transport> TakeCoordinatorEndpoint() {
+    return std::move(coordinator_endpoint_);
+  }
+
+  /// Waits for the session to end and returns ServeWorker's status.
+  Status Join();
+
+ private:
+  std::unique_ptr<Transport> worker_endpoint_;
+  std::unique_ptr<Transport> coordinator_endpoint_;
+  std::thread thread_;
+  Status result_;
+  bool joined_ = false;
+};
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_WORKER_H_

@@ -20,15 +20,23 @@ StatusOr<MechanismRun> ScoreRun(core::Mechanism& mechanism,
                                 StatusOr<pipeline::PipelineResult> result,
                                 const mining::AprioriResult& truth) {
   FRAPP_RETURN_IF_ERROR(result.status());
-  MechanismRun run;
-  run.mechanism_name = mechanism.name();
-  run.accuracy = CompareMiningResults(truth, result->mined);
-  run.mined = std::move(result->mined);
+  MechanismRun run =
+      ScoreMiningRun(mechanism.name(), std::move(result->mined), truth);
   run.pipeline_stats = result->stats;
   return run;
 }
 
 }  // namespace
+
+MechanismRun ScoreMiningRun(std::string mechanism_name,
+                            mining::AprioriResult mined,
+                            const mining::AprioriResult& truth) {
+  MechanismRun run;
+  run.mechanism_name = std::move(mechanism_name);
+  run.accuracy = CompareMiningResults(truth, mined);
+  run.mined = std::move(mined);
+  return run;
+}
 
 StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
                                     const data::CategoricalTable& original,

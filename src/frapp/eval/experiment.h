@@ -69,6 +69,14 @@ StatusOr<MechanismRun> RunMechanism(core::Mechanism& mechanism,
                                     const mining::AprioriResult& truth,
                                     const ExperimentConfig& config);
 
+/// Scores an externally produced mining result against truth — the
+/// comparison half of RunMechanism, for flows whose mining happens outside
+/// the pipeline (the frapp/dist coordinator path: perturbation and counting
+/// on remote workers, reconstruction on the coordinator).
+MechanismRun ScoreMiningRun(std::string mechanism_name,
+                            mining::AprioriResult mined,
+                            const mining::AprioriResult& truth);
+
 }  // namespace eval
 }  // namespace frapp
 

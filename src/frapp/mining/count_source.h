@@ -1,0 +1,73 @@
+// Abstract source of candidate support COUNT VECTORS — the seam that
+// separates where counts come from (a local sharded bitmap index, or remote
+// workers shipping per-shard vectors over a wire) from how mechanisms
+// reconstruct supports out of them.
+//
+// Every FRAPP reconstruction input is linear in the row partition: an
+// itemset's support count over partitioned rows is the integer sum of the
+// per-partition counts. The reconstructing estimators therefore never need
+// rows, shards, or indexes — only TOTAL integer count vectors plus the total
+// row count. Expressing that dependency as this interface is what lets the
+// same estimator code run bit-identically over a local ShardedVerticalIndex
+// and over a frapp/dist coordinator merging count vectors from remote
+// workers: the integers are the same, so the double arithmetic downstream is
+// the same.
+
+#ifndef FRAPP_MINING_COUNT_SOURCE_H_
+#define FRAPP_MINING_COUNT_SOURCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/mining/itemset.h"
+#include "frapp/mining/sharded_vertical_index.h"
+
+namespace frapp {
+namespace mining {
+
+/// Total support counts of candidate itemsets over one (conceptually single)
+/// perturbed categorical database, however its rows are physically placed.
+class SupportCountSource {
+ public:
+  virtual ~SupportCountSource() = default;
+
+  /// Total rows behind the counts (the denominator of support fractions).
+  virtual size_t num_rows() const = 0;
+
+  /// counts[c] = #rows supporting itemsets[c], summed over every physical
+  /// partition. Fallible: a remote source can lose its workers mid-pass.
+  virtual StatusOr<std::vector<uint64_t>> CountSupports(
+      const std::vector<Itemset>& itemsets) = 0;
+};
+
+/// In-process implementation over a sharded vertical bitmap index (the
+/// single-machine pipeline path).
+class LocalSupportCountSource : public SupportCountSource {
+ public:
+  /// Owns the index; `num_threads` parallelizes each counting pass (0 =
+  /// hardware concurrency). Never affects results.
+  LocalSupportCountSource(ShardedVerticalIndex index, size_t num_threads = 1)
+      : index_(std::move(index)), num_threads_(num_threads) {}
+
+  size_t num_rows() const override { return index_.num_rows(); }
+
+  StatusOr<std::vector<uint64_t>> CountSupports(
+      const std::vector<Itemset>& itemsets) override {
+    const std::vector<size_t> counts =
+        index_.CountSupports(itemsets, num_threads_);
+    return std::vector<uint64_t>(counts.begin(), counts.end());
+  }
+
+  const ShardedVerticalIndex& index() const { return index_; }
+
+ private:
+  ShardedVerticalIndex index_;
+  size_t num_threads_;
+};
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_COUNT_SOURCE_H_

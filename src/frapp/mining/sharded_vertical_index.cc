@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "frapp/common/parallel.h"
+#include "frapp/common/tree_merge.h"
 
 namespace frapp {
 namespace mining {
@@ -79,16 +80,9 @@ std::vector<size_t> ShardedVerticalIndex::CountSupports(
         }
       });
 
-  // Deterministic pairwise tree merge of the per-shard vectors. Integer sums
-  // are order-independent anyway; the fixed tree keeps the merge schedule a
-  // pure function of the shard count, the shape a distributed reduce uses.
-  for (size_t stride = 1; stride < per_shard.size(); stride *= 2) {
-    for (size_t s = 0; s + stride < per_shard.size(); s += 2 * stride) {
-      std::vector<size_t>& into = per_shard[s];
-      const std::vector<size_t>& from = per_shard[s + stride];
-      for (size_t c = 0; c < num_candidates; ++c) into[c] += from[c];
-    }
-  }
+  // Deterministic pairwise tree merge of the per-shard vectors — the same
+  // reduce the frapp/dist coordinator runs over per-worker vectors.
+  common::TreeMergeVectors(per_shard);
   return std::move(per_shard.front());
 }
 

@@ -27,6 +27,13 @@ StatusOr<bool> InMemoryTableSource::NextShard(PulledShard* out) {
   return true;
 }
 
+Status InMemoryTableSource::SkipToRow(size_t row) {
+  // Drop whole leading plan shards; a shard straddling `row` is still
+  // yielded in full (the contract only forbids skipping past `row`).
+  while (next_ < plan_.size() && plan_[next_].end <= row) ++next_;
+  return Status::OK();
+}
+
 StatusOr<CsvTableSource> CsvTableSource::Open(
     const std::string& path, const data::CategoricalSchema& schema,
     size_t rows_per_shard) {
@@ -79,6 +86,17 @@ StatusOr<bool> BinaryTableSource::NextShard(PulledShard* out) {
                               global_begin};
   out->owned = std::move(buffer);
   return true;
+}
+
+Status BinaryTableSource::SkipToRow(size_t row) {
+  if (row % data::kShardAlignmentRows != 0) {
+    return Status::InvalidArgument(
+        "SkipToRow target must be a multiple of the chunk quantum (" +
+        std::to_string(data::kShardAlignmentRows) + ")");
+  }
+  // Clamp to the file: skipping to or past the end just exhausts the
+  // stream, mirroring what pull-and-drop would do.
+  return reader_.SkipToRow(std::min(row, reader_.total_rows()));
 }
 
 StatusOr<SyntheticTableSource> SyntheticTableSource::Create(

@@ -72,6 +72,19 @@ class TableSource {
   /// pulls from one thread and fans the perturbation out.
   virtual StatusOr<bool> NextShard(PulledShard* out) = 0;
 
+  /// Hint that rows before global row `row` (a chunk-quantum multiple) will
+  /// not be consumed. A seekable source repositions so the next NextShard
+  /// starts at or before `row` at zero parse cost (binary files seek, an
+  /// in-memory plan drops whole leading shards); sources that can only move
+  /// forward by producing rows (CSV parse, generator stream) ignore the
+  /// hint. Never skips PAST `row`, so a caller that drops leading rows
+  /// itself — the frapp/dist worker assigned rows [begin, end) does — is
+  /// correct over every source and merely faster over seekable ones.
+  virtual Status SkipToRow(size_t row) {
+    (void)row;
+    return Status::OK();
+  }
+
   /// Total rows when known up front (in-memory, synthetic); nullopt for
   /// true streams like CSV, where the row count is known only at the end.
   virtual std::optional<size_t> TotalRows() const { return std::nullopt; }
@@ -91,6 +104,7 @@ class InMemoryTableSource : public TableSource {
     return table_->schema();
   }
   StatusOr<bool> NextShard(PulledShard* out) override;
+  Status SkipToRow(size_t row) override;
   std::optional<size_t> TotalRows() const override { return table_->num_rows(); }
 
  private:
@@ -142,6 +156,9 @@ class BinaryTableSource : public TableSource {
     return reader_.schema();
   }
   StatusOr<bool> NextShard(PulledShard* out) override;
+
+  /// One file seek: cells before `row` are never read, let alone decoded.
+  Status SkipToRow(size_t row) override;
 
   /// Known up front: the binary header stores the row count.
   std::optional<size_t> TotalRows() const override {

@@ -88,6 +88,33 @@ TEST(ShardIoTest, ShardedReadsConcatenateToTheWholeTable) {
   std::remove(path.c_str());
 }
 
+TEST(ShardIoTest, SkipToRowSeeksToTheExactRow) {
+  const CategoricalTable table = *census::MakeDataset(5000, 9);
+  const std::string path = TempPath("skip");
+  ASSERT_TRUE(WriteBinaryTable(table, path).ok());
+
+  BinaryShardReader reader = *BinaryShardReader::Open(path, table.schema());
+  ASSERT_TRUE(reader.SkipToRow(3210).ok());
+  EXPECT_EQ(reader.rows_read(), 3210u);
+  CategoricalTable shard = *reader.ReadShard(100);
+  ASSERT_EQ(shard.num_rows(), 100u);
+  for (size_t i = 0; i < shard.num_rows(); ++i) {
+    for (size_t j = 0; j < table.num_attributes(); ++j) {
+      ASSERT_EQ(shard.Value(i, j), table.Value(3210 + i, j))
+          << "row " << i << " attr " << j;
+    }
+  }
+  // Backward seeks work too (a fresh session re-reads from its range).
+  ASSERT_TRUE(reader.SkipToRow(0).ok());
+  EXPECT_EQ(reader.rows_read(), 0u);
+  CategoricalTable head = *reader.ReadShard(1);
+  ASSERT_EQ(head.num_rows(), 1u);
+  EXPECT_EQ(head.Value(0, 0), table.Value(0, 0));
+
+  EXPECT_FALSE(reader.SkipToRow(5001).ok());  // past the end
+  std::remove(path.c_str());
+}
+
 TEST(ShardIoTest, CsvToBinaryToTableEqualsDirectCsvLoad) {
   // The conversion workflow end to end: CSV -> binary -> table must equal
   // the direct CSV load bit for bit.

@@ -87,6 +87,48 @@ TEST(ShardedBooleanVerticalIndexTest, FromShardsConcatenatesRowCounts) {
   EXPECT_EQ(index.PatternCounts({2, 3, 6}), monolithic.PatternCounts({2, 3, 6}));
 }
 
+TEST(ShardedBooleanVerticalIndexTest, SupersetCountsAreThePreMobiusHalf) {
+  // The raw superset totals (what a frapp/dist worker ships) plus one
+  // Mobius transform must equal PatternCounts exactly — that equivalence is
+  // what lets the transform run after the distributed merge.
+  const BooleanTable table = RandomTable(5000, 12, 11);
+  const ShardedBooleanVerticalIndex index =
+      ShardedBooleanVerticalIndex::Build(table, 3, 2);
+  const std::vector<size_t> positions = {1, 4, 8, 11};
+  std::vector<int64_t> superset = index.SupersetCounts(positions, 2);
+  ASSERT_EQ(superset.size(), 16u);
+  // Subset {} is every row; counts are monotone under subset inclusion.
+  EXPECT_EQ(superset[0], static_cast<int64_t>(table.num_rows()));
+  for (size_t s = 1; s < superset.size(); ++s) {
+    EXPECT_LE(superset[s], superset[0]);
+  }
+  BooleanVerticalIndex::MobiusExactCounts(superset);
+  EXPECT_EQ(superset, index.PatternCounts(positions));
+}
+
+TEST(ShardedBooleanVerticalIndexTest, SupersetCountsSumAcrossPartitions) {
+  // Integer additivity over any row partition: the distributed merge's
+  // correctness argument, checked directly.
+  const BooleanTable table = RandomTable(4096, 10, 13);
+  const ShardedBooleanVerticalIndex whole =
+      ShardedBooleanVerticalIndex::Build(table, 1);
+  std::vector<BooleanVerticalIndex> left_shards;
+  left_shards.emplace_back(table, RowRange{0, 1500});
+  std::vector<BooleanVerticalIndex> right_shards;
+  right_shards.emplace_back(table, RowRange{1500, 4096});
+  const ShardedBooleanVerticalIndex left =
+      ShardedBooleanVerticalIndex::FromShards(std::move(left_shards));
+  const ShardedBooleanVerticalIndex right =
+      ShardedBooleanVerticalIndex::FromShards(std::move(right_shards));
+  const std::vector<size_t> positions = {0, 2, 5, 7, 9};
+  const std::vector<int64_t> total = whole.SupersetCounts(positions);
+  const std::vector<int64_t> a = left.SupersetCounts(positions);
+  const std::vector<int64_t> b = right.SupersetCounts(positions);
+  for (size_t s = 0; s < total.size(); ++s) {
+    EXPECT_EQ(total[s], a[s] + b[s]) << "subset " << s;
+  }
+}
+
 TEST(ShardedBooleanVerticalIndexTest, EmptyIndexAnswersZero) {
   const ShardedBooleanVerticalIndex empty;
   EXPECT_EQ(empty.num_rows(), 0u);

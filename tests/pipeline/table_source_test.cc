@@ -165,6 +165,44 @@ TEST_F(TableSourceTest, InMemorySourceYieldsPlannedShards) {
   EXPECT_EQ(shards, 3u);
 }
 
+TEST_F(TableSourceTest, SkipToRowFastForwardsSeekableSources) {
+  // In-memory: whole leading shards are dropped; the next shard starts at
+  // or before the requested row, never after it.
+  InMemoryTableSource in_memory(*table_, /*num_shards=*/0);
+  ASSERT_TRUE(in_memory.SkipToRow(data::kShardAlignmentRows).ok());
+  PulledShard shard;
+  ASSERT_TRUE(*in_memory.NextShard(&shard));
+  EXPECT_EQ(shard.view.global_begin, data::kShardAlignmentRows);
+
+  // Binary: one file seek; the pulled shard begins exactly at the target
+  // row and carries its global position.
+  const std::string bin_path = ::testing::TempDir() + "/frapp_source_skip_" +
+                               std::to_string(::getpid()) + ".bin";
+  ASSERT_TRUE(data::WriteBinaryTable(*table_, bin_path).ok());
+  BinaryTableSource binary =
+      *BinaryTableSource::Open(bin_path, table_->schema());
+  ASSERT_TRUE(binary.SkipToRow(data::kShardAlignmentRows).ok());
+  ASSERT_TRUE(*binary.NextShard(&shard));
+  EXPECT_EQ(shard.view.global_begin, data::kShardAlignmentRows);
+  ASSERT_GT(shard.view.size(), 0u);
+  EXPECT_EQ(shard.view.rows->Value(shard.view.local.begin, 0),
+            table_->Value(data::kShardAlignmentRows, 0));
+
+  // Misaligned targets are rejected (they would desync the chunk grid);
+  // skipping past the end just exhausts the stream.
+  EXPECT_FALSE(binary.SkipToRow(5).ok());
+  ASSERT_TRUE(binary.SkipToRow(8 * data::kShardAlignmentRows).ok());
+  EXPECT_FALSE(*binary.NextShard(&shard));
+  std::remove(bin_path.c_str());
+
+  // Non-seekable sources ignore the hint and still yield from the start —
+  // the caller's drop-leading-rows loop stays correct, just unaccelerated.
+  CsvTableSource csv = *CsvTableSource::Open(*csv_path_, table_->schema());
+  ASSERT_TRUE(csv.SkipToRow(data::kShardAlignmentRows).ok());
+  ASSERT_TRUE(*csv.NextShard(&shard));
+  EXPECT_EQ(shard.view.global_begin, 0u);
+}
+
 }  // namespace
 }  // namespace pipeline
 }  // namespace frapp

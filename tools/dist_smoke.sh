@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Distributed-mining smoke: launches real `frapp worker` OS processes on
+# loopback ports, mines through the coordinator, and asserts the report is
+# byte-identical to the single-process pipeline's on the same data — the
+# cross-process half of the bit-identity invariant the ctest grid proves
+# in-process.
+#
+# Usage: tools/dist_smoke.sh [build-dir]    (default: <repo-root>/build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+frapp="$build_dir/frapp_cli"
+
+if [[ ! -x "$frapp" ]]; then
+  echo "FATAL: $frapp not built (cmake --build $build_dir --target frapp_cli)" >&2
+  exit 1
+fi
+
+rows=20000
+gen_seed=321
+perturb_seed=17
+num_workers=2
+tmp_dir="$(mktemp -d)"
+worker_pids=()
+
+cleanup() {
+  for pid in "${worker_pids[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$tmp_dir"
+}
+trap cleanup EXIT
+
+# Every worker holds the SAME deterministic generated table and is assigned
+# a disjoint row range by the coordinator; --once exits after one session.
+# Workers bind ephemeral ports (--listen 0) and announce the real one on
+# stdout, so the smoke never races another process for a fixed port.
+launch_workers() {
+  worker_pids=()
+  endpoints=""
+  for w in $(seq 1 "$num_workers"); do
+    "$frapp" worker --listen 0 --dataset census \
+      --rows "$rows" --gen-seed "$gen_seed" --once \
+      > "$tmp_dir/worker_$w.log" 2>&1 &
+    worker_pids+=($!)
+  done
+  for w in $(seq 1 "$num_workers"); do
+    local port="" tries=0
+    while [[ -z "$port" ]]; do
+      port="$(sed -n 's/^frapp worker listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+              "$tmp_dir/worker_$w.log")"
+      [[ -n "$port" ]] && break
+      tries=$((tries + 1))
+      if [[ $tries -gt 100 ]]; then
+        echo "FAIL: worker $w never announced its port" >&2
+        cat "$tmp_dir/worker_$w.log" >&2 || true
+        exit 1
+      fi
+      sleep 0.1
+    done
+    endpoints="${endpoints:+$endpoints,}127.0.0.1:$port"
+  done
+}
+
+for mechanism in det-gd mask; do
+  echo "=== $mechanism: $num_workers workers vs single-process pipeline ==="
+  launch_workers
+
+  "$frapp" mine --dataset census --mechanism "$mechanism" \
+    --workers "$endpoints" --rows "$rows" --seed "$perturb_seed" \
+    > "$tmp_dir/dist_$mechanism.out" 2> "$tmp_dir/dist_$mechanism.err"
+
+  "$frapp" mine --dataset census --mechanism "$mechanism" --run-pipeline \
+    --rows "$rows" --gen-seed "$gen_seed" --seed "$perturb_seed" \
+    > "$tmp_dir/local_$mechanism.out" 2> /dev/null
+
+  if ! diff "$tmp_dir/local_$mechanism.out" "$tmp_dir/dist_$mechanism.out"; then
+    echo "FAIL: $mechanism distributed output differs from the pipeline" >&2
+    cat "$tmp_dir"/worker_*.log >&2 || true
+    exit 1
+  fi
+
+  for pid in "${worker_pids[@]}"; do
+    wait "$pid"
+  done
+  cat "$tmp_dir/dist_$mechanism.err"
+  echo "OK: $mechanism parity holds"
+done
+
+echo "dist smoke passed: worker processes + coordinator match the pipeline"

@@ -20,12 +20,33 @@
 //       One-time CSV -> binary shard conversion (data/shard_io.h format):
 //       later runs ingest the pre-tokenized labels with no text parsing
 //       (pipeline::BinaryTableSource), the repeated-mining fast path.
+//   frapp worker   --listen PORT [--bind-host 127.0.0.1] --dataset D
+//                  (--in F.csv|F.bin | --rows N [--gen-seed S])
+//                  [--threads T] [--once]
+//       A frapp/dist shard worker: serves coordinator sessions on a TCP
+//       port. Each session perturbs and indexes the worker's assigned row
+//       range of the LOCAL data and answers candidate-count requests; rows
+//       never leave the worker.
+//   frapp mine ... --mechanism det-gd|ran-gd|mask|cp|ind-gd [--gamma G]
+//                  [--alpha A | --alpha-frac F] [--cutoff-k K] [--rho R]
+//                  [--seed S] [--minsup F] plus ONE of
+//       --workers host:port,...  --rows N
+//           Distributed mine: coordinator-side reconstruction over remote
+//           count vectors (see docs/DISTRIBUTED.md).
+//       --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])
+//           Single-process pipeline::PrivacyPipeline over the same spec —
+//           prints the identical report, so `diff` proves output parity
+//           with the distributed path.
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "frapp/common/string_util.h"
 #include "frapp/core/designer.h"
@@ -34,9 +55,14 @@
 #include "frapp/data/csv.h"
 #include "frapp/data/health.h"
 #include "frapp/data/shard_io.h"
+#include "frapp/dist/coordinator.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/dist/transport.h"
+#include "frapp/dist/worker.h"
 #include "frapp/eval/reporting.h"
 #include "frapp/mining/apriori.h"
 #include "frapp/mining/support_counter.h"
+#include "frapp/pipeline/privacy_pipeline.h"
 
 namespace {
 
@@ -44,14 +70,23 @@ using namespace frapp;
 
 int Usage() {
   std::cerr <<
-      "usage: frapp <generate|perturb|mine|audit|convert> [flags]\n"
+      "usage: frapp <generate|perturb|mine|audit|convert|worker> [flags]\n"
       "  generate --dataset census|health [--rows N] [--seed S] --out F.csv\n"
       "  perturb  --dataset D --in F.csv --out G.csv [--rho1 R --rho2 R]\n"
       "           [--alpha-frac F] [--seed S]\n"
       "  mine     --dataset D --in G.csv [--rho1 R --rho2 R] [--alpha-frac F]\n"
       "           [--minsup 0.02] [--exact] [--top K]\n"
+      "  mine     --dataset D --mechanism det-gd|ran-gd|mask|cp|ind-gd\n"
+      "           [--gamma 19] [--alpha A | --alpha-frac F]   (ran-gd spread)\n"
+      "           [--cutoff-k 3] [--rho 0.494]                (cp operator)\n"
+      "           [--seed 7] [--minsup 0.02] [--top K] plus one of\n"
+      "             --workers host:port,... --rows N         (distributed)\n"
+      "             --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
       "  audit    --dataset D [--rho1 R --rho2 R] [--alpha-frac F]\n"
-      "  convert  --dataset D --in F.csv --out F.bin\n";
+      "  convert  --dataset D --in F.csv --out F.bin\n"
+      "  worker   --listen PORT [--bind-host 127.0.0.1] --dataset D\n"
+      "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
+      "           [--threads T] [--once]\n";
   return 2;
 }
 
@@ -182,8 +217,190 @@ int CmdPerturb(const Flags& flags) {
   return 0;
 }
 
+// Shared by every mine mode, so single-process and distributed runs can be
+// diffed for bit-parity: identical supports print identical text. Supports
+// print at 9 significant digits (the legacy mine modes printed 4) so that
+// near-miss parity failures show up in the diff instead of rounding away.
+void PrintMiningReport(const data::CategoricalSchema& schema,
+                       const mining::AprioriResult& result,
+                       const std::string& label, double minsup, size_t top) {
+  std::cout << label << " frequent itemsets (minsup = " << minsup << "):";
+  for (size_t k = 1; k <= result.MaxLength(); ++k) {
+    std::cout << "  L" << k << "=" << result.OfLength(k).size();
+  }
+  std::cout << "\n\n";
+
+  std::vector<mining::FrequentItemset> all;
+  for (const auto& level : result.by_length) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.support > b.support; });
+  eval::TextTable out({"support", "itemset"});
+  for (size_t i = 0; i < std::min(top, all.size()); ++i) {
+    out.AddRow({eval::Cell(all[i].support, 9), all[i].itemset.ToString(schema)});
+  }
+  out.Print(std::cout);
+}
+
+dist::MechanismSpec SpecFromFlags(const Flags& flags,
+                                  const data::CategoricalSchema& schema) {
+  dist::MechanismSpec spec;
+  spec.kind = Unwrap(dist::ParseMechanismKind(flags.Get("mechanism", "det-gd")));
+  spec.gamma = flags.GetDouble("gamma", 19.0);
+  // RAN-GD spread: --alpha is the absolute spread; --alpha-frac mirrors the
+  // legacy perturb/audit convention (fraction of the max gamma * x, with
+  // x = 1 / (gamma + |S_U| - 1)).
+  spec.alpha = flags.GetDouble("alpha", 0.0);
+  if (flags.Has("alpha-frac")) {
+    const double x =
+        1.0 / (spec.gamma + static_cast<double>(schema.DomainSize()) - 1.0);
+    spec.alpha = flags.GetDouble("alpha-frac", 0.0) * spec.gamma * x;
+  }
+  spec.cutoff_k = flags.GetUint("cutoff-k", 3);
+  spec.rho = flags.GetDouble("rho", 0.494);
+  return spec;
+}
+
+size_t DefaultRows(const std::string& dataset) {
+  return dataset == "health" ? data::health::kDefaultNumRecords
+                             : data::census::kDefaultNumRecords;
+}
+
+uint64_t DefaultGenSeed(const std::string& dataset) {
+  return dataset == "health" ? data::health::kDefaultSeed
+                             : data::census::kDefaultSeed;
+}
+
+/// A TableSource plus whatever keeps it fed (generated tables stay alive in
+/// `table`). Resolves --in F.csv / --in F.bin / generated --rows data the
+/// same way for `frapp worker` and `frapp mine --run-pipeline`.
+struct ResolvedSource {
+  std::shared_ptr<const data::CategoricalTable> table;  // generated data only
+  std::unique_ptr<pipeline::TableSource> source;
+};
+
+StatusOr<ResolvedSource> MakeSource(const Flags& flags,
+                                    const data::CategoricalSchema& schema) {
+  const std::string dataset = flags.Get("dataset");
+  const std::string in = flags.Get("in");
+  ResolvedSource resolved;
+  if (in.empty()) {
+    // Generated stand-in data: deterministic in (--rows, --gen-seed), so
+    // every process given the same flags holds the same table.
+    const size_t rows =
+        static_cast<size_t>(flags.GetUint("rows", DefaultRows(dataset)));
+    const uint64_t seed = flags.GetUint("gen-seed", DefaultGenSeed(dataset));
+    data::CategoricalTable table =
+        dataset == "health" ? *data::health::MakeDataset(rows, seed)
+                            : *data::census::MakeDataset(rows, seed);
+    resolved.table =
+        std::make_shared<const data::CategoricalTable>(std::move(table));
+    resolved.source = std::make_unique<pipeline::InMemoryTableSource>(
+        *resolved.table, /*num_shards=*/0);
+    return resolved;
+  }
+  if (in.size() > 4 && in.compare(in.size() - 4, 4, ".bin") == 0) {
+    FRAPP_ASSIGN_OR_RETURN(pipeline::BinaryTableSource source,
+                           pipeline::BinaryTableSource::Open(in, schema));
+    resolved.source =
+        std::make_unique<pipeline::BinaryTableSource>(std::move(source));
+    return resolved;
+  }
+  FRAPP_ASSIGN_OR_RETURN(pipeline::CsvTableSource source,
+                         pipeline::CsvTableSource::Open(in, schema));
+  resolved.source =
+      std::make_unique<pipeline::CsvTableSource>(std::move(source));
+  return resolved;
+}
+
+int CmdMineDistributed(const Flags& flags,
+                       const data::CategoricalSchema& schema) {
+  const dist::MechanismSpec spec = SpecFromFlags(flags, schema);
+  if (!flags.Has("rows")) {
+    std::cerr << "error: --workers needs --rows (the coordinator never "
+                 "touches the data; it only plans ranges)\n";
+    return 2;
+  }
+  const size_t total_rows = static_cast<size_t>(flags.GetUint("rows", 0));
+
+  // Connect to every worker, retrying briefly so scripts can launch the
+  // workers and the coordinator together.
+  std::vector<std::unique_ptr<dist::Transport>> transports;
+  for (const std::string& endpoint : Split(flags.Get("workers"), ',')) {
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bad worker endpoint '" << endpoint << "' (host:port)\n";
+      return 2;
+    }
+    const std::string host = endpoint.substr(0, colon);
+    unsigned long long port = 0;
+    if (!ParseUint64(endpoint.substr(colon + 1), &port) || port > 65535) {
+      std::cerr << "bad worker port in '" << endpoint << "'\n";
+      return 2;
+    }
+    StatusOr<std::unique_ptr<dist::Transport>> transport =
+        Status::IOError("unreached");
+    const size_t retries = flags.GetUint("connect-retries", 50);
+    for (size_t attempt = 0; attempt <= retries; ++attempt) {
+      transport = dist::TcpConnect(host, static_cast<uint16_t>(port));
+      if (transport.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    transports.push_back(Unwrap(std::move(transport)));
+  }
+
+  dist::CoordinatorOptions options;
+  options.perturb_seed = flags.GetUint("seed", 7);
+  options.num_threads = flags.GetUint("threads", 0);
+  auto coordinator = Unwrap(dist::Coordinator::Connect(
+      std::move(transports), schema, spec, total_rows, options));
+
+  mining::AprioriOptions mining_options;
+  mining_options.min_support = flags.GetDouble("minsup", 0.02);
+  const mining::AprioriResult result =
+      Unwrap(coordinator->Mine(mining_options));
+
+  PrintMiningReport(schema, result, dist::MechanismSpecName(spec),
+                    mining_options.min_support,
+                    static_cast<size_t>(flags.GetUint("top", 20)));
+  const dist::DistStats stats = coordinator->stats();
+  std::cerr << "dist: " << stats.num_workers << " worker(s), "
+            << stats.total_rows << " rows, " << stats.requests_sent
+            << " requests, " << stats.bytes_sent << " B out, "
+            << stats.bytes_received << " B in, merge "
+            << stats.merge_nanos / 1000000.0 << " ms\n";
+  coordinator->Shutdown();
+  return 0;
+}
+
+int CmdMinePipeline(const Flags& flags,
+                    const data::CategoricalSchema& schema) {
+  const dist::MechanismSpec spec = SpecFromFlags(flags, schema);
+  ResolvedSource resolved = Unwrap(MakeSource(flags, schema));
+  auto mechanism = Unwrap(dist::MakeMechanism(spec, schema));
+
+  pipeline::PipelineOptions options;
+  options.num_shards = flags.GetUint("shards", 1);
+  options.num_threads = flags.GetUint("threads", 1);
+  options.perturb_seed = flags.GetUint("seed", 7);
+  options.mining.min_support = flags.GetDouble("minsup", 0.02);
+  const pipeline::PipelineResult result = Unwrap(
+      pipeline::PrivacyPipeline(options).Run(*mechanism, *resolved.source));
+
+  PrintMiningReport(schema, result.mined, dist::MechanismSpecName(spec),
+                    options.mining.min_support,
+                    static_cast<size_t>(flags.GetUint("top", 20)));
+  std::cerr << "pipeline: " << result.stats.num_shards << " shard(s), "
+            << result.stats.total_rows << " rows\n";
+  return 0;
+}
+
 int CmdMine(const Flags& flags) {
   const data::CategoricalSchema schema = SchemaFor(flags.Get("dataset"));
+  if (flags.Has("workers")) return CmdMineDistributed(flags, schema);
+  if (flags.Has("run-pipeline")) return CmdMinePipeline(flags, schema);
+
   const std::string in = flags.Get("in");
   if (in.empty()) return Usage();
   const data::CategoricalTable table = Unwrap(data::ReadCsv(in, schema));
@@ -204,26 +421,79 @@ int CmdMine(const Flags& flags) {
     result = Unwrap(mining::MineFrequentItemsets(schema, estimator, options));
   }
 
-  std::cout << (flags.Has("exact") ? "exact" : "reconstructed")
-            << " frequent itemsets (minsup = " << options.min_support << "):";
-  for (size_t k = 1; k <= result.MaxLength(); ++k) {
-    std::cout << "  L" << k << "=" << result.OfLength(k).size();
-  }
-  std::cout << "\n\n";
-
-  const size_t top = static_cast<size_t>(flags.GetUint("top", 20));
-  std::vector<mining::FrequentItemset> all;
-  for (const auto& level : result.by_length) {
-    all.insert(all.end(), level.begin(), level.end());
-  }
-  std::sort(all.begin(), all.end(),
-            [](const auto& a, const auto& b) { return a.support > b.support; });
-  eval::TextTable out({"support", "itemset"});
-  for (size_t i = 0; i < std::min(top, all.size()); ++i) {
-    out.AddRow({eval::Cell(all[i].support, 4), all[i].itemset.ToString(schema)});
-  }
-  out.Print(std::cout);
+  PrintMiningReport(schema, result,
+                    flags.Has("exact") ? "exact" : "reconstructed",
+                    options.min_support,
+                    static_cast<size_t>(flags.GetUint("top", 20)));
   return 0;
+}
+
+int CmdWorker(const Flags& flags) {
+  const std::string dataset = flags.Get("dataset");
+  const data::CategoricalSchema schema = SchemaFor(dataset);
+  if (!flags.Has("listen")) return Usage();
+  const unsigned long long port = flags.GetUint("listen", 0);
+  if (port > 65535) {
+    std::cerr << "bad --listen port\n";
+    return 2;
+  }
+
+  // One ResolvedSource per session: sessions re-ingest from row 0, and
+  // generated tables are shared across sessions through the flags being
+  // deterministic.
+  dist::WorkerOptions options(schema);
+  options.num_threads = flags.GetUint("threads", 1);
+  options.source_factory =
+      [&flags, &schema]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+    // The factory leaks generated tables' ownership into the source via a
+    // self-owning wrapper: keep it simple by materializing fresh per
+    // session (sessions are rare; ingest dominates anyway).
+    FRAPP_ASSIGN_OR_RETURN(ResolvedSource resolved, MakeSource(flags, schema));
+    if (resolved.table == nullptr) return std::move(resolved.source);
+    // Tie the generated table's lifetime to the source object.
+    class OwningSource : public pipeline::TableSource {
+     public:
+      OwningSource(std::shared_ptr<const data::CategoricalTable> table,
+                   std::unique_ptr<pipeline::TableSource> inner)
+          : table_(std::move(table)), inner_(std::move(inner)) {}
+      const data::CategoricalSchema& schema() const override {
+        return inner_->schema();
+      }
+      StatusOr<bool> NextShard(pipeline::PulledShard* out) override {
+        return inner_->NextShard(out);
+      }
+      Status SkipToRow(size_t row) override { return inner_->SkipToRow(row); }
+      std::optional<size_t> TotalRows() const override {
+        return inner_->TotalRows();
+      }
+
+     private:
+      std::shared_ptr<const data::CategoricalTable> table_;
+      std::unique_ptr<pipeline::TableSource> inner_;
+    };
+    return std::unique_ptr<pipeline::TableSource>(std::make_unique<OwningSource>(
+        std::move(resolved.table), std::move(resolved.source)));
+  };
+
+  auto listener = Unwrap(dist::TcpListener::Bind(
+      flags.Get("bind-host", "127.0.0.1"), static_cast<uint16_t>(port)));
+  std::cout << "frapp worker listening on " << flags.Get("bind-host", "127.0.0.1")
+            << ":" << listener.port() << " (dataset " << dataset << ")"
+            << std::endl;
+  bool last_session_failed = false;
+  do {
+    auto transport = Unwrap(listener.Accept());
+    const Status session = dist::ServeWorker(*transport, options);
+    last_session_failed = !session.ok();
+    if (session.ok()) {
+      std::cout << "session complete" << std::endl;
+    } else {
+      std::cerr << "session failed: " << session.ToString() << std::endl;
+    }
+  } while (!flags.Has("once"));
+  // Scripts (`--once` + wait $pid) read the exit status as "did the
+  // session succeed"; a failed handshake or count pass must not exit 0.
+  return last_session_failed ? 1 : 0;
 }
 
 int CmdAudit(const Flags& flags) {
@@ -262,5 +532,6 @@ int main(int argc, char** argv) {
   if (command == "mine") return CmdMine(flags);
   if (command == "audit") return CmdAudit(flags);
   if (command == "convert") return CmdConvert(flags);
+  if (command == "worker") return CmdWorker(flags);
   return Usage();
 }

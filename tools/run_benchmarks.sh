@@ -13,6 +13,10 @@
 #   BENCH_pipeline.json     — pipeline_benchmark (shards x threads sweep)
 #   BENCH_ingest.json       — ingest_benchmark (preloaded vs streamed CSV /
 #                             prefetched / binary / synthetic sources)
+#   BENCH_dist.json         — dist_benchmark (worker-count sweep of the
+#                             distributed coordinator/worker path:
+#                             bytes-on-wire + merge-time counters vs the
+#                             in-process pipeline baseline)
 #
 # Each file holds {"runs": [<google-benchmark output>, ...]}: every
 # invocation APPENDS its run (with its context/date) to the trajectory
@@ -36,7 +40,7 @@ build_dir="${1:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
   --target apriori_benchmark perturbation_benchmark pipeline_benchmark \
-  ingest_benchmark
+  ingest_benchmark dist_benchmark
 
 # Appends the single-run google-benchmark JSON $2 to the trajectory file $1.
 merge_run() {
@@ -90,5 +94,6 @@ run_suite apriori_benchmark BENCH_mining.json
 run_suite perturbation_benchmark BENCH_perturbation.json
 run_suite pipeline_benchmark BENCH_pipeline.json
 run_suite ingest_benchmark BENCH_ingest.json
+run_suite dist_benchmark BENCH_dist.json
 
-echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json, BENCH_ingest.json"
+echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json, BENCH_ingest.json, BENCH_dist.json"
