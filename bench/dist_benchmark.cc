@@ -6,6 +6,13 @@
 //                                          worker-range ingest + every
 //                                          candidate pass over the wire
 //                                          protocol)
+//   BM_DistMineRecovery/<mech>             the 4-worker in-process mine,
+//                                          but one worker's transport is
+//                                          scripted to die mid-mine; the
+//                                          delta vs the 4-worker row is the
+//                                          dead-worker recovery overhead
+//                                          (range re-assignment + restarted
+//                                          round)
 //   BM_DistMineTcpLoopback/<mech>/<workers> the same over TCP loopback
 //                                          sockets — real kernel round
 //                                          trips per candidate pass
@@ -41,6 +48,7 @@
 
 #include "frapp/data/census.h"
 #include "frapp/dist/coordinator.h"
+#include "frapp/dist/fault.h"
 #include "frapp/dist/worker.h"
 #include "frapp/pipeline/privacy_pipeline.h"
 
@@ -125,6 +133,49 @@ BENCHMARK(BM_DistMineInProcess)
     ->Args({2, 1})
     ->Args({2, 2})
     ->Args({2, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistMineRecovery(benchmark::State& state) {
+  // Same mine as BM_DistMineInProcess/<mech>/4, but one worker's transport
+  // is scripted to die mid-mine (close after its first counting receive).
+  // The coordinator re-assigns the dead worker's ranges to survivors and
+  // restarts the round; the delta vs the 4-worker row is the recovery
+  // overhead (re-ingest of the orphaned ranges + one restarted pass).
+  const dist::MechanismSpec spec = SpecFor(static_cast<int>(state.range(0)));
+  const size_t num_workers = 4;
+  const dist::FaultSpec faults = *dist::ParseFaultSpec("1:close-recv=1");
+  dist::DistStats stats;
+  size_t total_frequent = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<dist::InProcessWorker>> workers;
+    std::vector<std::unique_ptr<dist::Transport>> transports;
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.push_back(
+          std::make_unique<dist::InProcessWorker>(MakeWorkerOptions()));
+      transports.push_back(dist::MaybeInjectFaults(
+          workers.back()->TakeCoordinatorEndpoint(), faults, w));
+    }
+    dist::CoordinatorOptions options;
+    options.perturb_seed = kPerturbSeed;
+    auto coordinator = *dist::Coordinator::Connect(
+        std::move(transports), Table().schema(), spec, kRows, options);
+    const mining::AprioriResult result = *coordinator->Mine(MiningOptions());
+    benchmark::DoNotOptimize(result.TotalFrequent());
+    total_frequent = result.TotalFrequent();
+    stats = coordinator->stats();
+    coordinator->Shutdown();
+  }
+  ReportStats(state, stats, total_frequent);
+  state.counters["workers_failed"] = static_cast<double>(stats.workers_failed);
+  state.counters["ranges_reassigned"] =
+      static_cast<double>(stats.ranges_reassigned);
+  state.counters["rounds_restarted"] =
+      static_cast<double>(stats.rounds_restarted);
+}
+BENCHMARK(BM_DistMineRecovery)
+    ->ArgNames({"mech"})
+    ->Arg(0)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DistMineTcpLoopback(benchmark::State& state) {

@@ -22,6 +22,40 @@ inline uint64_t NowNanos() {
           .count());
 }
 
+/// A point on the steady clock by which an operation must finish. The value
+/// type the frapp/dist retry machinery passes around: transports honor a
+/// per-call timeout, while callers reason in absolute deadlines so a retry
+/// loop's waits share one budget instead of resetting it per attempt.
+class Deadline {
+ public:
+  /// The never-expiring deadline (timeouts disabled).
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now. 0 means "already expired" — use
+  /// Infinite() for no deadline.
+  static Deadline AfterMillis(uint64_t ms) {
+    return Deadline(NowNanos() + ms * 1000000ull);
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool is_infinite() const { return nanos_ == kInfinite; }
+  bool expired() const { return !is_infinite() && NowNanos() >= nanos_; }
+
+  /// Milliseconds left (0 if expired; meaningless for infinite deadlines).
+  uint64_t remaining_millis() const {
+    if (is_infinite()) return ~0ull;
+    const uint64_t now = NowNanos();
+    return now >= nanos_ ? 0 : (nanos_ - now) / 1000000ull;
+  }
+
+ private:
+  static constexpr uint64_t kInfinite = ~0ull;
+  explicit Deadline(uint64_t nanos) : nanos_(nanos) {}
+
+  uint64_t nanos_ = kInfinite;
+};
+
 }  // namespace common
 }  // namespace frapp
 

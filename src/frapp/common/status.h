@@ -25,6 +25,12 @@ enum class StatusCode : int {
   kIOError = 6,           ///< Filesystem / parsing failure.
   kUnimplemented = 7,     ///< Declared but intentionally not supported.
   kInternal = 8,          ///< Invariant violation that is not the caller's fault.
+  kDeadlineExceeded = 9,  ///< Operation ran past its deadline; MAY have retried
+                          ///< and MAY be retried (frapp/dist uses it for
+                          ///< send/receive timeouts on slow or hung peers).
+  kUnavailable = 10,      ///< Peer or resource is (possibly transiently) gone:
+                          ///< refused/reset connections, dead workers. Safe to
+                          ///< retry against a replacement.
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -74,6 +80,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

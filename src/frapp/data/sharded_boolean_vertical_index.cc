@@ -35,6 +35,19 @@ ShardedBooleanVerticalIndex ShardedBooleanVerticalIndex::FromShards(
   return out;
 }
 
+void ShardedBooleanVerticalIndex::AppendShards(
+    std::vector<BooleanVerticalIndex> shards) {
+  for (BooleanVerticalIndex& shard : shards) {
+    num_rows_ += shard.num_rows();
+    if (shard.num_bits() != 0) {
+      FRAPP_CHECK(num_bits_ == 0 || num_bits_ == shard.num_bits())
+          << "shards disagree on num_bits";
+      num_bits_ = shard.num_bits();
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
 ShardedBooleanVerticalIndex ShardedBooleanVerticalIndex::Build(
     const BooleanTable& table, size_t num_shards, size_t num_threads) {
   // Counting needs no chunk alignment (alignment 1 splits even small tables

@@ -45,6 +45,12 @@ class ShardedBooleanVerticalIndex {
   static ShardedBooleanVerticalIndex FromShards(
       std::vector<BooleanVerticalIndex> shards);
 
+  /// Appends more row-partition shards (the dist fault-recovery path: a
+  /// survivor ingests a dead worker's range on top of its own). All shards,
+  /// old and new, must agree on num_bits; counting stays the integer sum
+  /// over all of them, so appended coverage merges bit-identically.
+  void AppendShards(std::vector<BooleanVerticalIndex> shards);
+
   /// Builds per-shard indexes over an even `num_shards`-way row split of
   /// `table` (counting needs no chunk alignment; 0 means one shard per
   /// seeded-chunk quantum). `num_threads` parallelizes the shard builds.

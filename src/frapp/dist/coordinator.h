@@ -22,6 +22,31 @@
 // Traffic is O(workers x candidates) integers per pass; rows never cross
 // the wire. DistStats accounts for every byte both ways plus the merge
 // time, which is what bench/dist_benchmark.cc records.
+//
+// FAULT TOLERANCE. With a request deadline configured (CoordinatorOptions::
+// retry), the coordinator survives workers that die, hang, or drop off the
+// network, at ANY point after dial-out — and the recovery preserves the
+// bit-identity guarantee:
+//
+//   - A receive that trips its deadline is retried on the same connection
+//     (transports resume partial frames), up to max_attempts waits; a
+//     worker still silent after that — or one whose connection failed
+//     outright — is declared DEAD and its connection closed.
+//   - A dead worker's chunk-aligned ranges are re-split (the same
+//     ShardedTable::Plan) across the survivors, which re-ingest them via
+//     AssignRange: perturbation draws the same GLOBAL seeded-chunk streams,
+//     and counts are additive over the row partition, so the merged totals
+//     after recovery equal the healthy run's bit for bit.
+//   - The interrupted broadcast round then RESTARTS against the survivors:
+//     every response of the aborted round was either drained or its
+//     connection closed, so the strict request/response streams stay in
+//     sync. Re-counted integers are deterministic, so the restart cannot
+//     change results — only recover them.
+//   - Only when NO worker remains does mining fail, with kUnavailable.
+//
+// With retry.request_deadline_ms == 0 (the default) deadlines are off and
+// behaviour is exactly the pre-fault-tolerance one: block forever, fail on
+// the first transport error.
 
 #ifndef FRAPP_DIST_COORDINATOR_H_
 #define FRAPP_DIST_COORDINATOR_H_
@@ -52,11 +77,39 @@ struct CoordinatorOptions {
 
   /// Candidates per CountRequest frame: bounds frame sizes for huge passes.
   size_t max_itemsets_per_request = 8192;
+
+  /// Failure detection and retry policy. request_deadline_ms bounds every
+  /// send and receive against a worker; max_attempts bounds the deadline-
+  /// retried receive waits before the worker is declared dead. The deadline
+  /// should comfortably exceed the slowest expected ingest/counting pass —
+  /// though even a falsely-declared death only costs re-ingest time, never
+  /// correctness. The default (0) disables deadlines: block forever.
+  RetryOptions retry;
 };
 
 /// Observability of one coordinator session.
 struct DistStats {
   size_t num_workers = 0;
+
+  /// Workers still serving (== num_workers unless failures struck).
+  size_t workers_alive = 0;
+
+  /// Workers declared dead (connection failure, or silent past the retry
+  /// budget).
+  uint64_t workers_failed = 0;
+
+  /// Chunk-aligned ranges handed to survivors via AssignRange.
+  uint64_t ranges_reassigned = 0;
+
+  /// Receive waits that tripped their deadline and were retried on the
+  /// same connection.
+  uint64_t deadline_retries = 0;
+
+  /// Liveness probes sent by CheckHealth.
+  uint64_t pings_sent = 0;
+
+  /// Broadcast rounds restarted after a mid-round worker death.
+  uint64_t rounds_restarted = 0;
 
   /// Rows ingested across workers (sum of HelloAck row counts).
   uint64_t total_rows = 0;
@@ -112,6 +165,13 @@ class Coordinator {
 
   ~Coordinator();
 
+  /// One liveness round: pings every live worker and waits for Pongs (under
+  /// the retry policy). Workers that fail the probe are declared dead and
+  /// their ranges re-assigned to survivors, exactly as during a counting
+  /// pass. Fails with kUnavailable once no worker remains. Requires a
+  /// configured request deadline to detect HUNG (vs dead) workers.
+  Status CheckHealth();
+
   /// The distributed estimator over this coordinator's workers.
   StatusOr<std::unique_ptr<DistributedSupportEstimator>> MakeEstimator();
 
@@ -125,6 +185,7 @@ class Coordinator {
 
   const data::CategoricalSchema& schema() const { return schema_; }
   size_t num_workers() const { return workers_.size(); }
+  size_t num_alive_workers() const;
 
   /// Stats snapshot (cheap; callable between passes).
   DistStats stats() const;
@@ -134,17 +195,52 @@ class Coordinator {
   class RemotePatternCountSource;
   struct Internals;
 
+  /// A global row span a worker covers (chunk-aligned).
+  struct RowSpan {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  /// One hired worker: its connection, liveness, and the global coverage
+  /// it holds — the hand-off manifest if it dies.
+  struct WorkerSlot {
+    std::unique_ptr<Transport> transport;
+    bool alive = true;
+    std::vector<RowSpan> ranges;
+    uint64_t rows = 0;
+  };
+
   Coordinator(std::vector<std::unique_ptr<Transport>> workers,
               data::CategoricalSchema schema, const MechanismSpec& spec,
               const CoordinatorOptions& options);
 
-  /// Sends `request` to every worker, then collects one response per
-  /// worker (in worker order). The send loop finishes before any receive
-  /// blocks, so all workers compute concurrently; receives fan out on the
-  /// shared thread pool.
+  /// Send/receive against one worker with stats accounting; ReceiveFrom
+  /// retries deadline-tripped waits up to the retry budget (the resumable
+  /// receive makes that safe) and lets every other failure through.
+  Status SendTo(size_t w, const Message& message);
+  StatusOr<Message> ReceiveFrom(size_t w);
+
+  /// Declares worker `w` dead: closes its connection and moves its
+  /// coverage into *orphans for re-assignment.
+  void MarkDead(size_t w, std::vector<RowSpan>* orphans);
+
+  /// Re-splits orphaned spans across the live fleet via AssignRange
+  /// (chunk-aligned sub-plans, so perturbation streams stay global), then
+  /// re-verifies total row coverage. A worker failing ITS re-assignment is
+  /// declared dead too and the loop continues; kUnavailable once nobody is
+  /// left.
+  Status ReassignOrphans(std::vector<RowSpan> orphans);
+
+  /// Sends `request` to every live worker, then collects one response per
+  /// live worker (in slot order). The send loop finishes before any
+  /// receive blocks, so all workers compute concurrently; receives fan out
+  /// on the shared thread pool. If any worker dies mid-round, the round's
+  /// responses are DISCARDED, the dead workers' ranges are re-assigned,
+  /// and the round restarts against the survivors — see the file comment
+  /// for why that preserves bit-identity.
   Status Broadcast(const Message& request, std::vector<Message>* responses);
 
-  std::vector<std::unique_ptr<Transport>> workers_;
+  std::vector<WorkerSlot> workers_;
   data::CategoricalSchema schema_;
   MechanismSpec spec_;
   CoordinatorOptions options_;

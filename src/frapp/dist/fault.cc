@@ -1,0 +1,157 @@
+#include "frapp/dist/fault.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace frapp {
+namespace dist {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& text,
+                             const std::string& what) {
+  if (text.empty()) {
+    return Status::InvalidArgument("fault spec: empty " + what);
+  }
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("fault spec: non-numeric " + what +
+                                     " '" + text + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& clause : SplitOn(text, ';')) {
+    if (clause.empty()) continue;
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault spec clause '" + clause +
+          "' is missing its 'INDEX:' endpoint prefix");
+    }
+    FRAPP_ASSIGN_OR_RETURN(
+        const uint64_t index,
+        ParseUint(clause.substr(0, colon), "endpoint index"));
+    FaultActions& actions = spec.by_endpoint[static_cast<size_t>(index)];
+    for (const std::string& action : SplitOn(clause.substr(colon + 1), ',')) {
+      const size_t eq = action.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault spec action '" + action +
+                                       "' is not KEY=VALUE");
+      }
+      const std::string key = action.substr(0, eq);
+      FRAPP_ASSIGN_OR_RETURN(const uint64_t value,
+                             ParseUint(action.substr(eq + 1), key + " value"));
+      if (key == "close-send") {
+        actions.close_after_sends = value;
+      } else if (key == "close-recv") {
+        actions.close_after_receives = value;
+      } else if (key == "drop-send") {
+        actions.drop_sends_after = value;
+      } else if (key == "timeout-recv") {
+        actions.timeout_receives_after = value;
+      } else if (key == "truncate-recv") {
+        actions.truncate_receive_after = value;
+      } else if (key == "delay-send-ms") {
+        actions.delay_send_ms = value;
+      } else if (key == "delay-recv-ms") {
+        actions.delay_receive_ms = value;
+      } else {
+        return Status::InvalidArgument("fault spec: unknown key '" + key +
+                                       "'");
+      }
+    }
+  }
+  return spec;
+}
+
+Status FaultInjectingTransport::Send(const Message& message) {
+  if (actions_.delay_send_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(actions_.delay_send_ms));
+  }
+  if (sends_ >= actions_.close_after_sends) {
+    ++sends_;
+    inner_->Close();
+    return Status::Unavailable("fault injection: connection closed after " +
+                               std::to_string(actions_.close_after_sends) +
+                               " sends");
+  }
+  if (sends_ >= actions_.drop_sends_after) {
+    // The message vanishes but the caller sees success — the classic
+    // network partition where the peer never hears the request.
+    ++sends_;
+    return Status::OK();
+  }
+  const Status status = inner_->Send(message);
+  if (status.ok()) ++sends_;
+  return status;
+}
+
+StatusOr<Message> FaultInjectingTransport::Receive() {
+  if (actions_.delay_receive_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(actions_.delay_receive_ms));
+  }
+  if (receives_ >= actions_.timeout_receives_after) {
+    // A silent peer, reported without waiting out a real timer: the caller
+    // sees exactly what a tripped SO_RCVTIMEO would produce.
+    ++receives_;
+    return Status::DeadlineExceeded(
+        "fault injection: simulated silent peer after " +
+        std::to_string(actions_.timeout_receives_after) + " receives");
+  }
+  if (receives_ >= actions_.truncate_receive_after) {
+    ++receives_;
+    inner_->Close();
+    return Status::InvalidArgument(
+        "fault injection: truncated frame after " +
+        std::to_string(actions_.truncate_receive_after) + " receives");
+  }
+  if (receives_ >= actions_.close_after_receives) {
+    ++receives_;
+    inner_->Close();
+    return Status::Unavailable("fault injection: connection closed after " +
+                               std::to_string(actions_.close_after_receives) +
+                               " receives");
+  }
+  StatusOr<Message> received = inner_->Receive();
+  if (received.ok()) ++receives_;
+  return received;
+}
+
+std::unique_ptr<Transport> MaybeInjectFaults(
+    std::unique_ptr<Transport> transport, const FaultSpec& spec,
+    size_t index) {
+  const auto it = spec.by_endpoint.find(index);
+  if (it == spec.by_endpoint.end() || !it->second.armed()) return transport;
+  return std::make_unique<FaultInjectingTransport>(std::move(transport),
+                                                   it->second);
+}
+
+}  // namespace dist
+}  // namespace frapp

@@ -1,0 +1,116 @@
+// Deterministic fault injection for dist transports.
+//
+// FaultInjectingTransport decorates any Transport with a scripted failure
+// schedule: close the connection after N sends or receives, eat sent
+// messages (a peer that hangs), report receive deadlines (a peer that went
+// silent), or corrupt an incoming frame. The schedule is a pure function of
+// operation counts — no clocks, no randomness — so a failure scenario
+// replays exactly, in unit tests and under `frapp mine --fault-spec` alike.
+//
+// Spec grammar (one string drives a whole fleet):
+//
+//   spec    := clause (';' clause)*
+//   clause  := INDEX ':' action (',' action)*
+//   action  := KEY '=' UINT
+//
+// INDEX is the 0-based worker endpoint the clause applies to. Keys:
+//
+//   close-send=N     close the connection on the (N+1)th Send
+//   close-recv=N     close the connection on the (N+1)th Receive
+//   drop-send=N      silently eat every Send after the Nth (peer hangs)
+//   timeout-recv=N   every Receive after the Nth reports kDeadlineExceeded
+//                    (a silent peer, without waiting out a real timer)
+//   truncate-recv=N  the (N+1)th Receive reports a corrupt frame
+//                    (kInvalidArgument) and closes the connection
+//   delay-send-ms=D  sleep D ms before each Send (slow link)
+//   delay-recv-ms=D  sleep D ms before each Receive
+//
+// Example: "2:close-send=1" kills worker 2's connection after its handshake
+// frame; "0:timeout-recv=3;1:delay-recv-ms=50" hangs worker 0 after three
+// responses and slows worker 1.
+
+#ifndef FRAPP_DIST_FAULT_H_
+#define FRAPP_DIST_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/transport.h"
+
+namespace frapp {
+namespace dist {
+
+/// The scripted failures of ONE endpoint. Counters mean "after this many
+/// successful operations"; kNever disables an action.
+struct FaultActions {
+  static constexpr uint64_t kNever = ~0ull;
+
+  uint64_t close_after_sends = kNever;
+  uint64_t close_after_receives = kNever;
+  uint64_t drop_sends_after = kNever;
+  uint64_t timeout_receives_after = kNever;
+  uint64_t truncate_receive_after = kNever;
+  uint64_t delay_send_ms = 0;
+  uint64_t delay_receive_ms = 0;
+
+  /// True if any action is armed.
+  bool armed() const {
+    return close_after_sends != kNever || close_after_receives != kNever ||
+           drop_sends_after != kNever || timeout_receives_after != kNever ||
+           truncate_receive_after != kNever || delay_send_ms != 0 ||
+           delay_receive_ms != 0;
+  }
+};
+
+/// A fleet-wide schedule: endpoint index -> its scripted failures.
+struct FaultSpec {
+  std::map<size_t, FaultActions> by_endpoint;
+
+  bool empty() const { return by_endpoint.empty(); }
+};
+
+/// Parses the spec grammar documented at the top of this header.
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/// Decorates `inner` with a failure schedule. Timeout setters and Close
+/// forward to the inner transport; Send/Receive consult the schedule first.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          FaultActions actions)
+      : inner_(std::move(inner)), actions_(actions) {}
+
+  Status Send(const Message& message) override;
+  StatusOr<Message> Receive() override;
+  void SetReceiveTimeoutMillis(uint64_t ms) override {
+    inner_->SetReceiveTimeoutMillis(ms);
+  }
+  void SetSendTimeoutMillis(uint64_t ms) override {
+    inner_->SetSendTimeoutMillis(ms);
+  }
+  void Close() override { inner_->Close(); }
+
+  /// Operations that completed (successfully or as injected faults).
+  uint64_t sends() const { return sends_; }
+  uint64_t receives() const { return receives_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  const FaultActions actions_;
+  uint64_t sends_ = 0;
+  uint64_t receives_ = 0;
+};
+
+/// Wraps `transport` with endpoint `index`'s clause of `spec`, if any;
+/// otherwise returns it untouched. The coordinator CLI calls this on each
+/// worker connection it dials.
+std::unique_ptr<Transport> MaybeInjectFaults(
+    std::unique_ptr<Transport> transport, const FaultSpec& spec, size_t index);
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_FAULT_H_

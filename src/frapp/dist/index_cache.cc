@@ -1,0 +1,46 @@
+#include "frapp/dist/index_cache.h"
+
+#include <utility>
+
+namespace frapp {
+namespace dist {
+
+bool IndexCache::Lookup(const std::string& key, CachedRangeIndex* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = it->second;
+  return true;
+}
+
+void IndexCache::Insert(const std::string& key, CachedRangeIndex entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key, std::move(entry));
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+std::string MakeIndexCacheKey(const std::string& source_id,
+                              uint64_t schema_fingerprint,
+                              const std::string& spec_key, uint64_t seed,
+                              uint64_t range_begin, uint64_t range_end) {
+  std::string key = source_id;
+  key += "|fp=" + std::to_string(schema_fingerprint);
+  key += "|" + spec_key;
+  key += "|seed=" + std::to_string(seed);
+  key += "|range=" + std::to_string(range_begin) + "-" +
+         std::to_string(range_end);
+  return key;
+}
+
+}  // namespace dist
+}  // namespace frapp

@@ -1,0 +1,78 @@
+// Per-range index cache: a worker process remembers the shard indexes it
+// built, keyed on everything that determines them, so a worker that is
+// re-hired after a coordinator crash (or asked to serve the same job twice)
+// skips the expensive ingest -> perturb -> index pass entirely.
+//
+// Safe because the pass is DETERMINISTIC: the shard indexes are a pure
+// function of (source, schema fingerprint, mechanism spec, master seed,
+// chunk-aligned row range) — the global seeded-chunk RNG streams guarantee
+// it. The key concatenates exactly those inputs (floats by bit pattern, via
+// CanonicalSpecKey), so a hit can never serve stale or mismatched counts.
+// Sources without a stable identity (in-memory test tables) use an empty
+// source id, which disables caching for them.
+//
+// The cache lives for the worker PROCESS and is shared across its serve
+// sessions; entries are immutable once inserted. Lookup copies shards out
+// (index types are plain vectors), so sessions never alias cache state.
+
+#ifndef FRAPP_DIST_INDEX_CACHE_H_
+#define FRAPP_DIST_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frapp/data/boolean_vertical_index.h"
+#include "frapp/mining/vertical_index.h"
+
+namespace frapp {
+namespace dist {
+
+/// One cached ingest result: the per-shard indexes of one (job, range),
+/// exactly one of the two vectors non-empty (matching the mechanism's shard
+/// kind), plus the counts the worker acks with.
+struct CachedRangeIndex {
+  std::vector<mining::VerticalIndex> categorical_shards;
+  std::vector<data::BooleanVerticalIndex> boolean_shards;
+  uint64_t num_rows = 0;
+  uint64_t num_bits = 0;
+};
+
+/// Thread-safe process-lifetime cache. Keys come from MakeIndexCacheKey.
+class IndexCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+  };
+
+  /// Copies the entry for `key` into *out and returns true; counts a miss
+  /// and returns false if absent.
+  bool Lookup(const std::string& key, CachedRangeIndex* out);
+
+  /// Inserts (first write wins — determinism makes duplicates identical).
+  void Insert(const std::string& key, CachedRangeIndex entry);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CachedRangeIndex> entries_;
+  Stats stats_;
+};
+
+/// The full determinism key of one ingest pass. `source_id` is a stable
+/// name for the row stream (file path, or a generator descriptor); empty
+/// means "no stable identity" and callers must skip the cache.
+std::string MakeIndexCacheKey(const std::string& source_id,
+                              uint64_t schema_fingerprint,
+                              const std::string& spec_key, uint64_t seed,
+                              uint64_t range_begin, uint64_t range_end);
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_INDEX_CACHE_H_

@@ -2,9 +2,26 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <cstring>
 
 namespace frapp {
 namespace dist {
+
+namespace {
+
+/// Exact (bit-pattern) hex form of a double: 0.1 + 0.2 and 0.3 key
+/// differently, which is what a cache key wants.
+std::string DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf);
+}
+
+}  // namespace
 
 std::string MechanismSpecName(const MechanismSpec& spec) {
   switch (spec.kind) {
@@ -20,6 +37,17 @@ std::string MechanismSpecName(const MechanismSpec& spec) {
       return "IND-GD";
   }
   return "?";
+}
+
+std::string CanonicalSpecKey(const MechanismSpec& spec) {
+  std::string key = "kind=";
+  key += std::to_string(static_cast<unsigned>(spec.kind));
+  key += "|gamma=" + DoubleBits(spec.gamma);
+  key += "|alpha=" + DoubleBits(spec.alpha);
+  key += "|rand=" + std::to_string(static_cast<unsigned>(spec.randomization));
+  key += "|k=" + std::to_string(spec.cutoff_k);
+  key += "|rho=" + DoubleBits(spec.rho);
+  return key;
 }
 
 StatusOr<MechanismSpec::Kind> ParseMechanismKind(const std::string& name) {

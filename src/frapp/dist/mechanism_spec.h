@@ -53,6 +53,11 @@ struct MechanismSpec {
 /// Display name of a spec's mechanism ("DET-GD", "MASK", ...).
 std::string MechanismSpecName(const MechanismSpec& spec);
 
+/// Canonical text form covering EVERY field (exact float bits, not decimal
+/// round-trips): equal keys iff the specs describe the same perturbation.
+/// The worker's index cache keys on it.
+std::string CanonicalSpecKey(const MechanismSpec& spec);
+
 /// Parses a CLI-style mechanism name ("det-gd", "ran-gd", "mask", "cp",
 /// "ind-gd"; case-insensitive) into a Kind.
 StatusOr<MechanismSpec::Kind> ParseMechanismKind(const std::string& name);

@@ -1,0 +1,68 @@
+// Retry policy for the frapp/dist coordinator and dial-out paths: how many
+// times to wait, how long each wait may take, and how far apart repeated
+// attempts back off.
+//
+// Backoff is capped exponential with DETERMINISTIC jitter: the delay for
+// attempt k is base * 2^k, clamped to the cap, scaled by a jitter factor in
+// [0.5, 1.0] drawn from a splitmix64 hash of (jitter_seed, attempt). Jitter
+// decorrelates a fleet of coordinators redialing the same worker, and being
+// a pure function of the seed keeps tests and reproduced runs exact.
+
+#ifndef FRAPP_DIST_RETRY_H_
+#define FRAPP_DIST_RETRY_H_
+
+#include <cstdint>
+
+namespace frapp {
+namespace dist {
+
+struct RetryOptions {
+  /// Receive waits per request before the peer is declared dead: the first
+  /// wait plus (max_attempts - 1) retries, each bounded by
+  /// `request_deadline_ms`. Also bounds re-dial attempts on connect paths.
+  size_t max_attempts = 3;
+
+  /// Per-attempt send/receive deadline in milliseconds. 0 disables
+  /// deadlines entirely (block forever — the pre-fault-tolerance
+  /// behaviour). A hung worker is detected after at most
+  /// max_attempts * request_deadline_ms.
+  uint64_t request_deadline_ms = 0;
+
+  /// First backoff delay between attempts (doubles each attempt).
+  uint64_t base_backoff_ms = 20;
+
+  /// Backoff ceiling.
+  uint64_t max_backoff_ms = 2000;
+
+  /// Seed of the deterministic jitter stream. Two coordinators with
+  /// different seeds spread their retries; one seed reproduces exactly.
+  uint64_t jitter_seed = 0x6a09e667f3bcc909ull;
+};
+
+/// splitmix64: the one-shot hash behind the jitter stream.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Delay before retry `attempt` (0-based: the delay between the first
+/// failure and the second attempt is BackoffMillis(options, 0)).
+/// Deterministic in (options, attempt).
+inline uint64_t BackoffMillis(const RetryOptions& options, size_t attempt) {
+  // base * 2^attempt without overflow: saturate at the cap early.
+  uint64_t delay = options.base_backoff_ms;
+  for (size_t i = 0; i < attempt && delay < options.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options.max_backoff_ms) delay = options.max_backoff_ms;
+  // Jitter factor in [1/2, 1]: delay/2 + hash-fraction * delay/2.
+  const uint64_t h = SplitMix64(options.jitter_seed ^ (attempt + 1));
+  return delay / 2 + (h % (delay / 2 + 1));
+}
+
+}  // namespace dist
+}  // namespace frapp
+
+#endif  // FRAPP_DIST_RETRY_H_

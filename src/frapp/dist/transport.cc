@@ -1,18 +1,25 @@
 #include "frapp/dist/transport.h"
 
+#include "frapp/common/clock.h"
+
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <thread>
 
 namespace frapp {
 namespace dist {
@@ -77,9 +84,19 @@ class InProcessTransport : public Transport {
 
   StatusOr<Message> Receive() override {
     std::unique_lock<std::mutex> lock(receive_->mu);
-    receive_->cv.wait(lock, [&] {
+    const auto ready = [&] {
       return receive_->closed || !receive_->queue.empty();
-    });
+    };
+    const uint64_t timeout_ms =
+        receive_timeout_ms_.load(std::memory_order_relaxed);
+    if (timeout_ms == 0) {
+      receive_->cv.wait(lock, ready);
+    } else if (!receive_->cv.wait_for(
+                   lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return Status::DeadlineExceeded("receive deadline (" +
+                                      std::to_string(timeout_ms) +
+                                      " ms) exceeded");
+    }
     // Drain pending messages even after a close so a shutdown races
     // cleanly, exactly like TCP delivering buffered bytes before EOF.
     if (receive_->queue.empty()) return ClosedError();
@@ -87,6 +104,13 @@ class InProcessTransport : public Transport {
     receive_->queue.pop_front();
     return message;
   }
+
+  void SetReceiveTimeoutMillis(uint64_t ms) override {
+    receive_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+  // In-process sends never block (the queue is unbounded), so a send
+  // timeout has nothing to bound; the default no-op is correct.
 
   void Close() override {
     send_->Close();
@@ -96,45 +120,47 @@ class InProcessTransport : public Transport {
  private:
   std::shared_ptr<InProcessChannel> send_;
   std::shared_ptr<InProcessChannel> receive_;
+  std::atomic<uint64_t> receive_timeout_ms_{0};
 };
 
 // -------------------------------------------------------------------- tcp --
 
+/// Maps the current errno onto the dist Status taxonomy: deadline-shaped
+/// failures (EAGAIN from SO_RCVTIMEO/SO_SNDTIMEO, ETIMEDOUT) become
+/// kDeadlineExceeded so callers know a retry on the SAME connection is
+/// safe; peer-gone failures (refused, reset, broken pipe, unreachable)
+/// become kUnavailable so the coordinator's recovery path fires; anything
+/// else stays a plain kIOError.
 Status ErrnoStatus(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string detail = what + ": " + std::strerror(err);
+  if (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT ||
+      err == EINPROGRESS) {
+    return Status::DeadlineExceeded(detail);
+  }
+  if (err == ECONNREFUSED || err == ECONNRESET || err == ECONNABORTED ||
+      err == EPIPE || err == ENETUNREACH || err == EHOSTUNREACH ||
+      err == ENETDOWN) {
+    return Status::Unavailable(detail);
+  }
+  return Status::IOError(detail);
 }
 
 /// Writes all of [data, data+size), looping over partial writes and EINTR.
-Status WriteAll(int fd, const uint8_t* data, size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE against the whole
+/// process; the EPIPE errno surfaces as kUnavailable instead. *written
+/// reports progress so the caller can tell an untouched stream from a
+/// half-written frame.
+Status WriteAll(int fd, const uint8_t* data, size_t size, size_t* written) {
+  *written = 0;
+  while (*written < size) {
+    const ssize_t n =
+        ::send(fd, data + *written, size - *written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("send");
     }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-/// Reads exactly `size` bytes. `eof_ok` distinguishes a clean close on a
-/// frame boundary (ClosedError) from one inside a frame (corruption).
-Status ReadAll(int fd, uint8_t* data, size_t size, bool eof_ok) {
-  size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::recv(fd, data + got, size - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("recv");
-    }
-    if (n == 0) {
-      if (eof_ok && got == 0) return ClosedError();
-      return Status::InvalidArgument(
-          "connection closed mid-frame (" + std::to_string(got) + " of " +
-          std::to_string(size) + " bytes)");
-    }
-    got += static_cast<size_t>(n);
+    *written += static_cast<size_t>(n);
   }
   return Status::OK();
 }
@@ -157,21 +183,33 @@ class TcpTransport : public Transport {
   Status Send(const Message& message) override {
     std::lock_guard<std::mutex> lock(send_mu_);
     if (closed_.load(std::memory_order_acquire)) return ClosedError();
+    if (send_poisoned_) {
+      return Status::Unavailable(
+          "send direction poisoned: an earlier Send timed out mid-frame, so "
+          "the peer's stream position is unknown");
+    }
     const std::vector<uint8_t> frame = EncodeFrame(message);
-    return WriteAll(fd_, frame.data(), frame.size());
+    size_t written = 0;
+    Status status = WriteAll(fd_, frame.data(), frame.size(), &written);
+    if (status.code() == StatusCode::kDeadlineExceeded && written > 0) {
+      // A timed-out send that got NOTHING onto the wire leaves the stream
+      // consistent and may be retried; one that left a partial frame cannot.
+      send_poisoned_ = true;
+    }
+    return status;
   }
 
   StatusOr<Message> Receive() override {
     if (closed_.load(std::memory_order_acquire)) return ClosedError();
-    uint8_t header[kFrameHeaderBytes];
-    FRAPP_RETURN_IF_ERROR(
-        ReadAll(fd_, header, kFrameHeaderBytes, /*eof_ok=*/true));
-    // Validate the header before allocating: DecodeFrame on the 5 header
-    // bytes rejects oversized lengths and unknown types, and tells us the
-    // payload size it expects.
+    // Phase 1: the 5-byte header. A clean EOF is only clean on a frame
+    // boundary (rx_have_ == 0).
+    if (rx_have_ < kFrameHeaderBytes) {
+      FRAPP_RETURN_IF_ERROR(FillRx(kFrameHeaderBytes, /*eof_ok=*/true));
+    }
+    // Validate the announced length before allocating for it.
     uint32_t payload_len = 0;
     for (int i = 3; i >= 0; --i) {
-      payload_len = (payload_len << 8) | header[static_cast<size_t>(i)];
+      payload_len = (payload_len << 8) | rx_buf_[static_cast<size_t>(i)];
     }
     if (payload_len > kMaxFramePayload) {
       return Status::InvalidArgument(
@@ -179,12 +217,28 @@ class TcpTransport : public Transport {
           " payload bytes, above the " + std::to_string(kMaxFramePayload) +
           " cap (corrupt length prefix?)");
     }
-    std::vector<uint8_t> frame(kFrameHeaderBytes + payload_len);
-    std::memcpy(frame.data(), header, kFrameHeaderBytes);
-    FRAPP_RETURN_IF_ERROR(ReadAll(fd_, frame.data() + kFrameHeaderBytes,
-                                  payload_len, /*eof_ok=*/false));
+    // Phase 2: the payload.
+    const size_t total = kFrameHeaderBytes + payload_len;
+    if (rx_have_ < total) {
+      FRAPP_RETURN_IF_ERROR(FillRx(total, /*eof_ok=*/false));
+    }
     size_t consumed = 0;
-    return DecodeFrame(frame.data(), frame.size(), &consumed);
+    StatusOr<Message> result = DecodeFrame(rx_buf_.data(), total, &consumed);
+    // The frame's bytes are consumed either way (a decode failure is a
+    // payload problem, not a stream-position problem).
+    rx_have_ = 0;
+    if (rx_buf_.capacity() > (1u << 20)) {
+      std::vector<uint8_t>().swap(rx_buf_);
+    }
+    return result;
+  }
+
+  void SetReceiveTimeoutMillis(uint64_t ms) override {
+    SetSocketTimeout(SO_RCVTIMEO, ms);
+  }
+
+  void SetSendTimeoutMillis(uint64_t ms) override {
+    SetSocketTimeout(SO_SNDTIMEO, ms);
   }
 
   void Close() override {
@@ -194,9 +248,45 @@ class TcpTransport : public Transport {
   }
 
  private:
+  /// Reads toward rx_have_ == target, appending into rx_buf_. On a receive
+  /// timeout the bytes gathered so far STAY in rx_buf_ — the next Receive()
+  /// resumes the same frame, so a deadline never desynchronizes the stream.
+  Status FillRx(size_t target, bool eof_ok) {
+    if (rx_buf_.size() < target) rx_buf_.resize(target);
+    while (rx_have_ < target) {
+      const ssize_t n =
+          ::recv(fd_, rx_buf_.data() + rx_have_, target - rx_have_, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("recv");
+      }
+      if (n == 0) {
+        if (eof_ok && rx_have_ == 0) return ClosedError();
+        return Status::InvalidArgument(
+            "connection closed mid-frame (" + std::to_string(rx_have_) +
+            " of " + std::to_string(target) + " bytes)");
+      }
+      rx_have_ += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// SO_RCVTIMEO / SO_SNDTIMEO; a zero timeval restores "block forever".
+  void SetSocketTimeout(int option, uint64_t ms) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, option, &tv, sizeof(tv));
+  }
+
   const int fd_;
   std::atomic<bool> closed_{false};
   std::mutex send_mu_;
+  bool send_poisoned_ = false;  // guarded by send_mu_
+
+  // Resumable-receive state (single receiver per the thread contract).
+  std::vector<uint8_t> rx_buf_;
+  size_t rx_have_ = 0;
 };
 
 /// getaddrinfo for a numeric-or-named host.
@@ -228,16 +318,13 @@ CreateInProcessTransportPair() {
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
@@ -285,21 +372,26 @@ StatusOr<TcpListener> TcpListener::Bind(const std::string& host,
 }
 
 StatusOr<std::unique_ptr<Transport>> TcpListener::Accept() {
-  if (fd_ < 0) return ClosedError();
+  const int listen_fd = fd_.load();
+  if (listen_fd < 0) return ClosedError();
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
       return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
     }
-    if (errno == EINTR) continue;
+    if (errno == EINTR && fd_.load() >= 0) continue;
     return ErrnoStatus("accept");
   }
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // close() alone does NOT wake a thread blocked in accept() on Linux;
+    // shutdown() does, so a concurrent Accept fails promptly instead of
+    // blocking forever on a half-dead listener.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
@@ -314,7 +406,11 @@ StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
       last = ErrnoStatus("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
       last = ErrnoStatus("connect to " + host + ":" + std::to_string(port));
       ::close(fd);
       continue;
@@ -324,6 +420,108 @@ StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
   }
   ::freeaddrinfo(addrs);
   return last;
+}
+
+namespace {
+
+/// Polls `fd` writable until `deadline`. EINTR re-polls with the remaining
+/// budget (connect(2) cannot be restarted, so the poll carries the wait).
+Status WaitWritable(int fd, const common::Deadline& deadline,
+                    const std::string& what) {
+  while (true) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int timeout_ms = -1;
+    if (!deadline.is_infinite()) {
+      if (deadline.expired()) return Status::DeadlineExceeded(what);
+      const uint64_t remaining = deadline.remaining_millis();
+      timeout_ms = remaining > static_cast<uint64_t>(INT32_MAX)
+                       ? INT32_MAX
+                       : static_cast<int>(remaining);
+    }
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded(what);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll");
+  }
+}
+
+/// One dial attempt with a bounded connect: non-blocking connect, poll for
+/// writability, then SO_ERROR tells whether the handshake succeeded.
+StatusOr<std::unique_ptr<Transport>> DialOnce(const std::string& host,
+                                              uint16_t port,
+                                              uint64_t connect_timeout_ms) {
+  if (connect_timeout_ms == 0) return TcpConnect(host, port);
+  const std::string peer = host + ":" + std::to_string(port);
+  FRAPP_ASSIGN_OR_RETURN(struct addrinfo* addrs,
+                         Resolve(host, port, /*for_bind=*/false));
+  Status last = Status::IOError("no addresses to connect to");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      last = ErrnoStatus("connect to " + peer);
+      ::close(fd);
+      continue;
+    }
+    if (rc != 0) {
+      const Status ready = WaitWritable(
+          fd, common::Deadline::AfterMillis(connect_timeout_ms),
+          "connect to " + peer + " timed out after " +
+              std::to_string(connect_timeout_ms) + " ms");
+      if (!ready.ok()) {
+        last = ready;
+        ::close(fd);
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        last = ErrnoStatus("connect to " + peer);
+        ::close(fd);
+        continue;
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for the transport
+    ::freeaddrinfo(addrs);
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Transport>> TcpDial(const std::string& host,
+                                             uint16_t port,
+                                             const DialOptions& options) {
+  const size_t attempts =
+      options.retry.max_attempts > 0 ? options.retry.max_attempts : 1;
+  Status last = Status::IOError("no dial attempts made");
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMillis(options.retry, attempt - 1)));
+    }
+    StatusOr<std::unique_ptr<Transport>> dialed =
+        DialOnce(host, port, options.connect_timeout_ms);
+    if (dialed.ok()) return dialed;
+    last = dialed.status();
+  }
+  return Status(last.code(), "dial " + host + ":" + std::to_string(port) +
+                                 " failed after " + std::to_string(attempts) +
+                                 " attempt(s): " + last.message());
 }
 
 }  // namespace dist

@@ -26,12 +26,14 @@
 #ifndef FRAPP_DIST_TRANSPORT_H_
 #define FRAPP_DIST_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "frapp/common/statusor.h"
+#include "frapp/dist/retry.h"
 #include "frapp/dist/wire.h"
 
 namespace frapp {
@@ -42,13 +44,26 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
-  /// Writes one message as a wire frame. Blocks until fully written.
+  /// Writes one message as a wire frame. Blocks until fully written (or
+  /// until the send timeout trips: kDeadlineExceeded — and, since the frame
+  /// may have left partially, the send direction is then poisoned and later
+  /// Sends fail kUnavailable).
   virtual Status Send(const Message& message) = 0;
 
   /// Blocks for the next complete message. A cleanly closed peer yields
-  /// kFailedPrecondition ("connection closed"); a frame that violates the
-  /// wire format yields kInvalidArgument.
+  /// kFailedPrecondition ("connection closed"); a peer that vanished
+  /// mid-conversation yields kUnavailable; a frame that violates the wire
+  /// format yields kInvalidArgument. With a receive timeout set, a silent
+  /// peer yields kDeadlineExceeded — the wait is RESUMABLE: partial frame
+  /// bytes are retained, and calling Receive() again keeps waiting for the
+  /// same frame, so a timeout never desynchronizes the stream.
   virtual StatusOr<Message> Receive() = 0;
+
+  /// Bounds each subsequent Receive wait. 0 restores "block forever".
+  virtual void SetReceiveTimeoutMillis(uint64_t ms) { (void)ms; }
+
+  /// Bounds each subsequent Send. 0 restores "block forever".
+  virtual void SetSendTimeoutMillis(uint64_t ms) { (void)ms; }
 
   /// Closes both directions; concurrent and subsequent Send/Receive calls
   /// fail fast. Idempotent.
@@ -84,13 +99,38 @@ class TcpListener {
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_ = -1;
+  // Atomic because Close() may race a blocked Accept() on another thread
+  // (the worker's accept loop is shut down exactly that way).
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 
-/// Connects to a listening worker at `host`:`port`.
+/// Connects to a listening worker at `host`:`port`. Blocking connect, one
+/// attempt, no timeout — the simple path for tests and local scripts.
 StatusOr<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
                                                 uint16_t port);
+
+/// Dial-out policy for TcpDial: per-attempt connect timeout plus the shared
+/// retry/backoff options (attempts, capped exponential backoff with
+/// deterministic jitter).
+struct DialOptions {
+  /// Per-attempt connect timeout in milliseconds (non-blocking connect +
+  /// poll). 0 = the OS default (blocking connect).
+  uint64_t connect_timeout_ms = 5000;
+
+  /// max_attempts dial attempts, base/max backoff and jitter seed between
+  /// them. request_deadline_ms is ignored here.
+  RetryOptions retry;
+};
+
+/// Connects with per-attempt timeouts and capped exponential backoff +
+/// jitter between attempts: the coordinator's dial-out path, which must
+/// tolerate workers that are still starting up or transiently unreachable.
+/// Exhausted attempts surface the last failure (typically kUnavailable for
+/// refused connections, kDeadlineExceeded for timeouts).
+StatusOr<std::unique_ptr<Transport>> TcpDial(const std::string& host,
+                                             uint16_t port,
+                                             const DialOptions& options);
 
 }  // namespace dist
 }  // namespace frapp

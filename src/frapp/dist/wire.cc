@@ -109,7 +109,7 @@ class Reader {
 
 bool KnownMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kHello) &&
-         type <= static_cast<uint8_t>(MessageType::kError);
+         type <= static_cast<uint8_t>(MessageType::kRangeAck);
 }
 
 }  // namespace
@@ -405,6 +405,49 @@ StatusOr<PatternResponse> DecodePatternResponse(const Message& message) {
 
 Message EncodeShutdown() { return Message{MessageType::kShutdown, {}}; }
 
+Message EncodePing() { return Message{MessageType::kPing, {}}; }
+
+Message EncodePong() { return Message{MessageType::kPong, {}}; }
+
+Message EncodeAssignRange(const AssignRange& assign) {
+  Writer w;
+  w.U64(assign.range_begin);
+  w.U64(assign.range_end);
+  return Message{MessageType::kAssignRange, w.Take()};
+}
+
+StatusOr<AssignRange> DecodeAssignRange(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kAssignRange, "AssignRange"));
+  Reader r(message.payload.data(), message.payload.size());
+  AssignRange assign;
+  assign.range_begin = r.U64();
+  assign.range_end = r.U64();
+  FRAPP_RETURN_IF_ERROR(r.Finish("AssignRange"));
+  if (assign.range_end < assign.range_begin) {
+    return Status::InvalidArgument("AssignRange: range end before begin");
+  }
+  return assign;
+}
+
+Message EncodeRangeAck(const RangeAck& ack) {
+  Writer w;
+  w.U64(ack.num_rows);
+  w.U64(ack.num_bits);
+  return Message{MessageType::kRangeAck, w.Take()};
+}
+
+StatusOr<RangeAck> DecodeRangeAck(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kRangeAck, "RangeAck"));
+  Reader r(message.payload.data(), message.payload.size());
+  RangeAck ack;
+  ack.num_rows = r.U64();
+  ack.num_bits = r.U64();
+  FRAPP_RETURN_IF_ERROR(r.Finish("RangeAck"));
+  return ack;
+}
+
 Message EncodeError(const Status& status) {
   Writer w;
   w.U8(static_cast<uint8_t>(status.code()));
@@ -420,7 +463,7 @@ Status DecodeError(const Message& message) {
   const uint8_t code = r.U8();
   std::string text = r.Str();
   FRAPP_RETURN_IF_ERROR(r.Finish("Error"));
-  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Internal("remote error with unknown status code " +
                             std::to_string(code) + ": " + text);
   }

@@ -32,6 +32,13 @@
 //                                          superset counts — the Mobius
 //                                          transform runs on the MERGED
 //                                          totals, coordinator side}
+//   Ping {}                             ->
+//                                       <- Pong {}  (liveness probe; valid
+//                                          before AND after the handshake)
+//   AssignRange {row range}             ->
+//                                       <- RangeAck {rows, bits}  (fault
+//                                          recovery: a dead worker's chunk
+//                                          range re-ingested by a survivor)
 //   Shutdown {}                         -> (worker closes)
 //
 // Status propagation: any worker-side failure is shipped back as an Error
@@ -53,8 +60,9 @@ namespace frapp {
 namespace dist {
 
 /// Protocol version; bumped on any incompatible frame/payload change. The
-/// handshake rejects mismatches outright (no negotiation).
-inline constexpr uint32_t kProtocolVersion = 1;
+/// handshake rejects mismatches outright (no negotiation). v2 added the
+/// liveness and recovery messages (Ping/Pong, AssignRange/RangeAck).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard cap on a frame's payload, rejecting corrupt length prefixes before
 /// they turn into allocations. 2^20 patterns x 8 bytes plus headroom.
@@ -72,6 +80,10 @@ enum class MessageType : uint8_t {
   kPatternResponse = 6,
   kShutdown = 7,
   kError = 8,
+  kPing = 9,
+  kPong = 10,
+  kAssignRange = 11,
+  kRangeAck = 12,
 };
 
 /// One decoded frame: a type plus its raw payload bytes.
@@ -167,6 +179,24 @@ struct ErrorResponse {
   std::string message;
 };
 
+/// Coordinator -> worker fault recovery: ingest ANOTHER chunk-aligned
+/// global row range on top of the one(s) already held — the dead worker's
+/// range, re-perturbed by this survivor on the same global seeded-chunk
+/// streams. Because counts are additive over the row partition, the merged
+/// totals stay bit-identical to the healthy run.
+struct AssignRange {
+  uint64_t range_begin = 0;
+  uint64_t range_end = 0;
+};
+
+/// Worker -> coordinator recovery ack: rows ingested for the assigned
+/// range (the coordinator re-verifies total coverage), plus the one-hot
+/// width for boolean mechanisms (0 otherwise).
+struct RangeAck {
+  uint64_t num_rows = 0;
+  uint64_t num_bits = 0;
+};
+
 Message EncodeHello(const HelloRequest& hello);
 StatusOr<HelloRequest> DecodeHello(const Message& message);
 
@@ -186,6 +216,18 @@ Message EncodePatternResponse(const PatternResponse& response);
 StatusOr<PatternResponse> DecodePatternResponse(const Message& message);
 
 Message EncodeShutdown();
+
+/// Liveness probe and reply; both payload-free. The worker answers Pong
+/// whether or not a handshake has happened, so a coordinator can health-
+/// check a fleet it has not hired yet.
+Message EncodePing();
+Message EncodePong();
+
+Message EncodeAssignRange(const AssignRange& assign);
+StatusOr<AssignRange> DecodeAssignRange(const Message& message);
+
+Message EncodeRangeAck(const RangeAck& ack);
+StatusOr<RangeAck> DecodeRangeAck(const Message& message);
 
 /// Status <-> Error frame round trip, the remote half of Status
 /// propagation.

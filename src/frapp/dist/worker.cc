@@ -16,15 +16,17 @@ namespace dist {
 
 namespace {
 
-/// The worker's post-ingest state: the local index of its perturbed range
-/// (exactly one of the two populated, by shard kind) plus the mechanism,
-/// which owns the reconstruction parameters the coordinator side uses.
+/// The worker's post-ingest state: the local index of its perturbed
+/// range(s) (exactly one of the two populated, by shard kind), the
+/// mechanism, and the saved job description so a later AssignRange re-runs
+/// ingest with the SAME seed and spec.
 struct LocalState {
   std::unique_ptr<core::Mechanism> mechanism;
   core::Mechanism::ShardKind kind = core::Mechanism::ShardKind::kCategorical;
   mining::ShardedVerticalIndex categorical =
       mining::ShardedVerticalIndex::FromShards({});
   data::ShardedBooleanVerticalIndex boolean;
+  HelloRequest hello;
 
   size_t num_rows() const {
     return kind == core::Mechanism::ShardKind::kBoolean
@@ -33,21 +35,23 @@ struct LocalState {
   }
 };
 
-/// Streams the source's shards intersected with [range.begin, range.end)
-/// through perturb -> index -> drop. Every sub-shard keeps its GLOBAL row
-/// position, so the seeded-chunk streams — and therefore the perturbed bits
-/// — equal the single-process pass over the same rows.
-Status IngestRange(const HelloRequest& hello, const WorkerOptions& options,
-                   pipeline::TableSource& source, LocalState* state) {
-  const data::RowRange range{static_cast<size_t>(hello.range_begin),
-                             static_cast<size_t>(hello.range_end)};
+/// Streams the source's shards intersected with [begin, end) through
+/// perturb -> index -> drop. Every sub-shard keeps its GLOBAL row position,
+/// so the seeded-chunk streams — and therefore the perturbed bits — equal
+/// the single-process pass over the same rows.
+StatusOr<CachedRangeIndex> IngestRange(uint64_t range_begin,
+                                       uint64_t range_end, uint64_t seed,
+                                       const WorkerOptions& options,
+                                       pipeline::TableSource& source,
+                                       const LocalState& state) {
+  const data::RowRange range{static_cast<size_t>(range_begin),
+                             static_cast<size_t>(range_end)};
   // Seekable sources jump straight to the range (binary files seek); others
   // keep yielding from row 0 and the loop below drops the leading rows.
   FRAPP_RETURN_IF_ERROR(source.SkipToRow(range.begin));
 
-  const bool boolean = state->kind == core::Mechanism::ShardKind::kBoolean;
-  std::vector<mining::VerticalIndex> categorical_shards;
-  std::vector<data::BooleanVerticalIndex> boolean_shards;
+  const bool boolean = state.kind == core::Mechanism::ShardKind::kBoolean;
+  CachedRangeIndex built;
   pipeline::PulledShard shard;
   while (true) {
     FRAPP_ASSIGN_OR_RETURN(const bool more, source.NextShard(&shard));
@@ -69,28 +73,59 @@ Status IngestRange(const HelloRequest& hello, const WorkerOptions& options,
     if (boolean) {
       FRAPP_ASSIGN_OR_RETURN(
           data::BooleanTable perturbed,
-          state->mechanism->PerturbBooleanShard(view, hello.perturb_seed,
-                                                options.num_threads));
+          state.mechanism->PerturbBooleanShard(view, seed,
+                                               options.num_threads));
       shard.owned.reset();  // source rows dropped once perturbed
-      boolean_shards.emplace_back(perturbed);
+      built.num_rows += perturbed.num_rows();
+      built.boolean_shards.emplace_back(perturbed);
+      if (built.boolean_shards.back().num_bits() != 0) {
+        built.num_bits = built.boolean_shards.back().num_bits();
+      }
     } else {
       FRAPP_ASSIGN_OR_RETURN(
           data::CategoricalTable perturbed,
-          state->mechanism->PerturbShard(view, hello.perturb_seed,
-                                         options.num_threads));
+          state.mechanism->PerturbShard(view, seed, options.num_threads));
       shard.owned.reset();
-      categorical_shards.push_back(
+      built.num_rows += perturbed.num_rows();
+      built.categorical_shards.push_back(
           mining::VerticalIndex::Build(perturbed, options.num_threads));
     }  // the perturbed rows are dropped here
   }
-  if (boolean) {
-    state->boolean =
-        data::ShardedBooleanVerticalIndex::FromShards(std::move(boolean_shards));
-  } else {
-    state->categorical =
-        mining::ShardedVerticalIndex::FromShards(std::move(categorical_shards));
+  return built;
+}
+
+/// Cache-aware ingest of one chunk-aligned range: serves from the
+/// process-lifetime IndexCache when the (source, fingerprint, spec, seed,
+/// range) key hits, otherwise opens a fresh source, builds, and populates
+/// the cache. Determinism of the pass is what makes a hit safe.
+StatusOr<CachedRangeIndex> BuildOrFetchRange(uint64_t range_begin,
+                                             uint64_t range_end,
+                                             const WorkerOptions& options,
+                                             const LocalState& state) {
+  std::string key;
+  const bool cacheable =
+      options.index_cache != nullptr && !options.source_id.empty();
+  if (cacheable) {
+    key = MakeIndexCacheKey(options.source_id,
+                            data::SchemaFingerprint(options.schema),
+                            CanonicalSpecKey(state.hello.spec),
+                            state.hello.perturb_seed, range_begin, range_end);
+    CachedRangeIndex cached;
+    if (options.index_cache->Lookup(key, &cached)) return cached;
   }
-  return Status::OK();
+  FRAPP_ASSIGN_OR_RETURN(std::unique_ptr<pipeline::TableSource> source,
+                         options.source_factory());
+  if (data::SchemaFingerprint(source->schema()) !=
+      data::SchemaFingerprint(options.schema)) {
+    return Status::FailedPrecondition(
+        "worker source schema differs from worker schema");
+  }
+  FRAPP_ASSIGN_OR_RETURN(
+      CachedRangeIndex built,
+      IngestRange(range_begin, range_end, state.hello.perturb_seed, options,
+                  *source, state));
+  if (cacheable) options.index_cache->Insert(key, built);
+  return built;
 }
 
 /// Handshake: validates the Hello against local reality, then perturbs and
@@ -124,21 +159,49 @@ Status HandleHello(const Message& message, const WorkerOptions& options,
                                  " does not stream shards");
   }
   state->kind = state->mechanism->shard_kind();
+  state->hello = hello;
+  // A re-handshake starts the job over: drop ranges held for the old one.
+  state->categorical = mining::ShardedVerticalIndex::FromShards({});
+  state->boolean = data::ShardedBooleanVerticalIndex();
 
-  FRAPP_ASSIGN_OR_RETURN(std::unique_ptr<pipeline::TableSource> source,
-                         options.source_factory());
-  if (data::SchemaFingerprint(source->schema()) != local_fingerprint) {
-    return Status::FailedPrecondition(
-        "worker source schema differs from worker schema");
+  FRAPP_ASSIGN_OR_RETURN(
+      CachedRangeIndex built,
+      BuildOrFetchRange(hello.range_begin, hello.range_end, options, *state));
+  const bool boolean = state->kind == core::Mechanism::ShardKind::kBoolean;
+  if (boolean) {
+    state->boolean.AppendShards(std::move(built.boolean_shards));
+  } else {
+    state->categorical.AppendShards(std::move(built.categorical_shards));
   }
-  FRAPP_RETURN_IF_ERROR(IngestRange(hello, options, *source, state));
 
   ack->num_rows = state->num_rows();
-  ack->shard_kind =
-      state->kind == core::Mechanism::ShardKind::kBoolean ? 1 : 0;
-  ack->num_bits = state->kind == core::Mechanism::ShardKind::kBoolean
-                      ? state->boolean.num_bits()
-                      : 0;
+  ack->shard_kind = boolean ? 1 : 0;
+  ack->num_bits = boolean ? state->boolean.num_bits() : 0;
+  return Status::OK();
+}
+
+/// Fault recovery: ingests ANOTHER chunk-aligned range (a dead worker's)
+/// on top of the held one(s), with the seed and spec saved from Hello.
+Status HandleAssignRange(const Message& message, const WorkerOptions& options,
+                         LocalState* state, RangeAck* ack) {
+  FRAPP_ASSIGN_OR_RETURN(const AssignRange assign,
+                         DecodeAssignRange(message));
+  if (assign.range_begin % data::kShardAlignmentRows != 0) {
+    return Status::InvalidArgument(
+        "assigned range must start on the chunk quantum (" +
+        std::to_string(data::kShardAlignmentRows) + " rows)");
+  }
+  FRAPP_ASSIGN_OR_RETURN(
+      CachedRangeIndex built,
+      BuildOrFetchRange(assign.range_begin, assign.range_end, options,
+                        *state));
+  ack->num_rows = built.num_rows;
+  ack->num_bits = built.num_bits;
+  if (state->kind == core::Mechanism::ShardKind::kBoolean) {
+    state->boolean.AppendShards(std::move(built.boolean_shards));
+  } else {
+    state->categorical.AppendShards(std::move(built.categorical_shards));
+  }
   return Status::OK();
 }
 
@@ -207,13 +270,20 @@ StatusOr<Message> HandlePatternRequest(const Message& message,
 Status ServeWorker(Transport& transport, const WorkerOptions& options) {
   LocalState state;
   bool prepared = false;
+  if (options.session_idle_timeout_ms > 0) {
+    transport.SetReceiveTimeoutMillis(options.session_idle_timeout_ms);
+  }
   while (true) {
     StatusOr<Message> received = transport.Receive();
     if (!received.ok()) {
       // A peer that simply went away (clean close) ends the session
-      // without error; anything else — a corrupt frame, an I/O failure —
-      // is the session's failure.
-      if (received.status().code() == StatusCode::kFailedPrecondition) {
+      // without error, and so does one idle past the session timeout (a
+      // SIGKILLed or partitioned coordinator must not pin the worker);
+      // anything else — a corrupt frame, an I/O failure — is the session's
+      // failure.
+      if (received.status().code() == StatusCode::kFailedPrecondition ||
+          received.status().code() == StatusCode::kUnavailable ||
+          received.status().code() == StatusCode::kDeadlineExceeded) {
         return Status::OK();
       }
       return received.status();
@@ -239,6 +309,24 @@ Status ServeWorker(Transport& transport, const WorkerOptions& options) {
                          : StatusOr<Message>(Status::FailedPrecondition(
                                "PatternRequest before a successful Hello"));
         break;
+      case MessageType::kPing:
+        // Liveness is a property of the process, not the job: answered
+        // whether or not a handshake happened.
+        reply = EncodePong();
+        break;
+      case MessageType::kAssignRange: {
+        if (!prepared) {
+          reply = Status::FailedPrecondition(
+              "AssignRange before a successful Hello");
+          break;
+        }
+        RangeAck ack;
+        const Status assigned =
+            HandleAssignRange(*received, options, &state, &ack);
+        reply = assigned.ok() ? StatusOr<Message>(EncodeRangeAck(ack))
+                              : StatusOr<Message>(assigned);
+        break;
+      }
       case MessageType::kShutdown:
         return Status::OK();
       default:
@@ -248,7 +336,18 @@ Status ServeWorker(Transport& transport, const WorkerOptions& options) {
         break;
     }
     if (reply.ok()) {
-      FRAPP_RETURN_IF_ERROR(transport.Send(*reply));
+      const Status sent = transport.Send(*reply);
+      if (!sent.ok()) {
+        // The coordinator can vanish WHILE we reply (it declared this
+        // worker dead, crashed, or reset the connection): the reply just
+        // has no reader. Same clean session end as a close between
+        // requests — only a local I/O failure is the session's error.
+        if (sent.code() == StatusCode::kFailedPrecondition ||
+            sent.code() == StatusCode::kUnavailable) {
+          return Status::OK();
+        }
+        return sent;
+      }
     } else {
       // Status propagation: ship the failure to the coordinator, then end
       // the session with it locally too.

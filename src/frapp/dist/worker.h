@@ -15,9 +15,21 @@
 //   PatternRequest  -> RAW superset-intersection counts over the local
 //                      boolean index (pre-Mobius; the transform is linear
 //                      and runs once on the coordinator's merged totals)
+//   Ping            -> Pong (liveness; answered before AND after Hello)
+//   AssignRange     -> RangeAck, after ingesting ANOTHER chunk-aligned
+//                      range on top of the held one(s): the coordinator's
+//                      fault recovery hands a dead worker's range to a
+//                      survivor, which perturbs it on the same global
+//                      seeded-chunk streams — merged counts stay
+//                      bit-identical
 //
 // until Shutdown or peer close. Any local failure is shipped back as an
 // Error frame (Status propagation) and ends the session.
+//
+// A worker OUTLIVES its coordinator: ServeWorker returns OK on a clean peer
+// close, and the CLI loops back to accept, so a crashed coordinator can be
+// rerun against the same fleet. With an IndexCache installed, the rerun's
+// Hello hits the cache and skips the ingest -> perturb -> index pass.
 
 #ifndef FRAPP_DIST_WORKER_H_
 #define FRAPP_DIST_WORKER_H_
@@ -27,8 +39,11 @@
 #include <thread>
 #include <utility>
 
+#include <string>
+
 #include "frapp/common/statusor.h"
 #include "frapp/data/schema.h"
+#include "frapp/dist/index_cache.h"
 #include "frapp/dist/transport.h"
 #include "frapp/pipeline/table_source.h"
 
@@ -53,6 +68,21 @@ struct WorkerOptions {
   /// Worker threads for shard perturbation/indexing and for each counting
   /// pass (0 = hardware concurrency). Never affects results.
   size_t num_threads = 1;
+
+  /// Optional process-lifetime cache of built range indexes, shared across
+  /// sessions. Requires a non-empty `source_id`; nullptr disables caching.
+  IndexCache* index_cache = nullptr;
+
+  /// Stable identity of the local row stream (file path or generator
+  /// descriptor) — part of the cache key. Empty = no stable identity, so
+  /// the cache is skipped even when installed.
+  std::string source_id;
+
+  /// Bounds each receive wait of a session; a session idle past this is
+  /// ended CLEANLY (the worker returns to accept, it does not die), so a
+  /// coordinator that vanished without closing — SIGKILL, SIGSTOP, network
+  /// partition — cannot pin a worker forever. 0 = wait forever.
+  uint64_t session_idle_timeout_ms = 0;
 };
 
 /// Serves one coordinator session on `transport`; returns OK after a clean

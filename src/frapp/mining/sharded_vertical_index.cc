@@ -49,6 +49,13 @@ ShardedVerticalIndex ShardedVerticalIndex::FromShards(
   return index;
 }
 
+void ShardedVerticalIndex::AppendShards(std::vector<VerticalIndex> shards) {
+  for (VerticalIndex& shard : shards) {
+    num_rows_ += shard.num_rows();
+    shards_.push_back(std::move(shard));
+  }
+}
+
 size_t ShardedVerticalIndex::CountSupport(const Itemset& itemset) const {
   size_t count = 0;
   for (const VerticalIndex& shard : shards_) count += shard.CountSupport(itemset);

@@ -43,6 +43,12 @@ class ShardedVerticalIndex {
   /// row order; totals are independent of it regardless.
   static ShardedVerticalIndex FromShards(std::vector<VerticalIndex> shards);
 
+  /// Appends more row-partition shards (the dist fault-recovery path: a
+  /// survivor ingests a dead worker's range on top of its own). Counting
+  /// stays the integer sum over ALL shards, so appended coverage merges
+  /// bit-identically into every subsequent count.
+  void AppendShards(std::vector<VerticalIndex> shards);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_shards() const { return shards_.size(); }
   const VerticalIndex& shard(size_t s) const { return shards_[s]; }

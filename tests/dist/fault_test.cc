@@ -1,0 +1,168 @@
+// Fault-injection tests: the spec grammar must parse (and reject) exactly
+// as documented, and FaultInjectingTransport must fire each scripted
+// failure at the scripted operation count — deterministically, because the
+// recovery tests and the CLI drills both replay these schedules.
+
+#include "frapp/dist/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace frapp {
+namespace dist {
+namespace {
+
+Message Probe(uint8_t fill, size_t size) {
+  return Message{MessageType::kCountResponse,
+                 std::vector<uint8_t>(size, fill)};
+}
+
+TEST(ParseFaultSpecTest, EmptyStringMeansNoFaults) {
+  const StatusOr<FaultSpec> spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->empty());
+}
+
+TEST(ParseFaultSpecTest, ParsesMultiClauseMultiAction) {
+  const StatusOr<FaultSpec> spec =
+      ParseFaultSpec("2:close-send=1;0:timeout-recv=3,delay-recv-ms=50");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->by_endpoint.size(), 2u);
+
+  const FaultActions& two = spec->by_endpoint.at(2);
+  EXPECT_EQ(two.close_after_sends, 1u);
+  EXPECT_EQ(two.close_after_receives, FaultActions::kNever);
+
+  const FaultActions& zero = spec->by_endpoint.at(0);
+  EXPECT_EQ(zero.timeout_receives_after, 3u);
+  EXPECT_EQ(zero.delay_receive_ms, 50u);
+  EXPECT_TRUE(zero.armed());
+}
+
+TEST(ParseFaultSpecTest, ParsesEveryKey) {
+  const StatusOr<FaultSpec> spec = ParseFaultSpec(
+      "1:close-send=1,close-recv=2,drop-send=3,timeout-recv=4,"
+      "truncate-recv=5,delay-send-ms=6,delay-recv-ms=7");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const FaultActions& actions = spec->by_endpoint.at(1);
+  EXPECT_EQ(actions.close_after_sends, 1u);
+  EXPECT_EQ(actions.close_after_receives, 2u);
+  EXPECT_EQ(actions.drop_sends_after, 3u);
+  EXPECT_EQ(actions.timeout_receives_after, 4u);
+  EXPECT_EQ(actions.truncate_receive_after, 5u);
+  EXPECT_EQ(actions.delay_send_ms, 6u);
+  EXPECT_EQ(actions.delay_receive_ms, 7u);
+}
+
+TEST(ParseFaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultSpec("close-send=1").ok());      // no endpoint
+  EXPECT_FALSE(ParseFaultSpec("x:close-send=1").ok());    // bad index
+  EXPECT_FALSE(ParseFaultSpec("0:explode=1").ok());       // unknown key
+  EXPECT_FALSE(ParseFaultSpec("0:close-send").ok());      // no value
+  EXPECT_FALSE(ParseFaultSpec("0:close-send=ten").ok());  // bad value
+  EXPECT_FALSE(ParseFaultSpec("0:close-send=").ok());     // empty value
+}
+
+TEST(FaultTransportTest, CloseAfterSendsFiresOnSchedule) {
+  auto [a, b] = CreateInProcessTransportPair();
+  FaultActions actions;
+  actions.close_after_sends = 2;
+  FaultInjectingTransport faulty(std::move(a), actions);
+
+  EXPECT_TRUE(faulty.Send(Probe(1, 4)).ok());
+  EXPECT_TRUE(faulty.Send(Probe(2, 4)).ok());
+  const Status third = faulty.Send(Probe(3, 4));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(faulty.sends(), 3u);
+
+  // The injected close reached the INNER transport: the peer drains the
+  // two delivered messages, then sees the closed connection.
+  EXPECT_TRUE(b->Receive().ok());
+  EXPECT_TRUE(b->Receive().ok());
+  EXPECT_FALSE(b->Receive().ok());
+}
+
+TEST(FaultTransportTest, DroppedSendsVanishSilently) {
+  auto [a, b] = CreateInProcessTransportPair();
+  FaultActions actions;
+  actions.drop_sends_after = 1;
+  FaultInjectingTransport faulty(std::move(a), actions);
+
+  EXPECT_TRUE(faulty.Send(Probe(1, 4)).ok());  // delivered
+  EXPECT_TRUE(faulty.Send(Probe(2, 4)).ok());  // eaten, but reports OK
+  EXPECT_EQ(faulty.sends(), 2u);
+
+  EXPECT_TRUE(b->Receive().ok());
+  b->Close();
+  // Only the first message ever arrived.
+  EXPECT_FALSE(b->Receive().ok());
+}
+
+TEST(FaultTransportTest, TimeoutReceivesReportDeadlineExceeded) {
+  auto [a, b] = CreateInProcessTransportPair();
+  ASSERT_TRUE(b->Send(Probe(1, 4)).ok());
+  ASSERT_TRUE(b->Send(Probe(2, 4)).ok());
+  FaultActions actions;
+  actions.timeout_receives_after = 1;
+  FaultInjectingTransport faulty(std::move(a), actions);
+
+  EXPECT_TRUE(faulty.Receive().ok());
+  // From now on every receive reports a silent peer — instantly, without a
+  // real timer, even though a message is sitting in the queue.
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<Message> received = faulty.Receive();
+    ASSERT_FALSE(received.ok());
+    EXPECT_EQ(received.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(faulty.receives(), 4u);
+}
+
+TEST(FaultTransportTest, TruncatedReceiveReportsCorruptFrameAndCloses) {
+  auto [a, b] = CreateInProcessTransportPair();
+  FaultActions actions;
+  actions.truncate_receive_after = 0;
+  FaultInjectingTransport faulty(std::move(a), actions);
+
+  const StatusOr<Message> received = faulty.Receive();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kInvalidArgument);
+  // A corrupt frame poisons the stream, so the connection must be closed:
+  // the peer's next send fails.
+  EXPECT_FALSE(b->Send(Probe(1, 4)).ok());
+}
+
+TEST(FaultTransportTest, CloseAfterReceivesFiresOnSchedule) {
+  auto [a, b] = CreateInProcessTransportPair();
+  ASSERT_TRUE(b->Send(Probe(1, 4)).ok());
+  FaultActions actions;
+  actions.close_after_receives = 1;
+  FaultInjectingTransport faulty(std::move(a), actions);
+
+  EXPECT_TRUE(faulty.Receive().ok());
+  const StatusOr<Message> second = faulty.Receive();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(b->Send(Probe(2, 4)).ok());
+}
+
+TEST(MaybeInjectFaultsTest, PassesThroughWhenNoClauseMatches) {
+  const FaultSpec spec = *ParseFaultSpec("1:close-send=0");
+  auto [a, b] = CreateInProcessTransportPair();
+  Transport* raw = a.get();
+  // Endpoint 0 has no clause: the transport comes back untouched.
+  std::unique_ptr<Transport> wrapped =
+      MaybeInjectFaults(std::move(a), spec, /*index=*/0);
+  EXPECT_EQ(wrapped.get(), raw);
+
+  // Endpoint 1 matches: the wrapper enforces its schedule immediately.
+  std::unique_ptr<Transport> faulty =
+      MaybeInjectFaults(std::move(b), spec, /*index=*/1);
+  EXPECT_NE(faulty.get(), nullptr);
+  EXPECT_FALSE(faulty->Send(Probe(1, 4)).ok());
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace frapp

@@ -142,6 +142,105 @@ TEST(TcpConnectTest, RefusedConnectionFails) {
   EXPECT_FALSE(TcpConnect("127.0.0.1", port).ok());
 }
 
+TEST(InProcessTransportTest, ReceiveDeadlineTripsAndThenResumes) {
+  auto [a, b] = CreateInProcessTransportPair();
+  b->SetReceiveTimeoutMillis(30);
+  const StatusOr<Message> timed_out = b->Receive();
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A deadline is NOT a failure of the connection: the next receive on the
+  // same transport must deliver normally.
+  ASSERT_TRUE(a->Send(Ping(3, 5)).ok());
+  const StatusOr<Message> received = b->Receive();
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->payload, std::vector<uint8_t>(5, 3));
+}
+
+TEST_F(TcpTransportTest, ReceiveDeadlineTripsAndThenResumes) {
+  server_->SetReceiveTimeoutMillis(30);
+  const StatusOr<Message> timed_out = server_->Receive();
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  ASSERT_TRUE(client_->Send(Ping(4, 16)).ok());
+  StatusOr<Message> received = server_->Receive();
+  // The frame may land after one more expired wait on a slow machine;
+  // deadline-retrying on the SAME connection must eventually deliver it
+  // intact — that is the resumable-receive contract the coordinator's
+  // retry loop relies on.
+  for (int spins = 0; !received.ok() &&
+       received.status().code() == StatusCode::kDeadlineExceeded &&
+       spins < 100; ++spins) {
+    received = server_->Receive();
+  }
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->payload, std::vector<uint8_t>(16, 4));
+}
+
+TEST_F(TcpTransportTest, DeadlineMidFrameNeverDesyncsTheStream) {
+  // A multi-megabyte frame against a 1 ms receive deadline: the receiver
+  // trips mid-frame (partial bytes buffered), and every retried receive
+  // must RESUME the same frame, never re-parse from the middle. The frame
+  // must arrive bit-intact, followed in order by a second frame.
+  std::vector<uint8_t> payload(8 << 20);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread sender([this, &payload] {
+    (void)client_->Send(Message{MessageType::kPatternResponse, payload});
+    (void)client_->Send(Ping(9, 3));
+  });
+
+  server_->SetReceiveTimeoutMillis(1);
+  StatusOr<Message> received = server_->Receive();
+  size_t deadline_trips = 0;
+  while (!received.ok() &&
+         received.status().code() == StatusCode::kDeadlineExceeded) {
+    ++deadline_trips;
+    ASSERT_LT(deadline_trips, 100000u);
+    received = server_->Receive();
+  }
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->payload, payload);
+
+  server_->SetReceiveTimeoutMillis(0);
+  const StatusOr<Message> second = server_->Receive();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->payload, std::vector<uint8_t>(3, 9));
+}
+
+TEST(TcpDialTest, DialsLiveListener) {
+  StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread accepter([&listener] { (void)listener->Accept(); });
+  DialOptions options;
+  options.retry.max_attempts = 2;
+  const StatusOr<std::unique_ptr<Transport>> dialed =
+      TcpDial("127.0.0.1", listener->port(), options);
+  EXPECT_TRUE(dialed.ok()) << dialed.status().ToString();
+  listener->Close();
+  accepter.join();
+}
+
+TEST(TcpDialTest, RefusedDialRetriesThenFailsUnavailable) {
+  StatusOr<TcpListener> listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  listener->Close();
+
+  DialOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff_ms = 1;
+  options.retry.max_backoff_ms = 2;
+  const StatusOr<std::unique_ptr<Transport>> dialed =
+      TcpDial("127.0.0.1", port, options);
+  ASSERT_FALSE(dialed.ok());
+  EXPECT_EQ(dialed.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(dialed.status().message().find("3 attempt"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dist
 }  // namespace frapp

@@ -277,6 +277,57 @@ TEST(WireShutdownTest, HasEmptyPayload) {
   EXPECT_TRUE(message.payload.empty());
 }
 
+TEST(WireLivenessTest, PingPongArePayloadFree) {
+  const Message ping = EncodePing();
+  EXPECT_EQ(ping.type, MessageType::kPing);
+  EXPECT_TRUE(ping.payload.empty());
+  const Message pong = EncodePong();
+  EXPECT_EQ(pong.type, MessageType::kPong);
+  EXPECT_TRUE(pong.payload.empty());
+}
+
+TEST(WireAssignRangeTest, RoundTrips) {
+  AssignRange assign;
+  assign.range_begin = 8192;
+  assign.range_end = 40960;
+  const StatusOr<AssignRange> decoded =
+      DecodeAssignRange(EncodeAssignRange(assign));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->range_begin, assign.range_begin);
+  EXPECT_EQ(decoded->range_end, assign.range_end);
+}
+
+TEST(WireAssignRangeTest, RejectsInvertedRange) {
+  AssignRange assign;
+  assign.range_begin = 100;
+  assign.range_end = 50;
+  EXPECT_FALSE(DecodeAssignRange(EncodeAssignRange(assign)).ok());
+}
+
+TEST(WireAssignRangeTest, RejectsTruncatedPayload) {
+  Message message = EncodeAssignRange(AssignRange{});
+  message.payload.pop_back();
+  EXPECT_FALSE(DecodeAssignRange(message).ok());
+}
+
+TEST(WireRangeAckTest, RoundTrips) {
+  RangeAck ack;
+  ack.num_rows = 32768;
+  ack.num_bits = 23;
+  const StatusOr<RangeAck> decoded = DecodeRangeAck(EncodeRangeAck(ack));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_rows, ack.num_rows);
+  EXPECT_EQ(decoded->num_bits, ack.num_bits);
+}
+
+TEST(WireRangeAckTest, ErrorFrameSurfacesAsRemoteStatus) {
+  const Message error = EncodeError(Status::InvalidArgument("bad range"));
+  const StatusOr<RangeAck> decoded = DecodeRangeAck(error);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("bad range"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dist
 }  // namespace frapp

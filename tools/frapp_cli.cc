@@ -22,17 +22,27 @@
 //       (pipeline::BinaryTableSource), the repeated-mining fast path.
 //   frapp worker   --listen PORT [--bind-host 127.0.0.1] --dataset D
 //                  (--in F.csv|F.bin | --rows N [--gen-seed S])
-//                  [--threads T] [--once]
+//                  [--threads T] [--once] [--idle-timeout-ms MS]
 //       A frapp/dist shard worker: serves coordinator sessions on a TCP
 //       port. Each session perturbs and indexes the worker's assigned row
 //       range of the LOCAL data and answers candidate-count requests; rows
-//       never leave the worker.
+//       never leave the worker. Built range indexes are cached for the
+//       process lifetime (keyed on source/spec/seed/range), so a rerun or a
+//       re-assigned range skips the ingest pass. --idle-timeout-ms ends
+//       sessions whose coordinator vanished without closing.
 //   frapp mine ... --mechanism det-gd|ran-gd|mask|cp|ind-gd [--gamma G]
 //                  [--alpha A | --alpha-frac F] [--cutoff-k K] [--rho R]
 //                  [--seed S] [--minsup F] plus ONE of
 //       --workers host:port,...  --rows N
+//                  [--request-deadline-ms 30000] [--retry-attempts 3]
+//                  [--connect-timeout-ms 5000] [--connect-retries 25]
+//                  [--fault-spec "I:key=N,..."]
 //           Distributed mine: coordinator-side reconstruction over remote
-//           count vectors (see docs/DISTRIBUTED.md).
+//           count vectors (see docs/DISTRIBUTED.md). Deadlines + retries
+//           make it survive dead/hung workers: a dead worker's ranges are
+//           re-assigned to survivors and results stay bit-identical.
+//           --fault-spec injects a deterministic failure schedule into the
+//           dialed connections (dist/fault.h grammar) for recovery drills.
 //       --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])
 //           Single-process pipeline::PrivacyPipeline over the same spec —
 //           prints the identical report, so `diff` proves output parity
@@ -56,7 +66,10 @@
 #include "frapp/data/health.h"
 #include "frapp/data/shard_io.h"
 #include "frapp/dist/coordinator.h"
+#include "frapp/dist/fault.h"
+#include "frapp/dist/index_cache.h"
 #include "frapp/dist/mechanism_spec.h"
+#include "frapp/dist/retry.h"
 #include "frapp/dist/transport.h"
 #include "frapp/dist/worker.h"
 #include "frapp/eval/reporting.h"
@@ -81,12 +94,15 @@ int Usage() {
       "           [--cutoff-k 3] [--rho 0.494]                (cp operator)\n"
       "           [--seed 7] [--minsup 0.02] [--top K] plus one of\n"
       "             --workers host:port,... --rows N         (distributed)\n"
+      "               [--request-deadline-ms 30000] [--retry-attempts 3]\n"
+      "               [--connect-timeout-ms 5000] [--connect-retries 25]\n"
+      "               [--fault-spec \"I:key=N,...\"]  (recovery drills)\n"
       "             --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
       "  audit    --dataset D [--rho1 R --rho2 R] [--alpha-frac F]\n"
       "  convert  --dataset D --in F.csv --out F.bin\n"
       "  worker   --listen PORT [--bind-host 127.0.0.1] --dataset D\n"
       "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
-      "           [--threads T] [--once]\n";
+      "           [--threads T] [--once] [--idle-timeout-ms MS]\n";
   return 2;
 }
 
@@ -324,8 +340,26 @@ int CmdMineDistributed(const Flags& flags,
   }
   const size_t total_rows = static_cast<size_t>(flags.GetUint("rows", 0));
 
-  // Connect to every worker, retrying briefly so scripts can launch the
-  // workers and the coordinator together.
+  // One retry policy drives both dial-out and the per-request deadlines.
+  // The CLI default detects hung workers after 3 x 30 s; the library
+  // default (0 = no deadlines) is only for embedders that opt out.
+  dist::RetryOptions retry;
+  retry.max_attempts = flags.GetUint("retry-attempts", 3);
+  retry.request_deadline_ms = flags.GetUint("request-deadline-ms", 30000);
+
+  // Deterministic fault schedule for drills and tests (--fault-spec
+  // "INDEX:close-send=N,...;..."); empty = no injection.
+  const dist::FaultSpec fault_spec =
+      Unwrap(dist::ParseFaultSpec(flags.Get("fault-spec")));
+
+  // Dial every worker with per-attempt timeouts and backoff, so scripts
+  // can launch the workers and the coordinator together.
+  dist::DialOptions dial;
+  dial.connect_timeout_ms = flags.GetUint("connect-timeout-ms", 5000);
+  dial.retry = retry;
+  dial.retry.max_attempts = flags.GetUint("connect-retries", 25);
+  dial.retry.base_backoff_ms = 50;
+  dial.retry.max_backoff_ms = 1000;
   std::vector<std::unique_ptr<dist::Transport>> transports;
   for (const std::string& endpoint : Split(flags.Get("workers"), ',')) {
     const size_t colon = endpoint.rfind(':');
@@ -339,20 +373,16 @@ int CmdMineDistributed(const Flags& flags,
       std::cerr << "bad worker port in '" << endpoint << "'\n";
       return 2;
     }
-    StatusOr<std::unique_ptr<dist::Transport>> transport =
-        Status::IOError("unreached");
-    const size_t retries = flags.GetUint("connect-retries", 50);
-    for (size_t attempt = 0; attempt <= retries; ++attempt) {
-      transport = dist::TcpConnect(host, static_cast<uint16_t>(port));
-      if (transport.ok()) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-    transports.push_back(Unwrap(std::move(transport)));
+    std::unique_ptr<dist::Transport> transport =
+        Unwrap(dist::TcpDial(host, static_cast<uint16_t>(port), dial));
+    transports.push_back(dist::MaybeInjectFaults(
+        std::move(transport), fault_spec, transports.size()));
   }
 
   dist::CoordinatorOptions options;
   options.perturb_seed = flags.GetUint("seed", 7);
   options.num_threads = flags.GetUint("threads", 0);
+  options.retry = retry;
   auto coordinator = Unwrap(dist::Coordinator::Connect(
       std::move(transports), schema, spec, total_rows, options));
 
@@ -370,6 +400,14 @@ int CmdMineDistributed(const Flags& flags,
             << " requests, " << stats.bytes_sent << " B out, "
             << stats.bytes_received << " B in, merge "
             << stats.merge_nanos / 1000000.0 << " ms\n";
+  if (stats.workers_failed > 0) {
+    std::cerr << "dist recovery: " << stats.workers_failed
+              << " worker(s) failed, " << stats.workers_alive
+              << " alive, " << stats.ranges_reassigned
+              << " range(s) reassigned, " << stats.rounds_restarted
+              << " round(s) restarted, " << stats.deadline_retries
+              << " deadline retries\n";
+  }
   coordinator->Shutdown();
   return 0;
 }
@@ -443,6 +481,26 @@ int CmdWorker(const Flags& flags) {
   // deterministic.
   dist::WorkerOptions options(schema);
   options.num_threads = flags.GetUint("threads", 1);
+
+  // Process-lifetime cache of built range indexes: a coordinator rerun (or
+  // a re-assignment of a range this worker already built) skips the
+  // ingest -> perturb -> index pass. The key needs a stable identity for
+  // the local row stream: the input path, or the generator descriptor.
+  dist::IndexCache index_cache;
+  options.index_cache = &index_cache;
+  const std::string in = flags.Get("in");
+  if (!in.empty()) {
+    options.source_id = in;
+  } else {
+    options.source_id =
+        "gen:" + dataset + ":" +
+        std::to_string(flags.GetUint("rows", DefaultRows(dataset))) + ":" +
+        std::to_string(flags.GetUint("gen-seed", DefaultGenSeed(dataset)));
+  }
+
+  // A coordinator that vanished without closing (SIGKILL, partition) must
+  // not pin the worker forever: end idle sessions cleanly and re-accept.
+  options.session_idle_timeout_ms = flags.GetUint("idle-timeout-ms", 0);
   options.source_factory =
       [&flags, &schema]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
     // The factory leaks generated tables' ownership into the source via a
@@ -483,10 +541,16 @@ int CmdWorker(const Flags& flags) {
   bool last_session_failed = false;
   do {
     auto transport = Unwrap(listener.Accept());
+    // Flushed before serving: scripts (tools/dist_smoke.sh's kill drill)
+    // key on this line to know the worker is inside a session.
+    std::cout << "accepted session" << std::endl;
     const Status session = dist::ServeWorker(*transport, options);
     last_session_failed = !session.ok();
+    const dist::IndexCache::Stats cache = index_cache.stats();
     if (session.ok()) {
-      std::cout << "session complete" << std::endl;
+      std::cout << "session complete (index cache: " << cache.hits
+                << " hit(s), " << cache.misses << " miss(es), "
+                << cache.entries << " cached)" << std::endl;
     } else {
       std::cerr << "session failed: " << session.ToString() << std::endl;
     }
