@@ -46,6 +46,10 @@ class BooleanVerticalIndex {
   size_t num_rows() const { return num_rows_; }
   size_t num_bits() const { return num_bits_; }
 
+  /// Approximate heap footprint of the index — what a cache entry holding
+  /// it charges against a byte budget.
+  size_t MemoryBytes() const { return bits_.capacity() * sizeof(uint64_t); }
+
   /// Cutoff up to which pattern counting via the index beats a scalar row
   /// scan: 2^k * k words of AND work vs. 64 * words * k bit extractions.
   /// Above it the index is still exact, just no longer the fastest path —

@@ -387,7 +387,10 @@ Status Coordinator::ReassignOrphans(std::vector<RowSpan> orphans) {
       queue[assignment.target].push_back(assignment.span);
     }
     std::vector<std::vector<RowSpan>> failed_spans(workers_.size());
-    std::vector<bool> died(workers_.size(), false);
+    // vector<char>, not vector<bool>: pool threads flag distinct indexes
+    // concurrently, and vector<bool> packs bits into shared words.
+    std::vector<char> died(workers_.size(), 0);
+    std::vector<Status> refused(workers_.size());
     std::vector<uint64_t> seen_bits(workers_.size(), 0);
     const size_t fan_out =
         options_.num_threads == 0 ? workers_.size() : options_.num_threads;
@@ -400,16 +403,22 @@ Status Coordinator::ReassignOrphans(std::vector<RowSpan> orphans) {
         const Status sent = SendTo(w, EncodeAssignRange(assign));
         StatusOr<Message> received =
             sent.ok() ? ReceiveFrom(w) : StatusOr<Message>(sent);
+        if (received.ok() && received->type == MessageType::kError) {
+          // An Error frame over a healthy connection is the worker
+          // REFUSING the assignment (schema mismatch, misaligned range) —
+          // the JOB's fault, same as Broadcast: every survivor would
+          // refuse too, so it stays fatal instead of cascading the whole
+          // fleet into MarkDead.
+          refused[w] = DecodeError(*received);
+          return;
+        }
         StatusOr<RangeAck> ack =
-            received.ok() && received->type != MessageType::kError
-                ? DecodeRangeAck(*received)
-                : StatusOr<RangeAck>(received.ok()
-                                         ? DecodeError(*received)
-                                         : received.status());
+            received.ok() ? DecodeRangeAck(*received)
+                          : StatusOr<RangeAck>(received.status());
         if (!ack.ok()) {
           // This survivor failed too: everything still queued for it —
           // including the span that just failed — goes back to the pool.
-          died[w] = true;
+          died[w] = 1;
           failed_spans[w].assign(queue[w].begin() + i, queue[w].end());
           return;
         }
@@ -420,6 +429,10 @@ Status Coordinator::ReassignOrphans(std::vector<RowSpan> orphans) {
       }
     });
     for (size_t w = 0; w < workers_.size(); ++w) {
+      if (!refused[w].ok()) {
+        return Status(refused[w].code(), "worker " + std::to_string(w) +
+                                             ": " + refused[w].message());
+      }
       num_bits_ = std::max(num_bits_, seen_bits[w]);
       if (!died[w]) continue;
       MarkDead(w, &orphans);
@@ -449,7 +462,8 @@ Status Coordinator::CheckHealth() {
   for (size_t w = 0; w < workers_.size(); ++w) {
     if (workers_[w].alive) alive.push_back(w);
   }
-  std::vector<bool> died(workers_.size(), false);
+  // vector<char>, not vector<bool>: see ReassignOrphans.
+  std::vector<char> died(workers_.size(), 0);
   const size_t fan_out =
       options_.num_threads == 0 ? workers_.size() : options_.num_threads;
   common::ParallelForChunks(alive.size(), fan_out, [&](size_t i) {
@@ -459,7 +473,7 @@ Status Coordinator::CheckHealth() {
     StatusOr<Message> received =
         sent.ok() ? ReceiveFrom(w) : StatusOr<Message>(sent);
     if (!received.ok() || received->type != MessageType::kPong) {
-      died[w] = true;
+      died[w] = 1;
     }
   });
   for (size_t w = 0; w < workers_.size(); ++w) {
@@ -491,9 +505,9 @@ Status Coordinator::Broadcast(const Message& request,
     }
     first_round = false;
 
-    std::vector<bool> sent_ok(workers_.size(), false);
+    std::vector<char> sent_ok(workers_.size(), 0);
     for (const size_t w : alive) {
-      sent_ok[w] = SendTo(w, request).ok();
+      sent_ok[w] = SendTo(w, request).ok() ? 1 : 0;
     }
     responses->assign(alive.size(), Message{});
     std::vector<Status> statuses(workers_.size());
@@ -503,7 +517,8 @@ Status Coordinator::Broadcast(const Message& request,
     // it, so it stays fatal. Transport-level failures (deadline after
     // retries, closed, reset, corrupt frame) mean the WORKER is gone,
     // which recovery exists for.
-    std::vector<bool> worker_reported(workers_.size(), false);
+    // vector<char>, not vector<bool>: see ReassignOrphans.
+    std::vector<char> worker_reported(workers_.size(), 0);
     const size_t fan_out =
         options_.num_threads == 0 ? alive.size() : options_.num_threads;
     common::ParallelForChunks(alive.size(), fan_out, [&](size_t i) {
@@ -519,7 +534,7 @@ Status Coordinator::Broadcast(const Message& request,
       }
       if (received->type == MessageType::kError) {
         statuses[w] = DecodeError(*received);
-        worker_reported[w] = true;
+        worker_reported[w] = 1;
         return;
       }
       (*responses)[i] = *std::move(received);

@@ -5,6 +5,17 @@
 namespace frapp {
 namespace dist {
 
+size_t CachedRangeIndex::MemoryBytes() const {
+  size_t bytes = sizeof(CachedRangeIndex);
+  for (const mining::VerticalIndex& shard : categorical_shards) {
+    bytes += sizeof(shard) + shard.MemoryBytes();
+  }
+  for (const data::BooleanVerticalIndex& shard : boolean_shards) {
+    bytes += sizeof(shard) + shard.MemoryBytes();
+  }
+  return bytes;
+}
+
 bool IndexCache::Lookup(const std::string& key, CachedRangeIndex* out) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
@@ -13,19 +24,38 @@ bool IndexCache::Lookup(const std::string& key, CachedRangeIndex* out) {
     return false;
   }
   ++stats_.hits;
-  *out = it->second;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  *out = it->second.index;
   return true;
 }
 
 void IndexCache::Insert(const std::string& key, CachedRangeIndex entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.emplace(key, std::move(entry));
+  if (entries_.count(key) != 0) return;
+  Entry stored;
+  stored.bytes = entry.MemoryBytes();
+  stored.index = std::move(entry);
+  lru_.push_front(key);
+  stored.lru = lru_.begin();
+  bytes_ += stored.bytes;
+  entries_.emplace(key, std::move(stored));
+  // Evict oldest-first until under budget; the just-inserted entry sits at
+  // the front and is the last candidate, so at least one entry survives
+  // even when it alone overflows the budget.
+  while (max_bytes_ != 0 && bytes_ > max_bytes_ && entries_.size() > 1) {
+    const auto victim = entries_.find(lru_.back());
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 IndexCache::Stats IndexCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
   out.entries = entries_.size();
+  out.bytes = bytes_;
   return out;
 }
 

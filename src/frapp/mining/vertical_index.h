@@ -48,6 +48,13 @@ class VerticalIndex {
   size_t num_rows() const { return num_rows_; }
   size_t words_per_item() const { return words_; }
 
+  /// Approximate heap footprint of the index — what a cache entry holding
+  /// it charges against a byte budget.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(size_t) +
+           bits_.capacity() * sizeof(uint64_t);
+  }
+
   /// The bitmap of item (attribute, category): `words_per_item()` words, bit
   /// i of word i/64 set iff row i supports the item. Unused tail bits are 0.
   const uint64_t* Bitmap(size_t attribute, size_t category) const {

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "frapp/data/boolean_view.h"
 #include "frapp/data/census.h"
 #include "frapp/data/health.h"
 #include "frapp/dist/coordinator.h"
@@ -207,6 +208,97 @@ TEST_F(RecoveryTest, WorkerReportedErrorStaysFatal) {
             std::string::npos);
 }
 
+// A fake worker endpoint: acks the handshake (claiming its assigned range)
+// and answers pings, but refuses every AssignRange with an app-level Error
+// frame — the one failure shape re-assignment must treat as the JOB's
+// fault, not the worker's.
+class RefusingWorkerTransport : public Transport {
+ public:
+  explicit RefusingWorkerTransport(uint8_t shard_kind)
+      : shard_kind_(shard_kind) {}
+
+  Status Send(const Message& message) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (message.type) {
+      case MessageType::kHello: {
+        const StatusOr<HelloRequest> hello = DecodeHello(message);
+        FRAPP_CHECK(hello.ok()) << hello.status().ToString();
+        HelloAck ack;
+        ack.num_rows = hello->range_end - hello->range_begin;
+        ack.shard_kind = shard_kind_;
+        replies_.push_back(EncodeHelloAck(ack));
+        break;
+      }
+      case MessageType::kPing:
+        replies_.push_back(EncodePong());
+        break;
+      case MessageType::kAssignRange:
+        replies_.push_back(EncodeError(
+            Status::InvalidArgument("scripted refusal of re-assignment")));
+        break;
+      case MessageType::kShutdown:
+        break;
+      default:
+        replies_.push_back(
+            EncodeError(Status::Internal("unexpected message type")));
+        break;
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Message> Receive() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (replies_.empty()) return Status::Unavailable("no scripted reply");
+    Message reply = std::move(replies_.front());
+    replies_.erase(replies_.begin());
+    return reply;
+  }
+
+  void Close() override {}
+
+ private:
+  std::mutex mu_;
+  const uint8_t shard_kind_;
+  std::vector<Message> replies_;
+};
+
+TEST_F(RecoveryTest, AssignRangeRefusalStaysFatalInsteadOfCascading) {
+  // Worker 2 dies at handshake; its 2-chunk orphan splits across BOTH
+  // survivors, so scripted worker 1 is guaranteed an AssignRange — which
+  // it refuses with an app-level Error. Treating that as worker death
+  // would cascade (requeue to worker 0, coverage mismatch, kUnavailable);
+  // the refusal's own status must surface instead, naming the worker.
+  MechanismSpec spec;
+  auto mechanism = *MakeMechanism(spec, table_->schema());
+  const uint8_t shard_kind =
+      mechanism->shard_kind() == core::Mechanism::ShardKind::kBoolean ? 1 : 0;
+
+  std::vector<std::unique_ptr<InProcessWorker>> workers;
+  std::vector<std::unique_ptr<Transport>> transports;
+  workers.push_back(
+      std::make_unique<InProcessWorker>(MakeWorkerOptions(*table_)));
+  transports.push_back(workers[0]->TakeCoordinatorEndpoint());
+  transports.push_back(std::make_unique<RefusingWorkerTransport>(shard_kind));
+  workers.push_back(
+      std::make_unique<InProcessWorker>(MakeWorkerOptions(*table_)));
+  transports.push_back(
+      MaybeInjectFaults(workers[1]->TakeCoordinatorEndpoint(),
+                        *ParseFaultSpec("2:timeout-recv=0"), 2));
+
+  const StatusOr<std::unique_ptr<Coordinator>> coordinator =
+      Coordinator::Connect(std::move(transports), table_->schema(), spec,
+                           table_->num_rows(), Options());
+  ASSERT_FALSE(coordinator.ok());
+  EXPECT_EQ(coordinator.status().code(), StatusCode::kInvalidArgument)
+      << coordinator.status().ToString();
+  EXPECT_NE(coordinator.status().message().find("worker 1"),
+            std::string::npos)
+      << coordinator.status().ToString();
+  EXPECT_NE(coordinator.status().message().find("scripted refusal"),
+            std::string::npos)
+      << coordinator.status().ToString();
+}
+
 TEST_F(RecoveryTest, CheckHealthPingsEveryWorker) {
   MechanismSpec spec;
   DistStats stats;
@@ -345,6 +437,48 @@ TEST_F(RecoveryTest, IndexCacheKeyCoversEveryDeterminismInput) {
   EXPECT_NE(CanonicalSpecKey(a), CanonicalSpecKey(b));
   EXPECT_NE(base,
             MakeIndexCacheKey("src", 1, CanonicalSpecKey(b), 7, 0, 8192));
+}
+
+// A bounded cache evicts least-recently-used entries instead of growing
+// forever — and recency is refreshed by Lookup, not insertion order.
+TEST_F(RecoveryTest, IndexCacheEvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each entry's boolean shard holds 1024 words = 8 KiB; budget two and a
+  // bit entries so the third insert must evict exactly one.
+  StatusOr<data::BooleanTable> table = data::BooleanTable::CreateEmpty(64);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (size_t row = 0; row < 64 * 1024; ++row) table->AppendRow(0);
+  CachedRangeIndex entry;
+  entry.boolean_shards.emplace_back(*table);
+  const size_t entry_bytes = entry.MemoryBytes();
+  ASSERT_GT(entry_bytes, 0u);
+
+  IndexCache cache(entry_bytes * 2 + entry_bytes / 2);
+  cache.Insert("a", entry);
+  cache.Insert("b", entry);
+  CachedRangeIndex out;
+  EXPECT_TRUE(cache.Lookup("a", &out));  // refresh: "b" is now the LRU
+  cache.Insert("c", entry);
+
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_FALSE(cache.Lookup("b", &out)) << "LRU entry was not the victim";
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  const IndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, entry_bytes * 2 + entry_bytes / 2);
+
+  // An unbounded cache (0) never evicts; a tiny budget still retains the
+  // newest entry rather than thrashing to empty.
+  IndexCache unbounded(0);
+  unbounded.Insert("a", entry);
+  unbounded.Insert("b", entry);
+  EXPECT_EQ(unbounded.stats().evictions, 0u);
+  IndexCache tiny(1);
+  tiny.Insert("a", entry);
+  EXPECT_TRUE(tiny.Lookup("a", &out));
+  tiny.Insert("b", entry);
+  EXPECT_TRUE(tiny.Lookup("b", &out));
+  EXPECT_EQ(tiny.stats().entries, 1u);
 }
 
 }  // namespace

@@ -23,13 +23,16 @@
 //   frapp worker   --listen PORT [--bind-host 127.0.0.1] --dataset D
 //                  (--in F.csv|F.bin | --rows N [--gen-seed S])
 //                  [--threads T] [--once] [--idle-timeout-ms MS]
+//                  [--index-cache-mb MB]
 //       A frapp/dist shard worker: serves coordinator sessions on a TCP
 //       port. Each session perturbs and indexes the worker's assigned row
 //       range of the LOCAL data and answers candidate-count requests; rows
 //       never leave the worker. Built range indexes are cached for the
-//       process lifetime (keyed on source/spec/seed/range), so a rerun or a
-//       re-assigned range skips the ingest pass. --idle-timeout-ms ends
-//       sessions whose coordinator vanished without closing.
+//       process lifetime (keyed on source/spec/seed/range) under an LRU
+//       byte budget (--index-cache-mb, default 256, 0 = unbounded), so a
+//       rerun or a re-assigned range skips the ingest pass.
+//       --idle-timeout-ms ends sessions whose coordinator vanished without
+//       closing.
 //   frapp mine ... --mechanism det-gd|ran-gd|mask|cp|ind-gd [--gamma G]
 //                  [--alpha A | --alpha-frac F] [--cutoff-k K] [--rho R]
 //                  [--seed S] [--minsup F] plus ONE of
@@ -102,7 +105,8 @@ int Usage() {
       "  convert  --dataset D --in F.csv --out F.bin\n"
       "  worker   --listen PORT [--bind-host 127.0.0.1] --dataset D\n"
       "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
-      "           [--threads T] [--once] [--idle-timeout-ms MS]\n";
+      "           [--threads T] [--once] [--idle-timeout-ms MS]\n"
+      "           [--index-cache-mb MB]\n";
   return 2;
 }
 
@@ -486,7 +490,11 @@ int CmdWorker(const Flags& flags) {
   // a re-assignment of a range this worker already built) skips the
   // ingest -> perturb -> index pass. The key needs a stable identity for
   // the local row stream: the input path, or the generator descriptor.
-  dist::IndexCache index_cache;
+  // LRU-bounded so a worker reused across many jobs/seeds stays flat.
+  dist::IndexCache index_cache(
+      static_cast<size_t>(flags.GetUint(
+          "index-cache-mb", dist::IndexCache::kDefaultMaxBytes >> 20))
+      << 20);
   options.index_cache = &index_cache;
   const std::string in = flags.Get("in");
   if (!in.empty()) {
