@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include "frapp/core/gamma_diagonal.h"
 #include "frapp/core/mechanism.h"
 #include "frapp/core/subset_reconstruction.h"
@@ -149,4 +151,4 @@ BENCHMARK(BM_VerticalIndexBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

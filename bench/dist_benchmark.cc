@@ -42,6 +42,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include <memory>
 #include <thread>
 #include <vector>
@@ -255,4 +257,4 @@ BENCHMARK(BM_PipelineReference)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

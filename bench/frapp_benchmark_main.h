@@ -1,0 +1,81 @@
+// Shared benchmark entry point that records authoritative frapp context.
+//
+// The stock BENCHMARK_MAIN() reports `library_build_type` from however the
+// google-benchmark LIBRARY was compiled — Debian's prebuilt .so ships
+// without NDEBUG, so every run says "debug" no matter how frapp itself was
+// built. FRAPP_BENCHMARK_MAIN() adds context keys that describe the code
+// actually being measured (see docs/BENCHMARKS.md):
+//
+//   frapp_build_type      CMake build type of this binary (e.g. "Release")
+//   frapp_assertions      "off" when NDEBUG compiled this translation unit
+//   frapp_kernel_level    once-resolved intersect+popcount dispatch level
+//   frapp_kernel_best     best level the host supports (differs when forced)
+//   frapp_kernel_forced   FRAPP_FORCE_KERNEL value, only when set
+//   frapp_l1d_kib/l2_kib  detected cache geometry (the tiling inputs)
+//   frapp_physical_cores  physical-core count (pinning / parser default)
+
+#ifndef FRAPP_BENCH_FRAPP_BENCHMARK_MAIN_H_
+#define FRAPP_BENCH_FRAPP_BENCHMARK_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "frapp/common/cpuinfo.h"
+#include "frapp/mining/kernels.h"
+
+#ifndef FRAPP_CMAKE_BUILD_TYPE
+#define FRAPP_CMAKE_BUILD_TYPE "unknown"
+#endif
+
+namespace frapp {
+namespace bench {
+
+inline void AddBuildAndDispatchContext() {
+  ::benchmark::AddCustomContext("frapp_build_type", FRAPP_CMAKE_BUILD_TYPE);
+#ifdef NDEBUG
+  ::benchmark::AddCustomContext("frapp_assertions", "off");
+#else
+  ::benchmark::AddCustomContext("frapp_assertions", "on");
+#endif
+  ::benchmark::AddCustomContext(
+      "frapp_kernel_level",
+      mining::KernelLevelName(mining::ActiveKernels().level));
+  ::benchmark::AddCustomContext(
+      "frapp_kernel_best",
+      mining::KernelLevelName(mining::BestSupportedLevel()));
+  const char* forced = std::getenv("FRAPP_FORCE_KERNEL");
+  if (forced != nullptr && forced[0] != '\0') {
+    ::benchmark::AddCustomContext("frapp_kernel_forced", forced);
+  }
+  const common::CpuInfo& info = common::GetCpuInfo();
+  ::benchmark::AddCustomContext("frapp_l1d_kib",
+                                std::to_string(info.cache.l1d_bytes / 1024));
+  ::benchmark::AddCustomContext("frapp_l2_kib",
+                                std::to_string(info.cache.l2_bytes / 1024));
+  ::benchmark::AddCustomContext("frapp_physical_cores",
+                                std::to_string(info.physical_cores));
+}
+
+}  // namespace bench
+}  // namespace frapp
+
+#define FRAPP_BENCHMARK_MAIN()                                          \
+  int main(int argc, char** argv) {                                     \
+    char arg0_default[] = "benchmark";                                  \
+    char* args_default = arg0_default;                                  \
+    if (!argv) {                                                        \
+      argc = 1;                                                         \
+      argv = &args_default;                                             \
+    }                                                                   \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::frapp::bench::AddBuildAndDispatchContext();                       \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }                                                                     \
+  int main(int, char**)
+
+#endif  // FRAPP_BENCH_FRAPP_BENCHMARK_MAIN_H_

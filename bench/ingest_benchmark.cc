@@ -39,6 +39,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -245,4 +247,4 @@ BENCHMARK(BM_StreamingSyntheticPipeline)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

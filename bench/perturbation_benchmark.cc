@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include "frapp/core/cut_paste_scheme.h"
 #include "frapp/core/gamma_diagonal.h"
 #include "frapp/core/mask_scheme.h"
@@ -153,4 +155,4 @@ BENCHMARK(BM_CutPastePerturb);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include "frapp/core/mechanism.h"
 #include "frapp/data/census.h"
 #include "frapp/pipeline/privacy_pipeline.h"
@@ -86,4 +88,4 @@ BENCHMARK(BM_ExactAprioriSharded)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

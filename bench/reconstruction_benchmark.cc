@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "frapp_benchmark_main.h"
+
 #include "frapp/core/reconstructor.h"
 #include "frapp/core/subset_reconstruction.h"
 #include "frapp/linalg/lu.h"
@@ -75,4 +77,4 @@ BENCHMARK(BM_LuFactorization)->RangeMultiplier(4)->Range(16, 256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FRAPP_BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "frapp/data/boolean_vertical_index.h"
 
 #include "frapp/common/check.h"
+#include "frapp/mining/kernels.h"
 
 namespace frapp {
 namespace data {
@@ -34,22 +35,21 @@ void BooleanVerticalIndex::SupersetCounts(const std::vector<size_t>& positions,
   FRAPP_CHECK_LE(k, kMaxPatternLength);
   FRAPP_CHECK_LE(end_pattern, 1ull << k);
   for (size_t pos : positions) FRAPP_CHECK_LT(pos, num_bits_);
+  const mining::KernelTable& kernels = mining::ActiveKernels();
+  // Per pattern S, gather the popcount(S) <= kMaxPatternLength bitmap
+  // pointers and fold them through the dispatched intersect+popcount kernel.
+  const uint64_t* maps[kMaxPatternLength];
   for (size_t s = begin_pattern; s < end_pattern; ++s) {
     if (s == 0) {
       out[0] = static_cast<int64_t>(num_rows_);
       continue;
     }
-    const uint64_t* first = Bitmap(positions[static_cast<size_t>(
-        __builtin_ctzll(static_cast<uint64_t>(s)))]);
-    int64_t c = 0;
-    for (size_t w = 0; w < words_; ++w) {
-      uint64_t acc = first[w];
-      for (uint64_t rest = s & (s - 1); rest != 0; rest &= rest - 1) {
-        acc &= Bitmap(positions[static_cast<size_t>(__builtin_ctzll(rest))])[w];
-      }
-      c += __builtin_popcountll(acc);
+    size_t n = 0;
+    for (uint64_t rest = s; rest != 0; rest &= rest - 1) {
+      maps[n++] = Bitmap(positions[static_cast<size_t>(__builtin_ctzll(rest))]);
     }
-    out[s - begin_pattern] = c;
+    out[s - begin_pattern] =
+        static_cast<int64_t>(kernels.intersect_popcount(maps, n, words_));
   }
 }
 

@@ -71,6 +71,85 @@ bool GetLine(std::ifstream& in, std::string& line) {
   return true;
 }
 
+/// Decodes a raw line block into `table` through `interners` — the ingest
+/// hot loop shared by ReadShard (member interners, warm across shards) and
+/// DecodeRawShard (fresh interners, any thread). `path` only labels errors;
+/// line numbers come from the block (line i is physical line
+/// raw.first_line + i, blank lines included).
+Status ParseRawLines(const RawCsvShard& raw, const std::string& path,
+                     const CategoricalSchema& schema,
+                     std::vector<LabelInterner>& interners,
+                     CategoricalTable& table) {
+  const size_t num_attributes = schema.num_attributes();
+  std::vector<uint8_t> row(num_attributes);
+  size_t line_number = raw.first_line == 0 ? 0 : raw.first_line - 1;
+
+  const auto line_error = [&](const std::string& what) {
+    return Status::InvalidArgument("'" + path + "' line " +
+                                   std::to_string(line_number) + ": " + what);
+  };
+  // Resolves one stripped cell through the column's interner; shared by the
+  // quoted and unquoted paths.
+  const auto intern_cell = [&](size_t j, std::string_view cell) -> Status {
+    const int id = interners[j].Intern(StripWhitespace(cell));
+    if (id < 0) {
+      return line_error("attribute '" + schema.attribute(j).name +
+                        "' has no category '" +
+                        std::string(StripWhitespace(cell)) + "'");
+    }
+    row[j] = static_cast<uint8_t>(id);
+    return Status::OK();
+  };
+
+  std::string_view remaining = raw.text;
+  while (!remaining.empty()) {
+    const size_t nl = remaining.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? remaining : remaining.substr(0, nl);
+    remaining.remove_prefix(
+        nl == std::string_view::npos ? remaining.size() : nl + 1);
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    if (line.find('"') == std::string_view::npos) {
+      // Fast path (the overwhelming case): no quoting anywhere on the line,
+      // so cells are the comma-separated string_views in place — no per-cell
+      // allocation, labels resolved through the interners.
+      std::string_view rest = line;
+      size_t j = 0;
+      while (true) {
+        const size_t comma = rest.find(',');
+        const std::string_view cell =
+            comma == std::string_view::npos ? rest : rest.substr(0, comma);
+        if (j >= num_attributes) {
+          ++j;  // keep counting for the error message
+        } else {
+          FRAPP_RETURN_IF_ERROR(intern_cell(j, cell));
+          ++j;
+        }
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
+      }
+      if (j != num_attributes) {
+        return line_error("expected " + std::to_string(num_attributes) +
+                          " cells, found " + std::to_string(j));
+      }
+    } else {
+      // Quoted path: full RFC-4180 unquoting, then the same interners.
+      StatusOr<std::vector<std::string>> cells = SplitCsvLine(line);
+      if (!cells.ok()) return line_error(std::string(cells.status().message()));
+      if (cells->size() != num_attributes) {
+        return line_error("expected " + std::to_string(num_attributes) +
+                          " cells, found " + std::to_string(cells->size()));
+      }
+      for (size_t j = 0; j < cells->size(); ++j) {
+        FRAPP_RETURN_IF_ERROR(intern_cell(j, (*cells)[j]));
+      }
+    }
+    FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return Status::OK();
+}
+
 /// Quotes `label` if the CSV dialect requires it.
 std::string EscapeCsvCell(const std::string& label) {
   if (label.find_first_of(",\"\r\n") == std::string::npos) return label;
@@ -120,68 +199,16 @@ StatusOr<ShardedCsvReader> ShardedCsvReader::Open(
   return reader;
 }
 
-StatusOr<CategoricalTable> ShardedCsvReader::ReadShard(size_t max_rows) {
-  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table, CategoricalTable::Create(schema_));
-  const size_t num_attributes = schema_.num_attributes();
-  std::vector<uint8_t> row(num_attributes);
+StatusOr<RawCsvShard> ShardedCsvReader::ReadRawShard(size_t max_rows) {
+  RawCsvShard raw;
+  raw.row_begin = rows_read_;
   std::string line;
-
-  const auto line_error = [&](const std::string& what) {
-    return Status::InvalidArgument("'" + path_ + "' line " +
-                                   std::to_string(line_number_) + ": " + what);
-  };
-  // Resolves one stripped cell through the column's interner; shared by the
-  // quoted and unquoted paths.
-  const auto intern_cell = [&](size_t j, std::string_view cell) -> Status {
-    const int id = interners_[j].Intern(StripWhitespace(cell));
-    if (id < 0) {
-      return line_error("attribute '" + schema_.attribute(j).name +
-                        "' has no category '" +
-                        std::string(StripWhitespace(cell)) + "'");
-    }
-    row[j] = static_cast<uint8_t>(id);
-    return Status::OK();
-  };
-
-  while (table.num_rows() < max_rows && GetLine(in_, line)) {
+  while (raw.num_rows < max_rows && GetLine(in_, line)) {
     ++line_number_;
-    if (StripWhitespace(line).empty()) continue;
-    if (line.find('"') == std::string::npos) {
-      // Fast path (the overwhelming case): no quoting anywhere on the line,
-      // so cells are the comma-separated string_views in place — no per-cell
-      // allocation, labels resolved through the interners.
-      std::string_view rest = line;
-      size_t j = 0;
-      while (true) {
-        const size_t comma = rest.find(',');
-        const std::string_view cell =
-            comma == std::string_view::npos ? rest : rest.substr(0, comma);
-        if (j >= num_attributes) {
-          ++j;  // keep counting for the error message
-        } else {
-          FRAPP_RETURN_IF_ERROR(intern_cell(j, cell));
-          ++j;
-        }
-        if (comma == std::string_view::npos) break;
-        rest.remove_prefix(comma + 1);
-      }
-      if (j != num_attributes) {
-        return line_error("expected " + std::to_string(num_attributes) +
-                         " cells, found " + std::to_string(j));
-      }
-    } else {
-      // Quoted path: full RFC-4180 unquoting, then the same interners.
-      StatusOr<std::vector<std::string>> cells = SplitCsvLine(line);
-      if (!cells.ok()) return line_error(std::string(cells.status().message()));
-      if (cells->size() != num_attributes) {
-        return line_error("expected " + std::to_string(num_attributes) +
-                          " cells, found " + std::to_string(cells->size()));
-      }
-      for (size_t j = 0; j < cells->size(); ++j) {
-        FRAPP_RETURN_IF_ERROR(intern_cell(j, (*cells)[j]));
-      }
-    }
-    FRAPP_RETURN_IF_ERROR(table.AppendRow(row));
+    if (raw.first_line == 0) raw.first_line = line_number_;
+    raw.text.append(line);
+    raw.text.push_back('\n');
+    if (!StripWhitespace(line).empty()) ++raw.num_rows;
   }
   // getline() returning false means EOF *or* a stream error; only EOF may be
   // treated as end of data — a read error must not silently truncate the
@@ -190,7 +217,29 @@ StatusOr<CategoricalTable> ShardedCsvReader::ReadShard(size_t max_rows) {
     return Status::IOError("read failure on '" + path_ + "' after line " +
                            std::to_string(line_number_));
   }
-  rows_read_ += table.num_rows();
+  rows_read_ += raw.num_rows;
+  return raw;
+}
+
+StatusOr<CategoricalTable> ShardedCsvReader::DecodeRawShard(
+    const RawCsvShard& raw, const std::string& path,
+    const CategoricalSchema& schema) {
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table,
+                         CategoricalTable::Create(schema));
+  // Fresh interners per block: the memo caches inside LabelInterner mutate
+  // on every lookup, so sharing the reader's across decode threads would
+  // race. Building them is O(categories) — noise next to an 8k-row decode —
+  // and they still warm up within the block.
+  std::vector<LabelInterner> interners = MakeColumnInterners(schema);
+  FRAPP_RETURN_IF_ERROR(ParseRawLines(raw, path, schema, interners, table));
+  return table;
+}
+
+StatusOr<CategoricalTable> ShardedCsvReader::ReadShard(size_t max_rows) {
+  FRAPP_ASSIGN_OR_RETURN(RawCsvShard raw, ReadRawShard(max_rows));
+  FRAPP_ASSIGN_OR_RETURN(CategoricalTable table,
+                         CategoricalTable::Create(schema_));
+  FRAPP_RETURN_IF_ERROR(ParseRawLines(raw, path_, schema_, interners_, table));
   return table;
 }
 

@@ -33,6 +33,23 @@
 namespace frapp {
 namespace data {
 
+/// One shard's worth of raw physical CSV lines, collected serially by
+/// ShardedCsvReader::ReadRawShard and decodable on ANY thread by
+/// DecodeRawShard — the unit of the parse-parallel ingest split. Blank
+/// lines stay in `text` (the decoder skips them) so the i-th line of the
+/// block is physical line `first_line + i`, keeping error line numbers
+/// exact.
+struct RawCsvShard {
+  /// The block's physical lines joined by '\n' (CR already stripped).
+  std::string text;
+  /// 1-based file line number of text's first line.
+  size_t first_line = 0;
+  /// Global row index of the block's first data row.
+  size_t row_begin = 0;
+  /// Non-blank data rows in the block (rows the decode will yield).
+  size_t num_rows = 0;
+};
+
 /// Incremental reader: header validated on Open, data rows parsed in
 /// caller-sized chunks.
 ///
@@ -53,11 +70,27 @@ class ShardedCsvReader {
   /// 1-based line.
   StatusOr<CategoricalTable> ReadShard(size_t max_rows);
 
+  /// The serial half of the parse-parallel split: collects up to `max_rows`
+  /// further non-blank data lines RAW — pure buffered IO, no cell decoding —
+  /// so a single producer can feed several DecodeRawShard threads. Advances
+  /// rows_read() by the collected row count; ReadShard(n) is exactly
+  /// ReadRawShard(n) + DecodeRawShard of the block.
+  StatusOr<RawCsvShard> ReadRawShard(size_t max_rows);
+
+  /// The thread-safe half: decodes a collected block into a fresh table over
+  /// `schema`. Builds its own interners, so any number of threads may decode
+  /// distinct blocks concurrently. `path` only labels error messages.
+  static StatusOr<CategoricalTable> DecodeRawShard(
+      const RawCsvShard& raw, const std::string& path,
+      const CategoricalSchema& schema);
+
   /// Data rows successfully parsed so far (the next shard's first global
   /// row index).
   size_t rows_read() const { return rows_read_; }
 
   const CategoricalSchema& schema() const { return schema_; }
+
+  const std::string& path() const { return path_; }
 
  private:
   ShardedCsvReader(std::string path, CategoricalSchema schema)

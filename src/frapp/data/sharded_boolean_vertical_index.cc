@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "frapp/common/check.h"
+#include "frapp/common/cpuinfo.h"
 #include "frapp/common/parallel.h"
 #include "frapp/data/sharded_table.h"
 
@@ -13,10 +14,26 @@ namespace data {
 
 namespace {
 
-/// Patterns per (shard x block) grid cell: small enough to spread a single
-/// candidate's 2^k lattice over several workers, large enough that a cell
-/// amortizes its dispatch.
-constexpr size_t kPatternsPerBlock = 16;
+/// Bounds on patterns per (shard x block) grid cell: the floor spreads a
+/// single candidate's 2^k lattice over several workers, the ceiling bounds
+/// the stack scratch and the tail imbalance.
+constexpr size_t kMinPatternsPerBlock = 16;
+constexpr size_t kMaxPatternsPerBlock = 64;
+
+/// Patterns per grid cell, sized from the detected cache geometry. Every
+/// pattern in a cell folds subsets of the SAME k position bitmaps
+/// (k x words x 8 bytes), so when that shared working set fits half the L2
+/// a larger block reuses the cached bitmaps across more patterns and cuts
+/// the per-cell dispatch + fetch_add traffic; once the bitmaps exceed the
+/// L2 they are re-streamed either way, so the smaller block wins back load
+/// balance. Block size only partitions work — cells ADD integers into the
+/// shared totals — so it never affects results.
+size_t PatternsPerBlock(size_t k, size_t words) {
+  const size_t working_set = k * words * sizeof(uint64_t);
+  return working_set <= common::GetCpuInfo().cache.l2_bytes / 2
+             ? kMaxPatternsPerBlock
+             : kMinPatternsPerBlock;
+}
 
 }  // namespace
 
@@ -80,16 +97,18 @@ std::vector<int64_t> ShardedBooleanVerticalIndex::SupersetCounts(
   // are exact and order-independent — deterministic at any worker count —
   // while keeping peak memory O(2^k), not O(shards x 2^k) (a streamed table
   // has one shard per chunk quantum, so the latter would scale with rows).
-  const size_t num_blocks = common::NumChunks(patterns, kPatternsPerBlock);
+  const size_t words = (shards_[0].num_rows() + 63) / 64;
+  const size_t block_patterns = PatternsPerBlock(k, words);
+  const size_t num_blocks = common::NumChunks(patterns, block_patterns);
   std::vector<std::atomic<int64_t>> shared(patterns);
   for (auto& slot : shared) slot.store(0, std::memory_order_relaxed);
   common::ParallelForChunks(
       shards_.size() * num_blocks, num_threads, [&](size_t cell) {
         const size_t s = cell / num_blocks;
         const size_t b = cell % num_blocks;
-        const size_t begin = b * kPatternsPerBlock;
-        const size_t end = std::min(patterns, begin + kPatternsPerBlock);
-        int64_t scratch[kPatternsPerBlock];
+        const size_t begin = b * block_patterns;
+        const size_t end = std::min(patterns, begin + block_patterns);
+        int64_t scratch[kMaxPatternsPerBlock];
         shards_[s].SupersetCounts(positions, begin, end, scratch);
         for (size_t a = begin; a < end; ++a) {
           shared[a].fetch_add(scratch[a - begin], std::memory_order_relaxed);

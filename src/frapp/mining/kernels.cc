@@ -1,0 +1,280 @@
+#include "frapp/mining/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "frapp/common/cpuinfo.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FRAPP_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace frapp {
+namespace mining {
+
+namespace {
+
+// ------------------------------------------------------------------ scalar --
+
+uint64_t PopcountRangeScalar(const uint64_t* data, size_t words) {
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(data[w]));
+  }
+  return count;
+}
+
+uint64_t IntersectPopcountScalar(const uint64_t* const* maps, size_t k,
+                                 size_t words) {
+  if (k == 1) return PopcountRangeScalar(maps[0], words);
+  uint64_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t acc = maps[0][w] & maps[1][w];
+    for (size_t j = 2; j < k; ++j) acc &= maps[j][w];
+    count += static_cast<uint64_t>(__builtin_popcountll(acc));
+  }
+  return count;
+}
+
+#ifdef FRAPP_KERNELS_X86
+
+// -------------------------------------------------------------------- avx2 --
+//
+// Popcount via the nibble-lookup (vpshufb) technique: each byte of the AND
+// result is split into two nibbles whose set-bit counts come from a 16-entry
+// in-register table, then vpsadbw folds the 32 byte-counts into 4 u64 lanes
+// added into a vector accumulator. Exact integer arithmetic throughout; the
+// u64 lane sums cannot overflow before words ~ 2^56.
+
+__attribute__((target("avx2"))) inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                         _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline uint64_t HorizontalSum256(__m256i acc) {
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+__attribute__((target("avx2"))) uint64_t PopcountRangeAvx2(const uint64_t* data,
+                                                           size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + w));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  uint64_t count = HorizontalSum256(acc);
+  for (; w < words; ++w) {
+    count += static_cast<uint64_t>(__builtin_popcountll(data[w]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) uint64_t IntersectPopcountAvx2(
+    const uint64_t* const* maps, size_t k, size_t words) {
+  if (k == 1) return PopcountRangeAvx2(maps[0], words);
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(maps[0] + w)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(maps[1] + w)));
+    for (size_t j = 2; j < k; ++j) {
+      v = _mm256_and_si256(
+          v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(maps[j] + w)));
+    }
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  uint64_t count = HorizontalSum256(acc);
+  for (; w < words; ++w) {
+    uint64_t word = maps[0][w] & maps[1][w];
+    for (size_t j = 2; j < k; ++j) word &= maps[j][w];
+    count += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+// ------------------------------------------------------------------ avx512 --
+//
+// Native per-lane popcount (vpopcntq, AVX-512 VPOPCNTDQ) over 512-bit AND
+// chains; the sub-8-word tail is handled with a masked load so the whole
+// fold stays in vector registers.
+//
+// GCC's avx512fintrin.h trips -Wmaybe-uninitialized on every maskz load
+// (PR105593: the zero-fill source operand looks uninitialized after
+// inlining); masked-out lanes are zeroed by the instruction, so silence it
+// for these bodies only.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t PopcountRangeAvx512(
+    const uint64_t* data, size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(data + w)));
+  }
+  const size_t tail = words - w;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(mask, data + w)));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) uint64_t
+IntersectPopcountAvx512(const uint64_t* const* maps, size_t k, size_t words) {
+  if (k == 1) return PopcountRangeAvx512(maps[0], words);
+  __m512i acc = _mm512_setzero_si512();
+  size_t w = 0;
+  for (; w + 8 <= words; w += 8) {
+    __m512i v = _mm512_and_si512(_mm512_loadu_si512(maps[0] + w),
+                                 _mm512_loadu_si512(maps[1] + w));
+    for (size_t j = 2; j < k; ++j) {
+      v = _mm512_and_si512(v, _mm512_loadu_si512(maps[j] + w));
+    }
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  const size_t tail = words - w;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(mask, maps[0] + w),
+                                 _mm512_maskz_loadu_epi64(mask, maps[1] + w));
+    for (size_t j = 2; j < k; ++j) {
+      v = _mm512_and_si512(v, _mm512_maskz_loadu_epi64(mask, maps[j] + w));
+    }
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // FRAPP_KERNELS_X86
+
+constexpr KernelTable kScalarTable = {IntersectPopcountScalar,
+                                      PopcountRangeScalar,
+                                      KernelLevel::kScalar};
+#ifdef FRAPP_KERNELS_X86
+constexpr KernelTable kAvx2Table = {IntersectPopcountAvx2, PopcountRangeAvx2,
+                                    KernelLevel::kAvx2};
+constexpr KernelTable kAvx512Table = {IntersectPopcountAvx512,
+                                      PopcountRangeAvx512,
+                                      KernelLevel::kAvx512};
+#endif
+
+/// The resolved default table (dispatch decision applied once).
+std::once_flag g_resolve_once;
+/// Current active table; swapped only by the test-only override.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ResolveDefaultTable() {
+  const char* forced_env = std::getenv("FRAPP_FORCE_KERNEL");
+  std::optional<KernelLevel> forced;
+  if (forced_env != nullptr && forced_env[0] != '\0') {
+    forced = ParseKernelLevelName(forced_env);
+    if (!forced.has_value()) {
+      std::cerr << "frapp: ignoring unknown FRAPP_FORCE_KERNEL value '"
+                << forced_env << "' (want scalar|avx2|avx512)\n";
+    } else if (!KernelLevelSupported(*forced)) {
+      std::cerr << "frapp: FRAPP_FORCE_KERNEL=" << forced_env
+                << " is not runnable on this host; falling back to "
+                << KernelLevelName(BestSupportedLevel()) << "\n";
+    }
+  }
+  return &KernelsForLevel(internal::ResolveKernelLevel(forced));
+}
+
+}  // namespace
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar:
+      return "scalar";
+    case KernelLevel::kAvx2:
+      return "avx2";
+    case KernelLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<KernelLevel> ParseKernelLevelName(const std::string& name) {
+  if (name == "scalar") return KernelLevel::kScalar;
+  if (name == "avx2") return KernelLevel::kAvx2;
+  if (name == "avx512") return KernelLevel::kAvx512;
+  return std::nullopt;
+}
+
+bool KernelLevelSupported(KernelLevel level) {
+  if (level == KernelLevel::kScalar) return true;
+#ifdef FRAPP_KERNELS_X86
+  const common::CpuFeatures& features = common::GetCpuInfo().features;
+  if (level == KernelLevel::kAvx2) return features.avx2;
+  if (level == KernelLevel::kAvx512) {
+    return features.avx512f && features.avx512vpopcntdq;
+  }
+#endif
+  return false;
+}
+
+KernelLevel BestSupportedLevel() {
+  if (KernelLevelSupported(KernelLevel::kAvx512)) return KernelLevel::kAvx512;
+  if (KernelLevelSupported(KernelLevel::kAvx2)) return KernelLevel::kAvx2;
+  return KernelLevel::kScalar;
+}
+
+const KernelTable& KernelsForLevel(KernelLevel level) {
+#ifdef FRAPP_KERNELS_X86
+  if (level == KernelLevel::kAvx512) return kAvx512Table;
+  if (level == KernelLevel::kAvx2) return kAvx2Table;
+#endif
+  (void)level;
+  return kScalarTable;
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  std::call_once(g_resolve_once, [] {
+    g_active.store(ResolveDefaultTable(), std::memory_order_release);
+  });
+  return *g_active.load(std::memory_order_acquire);
+}
+
+namespace internal {
+
+KernelLevel ResolveKernelLevel(std::optional<KernelLevel> forced) {
+  if (forced.has_value() && KernelLevelSupported(*forced)) return *forced;
+  return BestSupportedLevel();
+}
+
+void SetActiveKernelsForTest(KernelLevel level) {
+  g_active.store(&KernelsForLevel(level), std::memory_order_release);
+}
+
+void ResetActiveKernelsForTest() {
+  g_active.store(ResolveDefaultTable(), std::memory_order_release);
+}
+
+}  // namespace internal
+
+}  // namespace mining
+}  // namespace frapp

@@ -1,0 +1,102 @@
+// Vectorized intersect+popcount counting kernels with runtime CPU dispatch.
+//
+// Every reconstructing estimator in the stack bottoms out in one of two
+// folds over uint64_t bitmaps: popcount of a single bitmap (1-itemset
+// supports) and popcount of the word-wise AND of k bitmaps (k-itemset
+// supports, boolean superset counts). This header exposes both as function
+// pointers resolved ONCE per process into the widest implementation the
+// host supports:
+//
+//   scalar   portable word loop + __builtin_popcountll (always compiled)
+//   avx2     256-bit AND chains, nibble-lookup (vpshufb) popcount folded
+//            with vpsadbw — the Mula technique
+//   avx512   512-bit AND chains + native vpopcntq (AVX-512 VPOPCNTDQ),
+//            masked loads for the tail
+//
+// Counts are INTEGERS, so every level returns bit-identical results on any
+// input — vectorization reorders only additions of non-negative word
+// popcounts, never changes them. That makes the dispatch level invisible to
+// the seeded-chunk grid-bit-identity invariant, and testable by direct
+// equality (tests/mining/kernels_test.cc).
+//
+// The environment variable FRAPP_FORCE_KERNEL={scalar,avx2,avx512} pins the
+// dispatch for testing and benchmarking; forcing a level the host cannot run
+// falls back to the best supported one (with a one-time stderr warning)
+// instead of crashing on SIGILL. The SIMD bodies are compiled via GCC/Clang
+// `target` attributes, so no special compiler flags are needed and the
+// binary stays runnable on any x86-64; non-x86 builds compile the scalar
+// level only. The dispatch table is the seam future backends (NEON, GPU
+// count offload) plug into.
+
+#ifndef FRAPP_MINING_KERNELS_H_
+#define FRAPP_MINING_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace frapp {
+namespace mining {
+
+/// Dispatch levels, widest last. Values index internal tables.
+enum class KernelLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// popcount(maps[0][w] & ... & maps[k-1][w]) summed over w in [0, words).
+/// Requires k >= 1; maps[j] must each hold `words` words.
+using IntersectPopcountFn = uint64_t (*)(const uint64_t* const* maps,
+                                         size_t k, size_t words);
+
+/// popcount of one word range.
+using PopcountRangeFn = uint64_t (*)(const uint64_t* data, size_t words);
+
+/// One resolved implementation set. All members non-null.
+struct KernelTable {
+  IntersectPopcountFn intersect_popcount;
+  PopcountRangeFn popcount_range;
+  KernelLevel level;
+};
+
+/// The process-wide dispatch table: resolved once on first use from the
+/// host's ISA features and FRAPP_FORCE_KERNEL, immutable afterwards (except
+/// via the test-only override below).
+const KernelTable& ActiveKernels();
+
+/// "scalar" / "avx2" / "avx512".
+const char* KernelLevelName(KernelLevel level);
+
+/// Parses a FRAPP_FORCE_KERNEL value; nullopt for anything unknown.
+std::optional<KernelLevel> ParseKernelLevelName(const std::string& name);
+
+/// True when `level` is both compiled in and runnable on this host.
+bool KernelLevelSupported(KernelLevel level);
+
+/// The widest supported level (what ActiveKernels resolves to absent a
+/// force override).
+KernelLevel BestSupportedLevel();
+
+/// The implementation set of one level; level must be supported. Lets the
+/// equivalence tests compare levels directly without touching dispatch.
+const KernelTable& KernelsForLevel(KernelLevel level);
+
+namespace internal {
+/// Pure resolution rule: the forced level when supported, otherwise the
+/// best supported one. Exposed for unit tests; `ActiveKernels` applies it
+/// to FRAPP_FORCE_KERNEL once.
+KernelLevel ResolveKernelLevel(std::optional<KernelLevel> forced);
+
+/// Test-only: swaps the active dispatch table (e.g. to prove end-to-end
+/// mines are bit-identical across levels inside ONE process). Not safe
+/// concurrently with counting; tests restore with ResetActiveKernels.
+void SetActiveKernelsForTest(KernelLevel level);
+void ResetActiveKernelsForTest();
+}  // namespace internal
+
+}  // namespace mining
+}  // namespace frapp
+
+#endif  // FRAPP_MINING_KERNELS_H_

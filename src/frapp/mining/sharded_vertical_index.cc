@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "frapp/common/cpuinfo.h"
 #include "frapp/common/parallel.h"
 #include "frapp/common/tree_merge.h"
 
@@ -10,10 +11,31 @@ namespace mining {
 
 namespace {
 
-/// Candidates per counting task: small enough to load-balance a pass of a
-/// few hundred candidates across workers, large enough to amortize the task
-/// dispatch over the bitmap AND loops.
-constexpr size_t kCandidateBlock = 32;
+/// Bounds on candidates per counting task: the floor keeps a pass of a few
+/// hundred candidates load-balanced across workers, the ceiling keeps the
+/// per-task dispatch amortized without starving the grid of tasks.
+constexpr size_t kMinCandidateBlock = 8;
+constexpr size_t kMaxCandidateBlock = 256;
+
+/// Candidates per (shard x block) grid cell, sized from the detected cache
+/// geometry: one cell's working set is the bitmaps its candidates AND
+/// together (<= avg-itemset-size bitmaps of `words` words each, usually
+/// heavily shared between neighbouring candidates) plus its output slice.
+/// Tiling so that upper bound fits half the L2 keeps a cell's bitmaps
+/// resident across its whole candidate run instead of being re-streamed
+/// from L3/DRAM per candidate. Block size only partitions work — counts
+/// are integer sums either way — so it never affects results.
+size_t CandidateBlockSize(const std::vector<Itemset>& itemsets, size_t words) {
+  size_t total_items = 0;
+  for (const Itemset& itemset : itemsets) total_items += itemset.size();
+  const size_t avg_k =
+      std::max<size_t>(1, (total_items + itemsets.size() - 1) / itemsets.size());
+  const size_t bytes_per_candidate =
+      std::max<size_t>(1, avg_k * words * sizeof(uint64_t));
+  const size_t budget = common::GetCpuInfo().cache.l2_bytes / 2;
+  return std::clamp(budget / bytes_per_candidate, kMinCandidateBlock,
+                    kMaxCandidateBlock);
+}
 
 }  // namespace
 
@@ -71,15 +93,19 @@ std::vector<size_t> ShardedVerticalIndex::CountSupports(
   // Fan the (shard x candidate-block) grid out: every task fills a disjoint
   // slice of one shard's count vector, so the writes are race-free and the
   // values are a pure function of the cell — deterministic at any worker
-  // count.
-  const size_t blocks = common::NumChunks(num_candidates, kCandidateBlock);
+  // count. Blocks are tiled to the L2 working set (see CandidateBlockSize);
+  // shard word counts differ only by the tail shard, so shards_[0] is a
+  // representative sizing input — and sizing is a pure heuristic anyway.
+  const size_t block_size =
+      CandidateBlockSize(itemsets, shards_[0].words_per_item());
+  const size_t blocks = common::NumChunks(num_candidates, block_size);
   std::vector<std::vector<size_t>> per_shard(
       shards_.size(), std::vector<size_t>(num_candidates, 0));
   common::ParallelForChunks(
       shards_.size() * blocks, num_threads, [&](size_t task) {
         const size_t s = task / blocks;
-        const size_t first = (task % blocks) * kCandidateBlock;
-        const size_t last = std::min(num_candidates, first + kCandidateBlock);
+        const size_t first = (task % blocks) * block_size;
+        const size_t last = std::min(num_candidates, first + block_size);
         const VerticalIndex& shard = shards_[s];
         std::vector<size_t>& counts = per_shard[s];
         for (size_t c = first; c < last; ++c) {

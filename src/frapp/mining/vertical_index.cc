@@ -1,6 +1,7 @@
 #include "frapp/mining/vertical_index.h"
 
 #include "frapp/common/parallel.h"
+#include "frapp/mining/kernels.h"
 
 namespace frapp {
 namespace mining {
@@ -42,15 +43,15 @@ VerticalIndex VerticalIndex::BuildRange(const data::CategoricalTable& table,
 size_t VerticalIndex::CountSupport(const Itemset& itemset) const {
   const size_t k = itemset.size();
   if (k == 0) return num_rows_;
+  const KernelTable& kernels = ActiveKernels();
   if (k == 1) {
-    const uint64_t* b = Bitmap(itemset.item(0).attribute, itemset.item(0).category);
-    size_t count = 0;
-    for (size_t w = 0; w < words_; ++w) count += __builtin_popcountll(b[w]);
-    return count;
+    return static_cast<size_t>(kernels.popcount_range(
+        Bitmap(itemset.item(0).attribute, itemset.item(0).category), words_));
   }
-  // Word-wise AND across the k bitmaps, accumulated without materializing
-  // the intersection. Itemsets have one item per attribute, so k is bounded
-  // by the schema's attribute count; spill to the heap past the inline cap.
+  // Word-wise AND across the k bitmaps via the dispatched kernel, without
+  // materializing the intersection. Itemsets have one item per attribute, so
+  // k is bounded by the schema's attribute count; spill to the heap past the
+  // inline cap.
   constexpr size_t kInlineMaps = 32;
   const uint64_t* inline_maps[kInlineMaps];
   std::vector<const uint64_t*> heap_maps;
@@ -62,13 +63,7 @@ size_t VerticalIndex::CountSupport(const Itemset& itemset) const {
   for (size_t j = 0; j < k; ++j) {
     maps[j] = Bitmap(itemset.item(j).attribute, itemset.item(j).category);
   }
-  size_t count = 0;
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t acc = maps[0][w] & maps[1][w];
-    for (size_t j = 2; j < k; ++j) acc &= maps[j][w];
-    count += __builtin_popcountll(acc);
-  }
-  return count;
+  return static_cast<size_t>(kernels.intersect_popcount(maps, k, words_));
 }
 
 std::vector<size_t> VerticalIndex::CountSupports(

@@ -4,17 +4,31 @@
 #include <utility>
 
 #include "frapp/common/clock.h"
+#include "frapp/common/cpuinfo.h"
 
 namespace frapp {
 namespace pipeline {
 
 PrefetchingTableSource::PrefetchingTableSource(TableSource& inner,
-                                               size_t max_queued_shards)
+                                               size_t max_queued_shards,
+                                               size_t num_parsers)
     : inner_(&inner),
       schema_(&inner.schema()),
-      total_rows_(inner.TotalRows()),
-      capacity_(std::max<size_t>(1, max_queued_shards)),
-      producer_([this] { ProducerLoop(); }) {}
+      total_rows_(inner.TotalRows()) {
+  size_t parsers = num_parsers == 0
+                       ? common::GetCpuInfo().physical_cores
+                       : num_parsers;
+  // Without a raw/decode split the inner source is single-producer all the
+  // way through — extra parsers could only serialize on it.
+  two_phase_ = inner.SupportsParallelDecode() && parsers > 1;
+  if (!two_phase_) parsers = 1;
+  capacity_ = std::max(std::max<size_t>(1, max_queued_shards), parsers);
+  stats_.num_parsers = parsers;
+  parsers_.reserve(parsers);
+  for (size_t p = 0; p < parsers; ++p) {
+    parsers_.emplace_back([this] { ParserLoop(); });
+  }
+}
 
 PrefetchingTableSource::~PrefetchingTableSource() {
   {
@@ -22,59 +36,114 @@ PrefetchingTableSource::~PrefetchingTableSource() {
     stop_ = true;
   }
   can_produce_.notify_all();
-  producer_.join();
+  for (std::thread& parser : parsers_) parser.join();
 }
 
-void PrefetchingTableSource::ProducerLoop() {
+void PrefetchingTableSource::ParserLoop() {
   while (true) {
+    // Gate: wait for queue space (or shutdown / end of stream). ready_ may
+    // transiently exceed capacity_ by the in-decode shards — only CLAIMS are
+    // gated — which is what lets the reorder buffer always absorb the
+    // lowest outstanding sequence and keeps the consumer from deadlocking
+    // behind a full queue of later sequences.
     {
       std::unique_lock<std::mutex> lock(mu_);
-      can_produce_.wait(lock,
-                        [&] { return stop_ || queue_.size() < capacity_; });
-      if (stop_) break;
+      can_produce_.wait(lock, [&] {
+        return stop_ || end_seq_.has_value() || ready_.size() < capacity_;
+      });
+      if (stop_ || end_seq_.has_value()) return;
     }
-    // The inner pull runs OUTSIDE the lock: this is the parse/generate work
-    // the decorator exists to overlap with the consumer's compute.
-    PulledShard shard;
-    const uint64_t t0 = common::NowNanos();
-    StatusOr<bool> more = inner_->NextShard(&shard);
-    const uint64_t elapsed = common::NowNanos() - t0;
+
+    // Serial half: claim the next sequence and pull it from the inner
+    // source. Two-phase mode pulls only the RAW bytes here; single-parser
+    // mode does the whole parse (nothing to overlap against within the
+    // source — overlap happens against the consumer).
+    size_t seq = 0;
+    data::RawCsvShard raw;
+    PulledShard pulled;
+    StatusOr<bool> more = false;
+    uint64_t serial_nanos = 0;
     {
+      std::lock_guard<std::mutex> source_lock(source_mu_);
+      if (source_done_) return;  // no claims left; delivery is consumer-side
+      seq = claim_seq_++;
+      const uint64_t t0 = common::NowNanos();
+      more = two_phase_ ? inner_->NextRawShard(&raw)
+                        : inner_->NextShard(&pulled);
+      serial_nanos = common::NowNanos() - t0;
+      if (!more.ok() || !*more) source_done_ = true;
+    }
+    if (!more.ok() || !*more) {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.parse_nanos += elapsed;
-      if (!more.ok()) {
-        status_ = more.status();
-        done_ = true;
-      } else if (!*more) {
-        done_ = true;
+      stats_.parse_nanos += serial_nanos;
+      // The discovering claim has the highest sequence so far (claims are
+      // ordered and source_done_ stops later ones); only an earlier decode
+      // error may lower end_seq_ afterwards.
+      if (!end_seq_.has_value() || seq < *end_seq_) {
+        end_seq_ = seq;
+        status_ = more.ok() ? Status::OK() : more.status();
+      }
+      can_consume_.notify_all();
+      can_produce_.notify_all();
+      return;
+    }
+
+    // Parallel half: decode outside every lock — this is the work the
+    // parsers overlap with each other and with the consumer's compute.
+    uint64_t decode_nanos = 0;
+    Status decode_status;
+    if (two_phase_) {
+      const uint64_t t0 = common::NowNanos();
+      StatusOr<PulledShard> decoded = inner_->DecodeRawShard(raw);
+      decode_nanos = common::NowNanos() - t0;
+      if (decoded.ok()) {
+        pulled = std::move(decoded).value();
       } else {
-        ++stats_.shards_produced;
-        queue_.push_back(std::move(shard));
+        decode_status = decoded.status();
       }
     }
-    can_consume_.notify_one();
-    if (done_) break;  // done_ only ever transitions false -> true
+
+    bool ended = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.parse_nanos += serial_nanos + decode_nanos;
+      if (!decode_status.ok()) {
+        // A decode error ends the stream at ITS sequence: shards before it
+        // still deliver, later ones (decoded or not) are dropped.
+        if (!end_seq_.has_value() || seq < *end_seq_) {
+          end_seq_ = seq;
+          status_ = decode_status;
+        }
+        ended = true;
+      } else {
+        ++stats_.shards_produced;
+        ready_.emplace(seq, std::move(pulled));
+      }
+    }
+    can_consume_.notify_all();
+    if (ended) {
+      can_produce_.notify_all();  // release parsers parked on the gate
+      return;
+    }
   }
-  // A stop_ exit must still mark the stream done so a concurrent consumer
-  // blocked in NextShard wakes up instead of hanging forever.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    done_ = true;
-  }
-  can_consume_.notify_all();
 }
 
 StatusOr<bool> PrefetchingTableSource::NextShard(PulledShard* out) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_consume_.wait(lock, [&] { return !queue_.empty() || done_; });
-  if (!queue_.empty()) {
-    *out = std::move(queue_.front());
-    queue_.pop_front();
+  can_consume_.wait(lock, [&] {
+    return ready_.count(deliver_seq_) != 0 ||
+           (end_seq_.has_value() && deliver_seq_ >= *end_seq_);
+  });
+  const auto it = ready_.find(deliver_seq_);
+  if (it != ready_.end()) {
+    *out = std::move(it->second);
+    ready_.erase(it);
+    ++deliver_seq_;
     lock.unlock();
-    can_produce_.notify_one();
+    can_produce_.notify_all();
     return true;
   }
-  // Drained: clean end or the producer's sticky error.
+  // Drained past the end: clean exhaustion or the earliest sticky error.
   if (!status_.ok()) return status_;
   return false;
 }

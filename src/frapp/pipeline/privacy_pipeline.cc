@@ -37,12 +37,18 @@ StatusOr<PipelineResult> PrivacyPipeline::Run(
 
 StatusOr<PipelineResult> PrivacyPipeline::Run(core::Mechanism& mechanism,
                                               TableSource& source) const {
+  // One-way enable, applied before any pool worker spawns for this run; see
+  // the PipelineOptions::pin_threads doc for the stickiness caveat.
+  if (options_.pin_threads) {
+    common::ThreadPool::Shared().SetPinPhysicalCores(true);
+  }
   if (options_.prefetch_source) {
-    // Wrap the caller's source in the producer-thread decorator for the
+    // Wrap the caller's source in the parser-thread decorator for the
     // duration of this run. Order is preserved, so the result is
     // bit-identical to the unprefetched pull — only the parse/compute
     // overlap (and the stats describing it) change.
-    PrefetchingTableSource prefetched(source, options_.prefetch_shards);
+    PrefetchingTableSource prefetched(source, options_.prefetch_shards,
+                                      options_.prefetch_parsers);
     PipelineOptions inner_options = options_;
     inner_options.prefetch_source = false;
     FRAPP_ASSIGN_OR_RETURN(

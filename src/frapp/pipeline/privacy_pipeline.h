@@ -64,10 +64,26 @@ struct PipelineOptions {
   /// — only where the parse time goes (see PipelineStats).
   bool prefetch_source = false;
 
-  /// Bounded prefetch queue depth in shards (floored at 1): how far the
-  /// producer may run ahead, and therefore how many extra source-side shard
-  /// buffers prefetching can hold alive. Only read when prefetch_source.
+  /// Bounded prefetch queue depth in shards (floored at 1, and at the
+  /// resolved parser count): how far the producer may run ahead, and
+  /// therefore how many extra source-side shard buffers prefetching can
+  /// hold alive. Only read when prefetch_source.
   size_t prefetch_shards = 2;
+
+  /// Parser threads behind prefetch_source (0 = one per detected physical
+  /// core). More than one engages the source's parse-parallel split when it
+  /// has one (CSV raw-read + concurrent decode; see
+  /// PrefetchingTableSource); sources without the split are clamped to one
+  /// parser. Order-preserving either way — never affects results.
+  size_t prefetch_parsers = 0;
+
+  /// When true, Run pins the shared ThreadPool's workers one-per-physical-
+  /// core before streaming (common::ThreadPool::SetPinPhysicalCores): the
+  /// counting folds are memory-bound, so SMT siblings sharing a core mostly
+  /// contend. The pool is process-wide, so the pin STAYS in effect after
+  /// Run returns (it is never auto-disabled — scheduling only, results are
+  /// bit-identical either way).
+  bool pin_threads = false;
 
   /// Mining parameters (threshold, length cap).
   mining::AprioriOptions mining;

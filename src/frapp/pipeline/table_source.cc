@@ -64,6 +64,36 @@ StatusOr<bool> CsvTableSource::NextShard(PulledShard* out) {
   return true;
 }
 
+StatusOr<bool> CsvTableSource::NextRawShard(data::RawCsvShard* out) {
+  if (exhausted_) return false;
+  FRAPP_ASSIGN_OR_RETURN(data::RawCsvShard raw,
+                         reader_.ReadRawShard(rows_per_shard_));
+  if (raw.num_rows == 0) {
+    exhausted_ = true;
+    return false;
+  }
+  // A short read means the file ended mid-shard; this is the stream's final
+  // shard (allowed to end off the chunk grid).
+  if (raw.num_rows < rows_per_shard_) exhausted_ = true;
+  *out = std::move(raw);
+  return true;
+}
+
+StatusOr<PulledShard> CsvTableSource::DecodeRawShard(
+    const data::RawCsvShard& raw) const {
+  FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable shard,
+                         data::ShardedCsvReader::DecodeRawShard(
+                             raw, reader_.path(), reader_.schema()));
+  auto buffer =
+      std::make_shared<const data::CategoricalTable>(std::move(shard));
+  PulledShard out;
+  out.view = data::ShardView{buffer.get(),
+                             data::RowRange{0, buffer->num_rows()},
+                             raw.row_begin};
+  out.owned = std::move(buffer);
+  return out;
+}
+
 StatusOr<BinaryTableSource> BinaryTableSource::Open(
     const std::string& path, const data::CategoricalSchema& schema,
     size_t rows_per_shard) {

@@ -88,6 +88,32 @@ class TableSource {
   /// Total rows when known up front (in-memory, synthetic); nullopt for
   /// true streams like CSV, where the row count is known only at the end.
   virtual std::optional<size_t> TotalRows() const { return std::nullopt; }
+
+  /// Parse-parallel support (see PrefetchingTableSource's multi-parser
+  /// mode). A source returning true splits NextShard into NextRawShard —
+  /// the cheap serial IO half, single-producer like NextShard — and
+  /// DecodeRawShard — the expensive decode half, safe to run on any number
+  /// of threads for DISTINCT raw shards concurrently. The two-phase stream
+  /// must yield exactly the shards NextShard would (same order, same global
+  /// begin rows), so parallel decoding can never affect results. Today only
+  /// CsvTableSource supports it (text decode dominates its ingest); the raw
+  /// unit is a data::RawCsvShard line block.
+  virtual bool SupportsParallelDecode() const { return false; }
+
+  /// Pulls the next shard's raw bytes; false once exhausted. Only valid on
+  /// sources with SupportsParallelDecode().
+  virtual StatusOr<bool> NextRawShard(data::RawCsvShard* out) {
+    (void)out;
+    return Status::Unimplemented("source does not support parallel decode");
+  }
+
+  /// Decodes one raw shard into a delivered shard. Thread-safe for distinct
+  /// shards. Only valid on sources with SupportsParallelDecode().
+  virtual StatusOr<PulledShard> DecodeRawShard(
+      const data::RawCsvShard& raw) const {
+    (void)raw;
+    return Status::Unimplemented("source does not support parallel decode");
+  }
 };
 
 /// Zero-copy source over an existing table, partitioned into `num_shards`
@@ -128,6 +154,14 @@ class CsvTableSource : public TableSource {
     return reader_.schema();
   }
   StatusOr<bool> NextShard(PulledShard* out) override;
+
+  /// CSV decode is pure per-line work over a private line block, so it
+  /// two-phase-splits cleanly: ReadRawShard on the producer, DecodeRawShard
+  /// on any parser thread.
+  bool SupportsParallelDecode() const override { return true; }
+  StatusOr<bool> NextRawShard(data::RawCsvShard* out) override;
+  StatusOr<PulledShard> DecodeRawShard(
+      const data::RawCsvShard& raw) const override;
 
  private:
   CsvTableSource(data::ShardedCsvReader reader, size_t rows_per_shard)

@@ -213,6 +213,65 @@ TEST_F(CsvTest, ShardedReaderChunksConcatenateToWholeFile) {
   EXPECT_EQ(row, whole->num_rows());
 }
 
+TEST_F(CsvTest, RawShardsDecodeToTheSameTablesAsReadShard) {
+  WriteFile("color,size\nred,S\n\nblue,L\nred,L\n\nblue,S\nred,S\n");
+  StatusOr<ShardedCsvReader> direct = ShardedCsvReader::Open(path_, Schema());
+  StatusOr<ShardedCsvReader> split = ShardedCsvReader::Open(path_, Schema());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(split.ok());
+  size_t rows = 0;
+  while (true) {
+    StatusOr<CategoricalTable> want = direct->ReadShard(2);
+    ASSERT_TRUE(want.ok());
+    StatusOr<RawCsvShard> raw = split->ReadRawShard(2);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(raw->row_begin, rows);
+    EXPECT_EQ(raw->num_rows, want->num_rows());
+    StatusOr<CategoricalTable> got =
+        ShardedCsvReader::DecodeRawShard(*raw, path_, Schema());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->num_rows(), want->num_rows());
+    for (size_t i = 0; i < got->num_rows(); ++i) {
+      for (size_t j = 0; j < got->num_attributes(); ++j) {
+        EXPECT_EQ(got->Value(i, j), want->Value(i, j));
+      }
+    }
+    if (want->num_rows() == 0) break;
+    rows += want->num_rows();
+  }
+  EXPECT_EQ(rows, 5u);
+  EXPECT_EQ(split->rows_read(), 5u);
+}
+
+TEST_F(CsvTest, RawShardDecodeKeepsExactErrorLineNumbers) {
+  // Blank lines stay inside the raw text, so the malformed row reports the
+  // same file line number whether decoded in-line or from the raw block.
+  WriteFile("color,size\nred,S\n\n\npurple,L\n");
+  StatusOr<ShardedCsvReader> reader = ShardedCsvReader::Open(path_, Schema());
+  ASSERT_TRUE(reader.ok());
+  StatusOr<RawCsvShard> raw = reader->ReadRawShard(10);
+  ASSERT_TRUE(raw.ok());
+  StatusOr<CategoricalTable> got =
+      ShardedCsvReader::DecodeRawShard(*raw, path_, Schema());
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("line 5"), std::string::npos)
+      << got.status().ToString();
+  EXPECT_NE(got.status().message().find("purple"), std::string::npos);
+}
+
+TEST_F(CsvTest, RawShardAfterExhaustionIsEmpty) {
+  WriteFile("color,size\nred,S\n");
+  StatusOr<ShardedCsvReader> reader = ShardedCsvReader::Open(path_, Schema());
+  ASSERT_TRUE(reader.ok());
+  StatusOr<RawCsvShard> raw = reader->ReadRawShard(5);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->num_rows, 1u);
+  raw = reader->ReadRawShard(5);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->num_rows, 0u);
+  EXPECT_TRUE(raw->text.empty());
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace frapp

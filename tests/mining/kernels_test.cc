@@ -1,0 +1,177 @@
+// The kernel-dispatch invariants:
+//
+//  1. LEVEL EQUIVALENCE: every supported kernel level returns exactly the
+//     same counts as the scalar reference on randomized bitmaps — including
+//     sub-vector tails (words % 4, words % 8), empty ranges, all-zero and
+//     all-one maps, and intersection arities up to k = 32. Counts are
+//     integers, so "equivalent" means equal, not close.
+//  2. DISPATCH RESOLUTION: the once-resolved level honors a supported
+//     FRAPP_FORCE_KERNEL override and falls back to the best supported
+//     level otherwise; names round-trip through the parser.
+//  3. E2E BIT-IDENTITY: a full CENSUS 50k exact mine produces identical
+//     itemsets and supports under every supported kernel level.
+
+#include "frapp/mining/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/data/census.h"
+#include "frapp/mining/apriori.h"
+#include "frapp/random/rng.h"
+
+namespace frapp {
+namespace mining {
+namespace {
+
+std::vector<KernelLevel> SupportedLevels() {
+  std::vector<KernelLevel> levels;
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    if (KernelLevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// k bitmaps of `words` words each, plus the row of pointers the kernels take.
+struct BitmapSet {
+  std::vector<std::vector<uint64_t>> storage;
+  std::vector<const uint64_t*> maps;
+
+  BitmapSet(size_t k, size_t words, random::Pcg64& rng) {
+    storage.resize(k);
+    for (auto& map : storage) {
+      map.resize(words);
+      for (auto& word : map) word = rng.Next();
+      maps.push_back(map.data());
+    }
+  }
+};
+
+TEST(KernelsTest, ScalarAlwaysSupportedAndBestLevelRuns) {
+  EXPECT_TRUE(KernelLevelSupported(KernelLevel::kScalar));
+  EXPECT_TRUE(KernelLevelSupported(BestSupportedLevel()));
+  // The active table is one of the named levels and its entries are wired.
+  const KernelTable& active = ActiveKernels();
+  ASSERT_NE(active.intersect_popcount, nullptr);
+  ASSERT_NE(active.popcount_range, nullptr);
+  EXPECT_TRUE(KernelLevelSupported(active.level));
+}
+
+TEST(KernelsTest, LevelNamesRoundTrip) {
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    EXPECT_EQ(ParseKernelLevelName(KernelLevelName(level)), level);
+  }
+  EXPECT_FALSE(ParseKernelLevelName("").has_value());
+  EXPECT_FALSE(ParseKernelLevelName("sse2").has_value());
+  EXPECT_FALSE(ParseKernelLevelName("AVX2").has_value());  // case-sensitive
+}
+
+TEST(KernelsTest, ResolveKernelLevelHonorsSupportedForceAndFallsBack) {
+  EXPECT_EQ(internal::ResolveKernelLevel(std::nullopt), BestSupportedLevel());
+  EXPECT_EQ(internal::ResolveKernelLevel(KernelLevel::kScalar),
+            KernelLevel::kScalar);
+  for (KernelLevel level : {KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+    EXPECT_EQ(internal::ResolveKernelLevel(level),
+              KernelLevelSupported(level) ? level : BestSupportedLevel());
+  }
+}
+
+TEST(KernelsTest, KernelsForLevelReportsItsLevel) {
+  for (KernelLevel level : SupportedLevels()) {
+    EXPECT_EQ(KernelsForLevel(level).level, level);
+  }
+}
+
+TEST(KernelsTest, RandomizedEquivalenceAcrossLevelsTailsAndArities) {
+  const std::vector<KernelLevel> levels = SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  const KernelTable& scalar = KernelsForLevel(KernelLevel::kScalar);
+
+  random::Pcg64 rng(0xfeedface, 7);
+  // Word counts straddle the AVX2 4-word and AVX-512 8-word strides so
+  // every tail length in [0, 8) is exercised, plus longer mixed bodies.
+  const size_t word_grid[] = {0, 1, 2, 3,  4,  5,  6,  7,  8,
+                              9, 12, 15, 16, 17, 31, 33, 40, 129};
+  const size_t k_grid[] = {1, 2, 3, 4, 5, 7, 8, 13, 32};
+  for (size_t words : word_grid) {
+    for (size_t k : k_grid) {
+      SCOPED_TRACE("words=" + std::to_string(words) +
+                   " k=" + std::to_string(k));
+      const BitmapSet set(k, words, rng);
+      const uint64_t want =
+          scalar.intersect_popcount(set.maps.data(), k, words);
+      const uint64_t want_range =
+          words == 0 ? 0 : scalar.popcount_range(set.maps[0], words);
+      for (KernelLevel level : levels) {
+        SCOPED_TRACE(KernelLevelName(level));
+        const KernelTable& table = KernelsForLevel(level);
+        EXPECT_EQ(table.intersect_popcount(set.maps.data(), k, words), want);
+        if (words != 0) {
+          EXPECT_EQ(table.popcount_range(set.maps[0], words), want_range);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, DegenerateMapsCountExactly) {
+  for (KernelLevel level : SupportedLevels()) {
+    SCOPED_TRACE(KernelLevelName(level));
+    const KernelTable& table = KernelsForLevel(level);
+    for (size_t words : {size_t{1}, size_t{5}, size_t{8}, size_t{11}}) {
+      const std::vector<uint64_t> ones(words, ~uint64_t{0});
+      const std::vector<uint64_t> zeros(words, 0);
+      const uint64_t* all_ones[32];
+      for (auto& map : all_ones) map = ones.data();
+      // Intersecting any number of all-one maps counts every bit.
+      for (size_t k : {size_t{1}, size_t{2}, size_t{32}}) {
+        EXPECT_EQ(table.intersect_popcount(all_ones, k, words), 64 * words);
+      }
+      // One all-zero map annihilates the intersection.
+      const uint64_t* mixed[3] = {ones.data(), zeros.data(), ones.data()};
+      EXPECT_EQ(table.intersect_popcount(mixed, 3, words), 0u);
+      EXPECT_EQ(table.popcount_range(zeros.data(), words), 0u);
+      EXPECT_EQ(table.popcount_range(ones.data(), words), 64 * words);
+    }
+  }
+}
+
+TEST(KernelsTest, EndToEndCensusMineBitIdenticalAcrossLevels) {
+  const auto table = data::census::MakeDataset(50000, 77);
+  ASSERT_TRUE(table.ok());
+  AprioriOptions options;
+  options.min_support = 0.02;
+  options.count_shards = 3;
+  options.num_threads = 2;
+
+  internal::SetActiveKernelsForTest(KernelLevel::kScalar);
+  const StatusOr<AprioriResult> reference = MineExact(*table, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (KernelLevel level : SupportedLevels()) {
+    SCOPED_TRACE(KernelLevelName(level));
+    internal::SetActiveKernelsForTest(level);
+    const StatusOr<AprioriResult> run = MineExact(*table, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run->by_length.size(), reference->by_length.size());
+    for (size_t k = 0; k < run->by_length.size(); ++k) {
+      ASSERT_EQ(run->by_length[k].size(), reference->by_length[k].size())
+          << "length " << k + 1;
+      for (size_t i = 0; i < run->by_length[k].size(); ++i) {
+        ASSERT_TRUE(run->by_length[k][i].itemset ==
+                    reference->by_length[k][i].itemset);
+        ASSERT_EQ(run->by_length[k][i].support,
+                  reference->by_length[k][i].support);
+      }
+    }
+  }
+  internal::ResetActiveKernelsForTest();
+}
+
+}  // namespace
+}  // namespace mining
+}  // namespace frapp

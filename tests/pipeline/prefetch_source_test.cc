@@ -11,6 +11,10 @@
 //     "successful" result.
 //  3. SHUTDOWN SAFETY: abandoning a prefetching source mid-stream (consumer
 //     never drains it) must stop and join the producer cleanly.
+//  4. MULTI-PARSER (PR-7): with several parser threads decoding raw CSV
+//     shards concurrently, delivery order, error sequencing, and the mined
+//     result are all unchanged — parallel decode moves parse work off the
+//     critical path, never reorders it.
 
 #include "frapp/pipeline/prefetching_table_source.h"
 
@@ -23,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "frapp/common/parallel.h"
 #include "frapp/core/mechanism.h"
 #include "frapp/data/census.h"
 #include "frapp/data/csv.h"
@@ -239,6 +244,144 @@ TEST_F(PrefetchSourceTest, AbandoningTheStreamJoinsTheProducer) {
     // must stop and join without hanging. The test would time out otherwise.
     source.reset();
   }
+}
+
+TEST_F(PrefetchSourceTest, MultiParserCsvMinesBitIdentically) {
+  auto reference_mechanism =
+      *core::DetGdMechanism::Create(table_->schema(), kGamma);
+  const PipelineResult reference =
+      *PrivacyPipeline(Options(1, 1, false)).Run(*reference_mechanism, *table_);
+
+  // parsers = 2 (explicit) and 0 (one per physical core, >= 1).
+  for (size_t parsers : {size_t{2}, size_t{0}}) {
+    for (size_t shards : {size_t{3}, size_t{7}}) {
+      const std::string what = std::to_string(parsers) + " parsers x " +
+                               std::to_string(shards) + " shards";
+      SCOPED_TRACE(what);
+      const size_t rows_per_shard =
+          ((7 + shards - 1) / shards) * data::kShardAlignmentRows;
+      auto mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
+      CsvTableSource source =
+          *CsvTableSource::Open(*csv_path_, table_->schema(), rows_per_shard);
+      PipelineOptions options = Options(0, 2, true);
+      options.prefetch_parsers = parsers;
+      const StatusOr<PipelineResult> run =
+          PrivacyPipeline(options).Run(*mechanism, source);
+      ASSERT_TRUE(run.ok()) << what << ": " << run.status().ToString();
+      EXPECT_EQ(run->stats.total_rows, kRows);
+      ExpectSameMiningResult(reference.mined, run->mined, what);
+    }
+  }
+}
+
+TEST_F(PrefetchSourceTest, MultiParserDeliversInOrderWithCorrectOffsets) {
+  CsvTableSource inner = *CsvTableSource::Open(*csv_path_, table_->schema());
+  PrefetchingTableSource source(inner, /*max_queued_shards=*/2,
+                                /*num_parsers=*/3);
+  PulledShard shard;
+  size_t rows = 0;
+  StatusOr<bool> more = source.NextShard(&shard);
+  while (more.ok() && *more) {
+    EXPECT_EQ(shard.view.global_begin, rows);
+    rows += shard.view.size();
+    more = source.NextShard(&shard);
+  }
+  ASSERT_TRUE(more.ok()) << more.status().ToString();
+  EXPECT_EQ(rows, kRows);
+  const PrefetchingTableSource::ProducerStats stats = source.producer_stats();
+  EXPECT_EQ(stats.num_parsers, 3u);
+  EXPECT_GT(stats.parse_nanos, 0u);
+}
+
+TEST_F(PrefetchSourceTest, MultiParserErrorStaysAtItsSequencePosition) {
+  // Two clean aligned shards, then a malformed row: even with parsers
+  // racing, both clean shards must arrive (in order) before the sticky
+  // line-numbered error.
+  const std::string bad_path = ::testing::TempDir() + "/frapp_prefetch_bad3_" +
+                               std::to_string(::getpid()) + ".csv";
+  {
+    const data::CategoricalTable head =
+        *data::census::MakeDataset(2 * data::kShardAlignmentRows, 3);
+    ASSERT_TRUE(data::WriteCsv(head, bad_path).ok());
+    std::ofstream out(bad_path, std::ios::app);
+    out << "BAD,small,low,White,Male,United-States\n";
+  }
+  CsvTableSource inner = *CsvTableSource::Open(bad_path, table_->schema());
+  PrefetchingTableSource source(inner, /*max_queued_shards=*/4,
+                                /*num_parsers=*/4);
+  PulledShard shard;
+  size_t rows = 0;
+  size_t shards = 0;
+  StatusOr<bool> more = source.NextShard(&shard);
+  while (more.ok() && *more) {
+    EXPECT_EQ(shard.view.global_begin, rows);
+    rows += shard.view.size();
+    ++shards;
+    more = source.NextShard(&shard);
+  }
+  EXPECT_EQ(shards, 2u);
+  EXPECT_EQ(rows, 2 * data::kShardAlignmentRows);
+  ASSERT_FALSE(more.ok());
+  EXPECT_NE(more.status().message().find("BAD"), std::string::npos);
+  const StatusOr<bool> again = source.NextShard(&shard);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().message(), more.status().message());
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(PrefetchSourceTest, MultiParserAbandonJoinsAllParsers) {
+  for (size_t pulls : {size_t{0}, size_t{1}, size_t{3}}) {
+    CsvTableSource inner = *CsvTableSource::Open(*csv_path_, table_->schema());
+    auto source = std::make_unique<PrefetchingTableSource>(
+        inner, /*max_queued_shards=*/2, /*num_parsers=*/4);
+    PulledShard shard;
+    for (size_t i = 0; i < pulls; ++i) {
+      ASSERT_TRUE(*source->NextShard(&shard));
+    }
+    source.reset();  // must join all four parser threads, not hang
+  }
+}
+
+TEST_F(PrefetchSourceTest, SerialOnlySourcesClampToOneParser) {
+  // Binary and in-memory sources do not implement the raw/decode split, so
+  // asking for many parsers degrades to the single-producer path.
+  BinaryTableSource bin_inner =
+      *BinaryTableSource::Open(*bin_path_, table_->schema());
+  PrefetchingTableSource bin_source(bin_inner, /*max_queued_shards=*/2,
+                                    /*num_parsers=*/8);
+  EXPECT_EQ(bin_source.producer_stats().num_parsers, 1u);
+  PulledShard shard;
+  size_t rows = 0;
+  StatusOr<bool> more = bin_source.NextShard(&shard);
+  while (more.ok() && *more) {
+    rows += shard.view.size();
+    more = bin_source.NextShard(&shard);
+  }
+  ASSERT_TRUE(more.ok()) << more.status().ToString();
+  EXPECT_EQ(rows, kRows);
+
+  CsvTableSource csv_inner = *CsvTableSource::Open(*csv_path_, table_->schema());
+  PrefetchingTableSource csv_source(csv_inner, /*max_queued_shards=*/2,
+                                    /*num_parsers=*/3);
+  EXPECT_EQ(csv_source.producer_stats().num_parsers, 3u);
+}
+
+TEST_F(PrefetchSourceTest, PinnedThreadsMineBitIdentically) {
+  // Core pinning is a scheduling hint only: the mined result must not move.
+  auto reference_mechanism =
+      *core::DetGdMechanism::Create(table_->schema(), kGamma);
+  const PipelineResult reference =
+      *PrivacyPipeline(Options(3, 4, false)).Run(*reference_mechanism, *table_);
+
+  auto mechanism = *core::DetGdMechanism::Create(table_->schema(), kGamma);
+  PipelineOptions options = Options(3, 4, true);
+  options.pin_threads = true;
+  const StatusOr<PipelineResult> run =
+      PrivacyPipeline(options).Run(*mechanism, *table_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectSameMiningResult(reference.mined, run->mined, "pinned threads");
+  // Unpin so later tests sharing this process see default scheduling.
+  common::ThreadPool::Shared().SetPinPhysicalCores(false);
 }
 
 TEST_F(PrefetchSourceTest, PassesThroughSchemaAndTotals) {

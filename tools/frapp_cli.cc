@@ -47,12 +47,21 @@
 //           --fault-spec injects a deterministic failure schedule into the
 //           dialed connections (dist/fault.h grammar) for recovery drills.
 //       --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])
+//                  [--prefetch [--prefetch-parsers N]] [--pin-threads]
 //           Single-process pipeline::PrivacyPipeline over the same spec —
 //           prints the identical report, so `diff` proves output parity
-//           with the distributed path.
+//           with the distributed path. --prefetch parses ahead on parser
+//           thread(s) (N = 0 means one per physical core); --pin-threads
+//           pins the counting workers one per physical core. Both are
+//           scheduling-only: the mined output is bit-identical.
+//   frapp cpuinfo
+//       Prints the detected ISA features, cache geometry and core topology
+//       (common/cpuinfo.h) plus the counting-kernel level the dispatcher
+//       resolved (mining/kernels.h, honouring FRAPP_FORCE_KERNEL).
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -61,6 +70,8 @@
 #include <thread>
 #include <vector>
 
+#include "frapp/common/cpuinfo.h"
+#include "frapp/common/parallel.h"
 #include "frapp/common/string_util.h"
 #include "frapp/core/designer.h"
 #include "frapp/core/subset_reconstruction.h"
@@ -77,6 +88,7 @@
 #include "frapp/dist/worker.h"
 #include "frapp/eval/reporting.h"
 #include "frapp/mining/apriori.h"
+#include "frapp/mining/kernels.h"
 #include "frapp/mining/support_counter.h"
 #include "frapp/pipeline/privacy_pipeline.h"
 
@@ -86,7 +98,7 @@ using namespace frapp;
 
 int Usage() {
   std::cerr <<
-      "usage: frapp <generate|perturb|mine|audit|convert|worker> [flags]\n"
+      "usage: frapp <generate|perturb|mine|audit|convert|worker|cpuinfo> [flags]\n"
       "  generate --dataset census|health [--rows N] [--seed S] --out F.csv\n"
       "  perturb  --dataset D --in F.csv --out G.csv [--rho1 R --rho2 R]\n"
       "           [--alpha-frac F] [--seed S]\n"
@@ -101,12 +113,15 @@ int Usage() {
       "               [--connect-timeout-ms 5000] [--connect-retries 25]\n"
       "               [--fault-spec \"I:key=N,...\"]  (recovery drills)\n"
       "             --run-pipeline (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
+      "               [--prefetch [--prefetch-parsers N]] [--pin-threads]\n"
       "  audit    --dataset D [--rho1 R --rho2 R] [--alpha-frac F]\n"
       "  convert  --dataset D --in F.csv --out F.bin\n"
       "  worker   --listen PORT [--bind-host 127.0.0.1] --dataset D\n"
       "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
-      "           [--threads T] [--once] [--idle-timeout-ms MS]\n"
-      "           [--index-cache-mb MB]\n";
+      "           [--threads T] [--pin-threads] [--once]\n"
+      "           [--idle-timeout-ms MS] [--index-cache-mb MB]\n"
+      "  cpuinfo  (prints ISA/cache/topology detection + kernel dispatch;\n"
+      "            FRAPP_FORCE_KERNEL=scalar|avx2|avx512 overrides dispatch)\n";
   return 2;
 }
 
@@ -426,6 +441,9 @@ int CmdMinePipeline(const Flags& flags,
   options.num_shards = flags.GetUint("shards", 1);
   options.num_threads = flags.GetUint("threads", 1);
   options.perturb_seed = flags.GetUint("seed", 7);
+  options.prefetch_source = flags.Has("prefetch");
+  options.prefetch_parsers = flags.GetUint("prefetch-parsers", 0);
+  options.pin_threads = flags.Has("pin-threads");
   options.mining.min_support = flags.GetDouble("minsup", 0.02);
   const pipeline::PipelineResult result = Unwrap(
       pipeline::PrivacyPipeline(options).Run(*mechanism, *resolved.source));
@@ -485,6 +503,10 @@ int CmdWorker(const Flags& flags) {
   // deterministic.
   dist::WorkerOptions options(schema);
   options.num_threads = flags.GetUint("threads", 1);
+  // Scheduling-only (counts are integer sums); sticky for the process.
+  if (flags.Has("pin-threads")) {
+    common::ThreadPool::Shared().SetPinPhysicalCores(true);
+  }
 
   // Process-lifetime cache of built range indexes: a coordinator rerun (or
   // a re-assignment of a range this worker already built) skips the
@@ -593,6 +615,22 @@ int CmdConvert(const Flags& flags) {
   return 0;
 }
 
+int CmdCpuinfo() {
+  const common::CpuInfo& info = common::GetCpuInfo();
+  std::cout << common::CpuInfoSummary(info);
+  std::cout << "kernel dispatch:\n"
+            << "  best supported    : "
+            << mining::KernelLevelName(mining::BestSupportedLevel()) << "\n"
+            << "  active            : "
+            << mining::KernelLevelName(mining::ActiveKernels().level);
+  const char* forced = std::getenv("FRAPP_FORCE_KERNEL");
+  if (forced != nullptr && forced[0] != '\0') {
+    std::cout << " (FRAPP_FORCE_KERNEL=" << forced << ")";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -605,5 +643,6 @@ int main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "worker") return CmdWorker(flags);
+  if (command == "cpuinfo") return CmdCpuinfo();
   return Usage();
 }

@@ -25,6 +25,22 @@
 # trajectory entry on the next append. Numbers from the single-core CI
 # container measure work distribution (CPU time), not wall-clock speedup —
 # see the caveat in docs/BENCHMARKS.md.
+#
+# Context: each run records authoritative frapp keys (frapp_build_type,
+# frapp_kernel_level, cache geometry, ...) via FRAPP_BENCHMARK_MAIN();
+# ignore the library's own library_build_type, which describes the prebuilt
+# google-benchmark .so. Runs whose frapp_build_type is not Release are
+# REFUSED at merge time so debug numbers can never pollute a trajectory.
+#
+# Knobs (environment):
+#   FRAPP_FORCE_KERNEL={scalar,avx2,avx512}
+#               force the intersect+popcount dispatch level for the run;
+#               the level lands in the run's frapp_kernel_level /
+#               frapp_kernel_forced context keys. Unsupported levels fall
+#               back to the best the host can run (with a warning).
+#
+# Thread pinning (PipelineOptions::pin_threads / frapp --pin-threads) is a
+# per-process option, not an env knob; pipeline_benchmark runs unpinned.
 
 set -euo pipefail
 
@@ -53,6 +69,14 @@ import sys
 trajectory_path, new_run_path = sys.argv[1], sys.argv[2]
 with open(new_run_path) as f:
     new_run = json.load(f)
+
+# Never merge a non-Release run into a trajectory. frapp_build_type is the
+# authoritative key (library_build_type describes the prebuilt benchmark
+# .so, which Debian ships as "debug").
+build_type = new_run.get("context", {}).get("frapp_build_type")
+if build_type != "Release":
+    sys.exit(f"REFUSED: run has frapp_build_type={build_type!r}, "
+             f"want 'Release'; not merging into {trajectory_path}")
 
 runs = []
 try:
