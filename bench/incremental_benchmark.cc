@@ -1,0 +1,201 @@
+// Incremental append-only mining on CENSUS 50k: a store-backed re-mine
+// after data growth vs the from-scratch pipeline it is bit-identical to.
+//
+//   BM_FullRemine/<rows>/<supmin*100>
+//       pipeline::PrivacyPipeline over the grown table — what every re-mine
+//       costs without the count store.
+//   BM_IncrementalRemine/<rows>/<supmin*100>
+//       store::AppendAndMine against a store primed at 50 000 rows: only
+//       the appended chunks and the partial tail are perturbed and counted;
+//       stored candidates merge as vector adds and the lattice walk re-runs
+//       on the merged totals. The timed region includes everything a real
+//       re-mine pays (source open, delta perturb, count, walk, commit).
+//
+// Row points: 55 000 is the acceptance scenario (+10% growth, all of it in
+// the partial tail); 58 192 / 82 768 / 181 072 append +1 / +4 / +16 whole
+// chunks past the 50 000-row base. The supmin sweep (0.02 / 0.05 / 0.10) is
+// reported because the speedup is supmin-dependent: at 0.02 the shared
+// candidate-generation + lattice-walk cost (identical in both paths)
+// compresses the ratio; at 0.10 the delta work dominates and the ratio
+// reflects the chunk arithmetic.
+//
+// Counters (per iteration, from IncrementalStats):
+//   delta_chunks        whole chunks perturbed + counted this run
+//   tail_rows           partial-tail rows re-perturbed every run
+//   store_hits          candidates served by merging a stored vector
+//   superset_fallbacks  candidates recounted from the stored substrate
+//
+// Emitted to BENCH_incremental.json by tools/run_benchmarks.sh.
+//
+// Build & run:  ./build/incremental_benchmark
+
+#include <benchmark/benchmark.h>
+
+#include "frapp_benchmark_main.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+#include <utility>
+
+#include "frapp/data/census.h"
+#include "frapp/data/sharded_table.h"
+#include "frapp/pipeline/privacy_pipeline.h"
+#include "frapp/store/incremental_mine.h"
+
+namespace {
+
+using namespace frapp;
+
+constexpr size_t kBaseRows = 50000;
+constexpr size_t kMaxRows = kBaseRows + 16 * data::kShardAlignmentRows;
+constexpr uint64_t kDataSeed = 10;
+constexpr uint64_t kPerturbSeed = 7;
+
+const data::CategoricalTable& Prefix(size_t rows) {
+  static const data::CategoricalTable* full = new data::CategoricalTable(
+      *data::census::MakeDataset(kMaxRows, kDataSeed));
+  static std::map<size_t, const data::CategoricalTable*> prefixes;
+  const data::CategoricalTable*& entry = prefixes[rows];
+  if (entry == nullptr) {
+    entry = rows == kMaxRows
+                ? full
+                : new data::CategoricalTable(
+                      *data::CopyRowRange(*full, {0, rows}));
+  }
+  return *entry;
+}
+
+store::SourceFactory FactoryFor(size_t rows) {
+  return [rows]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+    return std::unique_ptr<pipeline::TableSource>(
+        std::make_unique<pipeline::InMemoryTableSource>(Prefix(rows),
+                                                        /*num_shards=*/0));
+  };
+}
+
+store::IncrementalOptions OptionsFor(double supmin) {
+  store::IncrementalOptions options;
+  options.mining.min_support = supmin;
+  options.perturb_seed = kPerturbSeed;
+  options.num_threads = 1;
+  options.source_id = "bench:census";
+  return options;
+}
+
+void BM_FullRemine(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const double supmin = static_cast<double>(state.range(1)) / 100.0;
+  const dist::MechanismSpec spec;  // DET-GD
+  auto mechanism = *dist::MakeMechanism(spec, Prefix(rows).schema());
+
+  pipeline::PipelineOptions options;
+  options.num_shards = 3;
+  options.num_threads = 1;
+  options.perturb_seed = kPerturbSeed;
+  options.mining.min_support = supmin;
+
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    pipeline::InMemoryTableSource source(Prefix(rows), /*num_shards=*/0);
+    auto result = pipeline::PrivacyPipeline(options).Run(*mechanism, source);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    itemsets = 0;
+    for (const auto& level : result->mined.by_length) {
+      itemsets += level.size();
+    }
+    benchmark::DoNotOptimize(itemsets);
+  }
+  state.counters["frequent_itemsets"] = static_cast<double>(itemsets);
+}
+
+void BM_IncrementalRemine(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const double supmin = static_cast<double>(state.range(1)) / 100.0;
+  const dist::MechanismSpec spec;
+  const store::IncrementalOptions options = OptionsFor(supmin);
+
+  // Prime the store at the 50k base (untimed): the steady state a
+  // long-lived deployment re-enters on every append.
+  store::CountStore primed(store::MakeStoreIdentity(
+      spec, Prefix(kBaseRows).schema(), options));
+  {
+    auto base = store::AppendAndMine(primed, spec, FactoryFor(kBaseRows),
+                                     options);
+    if (!base.ok()) {
+      state.SkipWithError(base.status().ToString().c_str());
+      return;
+    }
+  }
+
+  // Growth that stays inside the tail chunk leaves the store's high-water
+  // (and substrate) untouched: the run is its own fixed point, so it can
+  // re-run in place — exactly a deployment re-mining after every small
+  // append. Whole-chunk growth advances the high-water, so those points
+  // reset an untimed scratch copy back to the primed base each iteration.
+  const bool tail_only =
+      rows / data::kShardAlignmentRows == kBaseRows / data::kShardAlignmentRows;
+
+  store::CountStore scratch = primed;
+  store::IncrementalStats stats;
+  for (auto _ : state) {
+    if (!tail_only) {
+      state.PauseTiming();
+      scratch = primed;
+      state.ResumeTiming();
+    }
+    auto result =
+        store::AppendAndMine(scratch, spec, FactoryFor(rows), options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    stats = result->stats;
+  }
+  state.counters["delta_chunks"] = static_cast<double>(stats.delta_chunks);
+  state.counters["tail_rows"] = static_cast<double>(stats.tail_rows);
+  state.counters["store_hits"] = static_cast<double>(stats.store_hits);
+  state.counters["superset_fallbacks"] =
+      static_cast<double>(stats.superset_fallbacks);
+}
+
+// The acceptance scenario (+10% growth) across the supmin sweep, plus the
+// whole-chunk growth ladder at the paper's default supmin.
+void GrowthArgs(benchmark::internal::Benchmark* b) {
+  for (int supmin : {2, 5, 10}) {
+    b->Args({static_cast<long>(kBaseRows + kBaseRows / 10), supmin});
+  }
+  for (int chunks : {1, 4, 16}) {
+    b->Args({static_cast<long>(kBaseRows +
+                               chunks * data::kShardAlignmentRows),
+             2});
+  }
+}
+
+// A `min` aggregate accompanies the mean: on a noisy shared machine the
+// minimum over repetitions is the faithful cost of the work itself, and it
+// is what the ">= 5x at supmin 0.10" acceptance ratio is read from.
+double MinOf(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+BENCHMARK(BM_FullRemine)
+    ->Apply(GrowthArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(7)
+    ->ComputeStatistics("min", MinOf)
+    ->ReportAggregatesOnly();
+BENCHMARK(BM_IncrementalRemine)
+    ->Apply(GrowthArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(7)
+    ->ComputeStatistics("min", MinOf)
+    ->ReportAggregatesOnly();
+
+}  // namespace
+
+FRAPP_BENCHMARK_MAIN();

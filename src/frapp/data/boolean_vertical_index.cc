@@ -26,6 +26,17 @@ BooleanVerticalIndex::BooleanVerticalIndex(const BooleanTable& table,
   }
 }
 
+BooleanVerticalIndex BooleanVerticalIndex::FromRaw(size_t num_rows,
+                                                   size_t num_bits,
+                                                   std::vector<uint64_t> bits) {
+  BooleanVerticalIndex index;
+  index.num_rows_ = num_rows;
+  index.num_bits_ = num_bits;
+  index.words_ = (num_rows + 63) / 64;
+  index.bits_ = std::move(bits);
+  return index;
+}
+
 void BooleanVerticalIndex::SupersetCounts(const std::vector<size_t>& positions,
                                           size_t begin_pattern,
                                           size_t end_pattern,

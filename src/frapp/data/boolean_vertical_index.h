@@ -43,6 +43,18 @@ class BooleanVerticalIndex {
   /// counting path. The range must lie within the table.
   BooleanVerticalIndex(const BooleanTable& table, const RowRange& range);
 
+  /// All bitmap planes, bit-major: bit position p occupies words
+  /// [p * ceil(num_rows/64), (p+1) * ceil(num_rows/64)). The raw image a
+  /// caller persists to reassemble the index later via FromRaw.
+  const std::vector<uint64_t>& raw_bits() const { return bits_; }
+
+  /// Reassembles an index from a persisted plane image: `bits` holds one
+  /// `(num_rows + 63) / 64`-word plane per bit position, bit-major — exactly
+  /// what raw_bits() of an index with the same shape returns. The result is
+  /// bit-identical to the index the image was read from.
+  static BooleanVerticalIndex FromRaw(size_t num_rows, size_t num_bits,
+                                      std::vector<uint64_t> bits);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_bits() const { return num_bits_; }
 

@@ -84,6 +84,58 @@ class LocalPatternCountSource : public PatternCountSource {
   size_t num_threads_;
 };
 
+/// RAW superset-intersection count vectors — the PRE-Mobius, purely
+/// additive half of PatternCounts. counts[S] (S a bit-subset of the
+/// candidate's positions) = #rows with every bit of S set, bits outside S
+/// free. Unlike exact-pattern counts these vectors sum directly across any
+/// row partition, which makes them the currency of everything that merges
+/// or caches counts: frapp/dist workers ship them, and the frapp/store
+/// count store persists them (the Mobius transform runs per-query on the
+/// merged totals, preserving bit-identity).
+class SupersetCountSource {
+ public:
+  virtual ~SupersetCountSource() = default;
+
+  /// Total rows behind the counts.
+  virtual size_t num_rows() const = 0;
+
+  /// One-hot width: bit positions at or above this cannot occur in any row.
+  virtual size_t num_bits() const = 0;
+
+  /// out[c] = the 2^k superset-count vector of candidates[c]. Requires
+  /// every candidate size <= BooleanVerticalIndex::kMaxPatternLength.
+  virtual StatusOr<std::vector<std::vector<int64_t>>> SupersetCountsBatch(
+      const std::vector<std::vector<size_t>>& candidates) = 0;
+};
+
+/// In-process implementation over a sharded boolean bitmap index.
+class LocalSupersetCountSource : public SupersetCountSource {
+ public:
+  LocalSupersetCountSource(ShardedBooleanVerticalIndex index,
+                           size_t num_threads = 1)
+      : index_(std::move(index)), num_threads_(num_threads) {}
+
+  size_t num_rows() const override { return index_.num_rows(); }
+  size_t num_bits() const override { return index_.num_bits(); }
+
+  StatusOr<std::vector<std::vector<int64_t>>> SupersetCountsBatch(
+      const std::vector<std::vector<size_t>>& candidates) override {
+    std::vector<std::vector<int64_t>> out;
+    out.reserve(candidates.size());
+    for (const std::vector<size_t>& positions : candidates) {
+      if (positions.size() > BooleanVerticalIndex::kMaxPatternLength) {
+        return Status::InvalidArgument("pattern length above the 2^k cap");
+      }
+      out.push_back(index_.SupersetCounts(positions, num_threads_));
+    }
+    return out;
+  }
+
+ private:
+  ShardedBooleanVerticalIndex index_;
+  size_t num_threads_;
+};
+
 }  // namespace data
 }  // namespace frapp
 

@@ -112,6 +112,71 @@ Status WriteBinaryTable(const CategoricalTable& table,
   return Status::OK();
 }
 
+Status AppendBinaryTable(const CategoricalTable& rows,
+                         const std::string& path) {
+  std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!io) return Status::IOError("cannot open '" + path + "' for appending");
+
+  char header[kHeaderBytes];
+  io.read(header, kHeaderBytes);
+  if (io.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is too short to hold a binary header");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a FRAPP binary shard file");
+  }
+  const uint32_t version = ReadU32(header + 8);
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "'" + path + "' has format version " + std::to_string(version) +
+        ", this writer understands " + std::to_string(kFormatVersion));
+  }
+  const CategoricalSchema& schema = rows.schema();
+  if (ReadU64(header + 12) != SchemaFingerprint(schema)) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' was written under a different schema (fingerprint mismatch); "
+        "appended rows would mis-label its cells");
+  }
+  const size_t m = schema.num_attributes();
+  if (ReadU32(header + 20) != m) {
+    return Status::InvalidArgument(
+        "'" + path + "' has " + std::to_string(ReadU32(header + 20)) +
+        " columns, appended rows have " + std::to_string(m));
+  }
+  const uint64_t old_rows = ReadU64(header + 24);
+
+  io.seekp(static_cast<std::streamoff>(kHeaderBytes + old_rows * m * 2));
+  constexpr size_t kRowsPerBlock = 4096;
+  std::vector<char> block(kRowsPerBlock * m * 2);
+  const size_t n = rows.num_rows();
+  for (size_t begin = 0; begin < n; begin += kRowsPerBlock) {
+    const size_t end = std::min(n, begin + kRowsPerBlock);
+    char* p = block.data();
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        const uint16_t v = rows.Value(i, j);
+        *p++ = static_cast<char>(v & 0xff);
+        *p++ = static_cast<char>((v >> 8) & 0xff);
+      }
+    }
+    io.write(block.data(), p - block.data());
+  }
+  if (!io) return Status::IOError("write failure on '" + path + "'");
+
+  // Cells land before the count: a crash mid-append leaves the header
+  // still describing the old, fully-valid prefix.
+  std::string count;
+  AppendU64(count, old_rows + n);
+  io.seekp(24);
+  io.write(count.data(), static_cast<std::streamsize>(count.size()));
+  io.flush();
+  if (!io) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
 StatusOr<BinaryShardReader> BinaryShardReader::Open(
     const std::string& path, const CategoricalSchema& schema) {
   BinaryShardReader reader(path, schema);

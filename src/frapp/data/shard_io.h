@@ -54,6 +54,13 @@ uint64_t SchemaFingerprint(const CategoricalSchema& schema);
 /// Writes `table` in the binary shard format. Overwrites `path`.
 Status WriteBinaryTable(const CategoricalTable& table, const std::string& path);
 
+/// Appends `rows` to an existing binary shard file in place: validates the
+/// header (magic, version, schema fingerprint against `rows`' schema),
+/// writes the new cells after the existing ones, then patches the header's
+/// row count. This is the producer side of incremental mining — growing a
+/// table is O(new rows), and a store-backed mine then pays only the delta.
+Status AppendBinaryTable(const CategoricalTable& rows, const std::string& path);
+
 /// Incremental reader over one binary file: header validated on Open, rows
 /// materialized in caller-sized chunks (the streaming half the CSV reader
 /// also implements).

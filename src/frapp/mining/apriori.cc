@@ -55,8 +55,6 @@ size_t AprioriResult::MaxLength() const {
   return 0;
 }
 
-namespace {
-
 // Apriori join: combine sorted frequent k-itemsets sharing their first k-1
 // items; prune candidates with an infrequent k-subset.
 std::vector<Itemset> GenerateCandidates(
@@ -106,8 +104,6 @@ std::vector<Itemset> GenerateCandidates(
   }
   return candidates;
 }
-
-}  // namespace
 
 StatusOr<AprioriResult> MineFrequentItemsets(const data::CategoricalSchema& schema,
                                              SupportEstimator& estimator,

@@ -39,6 +39,76 @@ uint64_t IntersectPopcountScalar(const uint64_t* const* maps, size_t k,
   return count;
 }
 
+// ------------------------------------------------------------- harley-seal --
+//
+// Carry-save-adder accumulation (Harley-Seal, as popularized by Mula,
+// Kurz & Lemire, "Faster Population Counts"): sixteen words at a time are
+// folded through a CSA network into bit-sliced counters ones/twos/fours/
+// eights, and only the `sixteens` plane pays a popcount — 1 popcount per 16
+// words instead of 16, traded for ~5 cheap logic ops per word. Pure integer
+// arithmetic, so the result is exactly the scalar sum for any input; the
+// win is on very long bitmap runs on hosts without wide SIMD.
+
+/// One carry-save adder: (h, l) = a + b + c as (carry, sum) bit planes.
+inline void CsaFold(uint64_t& h, uint64_t& l, uint64_t a, uint64_t b,
+                    uint64_t c) {
+  const uint64_t u = a ^ b;
+  h = (a & b) | (u & c);
+  l = u ^ c;
+}
+
+/// Harley-Seal fold over `words` words produced by `load(w)` (the w-th
+/// word of the conceptual stream). Shared by the range and intersect
+/// kernels so the accumulation network exists exactly once.
+template <typename LoadWord>
+inline uint64_t HarleySealFold(size_t words, LoadWord load) {
+  uint64_t total = 0;
+  uint64_t ones = 0, twos = 0, fours = 0, eights = 0;
+  uint64_t twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+  size_t w = 0;
+  for (; w + 16 <= words; w += 16) {
+    CsaFold(twos_a, ones, ones, load(w + 0), load(w + 1));
+    CsaFold(twos_b, ones, ones, load(w + 2), load(w + 3));
+    CsaFold(fours_a, twos, twos, twos_a, twos_b);
+    CsaFold(twos_a, ones, ones, load(w + 4), load(w + 5));
+    CsaFold(twos_b, ones, ones, load(w + 6), load(w + 7));
+    CsaFold(fours_b, twos, twos, twos_a, twos_b);
+    CsaFold(eights_a, fours, fours, fours_a, fours_b);
+    CsaFold(twos_a, ones, ones, load(w + 8), load(w + 9));
+    CsaFold(twos_b, ones, ones, load(w + 10), load(w + 11));
+    CsaFold(fours_a, twos, twos, twos_a, twos_b);
+    CsaFold(twos_a, ones, ones, load(w + 12), load(w + 13));
+    CsaFold(twos_b, ones, ones, load(w + 14), load(w + 15));
+    CsaFold(fours_b, twos, twos, twos_a, twos_b);
+    CsaFold(eights_b, fours, fours, fours_a, fours_b);
+    CsaFold(sixteens, eights, eights, eights_a, eights_b);
+    total += static_cast<uint64_t>(__builtin_popcountll(sixteens));
+  }
+  total = 16 * total +
+          8 * static_cast<uint64_t>(__builtin_popcountll(eights)) +
+          4 * static_cast<uint64_t>(__builtin_popcountll(fours)) +
+          2 * static_cast<uint64_t>(__builtin_popcountll(twos)) +
+          static_cast<uint64_t>(__builtin_popcountll(ones));
+  for (; w < words; ++w) {
+    total += static_cast<uint64_t>(__builtin_popcountll(load(w)));
+  }
+  return total;
+}
+
+uint64_t PopcountRangeHarleySeal(const uint64_t* data, size_t words) {
+  return HarleySealFold(words, [data](size_t w) { return data[w]; });
+}
+
+uint64_t IntersectPopcountHarleySeal(const uint64_t* const* maps, size_t k,
+                                     size_t words) {
+  if (k == 1) return PopcountRangeHarleySeal(maps[0], words);
+  return HarleySealFold(words, [maps, k](size_t w) {
+    uint64_t acc = maps[0][w] & maps[1][w];
+    for (size_t j = 2; j < k; ++j) acc &= maps[j][w];
+    return acc;
+  });
+}
+
 #ifdef FRAPP_KERNELS_X86
 
 // -------------------------------------------------------------------- avx2 --
@@ -172,6 +242,9 @@ IntersectPopcountAvx512(const uint64_t* const* maps, size_t k, size_t words) {
 constexpr KernelTable kScalarTable = {IntersectPopcountScalar,
                                       PopcountRangeScalar,
                                       KernelLevel::kScalar};
+constexpr KernelTable kHarleySealTable = {IntersectPopcountHarleySeal,
+                                          PopcountRangeHarleySeal,
+                                          KernelLevel::kHarleySeal};
 #ifdef FRAPP_KERNELS_X86
 constexpr KernelTable kAvx2Table = {IntersectPopcountAvx2, PopcountRangeAvx2,
                                     KernelLevel::kAvx2};
@@ -192,7 +265,7 @@ const KernelTable* ResolveDefaultTable() {
     forced = ParseKernelLevelName(forced_env);
     if (!forced.has_value()) {
       std::cerr << "frapp: ignoring unknown FRAPP_FORCE_KERNEL value '"
-                << forced_env << "' (want scalar|avx2|avx512)\n";
+                << forced_env << "' (want scalar|harley-seal|avx2|avx512)\n";
     } else if (!KernelLevelSupported(*forced)) {
       std::cerr << "frapp: FRAPP_FORCE_KERNEL=" << forced_env
                 << " is not runnable on this host; falling back to "
@@ -212,6 +285,8 @@ const char* KernelLevelName(KernelLevel level) {
       return "avx2";
     case KernelLevel::kAvx512:
       return "avx512";
+    case KernelLevel::kHarleySeal:
+      return "harley-seal";
   }
   return "unknown";
 }
@@ -220,11 +295,13 @@ std::optional<KernelLevel> ParseKernelLevelName(const std::string& name) {
   if (name == "scalar") return KernelLevel::kScalar;
   if (name == "avx2") return KernelLevel::kAvx2;
   if (name == "avx512") return KernelLevel::kAvx512;
+  if (name == "harley-seal") return KernelLevel::kHarleySeal;
   return std::nullopt;
 }
 
 bool KernelLevelSupported(KernelLevel level) {
   if (level == KernelLevel::kScalar) return true;
+  if (level == KernelLevel::kHarleySeal) return true;  // portable C++
 #ifdef FRAPP_KERNELS_X86
   const common::CpuFeatures& features = common::GetCpuInfo().features;
   if (level == KernelLevel::kAvx2) return features.avx2;
@@ -238,7 +315,9 @@ bool KernelLevelSupported(KernelLevel level) {
 KernelLevel BestSupportedLevel() {
   if (KernelLevelSupported(KernelLevel::kAvx512)) return KernelLevel::kAvx512;
   if (KernelLevelSupported(KernelLevel::kAvx2)) return KernelLevel::kAvx2;
-  return KernelLevel::kScalar;
+  // Without wide SIMD the accumulated-popcount rung beats the plain word
+  // loop on long runs and ties it on short ones.
+  return KernelLevel::kHarleySeal;
 }
 
 const KernelTable& KernelsForLevel(KernelLevel level) {
@@ -246,7 +325,7 @@ const KernelTable& KernelsForLevel(KernelLevel level) {
   if (level == KernelLevel::kAvx512) return kAvx512Table;
   if (level == KernelLevel::kAvx2) return kAvx2Table;
 #endif
-  (void)level;
+  if (level == KernelLevel::kHarleySeal) return kHarleySealTable;
   return kScalarTable;
 }
 

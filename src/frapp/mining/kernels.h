@@ -7,11 +7,16 @@
 // pointers resolved ONCE per process into the widest implementation the
 // host supports:
 //
-//   scalar   portable word loop + __builtin_popcountll (always compiled)
-//   avx2     256-bit AND chains, nibble-lookup (vpshufb) popcount folded
-//            with vpsadbw — the Mula technique
-//   avx512   512-bit AND chains + native vpopcntq (AVX-512 VPOPCNTDQ),
-//            masked loads for the tail
+//   scalar       portable word loop + __builtin_popcountll (always compiled)
+//   harley-seal  portable carry-save-adder accumulation: 16-word blocks fold
+//                into a bit-sliced counter network, so only one popcount is
+//                paid per 16 words — the long-bitmap-run rung for hosts
+//                without wide SIMD (always compiled, never auto-picked over
+//                a SIMD level)
+//   avx2         256-bit AND chains, nibble-lookup (vpshufb) popcount folded
+//                with vpsadbw — the Mula technique
+//   avx512       512-bit AND chains + native vpopcntq (AVX-512 VPOPCNTDQ),
+//                masked loads for the tail
 //
 // Counts are INTEGERS, so every level returns bit-identical results on any
 // input — vectorization reorders only additions of non-negative word
@@ -39,11 +44,14 @@
 namespace frapp {
 namespace mining {
 
-/// Dispatch levels, widest last. Values index internal tables.
+/// Dispatch levels. Values index internal tables; preference order is
+/// kAvx512 > kAvx2 > kHarleySeal > kScalar (BestSupportedLevel), NOT the
+/// numeric order — kHarleySeal was appended to keep existing values stable.
 enum class KernelLevel : int {
   kScalar = 0,
   kAvx2 = 1,
   kAvx512 = 2,
+  kHarleySeal = 3,
 };
 
 /// popcount(maps[0][w] & ... & maps[k-1][w]) summed over w in [0, words).
@@ -66,7 +74,7 @@ struct KernelTable {
 /// via the test-only override below).
 const KernelTable& ActiveKernels();
 
-/// "scalar" / "avx2" / "avx512".
+/// "scalar" / "harley-seal" / "avx2" / "avx512".
 const char* KernelLevelName(KernelLevel level);
 
 /// Parses a FRAPP_FORCE_KERNEL value; nullopt for anything unknown.

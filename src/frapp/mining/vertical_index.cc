@@ -40,6 +40,17 @@ VerticalIndex VerticalIndex::BuildRange(const data::CategoricalTable& table,
   return index;
 }
 
+VerticalIndex VerticalIndex::FromRaw(size_t num_rows,
+                                     std::vector<size_t> offsets,
+                                     std::vector<uint64_t> bits) {
+  VerticalIndex index;
+  index.num_rows_ = num_rows;
+  index.words_ = (num_rows + 63) / 64;
+  index.offsets_ = std::move(offsets);
+  index.bits_ = std::move(bits);
+  return index;
+}
+
 size_t VerticalIndex::CountSupport(const Itemset& itemset) const {
   const size_t k = itemset.size();
   if (k == 0) return num_rows_;

@@ -61,6 +61,20 @@ class VerticalIndex {
     return bits_.data() + (offsets_[attribute] + category) * words_;
   }
 
+  /// All bitmap planes, item-major: item slot p (attribute-major, category
+  /// ascending) occupies words [p * words_per_item(), (p+1) *
+  /// words_per_item()). The raw image a caller persists to reassemble the
+  /// index later via FromRaw.
+  const std::vector<uint64_t>& raw_bits() const { return bits_; }
+
+  /// Reassembles an index from a persisted plane image. `offsets` is the
+  /// first item slot of each attribute (as Build derives from the schema)
+  /// and `bits` one `(num_rows + 63) / 64`-word plane per item, item-major —
+  /// exactly what raw_bits() of an index with the same shape returns. The
+  /// result is bit-identical to the index the image was read from.
+  static VerticalIndex FromRaw(size_t num_rows, std::vector<size_t> offsets,
+                               std::vector<uint64_t> bits);
+
   /// Support count of `itemset` via word-wise AND + popcount. The empty
   /// itemset is supported by every row.
   size_t CountSupport(const Itemset& itemset) const;

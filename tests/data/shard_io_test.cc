@@ -15,6 +15,7 @@
 
 #include "frapp/data/census.h"
 #include "frapp/data/csv.h"
+#include "frapp/data/sharded_table.h"
 
 namespace frapp {
 namespace data {
@@ -133,6 +134,44 @@ TEST(ShardIoTest, CsvToBinaryToTableEqualsDirectCsvLoad) {
   ExpectSameTable(table, from_bin);
   std::remove(csv_path.c_str());
   std::remove(bin_path.c_str());
+}
+
+TEST(ShardIoTest, AppendGrowsTheFileToTheConcatenation) {
+  const CategoricalTable table = *census::MakeDataset(9000, 11);
+  const CategoricalTable head = *CopyRowRange(table, {0, 6000});
+  const CategoricalTable mid = *CopyRowRange(table, {6000, 8000});
+  const CategoricalTable rest = *CopyRowRange(table, {8000, 9000});
+
+  const std::string path = TempPath("append");
+  ASSERT_TRUE(WriteBinaryTable(head, path).ok());
+  ASSERT_TRUE(AppendBinaryTable(mid, path).ok());
+  ASSERT_TRUE(AppendBinaryTable(rest, path).ok());
+
+  StatusOr<BinaryShardReader> reader =
+      BinaryShardReader::Open(path, table.schema());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->total_rows(), 9000u);
+  StatusOr<CategoricalTable> read = reader->ReadShard(9000);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ExpectSameTable(*read, table);
+
+  // Growing the file must equal writing the grown table outright.
+  const std::string direct = TempPath("append_direct");
+  ASSERT_TRUE(WriteBinaryTable(table, direct).ok());
+  std::ifstream a(path, std::ios::binary), b(direct, std::ios::binary);
+  const std::string a_bytes((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string b_bytes((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(a_bytes, b_bytes);
+
+  // A schema mismatch refuses before any byte is written.
+  const CategoricalSchema other = *CategoricalSchema::Create(
+      {{"a", {"x", "y"}}, {"b", {"p", "q"}}});
+  CategoricalTable foreign = *CategoricalTable::Create(other);
+  EXPECT_FALSE(AppendBinaryTable(foreign, path).ok());
+  std::remove(path.c_str());
+  std::remove(direct.c_str());
 }
 
 TEST(ShardIoTest, RejectsMismatchedSchema) {

@@ -1,0 +1,195 @@
+// Incremental growth in the distributed layer:
+//
+//  1. APPEND = ADD-ONLY. Coordinator::AppendRows assigns only the new rows
+//     via the AssignRange machinery; nothing already ingested is touched,
+//     and the subsequent mine is BIT-IDENTICAL to a fresh session (and to
+//     the single-process pipeline) over the grown table — for both shard
+//     kinds (DET-GD categorical, MASK boolean).
+//  2. WINDOWED SESSIONS. CoordinatorOptions::begin_row mines only
+//     [begin_row, total): bit-identical to the local incremental driver's
+//     windowed mine of the same rows.
+//  3. CONTRACTS. Growth only (no shrink), chunk-aligned previous total
+//     (a perturbed partial tail chunk is immutable), chunk-aligned
+//     begin_row; chunk accounting lands in DistStats.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "frapp/data/census.h"
+#include "frapp/data/sharded_table.h"
+#include "frapp/dist/coordinator.h"
+#include "frapp/dist/worker.h"
+#include "frapp/store/incremental_mine.h"
+
+namespace frapp {
+namespace dist {
+namespace {
+
+constexpr uint64_t kSeed = 17;
+constexpr size_t kChunk = data::kShardAlignmentRows;
+
+void ExpectSameMiningResult(const mining::AprioriResult& a,
+                            const mining::AprioriResult& b) {
+  ASSERT_EQ(a.by_length.size(), b.by_length.size());
+  EXPECT_EQ(a.candidates_per_pass, b.candidates_per_pass);
+  for (size_t k = 0; k < a.by_length.size(); ++k) {
+    ASSERT_EQ(a.by_length[k].size(), b.by_length[k].size()) << "length " << k + 1;
+    for (size_t i = 0; i < a.by_length[k].size(); ++i) {
+      EXPECT_EQ(a.by_length[k][i].itemset, b.by_length[k][i].itemset);
+      EXPECT_EQ(a.by_length[k][i].support, b.by_length[k][i].support);
+    }
+  }
+}
+
+class IncrementalDistTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new data::CategoricalTable(*data::census::MakeDataset(40000, 321));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+
+  static WorkerOptions MakeWorkerOptions() {
+    WorkerOptions options(table_->schema());
+    options.num_threads = 2;
+    options.source_factory =
+        []() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+      return std::unique_ptr<pipeline::TableSource>(
+          std::make_unique<pipeline::InMemoryTableSource>(*table_,
+                                                          /*num_shards=*/0));
+    };
+    return options;
+  }
+
+  static mining::AprioriOptions MiningOptions() {
+    mining::AprioriOptions options;
+    options.min_support = 0.02;
+    return options;
+  }
+
+  // A connected in-process session over [options.begin_row, total_rows).
+  static StatusOr<std::unique_ptr<Coordinator>> ConnectSession(
+      const MechanismSpec& spec, size_t num_workers, size_t total_rows,
+      std::vector<std::unique_ptr<InProcessWorker>>* workers,
+      uint64_t begin_row = 0) {
+    std::vector<std::unique_ptr<Transport>> transports;
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers->push_back(std::make_unique<InProcessWorker>(MakeWorkerOptions()));
+      transports.push_back(workers->back()->TakeCoordinatorEndpoint());
+    }
+    CoordinatorOptions options;
+    options.perturb_seed = kSeed;
+    options.begin_row = begin_row;
+    return Coordinator::Connect(std::move(transports), table_->schema(), spec,
+                                total_rows, options);
+  }
+
+  static data::CategoricalTable* table_;
+};
+
+data::CategoricalTable* IncrementalDistTest::table_ = nullptr;
+
+TEST_F(IncrementalDistTest, AppendRowsMatchesFreshSessionBitwise) {
+  for (const MechanismSpec::Kind kind :
+       {MechanismSpec::Kind::kDetGd, MechanismSpec::Kind::kMask}) {
+    MechanismSpec spec;
+    spec.kind = kind;
+    const size_t base = 3 * kChunk;      // 24576: chunk-aligned
+    const size_t grown = 33468;          // +2 chunks, partial tail
+
+    std::vector<std::unique_ptr<InProcessWorker>> workers;
+    auto session = ConnectSession(spec, 2, base, &workers);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    const auto r_base = (*session)->Mine(MiningOptions());
+    ASSERT_TRUE(r_base.ok()) << r_base.status().ToString();
+
+    // Growth is a pure delta: only [base, grown) crosses AssignRange.
+    ASSERT_TRUE((*session)->AppendRows(grown).ok());
+    const auto r_grown = (*session)->Mine(MiningOptions());
+    ASSERT_TRUE(r_grown.ok()) << r_grown.status().ToString();
+
+    const DistStats stats = (*session)->stats();
+    EXPECT_EQ(stats.rows_appended, grown - base);
+    EXPECT_GE(stats.ranges_appended, 1u);
+    EXPECT_EQ(stats.ranges_reassigned, 0u);
+    EXPECT_EQ(stats.total_rows, grown);
+    EXPECT_EQ(stats.total_chunks, (grown + kChunk - 1) / kChunk);
+    EXPECT_EQ(stats.appended_chunks, (grown - base + kChunk - 1) / kChunk);
+
+    std::vector<std::unique_ptr<InProcessWorker>> fresh_workers;
+    auto fresh = ConnectSession(spec, 2, grown, &fresh_workers);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    const auto r_fresh = (*fresh)->Mine(MiningOptions());
+    ASSERT_TRUE(r_fresh.ok()) << r_fresh.status().ToString();
+    ExpectSameMiningResult(*r_grown, *r_fresh);
+  }
+}
+
+TEST_F(IncrementalDistTest, WindowedSessionMatchesLocalWindowedMine) {
+  MechanismSpec spec;  // DET-GD
+  const size_t window_begin = kChunk;
+  const size_t total = 3 * kChunk + 1234;
+
+  std::vector<std::unique_ptr<InProcessWorker>> workers;
+  auto session = ConnectSession(spec, 2, total, &workers, window_begin);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const auto r_dist = (*session)->Mine(MiningOptions());
+  ASSERT_TRUE(r_dist.ok()) << r_dist.status().ToString();
+  EXPECT_EQ((*session)->stats().begin_row, window_begin);
+
+  // The local incremental driver mining the same window from scratch is
+  // bit-identical to a from-scratch windowed mine — so the dist session
+  // must match it exactly.
+  store::IncrementalOptions options;
+  options.mining = MiningOptions();
+  options.perturb_seed = kSeed;
+  options.num_threads = 2;
+  options.window_begin_row = window_begin;
+  options.source_id = "incremental-dist-test";
+  // AppendAndMine mines [window, end-of-stream), so the local source must
+  // end exactly where the dist session's total does.
+  StatusOr<data::CategoricalTable> prefix =
+      data::CopyRowRange(*table_, {0, total});
+  ASSERT_TRUE(prefix.ok());
+  store::CountStore fresh_store(
+      store::MakeStoreIdentity(spec, table_->schema(), options));
+  const auto r_local = store::AppendAndMine(
+      fresh_store, spec,
+      [&prefix]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+        return std::unique_ptr<pipeline::TableSource>(
+            std::make_unique<pipeline::InMemoryTableSource>(*prefix, 0));
+      },
+      options);
+  ASSERT_TRUE(r_local.ok()) << r_local.status().ToString();
+  ExpectSameMiningResult(*r_dist, r_local->mined);
+}
+
+TEST_F(IncrementalDistTest, AppendContractsAreEnforced) {
+  MechanismSpec spec;
+  std::vector<std::unique_ptr<InProcessWorker>> workers;
+  auto session = ConnectSession(spec, 1, 2 * kChunk + 100, &workers);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Shrinking is not growth.
+  EXPECT_EQ((*session)->AppendRows(kChunk).code(),
+            StatusCode::kInvalidArgument);
+  // The held total ends mid-chunk: those perturbed rows are immutable, so
+  // the append must refuse rather than re-perturb or extend them.
+  EXPECT_EQ((*session)->AppendRows(3 * kChunk).code(),
+            StatusCode::kFailedPrecondition);
+  // Same total: a no-op, not an error.
+  EXPECT_TRUE((*session)->AppendRows(2 * kChunk + 100).ok());
+
+  // begin_row off the chunk grid can never be served.
+  std::vector<std::unique_ptr<InProcessWorker>> more_workers;
+  auto bad = ConnectSession(spec, 1, 2 * kChunk, &more_workers, 100);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace frapp

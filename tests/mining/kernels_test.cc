@@ -29,7 +29,8 @@ namespace {
 std::vector<KernelLevel> SupportedLevels() {
   std::vector<KernelLevel> levels;
   for (KernelLevel level :
-       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+       {KernelLevel::kScalar, KernelLevel::kHarleySeal, KernelLevel::kAvx2,
+        KernelLevel::kAvx512}) {
     if (KernelLevelSupported(level)) levels.push_back(level);
   }
   return levels;
@@ -62,7 +63,8 @@ TEST(KernelsTest, ScalarAlwaysSupportedAndBestLevelRuns) {
 
 TEST(KernelsTest, LevelNamesRoundTrip) {
   for (KernelLevel level :
-       {KernelLevel::kScalar, KernelLevel::kAvx2, KernelLevel::kAvx512}) {
+       {KernelLevel::kScalar, KernelLevel::kHarleySeal, KernelLevel::kAvx2,
+        KernelLevel::kAvx512}) {
     EXPECT_EQ(ParseKernelLevelName(KernelLevelName(level)), level);
   }
   EXPECT_FALSE(ParseKernelLevelName("").has_value());
@@ -74,6 +76,9 @@ TEST(KernelsTest, ResolveKernelLevelHonorsSupportedForceAndFallsBack) {
   EXPECT_EQ(internal::ResolveKernelLevel(std::nullopt), BestSupportedLevel());
   EXPECT_EQ(internal::ResolveKernelLevel(KernelLevel::kScalar),
             KernelLevel::kScalar);
+  // Harley-Seal is portable C++: forcible on every host.
+  EXPECT_EQ(internal::ResolveKernelLevel(KernelLevel::kHarleySeal),
+            KernelLevel::kHarleySeal);
   for (KernelLevel level : {KernelLevel::kAvx2, KernelLevel::kAvx512}) {
     EXPECT_EQ(internal::ResolveKernelLevel(level),
               KernelLevelSupported(level) ? level : BestSupportedLevel());
@@ -113,6 +118,29 @@ TEST(KernelsTest, RandomizedEquivalenceAcrossLevelsTailsAndArities) {
         if (words != 0) {
           EXPECT_EQ(table.popcount_range(set.maps[0], words), want_range);
         }
+      }
+    }
+  }
+}
+
+// The Harley-Seal fold works in 16-word blocks with a word-loop tail, so
+// every residue class of the block size must agree with the plain scalar
+// sum — exhaustively over word counts 0..129 (two full blocks plus every
+// possible tail, including the 129 = 8*16+1 boundary).
+TEST(KernelsTest, HarleySealMatchesScalarOnEveryTailLength) {
+  const KernelTable& scalar = KernelsForLevel(KernelLevel::kScalar);
+  const KernelTable& hs = KernelsForLevel(KernelLevel::kHarleySeal);
+  random::Pcg64 rng(0xdecade, 3);
+  for (size_t words = 0; words <= 129; ++words) {
+    for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{6}}) {
+      SCOPED_TRACE("words=" + std::to_string(words) +
+                   " k=" + std::to_string(k));
+      const BitmapSet set(k, words, rng);
+      EXPECT_EQ(hs.intersect_popcount(set.maps.data(), k, words),
+                scalar.intersect_popcount(set.maps.data(), k, words));
+      if (words != 0) {
+        EXPECT_EQ(hs.popcount_range(set.maps[0], words),
+                  scalar.popcount_range(set.maps[0], words));
       }
     }
   }

@@ -17,6 +17,9 @@
 #                             distributed coordinator/worker path:
 #                             bytes-on-wire + merge-time counters vs the
 #                             in-process pipeline baseline)
+#   BENCH_incremental.json  — incremental_benchmark (store-backed re-mine
+#                             after +10% / +1 / +4 / +16-chunk growth vs
+#                             the from-scratch pipeline, supmin sweep)
 #
 # Each file holds {"runs": [<google-benchmark output>, ...]}: every
 # invocation APPENDS its run (with its context/date) to the trajectory
@@ -56,7 +59,7 @@ build_dir="${1:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
   --target apriori_benchmark perturbation_benchmark pipeline_benchmark \
-  ingest_benchmark dist_benchmark
+  ingest_benchmark dist_benchmark incremental_benchmark
 
 # Appends the single-run google-benchmark JSON $2 to the trajectory file $1.
 merge_run() {
@@ -119,5 +122,6 @@ run_suite perturbation_benchmark BENCH_perturbation.json
 run_suite pipeline_benchmark BENCH_pipeline.json
 run_suite ingest_benchmark BENCH_ingest.json
 run_suite dist_benchmark BENCH_dist.json
+run_suite incremental_benchmark BENCH_incremental.json
 
-echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json, BENCH_ingest.json, BENCH_dist.json"
+echo "Appended runs to BENCH_mining.json, BENCH_perturbation.json, BENCH_pipeline.json, BENCH_ingest.json, BENCH_dist.json, BENCH_incremental.json"
