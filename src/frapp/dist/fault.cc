@@ -27,15 +27,22 @@ std::vector<std::string> SplitOn(const std::string& text, char sep) {
 StatusOr<uint64_t> ParseUint(const std::string& text,
                              const std::string& what) {
   if (text.empty()) {
-    return Status::InvalidArgument("fault spec: empty " + what);
+    return Status::InvalidArgument("empty " + what);
   }
   uint64_t value = 0;
   for (const char c : text) {
     if (c < '0' || c > '9') {
-      return Status::InvalidArgument("fault spec: non-numeric " + what +
-                                     " '" + text + "'");
+      return Status::InvalidArgument("non-numeric " + what + " '" + text +
+                                     "'");
     }
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    // Overflow check: a spec with 20+ digits must fail loudly, not wrap
+    // into some small (and silently armed) threshold.
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(what + " '" + text +
+                                     "' overflows uint64");
+    }
+    value = value * 10 + digit;
   }
   return value;
 }
@@ -45,43 +52,64 @@ StatusOr<uint64_t> ParseUint(const std::string& text,
 StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
   FaultSpec spec;
   if (text.empty()) return spec;
-  for (const std::string& clause : SplitOn(text, ';')) {
-    if (clause.empty()) continue;
+  const std::vector<std::string> clauses = SplitOn(text, ';');
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    const std::string& clause = clauses[c];
+    // Every error names the 1-based clause it came from: a long drill
+    // spec with one typo should point at the typo, not at the string.
+    const std::string where = "fault spec clause " + std::to_string(c + 1);
+    if (clause.empty()) {
+      return Status::InvalidArgument(
+          where + " is empty (doubled or trailing ';'?)");
+    }
     const size_t colon = clause.find(':');
     if (colon == std::string::npos) {
-      return Status::InvalidArgument(
-          "fault spec clause '" + clause +
-          "' is missing its 'INDEX:' endpoint prefix");
+      return Status::InvalidArgument(where + " '" + clause +
+                                     "' is missing its 'INDEX:' endpoint "
+                                     "prefix");
     }
-    FRAPP_ASSIGN_OR_RETURN(
-        const uint64_t index,
-        ParseUint(clause.substr(0, colon), "endpoint index"));
-    FaultActions& actions = spec.by_endpoint[static_cast<size_t>(index)];
+    StatusOr<uint64_t> index = ParseUint(clause.substr(0, colon),
+                                         "endpoint index");
+    if (!index.ok()) {
+      return Status::InvalidArgument(where + ": " +
+                                     index.status().message());
+    }
+    if (spec.by_endpoint.count(static_cast<size_t>(*index)) > 0) {
+      // Merging duplicate clauses would let a later clause silently
+      // overwrite an earlier one's actions; make the ambiguity an error.
+      return Status::InvalidArgument(where + ": duplicate endpoint index " +
+                                     std::to_string(*index));
+    }
+    FaultActions& actions = spec.by_endpoint[static_cast<size_t>(*index)];
     for (const std::string& action : SplitOn(clause.substr(colon + 1), ',')) {
       const size_t eq = action.find('=');
       if (eq == std::string::npos) {
-        return Status::InvalidArgument("fault spec action '" + action +
+        return Status::InvalidArgument(where + ": action '" + action +
                                        "' is not KEY=VALUE");
       }
       const std::string key = action.substr(0, eq);
-      FRAPP_ASSIGN_OR_RETURN(const uint64_t value,
-                             ParseUint(action.substr(eq + 1), key + " value"));
+      StatusOr<uint64_t> value = ParseUint(action.substr(eq + 1),
+                                           key + " value");
+      if (!value.ok()) {
+        return Status::InvalidArgument(where + ": " +
+                                       value.status().message());
+      }
       if (key == "close-send") {
-        actions.close_after_sends = value;
+        actions.close_after_sends = *value;
       } else if (key == "close-recv") {
-        actions.close_after_receives = value;
+        actions.close_after_receives = *value;
       } else if (key == "drop-send") {
-        actions.drop_sends_after = value;
+        actions.drop_sends_after = *value;
       } else if (key == "timeout-recv") {
-        actions.timeout_receives_after = value;
+        actions.timeout_receives_after = *value;
       } else if (key == "truncate-recv") {
-        actions.truncate_receive_after = value;
+        actions.truncate_receive_after = *value;
       } else if (key == "delay-send-ms") {
-        actions.delay_send_ms = value;
+        actions.delay_send_ms = *value;
       } else if (key == "delay-recv-ms") {
-        actions.delay_receive_ms = value;
+        actions.delay_receive_ms = *value;
       } else {
-        return Status::InvalidArgument("fault spec: unknown key '" + key +
+        return Status::InvalidArgument(where + ": unknown key '" + key +
                                        "'");
       }
     }

@@ -28,6 +28,12 @@
 // Example: "2:close-send=1" kills worker 2's connection after its handshake
 // frame; "0:timeout-recv=3;1:delay-recv-ms=50" hangs worker 0 after three
 // responses and slows worker 1.
+//
+// The grammar is strict: only the fully empty string means "no faults".
+// Empty clauses (doubled or trailing ';'), duplicate endpoint indices, and
+// counts that overflow uint64 are errors, and every parse error names the
+// 1-based clause it came from — a fleet-wide drill spec with one typo
+// should point at the typo, not silently drop or merge a clause.
 
 #ifndef FRAPP_DIST_FAULT_H_
 #define FRAPP_DIST_FAULT_H_

@@ -4,112 +4,22 @@
 #include <utility>
 
 #include "frapp/data/boolean_vertical_index.h"
+#include "frapp/dist/wire_io.h"
 
 namespace frapp {
 namespace dist {
 
 namespace {
 
-/// Little-endian append-only payload builder.
-class Writer {
- public:
-  void U8(uint8_t v) { out_.push_back(v); }
-  void U16(uint16_t v) { Little(v, 2); }
-  void U32(uint32_t v) { Little(v, 4); }
-  void U64(uint64_t v) { Little(v, 8); }
-  void I64(int64_t v) { Little(static_cast<uint64_t>(v), 8); }
-  void F64(double v) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
-  }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-
-  std::vector<uint8_t> Take() { return std::move(out_); }
-
- private:
-  void Little(uint64_t v, int bytes) {
-    for (int i = 0; i < bytes; ++i) {
-      out_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
-    }
-  }
-
-  std::vector<uint8_t> out_;
-};
-
-/// Bounds-checked little-endian payload reader with a sticky failure flag:
-/// reads past the end return 0 and poison the reader, and Finish() reports
-/// the first failure (or trailing garbage) as a Status. Keeps the decoders
-/// straight-line without a Status check per field.
-class Reader {
- public:
-  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  uint8_t U8() { return static_cast<uint8_t>(Little(1)); }
-  uint16_t U16() { return static_cast<uint16_t>(Little(2)); }
-  uint32_t U32() { return static_cast<uint32_t>(Little(4)); }
-  uint64_t U64() { return Little(8); }
-  int64_t I64() { return static_cast<int64_t>(Little(8)); }
-  double F64() {
-    const uint64_t bits = U64();
-    double v;
-    __builtin_memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::string Str() {
-    const uint32_t n = U32();
-    if (failed_ || size_ - pos_ < n) {
-      failed_ = true;
-      return std::string();
-    }
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
-    return s;
-  }
-
-  bool failed() const { return failed_; }
-  size_t remaining() const { return size_ - pos_; }
-
-  /// OK iff every read stayed in bounds and the payload is fully consumed.
-  Status Finish(const char* what) const {
-    if (failed_) {
-      return Status::InvalidArgument(std::string(what) +
-                                     ": truncated payload");
-    }
-    if (pos_ != size_) {
-      return Status::InvalidArgument(std::string(what) +
-                                     ": trailing bytes after payload");
-    }
-    return Status::OK();
-  }
-
- private:
-  uint64_t Little(int bytes) {
-    if (failed_ || size_ - pos_ < static_cast<size_t>(bytes)) {
-      failed_ = true;
-      return 0;
-    }
-    uint64_t v = 0;
-    for (int i = bytes - 1; i >= 0; --i) {
-      v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
-    }
-    pos_ += static_cast<size_t>(bytes);
-    return v;
-  }
-
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-  bool failed_ = false;
-};
+// The payload builder/reader moved to dist/wire_io.h when the serve query
+// frames joined the protocol; these aliases keep the decoders below
+// unchanged.
+using Writer = PayloadWriter;
+using Reader = PayloadReader;
 
 bool KnownMessageType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kHello) &&
-         type <= static_cast<uint8_t>(MessageType::kRangeAck);
+         type <= static_cast<uint8_t>(MessageType::kQueryResponse);
 }
 
 }  // namespace

@@ -61,8 +61,10 @@ namespace dist {
 
 /// Protocol version; bumped on any incompatible frame/payload change. The
 /// handshake rejects mismatches outright (no negotiation). v2 added the
-/// liveness and recovery messages (Ping/Pong, AssignRange/RangeAck).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// liveness and recovery messages (Ping/Pong, AssignRange/RangeAck); v3
+/// added the serve query family (QueryRequest/QueryResponse — payloads in
+/// serve/query_wire.h).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Hard cap on a frame's payload, rejecting corrupt length prefixes before
 /// they turn into allocations. 2^20 patterns x 8 bytes plus headroom.
@@ -84,6 +86,12 @@ enum class MessageType : uint8_t {
   kPong = 10,
   kAssignRange = 11,
   kRangeAck = 12,
+  // The serve query family (frapp/serve): a client asks a long-lived
+  // `frapp serve` process for mined results, top-k itemsets, association
+  // rules, or server stats. Payload layouts live in serve/query_wire.h;
+  // they share this framing, the Error frame, and Ping/Pong liveness.
+  kQueryRequest = 13,
+  kQueryResponse = 14,
 };
 
 /// One decoded frame: a type plus its raw payload bytes.

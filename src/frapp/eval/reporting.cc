@@ -1,5 +1,6 @@
 #include "frapp/eval/reporting.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -42,6 +43,42 @@ std::string Cell(double value, int digits) {
   std::ostringstream os;
   os << std::setprecision(digits) << value;
   return os.str();
+}
+
+void PrintMiningReport(std::ostream& os, const data::CategoricalSchema& schema,
+                       const mining::AprioriResult& result,
+                       const std::string& label, double minsup, size_t top) {
+  os << label << " frequent itemsets (minsup = " << minsup << "):";
+  for (size_t k = 1; k <= result.MaxLength(); ++k) {
+    os << "  L" << k << "=" << result.OfLength(k).size();
+  }
+  os << "\n\n";
+
+  std::vector<mining::FrequentItemset> all;
+  for (const auto& level : result.by_length) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.support > b.support; });
+  TextTable out({"support", "itemset"});
+  for (size_t i = 0; i < std::min(top, all.size()); ++i) {
+    out.AddRow({Cell(all[i].support, 9), all[i].itemset.ToString(schema)});
+  }
+  out.Print(os);
+}
+
+void PrintRulesReport(std::ostream& os, const data::CategoricalSchema& schema,
+                      const std::vector<mining::AssociationRule>& rules,
+                      const std::string& label, double min_confidence,
+                      size_t top) {
+  os << label << " association rules (minconf = " << min_confidence
+     << "): " << rules.size() << " rule(s)\n\n";
+  TextTable out({"confidence", "support", "rule"});
+  for (size_t i = 0; i < std::min(top, rules.size()); ++i) {
+    out.AddRow({Cell(rules[i].confidence, 9), Cell(rules[i].support, 9),
+                rules[i].ToString(schema)});
+  }
+  out.Print(os);
 }
 
 Status WriteCsv(const std::string& path, const std::vector<std::string>& header,

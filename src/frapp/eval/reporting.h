@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "frapp/common/status.h"
+#include "frapp/mining/apriori.h"
+#include "frapp/mining/rules.h"
 
 namespace frapp {
 namespace eval {
@@ -38,6 +40,25 @@ std::string Cell(double value, int digits = 4);
 /// Writes rows as CSV (used to dump figure series for external plotting).
 Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows);
+
+/// The canonical frequent-itemset report, shared by every mine mode
+/// (`frapp mine` single-process/distributed/incremental and the
+/// `frapp query` client): identical supports print identical text, which is
+/// how scripts prove bit-parity between execution paths with a plain
+/// `diff`. Supports print at 9 significant digits so near-miss parity
+/// failures show up instead of rounding away. The golden fixtures under
+/// tests/golden/ freeze this format — changing it is a format break.
+void PrintMiningReport(std::ostream& os, const data::CategoricalSchema& schema,
+                       const mining::AprioriResult& result,
+                       const std::string& label, double minsup, size_t top);
+
+/// The association-rule report (same conventions: 9 significant digits,
+/// deterministic order — rules arrive pre-sorted from
+/// mining::GenerateAssociationRules).
+void PrintRulesReport(std::ostream& os, const data::CategoricalSchema& schema,
+                      const std::vector<mining::AssociationRule>& rules,
+                      const std::string& label, double min_confidence,
+                      size_t top);
 
 }  // namespace eval
 }  // namespace frapp

@@ -13,8 +13,11 @@ std::string AssociationRule::ToString(const data::CategoricalSchema& schema) con
   return out;
 }
 
-std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
-                                           double min_confidence) {
+StatusOr<std::vector<AssociationRule>> GenerateAssociationRules(
+    const AprioriResult& result, const RuleOptions& options,
+    RuleGenStats* stats) {
+  RuleGenStats local;
+
   // Support lookup across all frequent itemsets.
   std::unordered_map<Itemset, double, Itemset::Hash> support;
   for (const auto& level : result.by_length) {
@@ -27,30 +30,58 @@ std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
       const std::vector<Item>& items = f.itemset.items();
       const size_t k = items.size();
       if (k < 2) continue;
+      if (k >= 64) {
+        return Status::InvalidArgument(
+            "rule generation: itemset of length " + std::to_string(k) +
+            " exceeds the split enumeration bound");
+      }
+      ++local.itemsets_considered;
+      if (f.support < options.min_support) continue;
       // Enumerate non-empty proper subsets as antecedents via bitmask.
-      for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      for (uint64_t mask = 1; mask + 1 < (1ull << k); ++mask) {
+        ++local.splits_evaluated;
         std::vector<Item> lhs, rhs;
         for (size_t i = 0; i < k; ++i) {
           ((mask >> i) & 1u ? lhs : rhs).push_back(items[i]);
         }
         const Itemset antecedent = Itemset::FromSortedUnchecked(std::move(lhs));
         auto it = support.find(antecedent);
-        if (it == support.end() || it->second <= 0.0) continue;
+        if (it == support.end() || it->second <= 0.0) {
+          ++local.missing_antecedents;
+          continue;
+        }
         const double confidence = f.support / it->second;
-        if (confidence >= min_confidence) {
+        if (confidence >= options.min_confidence) {
           rules.push_back(AssociationRule{
-              antecedent, Itemset::FromSortedUnchecked(std::move(rhs)), f.support,
-              confidence});
+              antecedent, Itemset::FromSortedUnchecked(std::move(rhs)),
+              f.support, confidence});
         }
       }
     }
   }
+  // Deterministic total order: the (antecedent, consequent) tiebreak pins
+  // the order of equal-score rules, so reports diff clean across runs and
+  // the serve cache's rule responses are byte-stable.
   std::sort(rules.begin(), rules.end(),
             [](const AssociationRule& a, const AssociationRule& b) {
               if (a.confidence != b.confidence) return a.confidence > b.confidence;
-              return a.support > b.support;
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+              return a.consequent < b.consequent;
             });
+  local.emitted = rules.size();
+  if (stats != nullptr) *stats = local;
   return rules;
+}
+
+std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
+                                           double min_confidence) {
+  RuleOptions options;
+  options.min_confidence = min_confidence;
+  // Infallible for any minable result: lengths sit far under the split
+  // enumeration bound (the counting caps upstream stop at 2^20 patterns).
+  auto rules = GenerateAssociationRules(result, options);
+  return rules.ok() ? *std::move(rules) : std::vector<AssociationRule>{};
 }
 
 }  // namespace mining

@@ -1,10 +1,23 @@
 // Association-rule generation from frequent itemsets (the mining model the
 // paper's introduction motivates: "adult females with malarial infections
 // are also prone to contract tuberculosis").
+//
+// Rule generation is the classical second phase of Agrawal & Srikant's
+// Apriori: for every frequent itemset F and every non-empty proper subset
+// A of F, emit A => F \ A when
+//
+//   conf(A => F \ A) = sup(F) / sup(A) >= min_confidence.
+//
+// In the privacy-preserving setting every support above is a RECONSTRUCTED
+// support (the gamma-diagonal inverse of the perturbed counts, paper
+// Eq. 28), so confidence is a ratio of two reconstructed estimates — no
+// extra data pass, and the rules derive from exactly the itemset supports
+// the mine already reported.
 
 #ifndef FRAPP_MINING_RULES_H_
 #define FRAPP_MINING_RULES_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -25,9 +38,43 @@ struct AssociationRule {
   std::string ToString(const data::CategoricalSchema& schema) const;
 };
 
-/// Derives all rules with confidence >= `min_confidence` from the frequent
-/// itemsets in `result`. Rules are ordered by descending confidence, ties by
-/// descending support.
+struct RuleOptions {
+  /// Minimum confidence; rules below it are dropped.
+  double min_confidence = 0.0;
+
+  /// Extra floor on the rule's (union) support. 0 keeps every frequent
+  /// itemset's rules — the mine's own supmin already bounds them below.
+  double min_support = 0.0;
+};
+
+/// Diagnostics of one generation pass.
+struct RuleGenStats {
+  /// Frequent itemsets of length >= 2 (the only rule sources).
+  size_t itemsets_considered = 0;
+
+  /// Antecedent/consequent splits evaluated across those itemsets.
+  size_t splits_evaluated = 0;
+
+  /// Splits skipped because the antecedent's support was missing from the
+  /// result or non-positive (possible under noisy reconstruction).
+  size_t missing_antecedents = 0;
+
+  /// Rules that cleared both thresholds.
+  size_t emitted = 0;
+};
+
+/// Derives every rule A => F \ A over the frequent itemsets of `result`
+/// whose confidence and support clear `options`. The output order is a
+/// deterministic total order — descending confidence, then descending
+/// support, then ascending antecedent and consequent — so two runs over the
+/// same result are byte-identical however the splits were enumerated.
+/// Rejects itemsets too long for the split enumeration (k >= 64; far above
+/// the 2^k counting caps upstream).
+StatusOr<std::vector<AssociationRule>> GenerateAssociationRules(
+    const AprioriResult& result, const RuleOptions& options,
+    RuleGenStats* stats = nullptr);
+
+/// Legacy convenience wrapper: confidence-only filtering, no stats.
 std::vector<AssociationRule> GenerateRules(const AprioriResult& result,
                                            double min_confidence);
 

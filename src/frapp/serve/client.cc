@@ -1,0 +1,36 @@
+#include "frapp/serve/client.h"
+
+namespace frapp {
+namespace serve {
+
+StatusOr<QueryResponse> QueryClient::Query(const QueryRequest& request) {
+  if (closed_) return Status::FailedPrecondition("query client is closed");
+  FRAPP_RETURN_IF_ERROR(transport_->Send(EncodeQueryRequest(request)));
+  FRAPP_ASSIGN_OR_RETURN(dist::Message message, transport_->Receive());
+  return DecodeQueryResponse(message);  // Error frames surface as Status
+}
+
+Status QueryClient::Ping() {
+  if (closed_) return Status::FailedPrecondition("query client is closed");
+  FRAPP_RETURN_IF_ERROR(transport_->Send(dist::EncodePing()));
+  FRAPP_ASSIGN_OR_RETURN(dist::Message message, transport_->Receive());
+  if (message.type == dist::MessageType::kError) {
+    return dist::DecodeError(message);
+  }
+  if (message.type != dist::MessageType::kPong) {
+    return Status::InvalidArgument(
+        "Ping: unexpected message type " +
+        std::to_string(static_cast<int>(message.type)));
+  }
+  return Status::OK();
+}
+
+void QueryClient::Close() {
+  if (closed_) return;
+  closed_ = true;
+  (void)transport_->Send(dist::EncodeShutdown());
+  transport_->Close();
+}
+
+}  // namespace serve
+}  // namespace frapp

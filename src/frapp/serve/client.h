@@ -1,0 +1,47 @@
+// Client side of the serve query conversation: one blocking
+// request/response exchange per call over any dist::Transport (TCP for the
+// `frapp query` CLI, in-process pairs for tests).
+
+#ifndef FRAPP_SERVE_CLIENT_H_
+#define FRAPP_SERVE_CLIENT_H_
+
+#include <memory>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/transport.h"
+#include "frapp/serve/query_wire.h"
+
+namespace frapp {
+namespace serve {
+
+class QueryClient {
+ public:
+  explicit QueryClient(std::unique_ptr<dist::Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  ~QueryClient() { Close(); }
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Sends one query and blocks for its response. A server-side rejection
+  /// (version/fingerprint mismatch, bad arguments, shutdown) arrives as the
+  /// Error frame's Status.
+  StatusOr<QueryResponse> Query(const QueryRequest& request);
+
+  /// Liveness probe (kPing -> kPong).
+  Status Ping();
+
+  /// Says goodbye (kShutdown) and closes. Idempotent; the destructor calls
+  /// it too.
+  void Close();
+
+ private:
+  std::unique_ptr<dist::Transport> transport_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace frapp
+
+#endif  // FRAPP_SERVE_CLIENT_H_

@@ -1,0 +1,282 @@
+#include "frapp/serve/query_wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "frapp/dist/wire_io.h"
+
+namespace frapp {
+namespace serve {
+
+namespace {
+
+using dist::Message;
+using dist::MessageType;
+using dist::PayloadReader;
+using dist::PayloadWriter;
+
+Status ExpectType(const Message& message, MessageType want, const char* what) {
+  if (message.type == want) return Status::OK();
+  if (message.type == MessageType::kError) return dist::DecodeError(message);
+  return Status::InvalidArgument(
+      std::string(what) + ": unexpected message type " +
+      std::to_string(static_cast<int>(message.type)));
+}
+
+void WriteSpec(PayloadWriter& w, const dist::MechanismSpec& spec) {
+  w.U8(static_cast<uint8_t>(spec.kind));
+  w.F64(spec.gamma);
+  w.F64(spec.alpha);
+  w.U8(static_cast<uint8_t>(spec.randomization));
+  w.U64(spec.cutoff_k);
+  w.F64(spec.rho);
+}
+
+Status ReadSpec(PayloadReader& r, dist::MechanismSpec* spec,
+                const char* what) {
+  const uint8_t kind = r.U8();
+  spec->gamma = r.F64();
+  spec->alpha = r.F64();
+  const uint8_t randomization = r.U8();
+  spec->cutoff_k = r.U64();
+  spec->rho = r.F64();
+  if (r.failed()) return Status::OK();  // Finish() reports the truncation.
+  if (kind > static_cast<uint8_t>(dist::MechanismSpec::Kind::kIndGd)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": unknown mechanism kind " +
+                                   std::to_string(kind));
+  }
+  if (randomization >
+      static_cast<uint8_t>(random::RandomizationKind::kTruncatedGaussian)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": unknown randomization kind " +
+                                   std::to_string(randomization));
+  }
+  spec->kind = static_cast<dist::MechanismSpec::Kind>(kind);
+  spec->randomization = static_cast<random::RandomizationKind>(randomization);
+  return Status::OK();
+}
+
+void WriteItemset(PayloadWriter& w, const mining::Itemset& itemset) {
+  w.U16(static_cast<uint16_t>(itemset.size()));
+  for (const mining::Item& item : itemset.items()) {
+    w.U16(item.attribute);
+    w.U16(item.category);
+  }
+}
+
+// Validates the sorted-distinct-attributes invariant instead of trusting
+// the peer (mining::Itemset::Create). An empty itemset is allowed only
+// where the caller says so (a rule's antecedent/consequent are non-empty;
+// frequent itemsets too).
+StatusOr<mining::Itemset> ReadItemset(PayloadReader& r, const char* what) {
+  const uint16_t k = r.U16();
+  if (r.failed()) return Status::InvalidArgument(std::string(what) +
+                                                 ": truncated payload");
+  if (k == 0) {
+    return Status::InvalidArgument(std::string(what) + ": empty itemset");
+  }
+  std::vector<mining::Item> items;
+  items.reserve(std::min<size_t>(k, r.remaining() / 4));
+  for (uint16_t i = 0; i < k && !r.failed(); ++i) {
+    const uint16_t attribute = r.U16();
+    const uint16_t category = r.U16();
+    items.push_back(mining::Item{attribute, category});
+  }
+  if (r.failed()) {
+    return Status::InvalidArgument(std::string(what) + ": truncated payload");
+  }
+  return mining::Itemset::Create(std::move(items));
+}
+
+void WriteServerStats(PayloadWriter& w, const ServerStatsWire& s) {
+  w.U64(s.queries);
+  w.U64(s.mine_runs);
+  w.U64(s.cache_hits);
+  w.U64(s.coalesced);
+  w.U64(s.store_hits);
+  w.U64(s.store_misses);
+  w.U64(s.cache_entries);
+  w.U64(s.cache_evictions);
+  w.U64(s.rejected);
+}
+
+ServerStatsWire ReadServerStats(PayloadReader& r) {
+  ServerStatsWire s;
+  s.queries = r.U64();
+  s.mine_runs = r.U64();
+  s.cache_hits = r.U64();
+  s.coalesced = r.U64();
+  s.store_hits = r.U64();
+  s.store_misses = r.U64();
+  s.cache_entries = r.U64();
+  s.cache_evictions = r.U64();
+  s.rejected = r.U64();
+  return s;
+}
+
+}  // namespace
+
+Message EncodeQueryRequest(const QueryRequest& request) {
+  PayloadWriter w;
+  w.U32(request.protocol_version);
+  w.U8(static_cast<uint8_t>(request.kind));
+  w.U64(request.schema_fingerprint);
+  WriteSpec(w, request.spec);
+  w.U64(request.perturb_seed);
+  w.F64(request.min_support);
+  w.F64(request.min_confidence);
+  w.U64(request.top_k);
+  return Message{MessageType::kQueryRequest, w.Take()};
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kQueryRequest, "QueryRequest"));
+  PayloadReader r(message.payload.data(), message.payload.size());
+  QueryRequest request;
+  request.protocol_version = r.U32();
+  const uint8_t kind = r.U8();
+  request.schema_fingerprint = r.U64();
+  FRAPP_RETURN_IF_ERROR(ReadSpec(r, &request.spec, "QueryRequest"));
+  request.perturb_seed = r.U64();
+  request.min_support = r.F64();
+  request.min_confidence = r.F64();
+  request.top_k = r.U64();
+  FRAPP_RETURN_IF_ERROR(r.Finish("QueryRequest"));
+  if (kind > static_cast<uint8_t>(QueryKind::kStats)) {
+    return Status::InvalidArgument("QueryRequest: unknown query kind " +
+                                   std::to_string(kind));
+  }
+  request.kind = static_cast<QueryKind>(kind);
+  return request;
+}
+
+Message EncodeQueryResponse(const QueryResponse& response) {
+  PayloadWriter w;
+  w.U8(static_cast<uint8_t>(response.kind));
+  w.U8(static_cast<uint8_t>(response.outcome));
+  w.U64(response.store_hits);
+  w.U64(response.store_misses);
+  w.U64(response.delta_chunks);
+  w.U64(response.tail_rows);
+  w.U64(response.elapsed_micros);
+
+  // Full mined result: levels of (itemset, exact support bits), plus the
+  // per-pass candidate counts so a remote report is indistinguishable from
+  // a local one.
+  w.U32(static_cast<uint32_t>(response.result.by_length.size()));
+  for (const auto& level : response.result.by_length) {
+    w.U32(static_cast<uint32_t>(level.size()));
+    for (const mining::FrequentItemset& f : level) {
+      WriteItemset(w, f.itemset);
+      w.F64(f.support);
+    }
+  }
+  w.U32(static_cast<uint32_t>(response.result.candidates_per_pass.size()));
+  for (size_t candidates : response.result.candidates_per_pass) {
+    w.U64(candidates);
+  }
+
+  w.U32(static_cast<uint32_t>(response.top.size()));
+  for (const mining::FrequentItemset& f : response.top) {
+    WriteItemset(w, f.itemset);
+    w.F64(f.support);
+  }
+
+  w.U32(static_cast<uint32_t>(response.rules.size()));
+  for (const mining::AssociationRule& rule : response.rules) {
+    WriteItemset(w, rule.antecedent);
+    WriteItemset(w, rule.consequent);
+    w.F64(rule.support);
+    w.F64(rule.confidence);
+  }
+
+  WriteServerStats(w, response.server);
+  return Message{MessageType::kQueryResponse, w.Take()};
+}
+
+StatusOr<QueryResponse> DecodeQueryResponse(const Message& message) {
+  FRAPP_RETURN_IF_ERROR(
+      ExpectType(message, MessageType::kQueryResponse, "QueryResponse"));
+  PayloadReader r(message.payload.data(), message.payload.size());
+  QueryResponse response;
+  const uint8_t kind = r.U8();
+  const uint8_t outcome = r.U8();
+  response.store_hits = r.U64();
+  response.store_misses = r.U64();
+  response.delta_chunks = r.U64();
+  response.tail_rows = r.U64();
+  response.elapsed_micros = r.U64();
+  if (!r.failed()) {
+    if (kind > static_cast<uint8_t>(QueryKind::kStats)) {
+      return Status::InvalidArgument("QueryResponse: unknown query kind " +
+                                     std::to_string(kind));
+    }
+    if (outcome > static_cast<uint8_t>(CacheOutcome::kCoalesced)) {
+      return Status::InvalidArgument("QueryResponse: unknown cache outcome " +
+                                     std::to_string(outcome));
+    }
+    response.kind = static_cast<QueryKind>(kind);
+    response.outcome = static_cast<CacheOutcome>(outcome);
+  }
+
+  const uint32_t levels = r.U32();
+  // Never reserve a peer-controlled count beyond what the payload could
+  // possibly hold (4 bytes is the smallest level encoding): a corrupt
+  // count must fail as a truncated payload, not as a giant allocation.
+  response.result.by_length.reserve(
+      r.failed() ? 0 : std::min<size_t>(levels, r.remaining() / 4));
+  for (uint32_t l = 0; l < levels && !r.failed(); ++l) {
+    const uint32_t n = r.U32();
+    std::vector<mining::FrequentItemset> level;
+    // 14 bytes = the smallest (itemset, support) encoding.
+    level.reserve(r.failed() ? 0 : std::min<size_t>(n, r.remaining() / 14));
+    for (uint32_t i = 0; i < n && !r.failed(); ++i) {
+      FRAPP_ASSIGN_OR_RETURN(mining::Itemset itemset,
+                             ReadItemset(r, "QueryResponse"));
+      const double support = r.F64();
+      level.push_back(mining::FrequentItemset{std::move(itemset), support});
+    }
+    response.result.by_length.push_back(std::move(level));
+  }
+  const uint32_t passes = r.U32();
+  response.result.candidates_per_pass.reserve(
+      r.failed() ? 0 : std::min<size_t>(passes, r.remaining() / 8));
+  for (uint32_t p = 0; p < passes && !r.failed(); ++p) {
+    response.result.candidates_per_pass.push_back(
+        static_cast<size_t>(r.U64()));
+  }
+
+  const uint32_t top = r.U32();
+  response.top.reserve(r.failed() ? 0
+                                  : std::min<size_t>(top, r.remaining() / 14));
+  for (uint32_t i = 0; i < top && !r.failed(); ++i) {
+    FRAPP_ASSIGN_OR_RETURN(mining::Itemset itemset,
+                           ReadItemset(r, "QueryResponse"));
+    const double support = r.F64();
+    response.top.push_back(mining::FrequentItemset{std::move(itemset), support});
+  }
+
+  const uint32_t rules = r.U32();
+  // 28 bytes = the smallest rule encoding (two 1-item itemsets + two f64s).
+  response.rules.reserve(
+      r.failed() ? 0 : std::min<size_t>(rules, r.remaining() / 28));
+  for (uint32_t i = 0; i < rules && !r.failed(); ++i) {
+    FRAPP_ASSIGN_OR_RETURN(mining::Itemset antecedent,
+                           ReadItemset(r, "QueryResponse"));
+    FRAPP_ASSIGN_OR_RETURN(mining::Itemset consequent,
+                           ReadItemset(r, "QueryResponse"));
+    const double support = r.F64();
+    const double confidence = r.F64();
+    response.rules.push_back(mining::AssociationRule{
+        std::move(antecedent), std::move(consequent), support, confidence});
+  }
+
+  response.server = ReadServerStats(r);
+  FRAPP_RETURN_IF_ERROR(r.Finish("QueryResponse"));
+  return response;
+}
+
+}  // namespace serve
+}  // namespace frapp

@@ -1,0 +1,130 @@
+// Payloads of the serve query frame family (dist::MessageType::kQueryRequest
+// / kQueryResponse) — the read path of mining-as-a-service.
+//
+// A query client asks a long-lived `frapp serve` process a question about
+// ONE perturbed counting problem, identified exactly like the count store's
+// identity: (schema fingerprint, canonical mechanism spec, perturbation
+// seed, supmin). The server answers from its result cache / count store
+// when it can and runs at most one mine per distinct key however many
+// clients ask concurrently (serve/broker.h).
+//
+// Query kinds:
+//
+//   kMine   the full frequent-itemset result (every level, 9-digit exact
+//           supports) — byte-renders to the same report as
+//           `frapp mine --run-pipeline`.
+//   kTopK   the top_k highest-support frequent itemsets across lengths.
+//   kRules  association rules (mining::GenerateAssociationRules) derived
+//           from the mined result at min_confidence.
+//   kStats  server counters only; never triggers a mine.
+//
+// Every response carries per-query execution stats (cache outcome, count
+// store hit/miss counts, chunks actually perturbed) plus a snapshot of the
+// server-wide counters, so clients — and the smoke scripts asserting
+// coalescing — observe the server's behaviour without a side channel.
+//
+// Framing, the Error frame, and Ping/Pong liveness are shared with the dist
+// conversation (dist/wire.h); payload encoding uses the same little-endian
+// conventions (dist/wire_io.h).
+
+#ifndef FRAPP_SERVE_QUERY_WIRE_H_
+#define FRAPP_SERVE_QUERY_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/dist/wire.h"
+#include "frapp/mining/apriori.h"
+#include "frapp/mining/rules.h"
+
+namespace frapp {
+namespace serve {
+
+enum class QueryKind : uint8_t {
+  kMine = 0,
+  kTopK = 1,
+  kRules = 2,
+  kStats = 3,
+};
+
+/// How the broker satisfied a query.
+enum class CacheOutcome : uint8_t {
+  /// No cached result: this query ran the mine.
+  kMiss = 0,
+  /// Served from the result cache; nothing executed.
+  kHit = 1,
+  /// Attached to an identical in-flight mine and received its result.
+  kCoalesced = 2,
+};
+
+/// Server-wide counters, snapshotted into every response.
+struct ServerStatsWire {
+  uint64_t queries = 0;       ///< queries admitted (any kind)
+  uint64_t mine_runs = 0;     ///< actual mine executions
+  uint64_t cache_hits = 0;    ///< queries served from the result cache
+  uint64_t coalesced = 0;     ///< queries that attached to an in-flight mine
+  uint64_t store_hits = 0;    ///< count-store vector hits across runs
+  uint64_t store_misses = 0;  ///< count-store misses across runs
+  uint64_t cache_entries = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t rejected = 0;      ///< version/fingerprint/argument rejections
+
+  friend bool operator==(const ServerStatsWire&,
+                         const ServerStatsWire&) = default;
+};
+
+struct QueryRequest {
+  uint32_t protocol_version = dist::kProtocolVersion;
+  QueryKind kind = QueryKind::kMine;
+
+  /// data::SchemaFingerprint of the client's schema; the server rejects a
+  /// mismatch outright (a cached result for the wrong schema must be
+  /// unreachable, not wrong).
+  uint64_t schema_fingerprint = 0;
+
+  dist::MechanismSpec spec;
+  uint64_t perturb_seed = 7;
+  double min_support = 0.02;
+
+  /// kRules only: confidence floor.
+  double min_confidence = 0.0;
+
+  /// kTopK only: how many itemsets to return (0 = all).
+  uint64_t top_k = 0;
+};
+
+struct QueryResponse {
+  QueryKind kind = QueryKind::kMine;
+
+  // ---- per-query execution stats ----
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  /// Count-store vector hits/misses of the mine run that produced this
+  /// result (zero for kHit/kCoalesced: nothing executed).
+  uint64_t store_hits = 0;
+  uint64_t store_misses = 0;
+  /// Chunks actually perturbed + partial-tail rows recounted by that run —
+  /// both zero when the answer came purely from materialized counts.
+  uint64_t delta_chunks = 0;
+  uint64_t tail_rows = 0;
+  uint64_t elapsed_micros = 0;
+
+  // ---- payload (by kind) ----
+  mining::AprioriResult result;              ///< kMine
+  std::vector<mining::FrequentItemset> top;  ///< kTopK
+  std::vector<mining::AssociationRule> rules;  ///< kRules
+
+  ServerStatsWire server;  ///< always present
+};
+
+dist::Message EncodeQueryRequest(const QueryRequest& request);
+StatusOr<QueryRequest> DecodeQueryRequest(const dist::Message& message);
+
+dist::Message EncodeQueryResponse(const QueryResponse& response);
+StatusOr<QueryResponse> DecodeQueryResponse(const dist::Message& message);
+
+}  // namespace serve
+}  // namespace frapp
+
+#endif  // FRAPP_SERVE_QUERY_WIRE_H_

@@ -1,0 +1,73 @@
+#include "frapp/serve/result_cache.h"
+
+#include <utility>
+
+namespace frapp {
+namespace serve {
+
+namespace {
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendStr(std::string& out, const std::string& s) {
+  AppendU64(out, s.size());
+  out += s;
+}
+
+}  // namespace
+
+std::string ResultKey::Canonical() const {
+  std::string out;
+  AppendStr(out, source_id);
+  AppendU64(out, schema_fingerprint);
+  AppendStr(out, spec_key);
+  AppendU64(out, perturb_seed);
+  AppendU64(out, supmin_bits);
+  return out;
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // First write wins (values are bit-identical by key construction);
+    // just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(value), lru_.begin()});
+  while (max_entries_ > 0 && entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace serve
+}  // namespace frapp

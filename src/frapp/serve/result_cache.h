@@ -1,0 +1,95 @@
+// LRU cache of mined results, keyed on the exact identity of a perturbed
+// counting problem — the serve layer's read-path store.
+//
+// The key covers everything that could change a single bit of the mined
+// output: the table source's identity, the schema fingerprint, the
+// mechanism's canonical spec key (exact float bit patterns), the
+// perturbation seed, and supmin's exact double bits. Two queries with equal
+// keys are THE SAME mine; the broker serves the second from here (or
+// coalesces it onto the first's in-flight run) instead of re-executing.
+// Values are shared_ptr-to-const so a hit handed to one session stays valid
+// while another query evicts the entry.
+//
+// Entry-count bounded (results are small: itemsets + doubles, not count
+// substrates — the heavyweight per-identity state lives in the count
+// store), mutex-guarded, eviction strictly least-recently-used.
+
+#ifndef FRAPP_SERVE_RESULT_CACHE_H_
+#define FRAPP_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "frapp/mining/apriori.h"
+
+namespace frapp {
+namespace serve {
+
+/// Identity of one mined result. Build with Canonical() for the cache's
+/// string key; equal keys iff the mines are bit-identical.
+struct ResultKey {
+  std::string source_id;
+  uint64_t schema_fingerprint = 0;
+  std::string spec_key;  ///< dist::CanonicalSpecKey(spec)
+  uint64_t perturb_seed = 0;
+  uint64_t supmin_bits = 0;  ///< exact IEEE-754 bits of min_support
+
+  /// Canonical flat form (length-prefixed strings, so no separator of the
+  /// source id can collide with another field).
+  std::string Canonical() const;
+};
+
+/// One cached mine: the result plus the execution stats of the run that
+/// produced it (replayed to cache-hit clients so they can still see how the
+/// result was originally computed).
+struct CachedResult {
+  mining::AprioriResult mined;
+  uint64_t store_hits = 0;
+  uint64_t store_misses = 0;
+  uint64_t delta_chunks = 0;
+  uint64_t tail_rows = 0;
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+  };
+
+  /// `max_entries` 0 = unbounded.
+  explicit ResultCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  /// The cached result for `key`, refreshing its recency; nullptr on miss.
+  std::shared_ptr<const CachedResult> Find(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+  /// over the bound. First write wins on a racing duplicate: the values are
+  /// bit-identical by key construction, so keeping the incumbent is free.
+  void Insert(const std::string& key, std::shared_ptr<const CachedResult> value);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedResult> value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace frapp
+
+#endif  // FRAPP_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,101 @@
+#include "frapp/serve/server.h"
+
+#include <utility>
+
+#include "frapp/serve/query_wire.h"
+
+namespace frapp {
+namespace serve {
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::AttachSession(std::unique_ptr<dist::Transport> transport) {
+  auto session = std::make_unique<Session>();
+  session->transport = std::move(transport);
+  Session* raw = session.get();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    // Checked under the list lock: Shutdown sets stopping_ BEFORE swapping
+    // the list out, so either we see it here and refuse, or our session
+    // lands in the list Shutdown is about to drain.
+    if (stopping_.load()) {
+      raw->transport->Close();
+      return;
+    }
+    session->thread = std::thread([this, raw] { RunSession(raw); });
+    session_list_.push_back(std::move(session));
+  }
+  sessions_.fetch_add(1);
+}
+
+Status QueryServer::ServeLoop(dist::TcpListener& listener) {
+  while (!stopping_.load()) {
+    StatusOr<std::unique_ptr<dist::Transport>> transport = listener.Accept();
+    // A failed Accept is the exit signal (the listener was closed, e.g. by
+    // a signal handler) — drain and leave cleanly.
+    if (!transport.ok()) break;
+    AttachSession(*std::move(transport));
+  }
+  Shutdown();
+  return Status::OK();
+}
+
+void QueryServer::Shutdown() {
+  stopping_.store(true);
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(session_list_);
+  }
+  for (std::unique_ptr<Session>& session : sessions) {
+    {
+      // Wait out the in-flight query: `busy` is held from decode through
+      // the response send, so once acquired the client has its answer and
+      // the close below can only interrupt an idle Receive.
+      std::lock_guard<std::mutex> busy(session->busy);
+      session->transport->Close();
+    }
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void QueryServer::RunSession(Session* session) {
+  dist::Transport& transport = *session->transport;
+  while (true) {
+    StatusOr<dist::Message> message = transport.Receive();
+    if (!message.ok()) break;  // closed or broken peer ends the session
+    std::lock_guard<std::mutex> busy(session->busy);
+    if (message->type == dist::MessageType::kPing) {
+      if (!transport.Send(dist::EncodePong()).ok()) break;
+      continue;
+    }
+    if (message->type == dist::MessageType::kShutdown) break;
+    if (message->type != dist::MessageType::kQueryRequest) {
+      const Status err = Status::InvalidArgument(
+          "serve session expects QueryRequest, Ping, or Shutdown frames");
+      if (!transport.Send(dist::EncodeError(err)).ok()) break;
+      continue;
+    }
+    if (stopping_.load()) {
+      // The query arrived after shutdown began: refuse rather than start
+      // work whose response may never be deliverable.
+      (void)transport.Send(
+          dist::EncodeError(Status::Unavailable("server is shutting down")));
+      break;
+    }
+    StatusOr<QueryRequest> request = DecodeQueryRequest(*message);
+    if (!request.ok()) {
+      if (!transport.Send(dist::EncodeError(request.status())).ok()) break;
+      continue;
+    }
+    StatusOr<QueryResponse> response = broker_->Execute(*request);
+    const Status sent =
+        response.ok() ? transport.Send(EncodeQueryResponse(*response))
+                      : transport.Send(dist::EncodeError(response.status()));
+    if (!sent.ok()) break;
+  }
+  transport.Close();
+}
+
+}  // namespace serve
+}  // namespace frapp

@@ -1,0 +1,87 @@
+// The long-lived `frapp serve` session host: accepts connections on the
+// dist wire protocol and answers serve query frames from one shared
+// QueryBroker.
+//
+// One thread per session (sessions are long-lived and block in Receive;
+// the expensive work — actual mines — is already de-duplicated by the
+// broker, so session threads mostly sleep). A session answers:
+//
+//   kQueryRequest -> kQueryResponse (or kError with the broker's Status)
+//   kPing         -> kPong (liveness, same contract as dist workers)
+//   kShutdown     -> session ends (client-initiated goodbye)
+//
+// Graceful shutdown with in-flight queries: Shutdown() stops admitting new
+// sessions/queries, then for each session waits for its current query to
+// finish AND its response to be fully sent before closing the transport —
+// an answered client never sees its connection die mid-response. Queries
+// arriving after Shutdown began are answered with kUnavailable.
+
+#ifndef FRAPP_SERVE_SERVER_H_
+#define FRAPP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "frapp/common/statusor.h"
+#include "frapp/dist/transport.h"
+#include "frapp/serve/broker.h"
+
+namespace frapp {
+namespace serve {
+
+class QueryServer {
+ public:
+  /// `broker` must outlive the server.
+  explicit QueryServer(QueryBroker* broker) : broker_(broker) {}
+
+  /// Joins every session (after a graceful Shutdown if none happened yet).
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Adopts one connection and serves it on a new session thread. After
+  /// Shutdown the transport is closed immediately.
+  void AttachSession(std::unique_ptr<dist::Transport> transport);
+
+  /// Accept loop: serves every inbound connection of `listener` until the
+  /// listener is closed (typically by a signal handler calling
+  /// `listener.Close()` — Accept's failure is the loop's exit signal, so a
+  /// close-induced exit returns OK). Drains sessions before returning.
+  Status ServeLoop(dist::TcpListener& listener);
+
+  /// Graceful shutdown: new queries are refused, in-flight queries run to
+  /// completion and their responses are delivered, then every session
+  /// transport closes and its thread is joined. Idempotent; safe to call
+  /// concurrently with running sessions.
+  void Shutdown();
+
+  /// Sessions ever attached.
+  uint64_t sessions() const { return sessions_.load(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<dist::Transport> transport;
+    std::thread thread;
+    /// Held while one query is processed AND its response sent; Shutdown
+    /// acquires it to wait out the in-flight query before closing.
+    std::mutex busy;
+  };
+
+  void RunSession(Session* session);
+
+  QueryBroker* const broker_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> sessions_{0};
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> session_list_;
+};
+
+}  // namespace serve
+}  // namespace frapp
+
+#endif  // FRAPP_SERVE_SERVER_H_

@@ -380,7 +380,12 @@ StatusOr<IncrementalResult> AppendAndMine(CountStore& store,
   if (source == nullptr) {
     return Status::InvalidArgument("source factory returned no source");
   }
-  const data::CategoricalSchema& schema = source->schema();
+  // By value, NOT by reference: the source is released right after ingest
+  // (line ~450) to drop its table before the walk, and a source that owns
+  // its schema (generated in-memory tables, binary readers) takes the
+  // referent with it — the walk would then size its candidate loops from
+  // freed memory.
+  const data::CategoricalSchema schema = source->schema();
 
   StoreIdentity want = MakeStoreIdentity(spec, schema, options);
   want.retention_bits = store.identity().retention_bits;

@@ -64,6 +64,49 @@ TEST(ParseFaultSpecTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseFaultSpec("0:close-send=").ok());     // empty value
 }
 
+TEST(ParseFaultSpecTest, RejectsEmptyClauses) {
+  // Only the fully empty string means "no faults". A stray ';' inside a
+  // non-empty spec is a typo that would silently drop a clause — error.
+  EXPECT_FALSE(ParseFaultSpec(";").ok());
+  EXPECT_FALSE(ParseFaultSpec("0:close-send=1;").ok());   // trailing ';'
+  EXPECT_FALSE(ParseFaultSpec(";0:close-send=1").ok());   // leading ';'
+  EXPECT_FALSE(
+      ParseFaultSpec("0:close-send=1;;1:close-recv=2").ok());  // doubled
+}
+
+TEST(ParseFaultSpecTest, RejectsDuplicateEndpointIndices) {
+  // Duplicate clauses for one endpoint would make the later one silently
+  // win (or worse, merge); the grammar demands one clause per endpoint.
+  const StatusOr<FaultSpec> spec =
+      ParseFaultSpec("0:close-send=1;0:close-recv=2");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(spec.status().message().find("duplicate endpoint index 0"),
+            std::string::npos)
+      << spec.status().ToString();
+}
+
+TEST(ParseFaultSpecTest, RejectsValuesThatOverflowUint64) {
+  // 2^64 - 1 is representable...
+  const StatusOr<FaultSpec> max =
+      ParseFaultSpec("0:close-send=18446744073709551615");
+  ASSERT_TRUE(max.ok()) << max.status().ToString();
+  EXPECT_EQ(max->by_endpoint.at(0).close_after_sends, UINT64_MAX);
+  // ...but 2^64 (and any longer digit string) must fail, not wrap into a
+  // small count that arms the fault at the wrong operation.
+  EXPECT_FALSE(ParseFaultSpec("0:close-send=18446744073709551616").ok());
+  EXPECT_FALSE(ParseFaultSpec("0:close-send=99999999999999999999").ok());
+  EXPECT_FALSE(ParseFaultSpec("99999999999999999999:close-send=1").ok());
+}
+
+TEST(ParseFaultSpecTest, ErrorsNameTheOffendingClause) {
+  const StatusOr<FaultSpec> spec =
+      ParseFaultSpec("0:close-send=1;1:close-recv=2;2:explode=3");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("clause 3"), std::string::npos)
+      << spec.status().ToString();
+}
+
 TEST(FaultTransportTest, CloseAfterSendsFiresOnSchedule) {
   auto [a, b] = CreateInProcessTransportPair();
   FaultActions actions;

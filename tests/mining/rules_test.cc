@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "frapp/data/census.h"
+#include "frapp/dist/mechanism_spec.h"
+#include "frapp/pipeline/privacy_pipeline.h"
+
 namespace frapp {
 namespace mining {
 namespace {
@@ -63,6 +71,180 @@ TEST(RulesTest, MissingAntecedentSupportSkipsRule) {
   std::vector<AssociationRule> rules = GenerateRules(r, 0.0);
   ASSERT_EQ(rules.size(), 1u);
   EXPECT_EQ(rules[0].antecedent, *Itemset::Create({{1, 0}}));
+}
+
+// ---------------------------------------------------------------- oracle --
+//
+// An independent brute-force re-derivation of the rule phase: recursive
+// subset enumeration (the implementation iterates bitmasks), a std::map
+// support lookup, and its own copy of the documented total order. Any
+// divergence between the two is a real bug in one of them.
+
+void OracleSplits(const std::vector<Item>& items, size_t index,
+                  std::vector<Item>* lhs, std::vector<Item>* rhs,
+                  const std::map<Itemset, double>& support, double sup_f,
+                  const RuleOptions& options,
+                  std::vector<AssociationRule>* out) {
+  if (index == items.size()) {
+    if (lhs->empty() || rhs->empty()) return;
+    const Itemset antecedent = *Itemset::Create(*lhs);
+    auto it = support.find(antecedent);
+    if (it == support.end() || it->second <= 0.0) return;
+    const double confidence = sup_f / it->second;
+    if (confidence < options.min_confidence) return;
+    out->push_back(AssociationRule{antecedent, *Itemset::Create(*rhs), sup_f,
+                                   confidence});
+    return;
+  }
+  lhs->push_back(items[index]);
+  OracleSplits(items, index + 1, lhs, rhs, support, sup_f, options, out);
+  lhs->pop_back();
+  rhs->push_back(items[index]);
+  OracleSplits(items, index + 1, lhs, rhs, support, sup_f, options, out);
+  rhs->pop_back();
+}
+
+std::vector<AssociationRule> RuleOracle(const AprioriResult& result,
+                                        const RuleOptions& options) {
+  std::map<Itemset, double> support;
+  for (const auto& level : result.by_length) {
+    for (const FrequentItemset& f : level) support[f.itemset] = f.support;
+  }
+  std::vector<AssociationRule> out;
+  for (const auto& level : result.by_length) {
+    for (const FrequentItemset& f : level) {
+      if (f.itemset.size() < 2 || f.support < options.min_support) continue;
+      std::vector<Item> lhs, rhs;
+      OracleSplits(f.itemset.items(), 0, &lhs, &rhs, support, f.support,
+                   options, &out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence)
+                return a.confidence > b.confidence;
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent)
+                return a.antecedent < b.antecedent;
+              return a.consequent < b.consequent;
+            });
+  return out;
+}
+
+void ExpectSameRules(const std::vector<AssociationRule>& got,
+                     const std::vector<AssociationRule>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(got[i].antecedent == want[i].antecedent) << "rule " << i;
+    EXPECT_TRUE(got[i].consequent == want[i].consequent) << "rule " << i;
+    // Bitwise: both sides compute sup(F)/sup(A) from identical doubles.
+    EXPECT_EQ(got[i].support, want[i].support) << "rule " << i;
+    EXPECT_EQ(got[i].confidence, want[i].confidence) << "rule " << i;
+  }
+}
+
+/// A dense 4-attribute lattice with every subset frequent: 4 singletons,
+/// 6 pairs, 4 triples, 1 quad — 2^4 - 5 = 11 rule sources, 50 splits.
+/// Supports decay with length but are intentionally "noisy" (non-monotone
+/// within a level) the way reconstructed supports are.
+AprioriResult MakeDenseResult() {
+  AprioriResult r;
+  r.by_length.resize(4);
+  double wiggle = 0.0;
+  for (uint16_t a = 0; a < 4; ++a) {
+    r.by_length[0].push_back({*Itemset::Create({{a, 0}}), 0.5 + wiggle});
+    wiggle += 0.07;
+  }
+  for (uint16_t a = 0; a < 4; ++a) {
+    for (uint16_t b = static_cast<uint16_t>(a + 1); b < 4; ++b) {
+      r.by_length[1].push_back(
+          {*Itemset::Create({{a, 0}, {b, 0}}), 0.3 + 0.01 * (a + b)});
+    }
+  }
+  for (uint16_t skip = 0; skip < 4; ++skip) {
+    std::vector<Item> items;
+    for (uint16_t a = 0; a < 4; ++a) {
+      if (a != skip) items.push_back({a, 0});
+    }
+    r.by_length[2].push_back({*Itemset::Create(items), 0.1 + 0.02 * skip});
+  }
+  r.by_length[3].push_back(
+      {*Itemset::Create({{0, 0}, {1, 0}, {2, 0}, {3, 0}}), 0.05});
+  return r;
+}
+
+TEST(RulesTest, OracleAgreesOnExhaustiveDenseLattice) {
+  const AprioriResult result = MakeDenseResult();
+  for (double min_confidence : {0.0, 0.2, 0.5, 0.9}) {
+    for (double min_support : {0.0, 0.09, 0.2}) {
+      SCOPED_TRACE("conf " + std::to_string(min_confidence) + " sup " +
+                   std::to_string(min_support));
+      RuleOptions options;
+      options.min_confidence = min_confidence;
+      options.min_support = min_support;
+      StatusOr<std::vector<AssociationRule>> got =
+          GenerateAssociationRules(result, options);
+      ASSERT_TRUE(got.ok());
+      ExpectSameRules(*got, RuleOracle(result, options));
+    }
+  }
+  // Unfiltered, the dense lattice emits every split of every rule source:
+  // 6*2 + 4*6 + 1*14 = 50 (all antecedent supports present and positive).
+  RuleOptions all;
+  StatusOr<std::vector<AssociationRule>> rules =
+      GenerateAssociationRules(result, all);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 50u);
+}
+
+TEST(RulesTest, OracleAgreesOnMissingAndNonPositiveAntecedents) {
+  // Reconstruction can drop or zero an antecedent's support; both sides
+  // must skip exactly the same splits.
+  AprioriResult r = MakeDenseResult();
+  r.by_length[0].erase(r.by_length[0].begin());  // {0} missing entirely
+  r.by_length[0][0].support = 0.0;               // {1} present but zero
+  RuleOptions options;
+  StatusOr<std::vector<AssociationRule>> got =
+      GenerateAssociationRules(r, options);
+  ASSERT_TRUE(got.ok());
+  ExpectSameRules(*got, RuleOracle(r, options));
+  RuleGenStats stats;
+  ASSERT_TRUE(GenerateAssociationRules(r, options, &stats).ok());
+  EXPECT_GT(stats.missing_antecedents, 0u);
+}
+
+/// Spot check against REAL mined results: rules over reconstructed CENSUS
+/// supports (DET-GD categorical, MASK boolean) equal the oracle's.
+TEST(RulesTest, OracleAgreesOnMinedCensusResults) {
+  StatusOr<data::CategoricalTable> table =
+      data::census::MakeDataset(50000, data::census::kDefaultSeed);
+  ASSERT_TRUE(table.ok());
+  for (const dist::MechanismSpec::Kind kind :
+       {dist::MechanismSpec::Kind::kDetGd, dist::MechanismSpec::Kind::kMask}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    dist::MechanismSpec spec;
+    spec.kind = kind;
+    StatusOr<std::unique_ptr<core::Mechanism>> mech =
+        dist::MakeMechanism(spec, table->schema());
+    ASSERT_TRUE(mech.ok());
+    pipeline::PipelineOptions popts;
+    popts.num_shards = 3;
+    popts.num_threads = 2;
+    popts.perturb_seed = 7;
+    popts.mining.min_support = 0.02;
+    StatusOr<pipeline::PipelineResult> run =
+        pipeline::PrivacyPipeline(popts).Run(**mech, *table);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+    for (double min_confidence : {0.0, 0.5}) {
+      RuleOptions options;
+      options.min_confidence = min_confidence;
+      StatusOr<std::vector<AssociationRule>> got =
+          GenerateAssociationRules(run->mined, options);
+      ASSERT_TRUE(got.ok());
+      ExpectSameRules(*got, RuleOracle(run->mined, options));
+    }
+  }
 }
 
 TEST(RulesTest, ToStringRendersRule) {

@@ -1,0 +1,271 @@
+// Hostile-peer coverage of the serve query frames: every field round-trips
+// exactly (float BITS, not decimal round-trips), and every malformed frame
+// — truncated at any byte, corrupted counts, unknown enum values, trailing
+// garbage, oversized length prefixes — decodes to a Status, never a crash
+// or a giant allocation.
+
+#include "frapp/serve/query_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "frapp/dist/wire.h"
+#include "frapp/dist/wire_io.h"
+
+namespace frapp {
+namespace serve {
+namespace {
+
+QueryRequest MakeRequest() {
+  QueryRequest request;
+  request.kind = QueryKind::kRules;
+  request.schema_fingerprint = 0x0123456789abcdefull;
+  request.spec.kind = dist::MechanismSpec::Kind::kRanGd;
+  request.spec.gamma = 23.5;
+  request.spec.alpha = 0.75;
+  request.spec.randomization = random::RandomizationKind::kTwoPoint;
+  request.spec.cutoff_k = 5;
+  request.spec.rho = 0.494;
+  request.perturb_seed = 99;
+  request.min_support = 0.015;
+  request.min_confidence = 0.6;
+  request.top_k = 12;
+  return request;
+}
+
+QueryResponse MakeResponse() {
+  QueryResponse response;
+  response.kind = QueryKind::kMine;
+  response.outcome = CacheOutcome::kCoalesced;
+  response.store_hits = 11;
+  response.store_misses = 3;
+  response.delta_chunks = 2;
+  response.tail_rows = 417;
+  response.elapsed_micros = 123456;
+  response.result.by_length.resize(2);
+  response.result.by_length[0].push_back(
+      {*mining::Itemset::Create({{0, 1}}), 0.25});
+  response.result.by_length[0].push_back(
+      {*mining::Itemset::Create({{3, 2}}), 0.125});
+  response.result.by_length[1].push_back(
+      {*mining::Itemset::Create({{0, 1}, {3, 2}}), 0.0625});
+  response.result.candidates_per_pass = {9, 4};
+  response.top.push_back({*mining::Itemset::Create({{0, 1}}), 0.25});
+  response.rules.push_back({*mining::Itemset::Create({{0, 1}}),
+                            *mining::Itemset::Create({{3, 2}}), 0.0625, 0.25});
+  response.server.queries = 7;
+  response.server.mine_runs = 2;
+  response.server.cache_hits = 4;
+  response.server.coalesced = 1;
+  response.server.store_hits = 11;
+  response.server.store_misses = 3;
+  response.server.cache_entries = 2;
+  response.server.cache_evictions = 1;
+  response.server.rejected = 5;
+  return response;
+}
+
+TEST(QueryWire, RequestRoundTripsEveryField) {
+  const QueryRequest want = MakeRequest();
+  const StatusOr<QueryRequest> got =
+      DecodeQueryRequest(EncodeQueryRequest(want));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->protocol_version, want.protocol_version);
+  EXPECT_EQ(got->kind, want.kind);
+  EXPECT_EQ(got->schema_fingerprint, want.schema_fingerprint);
+  EXPECT_EQ(got->spec.kind, want.spec.kind);
+  EXPECT_EQ(got->spec.gamma, want.spec.gamma);
+  EXPECT_EQ(got->spec.alpha, want.spec.alpha);
+  EXPECT_EQ(got->spec.randomization, want.spec.randomization);
+  EXPECT_EQ(got->spec.cutoff_k, want.spec.cutoff_k);
+  EXPECT_EQ(got->spec.rho, want.spec.rho);
+  EXPECT_EQ(got->perturb_seed, want.perturb_seed);
+  EXPECT_EQ(got->min_support, want.min_support);
+  EXPECT_EQ(got->min_confidence, want.min_confidence);
+  EXPECT_EQ(got->top_k, want.top_k);
+}
+
+TEST(QueryWire, ResponseRoundTripsEveryField) {
+  const QueryResponse want = MakeResponse();
+  const StatusOr<QueryResponse> got =
+      DecodeQueryResponse(EncodeQueryResponse(want));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->kind, want.kind);
+  EXPECT_EQ(got->outcome, want.outcome);
+  EXPECT_EQ(got->store_hits, want.store_hits);
+  EXPECT_EQ(got->store_misses, want.store_misses);
+  EXPECT_EQ(got->delta_chunks, want.delta_chunks);
+  EXPECT_EQ(got->tail_rows, want.tail_rows);
+  EXPECT_EQ(got->elapsed_micros, want.elapsed_micros);
+  ASSERT_EQ(got->result.by_length.size(), want.result.by_length.size());
+  for (size_t k = 0; k < want.result.by_length.size(); ++k) {
+    ASSERT_EQ(got->result.by_length[k].size(), want.result.by_length[k].size());
+    for (size_t i = 0; i < want.result.by_length[k].size(); ++i) {
+      EXPECT_TRUE(got->result.by_length[k][i].itemset ==
+                  want.result.by_length[k][i].itemset);
+      EXPECT_EQ(got->result.by_length[k][i].support,
+                want.result.by_length[k][i].support);
+    }
+  }
+  EXPECT_EQ(got->result.candidates_per_pass, want.result.candidates_per_pass);
+  ASSERT_EQ(got->top.size(), 1u);
+  EXPECT_TRUE(got->top[0].itemset == want.top[0].itemset);
+  EXPECT_EQ(got->top[0].support, want.top[0].support);
+  ASSERT_EQ(got->rules.size(), 1u);
+  EXPECT_TRUE(got->rules[0].antecedent == want.rules[0].antecedent);
+  EXPECT_TRUE(got->rules[0].consequent == want.rules[0].consequent);
+  EXPECT_EQ(got->rules[0].support, want.rules[0].support);
+  EXPECT_EQ(got->rules[0].confidence, want.rules[0].confidence);
+  EXPECT_TRUE(got->server == want.server);
+}
+
+TEST(QueryWire, RequestRejectsEveryTruncation) {
+  const dist::Message full = EncodeQueryRequest(MakeRequest());
+  for (size_t len = 0; len < full.payload.size(); ++len) {
+    dist::Message cut = full;
+    cut.payload.resize(len);
+    EXPECT_FALSE(DecodeQueryRequest(cut).ok()) << "survived at " << len;
+  }
+}
+
+TEST(QueryWire, ResponseRejectsEveryTruncation) {
+  const dist::Message full = EncodeQueryResponse(MakeResponse());
+  for (size_t len = 0; len < full.payload.size(); ++len) {
+    dist::Message cut = full;
+    cut.payload.resize(len);
+    EXPECT_FALSE(DecodeQueryResponse(cut).ok()) << "survived at " << len;
+  }
+}
+
+TEST(QueryWire, RequestRejectsTrailingGarbage) {
+  dist::Message message = EncodeQueryRequest(MakeRequest());
+  message.payload.push_back(0);
+  EXPECT_FALSE(DecodeQueryRequest(message).ok());
+}
+
+TEST(QueryWire, RequestRejectsUnknownEnumValues) {
+  // Payload offsets: version u32 (0), query kind u8 (4), fingerprint u64
+  // (5), spec kind u8 (13), gamma f64 (14), alpha f64 (22),
+  // randomization u8 (30).
+  {
+    dist::Message message = EncodeQueryRequest(MakeRequest());
+    message.payload[4] = 200;  // no such QueryKind
+    EXPECT_FALSE(DecodeQueryRequest(message).ok());
+  }
+  {
+    dist::Message message = EncodeQueryRequest(MakeRequest());
+    message.payload[13] = 99;  // no such MechanismSpec::Kind
+    EXPECT_FALSE(DecodeQueryRequest(message).ok());
+  }
+  {
+    dist::Message message = EncodeQueryRequest(MakeRequest());
+    message.payload[30] = 77;  // no such RandomizationKind
+    EXPECT_FALSE(DecodeQueryRequest(message).ok());
+  }
+}
+
+TEST(QueryWire, ResponseRejectsUnknownEnumValues) {
+  {
+    dist::Message message = EncodeQueryResponse(MakeResponse());
+    message.payload[0] = 200;  // query kind
+    EXPECT_FALSE(DecodeQueryResponse(message).ok());
+  }
+  {
+    dist::Message message = EncodeQueryResponse(MakeResponse());
+    message.payload[1] = 9;  // cache outcome
+    EXPECT_FALSE(DecodeQueryResponse(message).ok());
+  }
+}
+
+TEST(QueryWire, WrongMessageTypeIsRejectedAndErrorFramePropagates) {
+  EXPECT_FALSE(DecodeQueryRequest(dist::EncodePong()).ok());
+  EXPECT_FALSE(DecodeQueryResponse(dist::EncodePing()).ok());
+  // A kQueryRequest payload under the kQueryResponse type (and vice versa)
+  // must not decode either.
+  dist::Message crossed = EncodeQueryRequest(MakeRequest());
+  crossed.type = dist::MessageType::kQueryResponse;
+  EXPECT_FALSE(DecodeQueryResponse(crossed).ok());
+
+  // An Error frame in a response slot surfaces as the carried Status.
+  const Status failure = Status::Unavailable("server is shutting down");
+  const StatusOr<QueryResponse> got =
+      DecodeQueryResponse(dist::EncodeError(failure));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+// A corrupt element count must read as truncation, NOT drive a
+// count-sized allocation: the decoder may never reserve more than the
+// payload could possibly hold.
+TEST(QueryWire, ResponseRejectsCorruptCountsWithoutGiantAllocation) {
+  // Response header is 1+1+5*8 = 42 bytes; the level count u32 sits at 42.
+  dist::Message message = EncodeQueryResponse(MakeResponse());
+  ASSERT_GT(message.payload.size(), 46u);
+  for (size_t i = 0; i < 4; ++i) message.payload[42 + i] = 0xff;
+  EXPECT_FALSE(DecodeQueryResponse(message).ok());
+}
+
+TEST(QueryWire, ResponseRejectsMalformedItemsets) {
+  using dist::PayloadWriter;
+  // Hand-build a response whose top list carries a hostile itemset.
+  const auto build = [](uint16_t k, std::vector<uint16_t> pairs) {
+    PayloadWriter w;
+    w.U8(0);  // kind kMine
+    w.U8(0);  // outcome kMiss
+    for (int i = 0; i < 5; ++i) w.U64(0);  // per-query stats
+    w.U32(0);                              // no mined levels
+    w.U32(0);                              // no candidate passes
+    w.U32(1);                              // ONE top itemset...
+    w.U16(k);                              // ...with a hostile length
+    for (uint16_t v : pairs) w.U16(v);
+    w.F64(0.5);                            // its support
+    w.U32(0);                              // no rules
+    for (int i = 0; i < 9; ++i) w.U64(0);  // server stats
+    return dist::Message{dist::MessageType::kQueryResponse, w.Take()};
+  };
+
+  // k == 0: empty itemsets never cross the wire.
+  EXPECT_FALSE(DecodeQueryResponse(build(0, {})).ok());
+  // Duplicate attribute: violates the sorted-distinct invariant.
+  EXPECT_FALSE(DecodeQueryResponse(build(2, {1, 0, 1, 1})).ok());
+  // Unsorted attributes are canonicalized (Itemset::Create sorts), so the
+  // decoded itemset is the same value however a peer ordered the pairs.
+  const StatusOr<QueryResponse> unsorted =
+      DecodeQueryResponse(build(2, {3, 0, 1, 0}));
+  ASSERT_TRUE(unsorted.ok()) << unsorted.status().ToString();
+  EXPECT_TRUE(unsorted->top[0].itemset ==
+              *mining::Itemset::Create({{1, 0}, {3, 0}}));
+  // Length larger than the remaining payload: truncation, not overread.
+  EXPECT_FALSE(DecodeQueryResponse(build(40000, {1, 0})).ok());
+}
+
+TEST(QueryWire, OversizedFramePrefixIsRejectedByFraming) {
+  std::vector<uint8_t> frame =
+      dist::EncodeFrame(EncodeQueryRequest(MakeRequest()));
+  // Corrupt the u32 length prefix to something absurd: framing must refuse
+  // before any payload allocation happens.
+  frame[0] = 0xff;
+  frame[1] = 0xff;
+  frame[2] = 0xff;
+  frame[3] = 0xff;
+  size_t consumed = 0;
+  EXPECT_FALSE(dist::DecodeFrame(frame.data(), frame.size(), &consumed).ok());
+}
+
+TEST(QueryWire, QueryFramesRoundTripThroughFraming) {
+  const dist::Message message = EncodeQueryResponse(MakeResponse());
+  const std::vector<uint8_t> frame = dist::EncodeFrame(message);
+  size_t consumed = 0;
+  const StatusOr<dist::Message> decoded =
+      dist::DecodeFrame(frame.data(), frame.size(), &consumed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(decoded->type, dist::MessageType::kQueryResponse);
+  EXPECT_EQ(decoded->payload, message.payload);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace frapp

@@ -399,6 +399,66 @@ TEST_F(IncrementalMineTest, RejectsMismatchedStoreAndBackwardWindows) {
   EXPECT_FALSE(AppendAndMine(cs, spec, factory, options).ok());
 }
 
+// Regression: the CLI and the serve broker hand AppendAndMine sources that
+// OWN their table (generated in-memory datasets, binary readers with their
+// own schema). AppendAndMine releases the source right after ingest to drop
+// the table before the candidate walk — anything it kept by reference into
+// the source (the schema, in the original bug) died with it, and the walk
+// sized its candidate loops from freed cardinalities. Must stay correct (and
+// ASan-clean) with a source whose table's lifetime ends at that release.
+TEST_F(IncrementalMineTest, SurvivesSourceThatOwnsItsTable) {
+  class OwningSource : public pipeline::TableSource {
+   public:
+    explicit OwningSource(data::CategoricalTable table)
+        : table_(std::make_shared<data::CategoricalTable>(std::move(table))),
+          inner_(*table_, 0) {}
+    const data::CategoricalSchema& schema() const override {
+      return inner_.schema();
+    }
+    StatusOr<bool> NextShard(pipeline::PulledShard* out) override {
+      return inner_.NextShard(out);
+    }
+    Status SkipToRow(size_t row) override { return inner_.SkipToRow(row); }
+    std::optional<size_t> TotalRows() const override {
+      return inner_.TotalRows();
+    }
+
+   private:
+    std::shared_ptr<data::CategoricalTable> table_;
+    pipeline::InMemoryTableSource inner_;
+  };
+
+  dist::MechanismSpec spec;
+  IncrementalOptions options;
+  options.mining.min_support = 0.02;
+  options.source_id = "census-owning";
+
+  const size_t rows = 2 * kChunk + 1024;
+  StatusOr<data::CategoricalTable> prefix = data::CopyRowRange(*full_, {0, rows});
+  ASSERT_TRUE(prefix.ok());
+
+  const SourceFactory factory =
+      [&]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+    FRAPP_ASSIGN_OR_RETURN(data::CategoricalTable copy,
+                           data::CopyRowRange(*full_, {0, rows}));
+    std::unique_ptr<pipeline::TableSource> src =
+        std::make_unique<OwningSource>(std::move(copy));
+    return src;
+  };
+
+  CountStore cs(MakeStoreIdentity(spec, full_->schema(), options));
+  const StatusOr<IncrementalResult> got = AppendAndMine(cs, spec, factory, options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSameMining(got->mined, Reference(spec, *prefix, options));
+
+  // Second call: pure store re-mine (no growth), source released immediately.
+  const StatusOr<IncrementalResult> again =
+      AppendAndMine(cs, spec, factory, options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->stats.delta_chunks, 0u);
+  ExpectSameMining(again->mined, got->mined);
+}
+
 }  // namespace
 }  // namespace store
 }  // namespace frapp

@@ -74,9 +74,30 @@
 //       Prints the detected ISA features, cache geometry and core topology
 //       (common/cpuinfo.h) plus the counting-kernel level the dispatcher
 //       resolved (mining/kernels.h, honouring FRAPP_FORCE_KERNEL).
+//   frapp serve    --listen PORT [--bind-host 127.0.0.1] --dataset D
+//                  (--in F.csv|F.bin | --rows N [--gen-seed S])
+//                  [--threads T] [--cache-entries N] [--superset-margin F]
+//       Mining-as-a-service front end (docs/SERVICE.md): a long-lived
+//       process answering query frames over the dist wire protocol from a
+//       result cache + count store. Concurrent identical mine queries
+//       coalesce into ONE run; repeat queries are cache hits; sub-supmin /
+//       top-k / rule queries against an already-mined problem are answered
+//       from materialized count vectors with zero re-perturbation. SIGINT/
+//       SIGTERM shut down gracefully: in-flight queries complete and their
+//       responses are delivered before sessions close.
+//   frapp query    --connect HOST:PORT --dataset D
+//                  [--query mine|topk|rules|stats] --mechanism M [--seed S]
+//                  [--minsup 0.02] [--min-confidence C] [--top K]
+//       One query against a running `frapp serve`. --query mine prints the
+//       EXACT report of `frapp mine --run-pipeline` over the same spec
+//       (byte-diffable); topk/rules print their tables; stats prints the
+//       server counters. stderr carries the per-query cache outcome and
+//       server stats snapshot (what the smoke scripts assert on).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -107,6 +128,10 @@
 #include "frapp/mining/kernels.h"
 #include "frapp/mining/support_counter.h"
 #include "frapp/pipeline/privacy_pipeline.h"
+#include "frapp/serve/broker.h"
+#include "frapp/serve/client.h"
+#include "frapp/serve/query_wire.h"
+#include "frapp/serve/server.h"
 #include "frapp/store/incremental_mine.h"
 
 namespace {
@@ -115,7 +140,7 @@ using namespace frapp;
 
 int Usage() {
   std::cerr <<
-      "usage: frapp <generate|perturb|mine|append|audit|convert|worker|cpuinfo> [flags]\n"
+      "usage: frapp <generate|perturb|mine|append|audit|convert|worker|serve|query|cpuinfo> [flags]\n"
       "  generate --dataset census|health [--rows N] [--seed S] --out F.csv\n"
       "  perturb  --dataset D --in F.csv --out G.csv [--rho1 R --rho2 R]\n"
       "           [--alpha-frac F] [--seed S]\n"
@@ -140,6 +165,13 @@ int Usage() {
       "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
       "           [--threads T] [--pin-threads] [--once]\n"
       "           [--idle-timeout-ms MS] [--index-cache-mb MB]\n"
+      "  serve    --listen PORT [--bind-host 127.0.0.1] --dataset D\n"
+      "           (--in F.csv|F.bin | --rows N [--gen-seed S])\n"
+      "           [--threads T] [--cache-entries 64] [--superset-margin 0.25]\n"
+      "  query    --connect HOST:PORT --dataset D [--query mine|topk|rules|stats]\n"
+      "           --mechanism det-gd|ran-gd|mask|cp|ind-gd [--gamma G]\n"
+      "           [--alpha A | --alpha-frac F] [--cutoff-k K] [--rho R]\n"
+      "           [--seed 7] [--minsup 0.02] [--min-confidence C] [--top 20]\n"
       "  cpuinfo  (prints ISA/cache/topology detection + kernel dispatch;\n"
       "            FRAPP_FORCE_KERNEL=scalar|avx2|avx512 overrides dispatch)\n";
   return 2;
@@ -272,30 +304,14 @@ int CmdPerturb(const Flags& flags) {
   return 0;
 }
 
-// Shared by every mine mode, so single-process and distributed runs can be
-// diffed for bit-parity: identical supports print identical text. Supports
-// print at 9 significant digits (the legacy mine modes printed 4) so that
-// near-miss parity failures show up in the diff instead of rounding away.
+// Shared by every mine mode, so single-process, distributed, incremental,
+// and served runs can be diffed for bit-parity: identical supports print
+// identical text. The format itself lives in eval::PrintMiningReport (one
+// renderer for the CLI, `frapp query`, and the golden fixtures freezing it).
 void PrintMiningReport(const data::CategoricalSchema& schema,
                        const mining::AprioriResult& result,
                        const std::string& label, double minsup, size_t top) {
-  std::cout << label << " frequent itemsets (minsup = " << minsup << "):";
-  for (size_t k = 1; k <= result.MaxLength(); ++k) {
-    std::cout << "  L" << k << "=" << result.OfLength(k).size();
-  }
-  std::cout << "\n\n";
-
-  std::vector<mining::FrequentItemset> all;
-  for (const auto& level : result.by_length) {
-    all.insert(all.end(), level.begin(), level.end());
-  }
-  std::sort(all.begin(), all.end(),
-            [](const auto& a, const auto& b) { return a.support > b.support; });
-  eval::TextTable out({"support", "itemset"});
-  for (size_t i = 0; i < std::min(top, all.size()); ++i) {
-    out.AddRow({eval::Cell(all[i].support, 9), all[i].itemset.ToString(schema)});
-  }
-  out.Print(std::cout);
+  eval::PrintMiningReport(std::cout, schema, result, label, minsup, top);
 }
 
 dist::MechanismSpec SpecFromFlags(const Flags& flags,
@@ -367,6 +383,56 @@ StatusOr<ResolvedSource> MakeSource(const Flags& flags,
   resolved.source =
       std::make_unique<pipeline::CsvTableSource>(std::move(source));
   return resolved;
+}
+
+/// Ties a generated table's lifetime to the TableSource handed out, so a
+/// source factory's product can outlive the factory call.
+class OwningSource : public pipeline::TableSource {
+ public:
+  OwningSource(std::shared_ptr<const data::CategoricalTable> table,
+               std::unique_ptr<pipeline::TableSource> inner)
+      : table_(std::move(table)), inner_(std::move(inner)) {}
+  const data::CategoricalSchema& schema() const override {
+    return inner_->schema();
+  }
+  StatusOr<bool> NextShard(pipeline::PulledShard* out) override {
+    return inner_->NextShard(out);
+  }
+  Status SkipToRow(size_t row) override { return inner_->SkipToRow(row); }
+  std::optional<size_t> TotalRows() const override {
+    return inner_->TotalRows();
+  }
+
+ private:
+  std::shared_ptr<const data::CategoricalTable> table_;
+  std::unique_ptr<pipeline::TableSource> inner_;
+};
+
+/// The factory every long-lived consumer shares (`frapp worker` sessions,
+/// `frapp mine --count-store`, `frapp serve` mine runs): each call opens a
+/// fresh view of the flags' table, with generated data kept alive by the
+/// returned source. `flags` and `schema` must outlive the factory.
+store::SourceFactory MakeSourceFactory(const Flags& flags,
+                                       const data::CategoricalSchema& schema) {
+  return [&flags,
+          &schema]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
+    FRAPP_ASSIGN_OR_RETURN(ResolvedSource resolved, MakeSource(flags, schema));
+    if (resolved.table == nullptr) return std::move(resolved.source);
+    return std::unique_ptr<pipeline::TableSource>(
+        std::make_unique<OwningSource>(std::move(resolved.table),
+                                       std::move(resolved.source)));
+  };
+}
+
+/// Stable identity of the served/stored table across growth: a file keeps
+/// its path; a generated table keeps its (dataset, seed) — never its row
+/// count (the incremental-store convention).
+std::string StoreSourceId(const Flags& flags) {
+  const std::string in = flags.Get("in");
+  if (!in.empty()) return in;
+  return "gen:" + flags.Get("dataset") + ":" +
+         std::to_string(
+             flags.GetUint("gen-seed", DefaultGenSeed(flags.Get("dataset"))));
 }
 
 int CmdMineDistributed(const Flags& flags,
@@ -493,49 +559,13 @@ int CmdMineIncremental(const Flags& flags,
   options.num_threads = flags.GetUint("threads", 1);
   options.superset_margin = flags.GetDouble("superset-margin", 0.25);
   options.window_begin_row = flags.GetUint("window-begin", 0);
-  // The source identity must survive growth: a grown file keeps its path,
-  // and a generated table keeps its (dataset, seed) — never its row count.
-  const std::string in = flags.Get("in");
-  options.source_id =
-      !in.empty() ? in
-                  : "gen:" + flags.Get("dataset") + ":" +
-                        std::to_string(flags.GetUint(
-                            "gen-seed", DefaultGenSeed(flags.Get("dataset"))));
+  options.source_id = StoreSourceId(flags);
 
   bool created = false;
   store::CountStore store = Unwrap(store::LoadOrCreateStore(
       store_path, store::MakeStoreIdentity(spec, schema, options), &created));
   const store::IncrementalResult result = Unwrap(store::AppendAndMine(
-      store, spec,
-      [&flags, &schema]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
-        FRAPP_ASSIGN_OR_RETURN(ResolvedSource resolved,
-                               MakeSource(flags, schema));
-        // Generated tables: the factory result must own the table. The
-        // incremental driver opens the source exactly once, so a plain
-        // pair capture keeps this simple.
-        if (resolved.table == nullptr) return std::move(resolved.source);
-        struct Owning : pipeline::TableSource {
-          std::shared_ptr<const data::CategoricalTable> table;
-          std::unique_ptr<pipeline::TableSource> inner;
-          const data::CategoricalSchema& schema() const override {
-            return inner->schema();
-          }
-          StatusOr<bool> NextShard(pipeline::PulledShard* out) override {
-            return inner->NextShard(out);
-          }
-          Status SkipToRow(size_t row) override {
-            return inner->SkipToRow(row);
-          }
-          std::optional<size_t> TotalRows() const override {
-            return inner->TotalRows();
-          }
-        };
-        auto owning = std::make_unique<Owning>();
-        owning->table = std::move(resolved.table);
-        owning->inner = std::move(resolved.source);
-        return std::unique_ptr<pipeline::TableSource>(std::move(owning));
-      },
-      options));
+      store, spec, MakeSourceFactory(flags, schema), options));
   UnwrapStatus(store.SaveToFile(store_path));
 
   // Byte-identical to the same mine without --count-store: reports diff
@@ -667,37 +697,8 @@ int CmdWorker(const Flags& flags) {
   // A coordinator that vanished without closing (SIGKILL, partition) must
   // not pin the worker forever: end idle sessions cleanly and re-accept.
   options.session_idle_timeout_ms = flags.GetUint("idle-timeout-ms", 0);
-  options.source_factory =
-      [&flags, &schema]() -> StatusOr<std::unique_ptr<pipeline::TableSource>> {
-    // The factory leaks generated tables' ownership into the source via a
-    // self-owning wrapper: keep it simple by materializing fresh per
-    // session (sessions are rare; ingest dominates anyway).
-    FRAPP_ASSIGN_OR_RETURN(ResolvedSource resolved, MakeSource(flags, schema));
-    if (resolved.table == nullptr) return std::move(resolved.source);
-    // Tie the generated table's lifetime to the source object.
-    class OwningSource : public pipeline::TableSource {
-     public:
-      OwningSource(std::shared_ptr<const data::CategoricalTable> table,
-                   std::unique_ptr<pipeline::TableSource> inner)
-          : table_(std::move(table)), inner_(std::move(inner)) {}
-      const data::CategoricalSchema& schema() const override {
-        return inner_->schema();
-      }
-      StatusOr<bool> NextShard(pipeline::PulledShard* out) override {
-        return inner_->NextShard(out);
-      }
-      Status SkipToRow(size_t row) override { return inner_->SkipToRow(row); }
-      std::optional<size_t> TotalRows() const override {
-        return inner_->TotalRows();
-      }
-
-     private:
-      std::shared_ptr<const data::CategoricalTable> table_;
-      std::unique_ptr<pipeline::TableSource> inner_;
-    };
-    return std::unique_ptr<pipeline::TableSource>(std::make_unique<OwningSource>(
-        std::move(resolved.table), std::move(resolved.source)));
-  };
+  // Materializes fresh per session (sessions are rare; ingest dominates).
+  options.source_factory = MakeSourceFactory(flags, schema);
 
   auto listener = Unwrap(dist::TcpListener::Bind(
       flags.Get("bind-host", "127.0.0.1"), static_cast<uint16_t>(port)));
@@ -724,6 +725,163 @@ int CmdWorker(const Flags& flags) {
   // Scripts (`--once` + wait $pid) read the exit status as "did the
   // session succeed"; a failed handshake or count pass must not exit 0.
   return last_session_failed ? 1 : 0;
+}
+
+// SIGINT/SIGTERM initiate graceful shutdown by closing the listener: the
+// accept loop's failed Accept is its exit signal, and close(2) is
+// async-signal-safe where mutexes and condition variables are not.
+std::atomic<dist::TcpListener*> g_serve_listener{nullptr};
+
+void ServeSignalHandler(int) {
+  dist::TcpListener* listener = g_serve_listener.exchange(nullptr);
+  if (listener != nullptr) listener->Close();
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string dataset = flags.Get("dataset");
+  const data::CategoricalSchema schema = SchemaFor(dataset);
+  if (!flags.Has("listen")) return Usage();
+  const unsigned long long port = flags.GetUint("listen", 0);
+  if (port > 65535) {
+    std::cerr << "bad --listen port\n";
+    return 2;
+  }
+
+  serve::BrokerOptions options(schema);
+  options.source_factory = MakeSourceFactory(flags, schema);
+  options.source_id = StoreSourceId(flags);
+  options.num_threads = flags.GetUint("threads", 1);
+  options.superset_margin = flags.GetDouble("superset-margin", 0.25);
+  options.cache_entries = flags.GetUint("cache-entries", 64);
+  serve::QueryBroker broker(std::move(options));
+  serve::QueryServer server(&broker);
+
+  auto listener = Unwrap(dist::TcpListener::Bind(
+      flags.Get("bind-host", "127.0.0.1"), static_cast<uint16_t>(port)));
+  g_serve_listener.store(&listener);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  // Flushed before serving: scripts (tools/serve_smoke.sh) scrape the bound
+  // port from this line.
+  std::cout << "frapp serve listening on " << flags.Get("bind-host", "127.0.0.1")
+            << ":" << listener.port() << " (dataset " << dataset << ")"
+            << std::endl;
+  UnwrapStatus(server.ServeLoop(listener));
+  g_serve_listener.exchange(nullptr);
+
+  const serve::BrokerStats stats = broker.stats();
+  std::cerr << "serve: " << server.sessions() << " session(s), "
+            << stats.queries << " quer(y/ies), " << stats.mine_runs
+            << " mine run(s), " << stats.cache_hits << " cache hit(s), "
+            << stats.coalesced << " coalesced, " << stats.store_hits
+            << " store hit(s), " << stats.store_misses << " store miss(es), "
+            << stats.cache_evictions << " eviction(s), " << stats.rejected
+            << " rejected" << std::endl;
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const data::CategoricalSchema schema = SchemaFor(flags.Get("dataset"));
+  const std::string endpoint = flags.Get("connect");
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "bad --connect '" << endpoint << "' (host:port)\n";
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  unsigned long long port = 0;
+  if (!ParseUint64(endpoint.substr(colon + 1), &port) || port > 65535) {
+    std::cerr << "bad --connect port in '" << endpoint << "'\n";
+    return 2;
+  }
+
+  serve::QueryRequest request;
+  const std::string kind = flags.Get("query", "mine");
+  if (kind == "mine") {
+    request.kind = serve::QueryKind::kMine;
+  } else if (kind == "topk") {
+    request.kind = serve::QueryKind::kTopK;
+  } else if (kind == "rules") {
+    request.kind = serve::QueryKind::kRules;
+  } else if (kind == "stats") {
+    request.kind = serve::QueryKind::kStats;
+  } else {
+    std::cerr << "unknown --query '" << kind << "' (mine|topk|rules|stats)\n";
+    return 2;
+  }
+  request.schema_fingerprint = data::SchemaFingerprint(schema);
+  request.spec = SpecFromFlags(flags, schema);
+  request.perturb_seed = flags.GetUint("seed", 7);
+  request.min_support = flags.GetDouble("minsup", 0.02);
+  request.min_confidence = flags.GetDouble("min-confidence", 0.0);
+  const size_t top = static_cast<size_t>(flags.GetUint("top", 20));
+  request.top_k = top;
+
+  // Same dial-with-backoff defaults as the distributed coordinator, so
+  // scripts can launch `frapp serve` and its clients together.
+  dist::DialOptions dial;
+  dial.connect_timeout_ms = flags.GetUint("connect-timeout-ms", 5000);
+  dial.retry.max_attempts = flags.GetUint("connect-retries", 25);
+  dial.retry.base_backoff_ms = 50;
+  dial.retry.max_backoff_ms = 1000;
+  serve::QueryClient client(
+      Unwrap(dist::TcpDial(host, static_cast<uint16_t>(port), dial)));
+  const serve::QueryResponse response = Unwrap(client.Query(request));
+
+  const std::string label = dist::MechanismSpecName(request.spec);
+  switch (response.kind) {
+    case serve::QueryKind::kMine:
+      // THE report of `frapp mine --run-pipeline` over the same spec:
+      // stdout byte-diffs clean, which is how the smoke scripts prove a
+      // served mine changed nothing.
+      eval::PrintMiningReport(std::cout, schema, response.result, label,
+                              request.min_support, top);
+      break;
+    case serve::QueryKind::kTopK: {
+      std::cout << label << " top " << response.top.size()
+                << " frequent itemset(s) (minsup = " << request.min_support
+                << "):\n\n";
+      eval::TextTable out({"support", "itemset"});
+      for (const mining::FrequentItemset& f : response.top) {
+        out.AddRow({eval::Cell(f.support, 9), f.itemset.ToString(schema)});
+      }
+      out.Print(std::cout);
+      break;
+    }
+    case serve::QueryKind::kRules:
+      eval::PrintRulesReport(std::cout, schema, response.rules, label,
+                             request.min_confidence, top);
+      break;
+    case serve::QueryKind::kStats:
+      // Plain key=value lines: what the smoke scripts grep to assert
+      // coalescing (mine_runs stays 1 under N concurrent clients).
+      std::cout << "queries=" << response.server.queries << "\n"
+                << "mine_runs=" << response.server.mine_runs << "\n"
+                << "cache_hits=" << response.server.cache_hits << "\n"
+                << "coalesced=" << response.server.coalesced << "\n"
+                << "store_hits=" << response.server.store_hits << "\n"
+                << "store_misses=" << response.server.store_misses << "\n"
+                << "cache_entries=" << response.server.cache_entries << "\n"
+                << "cache_evictions=" << response.server.cache_evictions << "\n"
+                << "rejected=" << response.server.rejected << "\n";
+      break;
+  }
+
+  const char* outcome = response.outcome == serve::CacheOutcome::kHit
+                            ? "hit"
+                            : response.outcome == serve::CacheOutcome::kCoalesced
+                                  ? "coalesced"
+                                  : "miss";
+  std::cerr << "query: outcome=" << outcome << " store_hits="
+            << response.store_hits << " store_misses=" << response.store_misses
+            << " delta_chunks=" << response.delta_chunks
+            << " tail_rows=" << response.tail_rows
+            << " elapsed_us=" << response.elapsed_micros
+            << " server{queries=" << response.server.queries
+            << " mine_runs=" << response.server.mine_runs
+            << " cache_hits=" << response.server.cache_hits
+            << " coalesced=" << response.server.coalesced << "}" << std::endl;
+  return 0;
 }
 
 int CmdAudit(const Flags& flags) {
@@ -780,6 +938,8 @@ int main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "worker") return CmdWorker(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "query") return CmdQuery(flags);
   if (command == "cpuinfo") return CmdCpuinfo();
   return Usage();
 }

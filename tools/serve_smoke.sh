@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Mining-as-a-service smoke: a real `frapp serve` process on a loopback
+# port, hit by real `frapp query` client processes — the cross-process half
+# of what tests/serve/ proves in-process.
+#
+#   1. `frapp serve` starts on an ephemeral port (scraped from its banner)
+#   2. 8 CONCURRENT identical mine queries -> byte-identical reports, and
+#      the server's stats must show exactly ONE mine run (coalescing/cache)
+#   3. the report byte-diffs against a local `frapp mine --run-pipeline`
+#      of the same table and spec
+#   4. a repeat query is a cache hit (outcome=hit on the client's stderr)
+#   5. a sub-supmin drill-down re-perturbs nothing (delta_chunks=0,
+#      tail_rows=0, store_hits>0) — served from the count store
+#   6. topk/rules/stats queries answer
+#   7. SIGTERM: the server drains and exits 0 (graceful shutdown)
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: <repo-root>/build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+frapp="$build_dir/frapp_cli"
+
+if [[ ! -x "$frapp" ]]; then
+  echo "FATAL: $frapp not built (cmake --build $build_dir --target frapp_cli)" >&2
+  exit 1
+fi
+
+rows=16384        # 2 whole chunks: sub-supmin re-mines have no tail
+gen_seed=5
+seed=7
+minsup=0.02
+dataset=census
+
+tmp_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp_dir"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# ------------------------------------------------------------- start server
+"$frapp" serve --listen 0 --dataset "$dataset" --rows "$rows" \
+  --gen-seed "$gen_seed" > "$tmp_dir/server.out" 2> "$tmp_dir/server.err" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/.*frapp serve listening on [^:]*:\([0-9]*\).*/\1/p' \
+    "$tmp_dir/server.out" | head -1)"
+  [[ -n "$port" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server died during startup: $(cat "$tmp_dir/server.err")"
+  sleep 0.1
+done
+[[ -n "$port" ]] || fail "no listening banner from server"
+echo "serve_smoke: server up on port $port (pid $server_pid)"
+
+query() {  # query <kind> <extra flags...>
+  local kind="$1"; shift
+  "$frapp" query --connect "127.0.0.1:$port" --dataset "$dataset" \
+    --query "$kind" --mechanism det-gd --seed "$seed" --minsup "$minsup" "$@"
+}
+
+# ------------------------------------ 8 concurrent mines, ONE mine run total
+pids=()
+for i in $(seq 1 8); do
+  query mine > "$tmp_dir/mine.$i.out" 2> "$tmp_dir/mine.$i.err" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail "concurrent mine client failed"
+done
+for i in $(seq 2 8); do
+  diff "$tmp_dir/mine.1.out" "$tmp_dir/mine.$i.out" > /dev/null \
+    || fail "concurrent clients received different reports (1 vs $i)"
+done
+echo "serve_smoke: 8 concurrent clients, byte-identical reports"
+
+query stats > "$tmp_dir/stats.out" 2> /dev/null
+mine_runs="$(sed -n 's/^mine_runs=//p' "$tmp_dir/stats.out")"
+queries="$(sed -n 's/^queries=//p' "$tmp_dir/stats.out")"
+[[ "$mine_runs" == "1" ]] \
+  || fail "expected exactly 1 mine run for 8 identical queries, got $mine_runs"
+echo "serve_smoke: $queries queries so far, mine_runs=$mine_runs (coalesced/cached)"
+
+# ----------------------------------------- parity with a from-scratch mine
+"$frapp" mine --dataset "$dataset" --mechanism det-gd --run-pipeline \
+  --rows "$rows" --gen-seed "$gen_seed" --seed "$seed" --minsup "$minsup" \
+  > "$tmp_dir/pipeline.out" 2> /dev/null
+diff "$tmp_dir/pipeline.out" "$tmp_dir/mine.1.out" > /dev/null \
+  || fail "served mine differs from --run-pipeline ground truth"
+echo "serve_smoke: served report byte-identical to --run-pipeline"
+
+# --------------------------------------------------- repeat => cache hit
+query mine > /dev/null 2> "$tmp_dir/repeat.err"
+grep -q 'outcome=hit' "$tmp_dir/repeat.err" \
+  || fail "repeat query was not a cache hit: $(cat "$tmp_dir/repeat.err")"
+echo "serve_smoke: repeat query outcome=hit"
+
+# --------------------- sub-supmin drill-down: zero re-perturbation, store-fed
+query mine --minsup 0.01 > "$tmp_dir/drill.out" 2> "$tmp_dir/drill.err"
+grep -q 'outcome=miss' "$tmp_dir/drill.err" \
+  || fail "sub-supmin drill-down unexpectedly cached: $(cat "$tmp_dir/drill.err")"
+grep -q 'delta_chunks=0 tail_rows=0' "$tmp_dir/drill.err" \
+  || fail "sub-supmin drill-down re-perturbed data: $(cat "$tmp_dir/drill.err")"
+store_hits="$(sed -n 's/.*[[:space:]]store_hits=\([0-9]*\).*/\1/p' "$tmp_dir/drill.err" | head -1)"
+[[ -n "$store_hits" && "$store_hits" -gt 0 ]] \
+  || fail "sub-supmin drill-down did not reuse stored counts: $(cat "$tmp_dir/drill.err")"
+"$frapp" mine --dataset "$dataset" --mechanism det-gd --run-pipeline \
+  --rows "$rows" --gen-seed "$gen_seed" --seed "$seed" --minsup 0.01 \
+  > "$tmp_dir/pipeline001.out" 2> /dev/null
+diff "$tmp_dir/pipeline001.out" "$tmp_dir/drill.out" > /dev/null \
+  || fail "sub-supmin served mine differs from --run-pipeline at 0.01"
+echo "serve_smoke: sub-supmin 0.01 served from store (store_hits=$store_hits, zero re-perturbation)"
+
+# ------------------------------------------------------------- topk + rules
+query topk --top 5 > "$tmp_dir/topk.out" 2> /dev/null
+[[ -s "$tmp_dir/topk.out" ]] || fail "empty topk report"
+query rules --min-confidence 0.5 > "$tmp_dir/rules.out" 2> /dev/null
+[[ -s "$tmp_dir/rules.out" ]] || fail "empty rules report"
+echo "serve_smoke: topk and rules queries answered"
+
+# ------------------------------------------------------- graceful shutdown
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+[[ "$server_rc" -eq 0 ]] || fail "server exited $server_rc on SIGTERM"
+grep -q 'serve:' "$tmp_dir/server.err" \
+  || fail "server did not print its final stats line"
+server_pid=""
+echo "serve_smoke: graceful SIGTERM shutdown, $(grep 'serve:' "$tmp_dir/server.err")"
+
+echo "serve_smoke: OK"
